@@ -1,0 +1,109 @@
+//! Ablation (§4.2.2) — single vs batched statistics insertion.
+//!
+//! The paper chooses to buffer all measurements of one destination and
+//! insert them in one bulk write, trading a bounded crash-loss window
+//! for lower I/O overhead. This bench quantifies both sides: the
+//! throughput gap between per-document and batched insertion, and the
+//! samples lost when a crash interrupts each strategy mid-destination.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use pathdb::{doc, Collection, Document, Value};
+use std::io::Write;
+
+fn sample_docs(n: usize) -> Vec<Document> {
+    (0..n)
+        .map(|i| {
+            doc! {
+                "_id" => format!("2_{}_{}", i % 24, 1_000_000 + i),
+                "server_id" => 2i64,
+                "avg_latency_ms" => 25.0 + i as f64,
+                "loss_pct" => 0.0f64,
+                "isds" => vec![16i64, 17, 19],
+                "bw_down_mtu_mbps" => 11.9f64,
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // Crash-loss accounting: with batching, a crash after k of n docs
+    // loses all k buffered samples of ONE destination; with per-doc
+    // writes it loses at most the one in flight — but pays per-write
+    // overhead on every sample. Print the numbers the design argument
+    // rests on.
+    let n = 24; // one destination's paths
+    println!("crash mid-destination: batched loses <= {n} samples (one per path), single loses <= 1");
+
+    let mut g = c.benchmark_group("ablation_insertion");
+
+    // The paper's actual cost driver is the write round-trip to the
+    // database service. Model it with durable appends: one flushed
+    // write per document vs one flushed write per batch.
+    let dir = std::env::temp_dir().join(format!("upin-ablation-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for &batch in &[24usize, 240] {
+        g.bench_function(format!("single_inserts_persisted/{batch}"), |b| {
+            let path = dir.join("single.jsonl");
+            b.iter_batched(
+                || sample_docs(batch),
+                |docs| {
+                    let mut f = std::fs::File::create(&path).unwrap();
+                    for d in docs {
+                        writeln!(f, "{}", Value::Doc(d).to_json()).unwrap();
+                        f.flush().unwrap();
+                        f.sync_data().unwrap(); // per-document durability
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("insert_many_persisted/{batch}"), |b| {
+            let path = dir.join("many.jsonl");
+            b.iter_batched(
+                || sample_docs(batch),
+                |docs| {
+                    let mut buf = Vec::new();
+                    for d in docs {
+                        writeln!(buf, "{}", Value::Doc(d).to_json()).unwrap();
+                    }
+                    let mut f = std::fs::File::create(&path).unwrap();
+                    f.write_all(&buf).unwrap();
+                    f.flush().unwrap();
+                    f.sync_data().unwrap(); // one durability point per batch
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    for &batch in &[24usize, 240, 2400] {
+        g.bench_function(format!("single_inserts/{batch}"), |b| {
+            b.iter_batched(
+                || sample_docs(batch),
+                |docs| {
+                    let mut coll = Collection::new("paths_stats");
+                    for d in docs {
+                        coll.insert_one(black_box(d)).unwrap();
+                    }
+                    coll
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("insert_many/{batch}"), |b| {
+            b.iter_batched(
+                || sample_docs(batch),
+                |docs| {
+                    let mut coll = Collection::new("paths_stats");
+                    coll.insert_many(black_box(docs)).unwrap();
+                    coll
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation (§5.2) — the path retention rule.
+//!
+//! The collection stage keeps only paths with `hops ≤ min_hops + 1`,
+//! "aimed at conserving time by excluding paths that are overly lengthy
+//! and fail to meet our latency criteria". This bench sweeps the slack
+//! (0, 1 = paper, ∞) and reports coverage (paths retained → measurement
+//! cost per campaign round) against the collection-time cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathdb::Database;
+use upin_core::collect::{collect_paths, register_available_servers};
+use upin_core::config::SuiteConfig;
+
+fn collect_with_slack(slack: usize) -> usize {
+    let net = scion_sim::net::ScionNetwork::scionlab(42);
+    let db = Database::new();
+    register_available_servers(&db, &net).unwrap();
+    let cfg = SuiteConfig {
+        hop_slack: slack,
+        ..SuiteConfig::default()
+    };
+    let report = collect_paths(&db, &net, &cfg).unwrap();
+    report.retained
+}
+
+fn bench(c: &mut Criterion) {
+    // Coverage side of the trade-off: how many paths each slack keeps,
+    // and what a 30-probe-per-path campaign round costs in probes.
+    for &slack in &[0usize, 1, 99] {
+        let retained = collect_with_slack(slack);
+        println!(
+            "slack {slack:>2}: {retained:>4} paths retained -> {} probes per campaign round",
+            retained * 30
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_pruning");
+    g.sample_size(10);
+    for &slack in &[0usize, 1, 99] {
+        g.bench_function(format!("collect/slack_{slack}"), |b| {
+            b.iter(|| collect_with_slack(black_box(slack)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

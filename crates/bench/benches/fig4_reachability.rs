@@ -1,0 +1,34 @@
+//! Fig. 4 — server reachability histogram from MY_AS#1.
+//!
+//! Regenerates the figure (printing the same rows the paper plots),
+//! asserts the paper's scalar claims hold in shape (mean min-hop count
+//! ≈ 5.66, ≈70 % of destinations within 6 hops, 21 destinations), and
+//! times the full discovery pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (hist, text) = upin_bench::fig4(42);
+    println!("{text}");
+    assert_eq!(hist.destinations, 21, "paper: 21 reachable destinations");
+    assert!(
+        (5.4..5.95).contains(&hist.mean_min_hops),
+        "paper: mean path length 5.66, got {}",
+        hist.mean_min_hops
+    );
+    let frac = hist.frac_within(6);
+    assert!(
+        (0.62..0.80).contains(&frac),
+        "paper: ~70% within 6 hops, got {frac}"
+    );
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("discover_and_histogram", |b| {
+        b.iter(|| upin_bench::fig4(black_box(42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

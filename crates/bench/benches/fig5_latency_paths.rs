@@ -1,0 +1,51 @@
+//! Fig. 5 — per-path latency whiskers to AWS Ireland
+//! (16-ffaa:0:1002,[172.31.43.7]).
+//!
+//! Shape checks: paths split into 6- and 7-hop classes; latencies
+//! separate into three layers (EU-only, US detours, Singapore detours);
+//! within a layer, means are close.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use upin_core::analysis::latency_layers;
+
+fn bench(c: &mut Criterion) {
+    let (paths, text) = upin_bench::fig5(42, 10);
+    println!("{text}");
+
+    assert!(paths.len() >= 8, "enough paths for the figure: {}", paths.len());
+    assert!(
+        paths.iter().all(|p| p.hops == 6 || p.hops == 7),
+        "retention keeps the 6/7-hop classes only"
+    );
+    assert!(paths.iter().any(|p| p.hops == 6));
+    assert!(paths.iter().any(|p| p.hops == 7));
+
+    // The paper's "clear separation of latency values into three main
+    // layers, each with nearly the same average values".
+    let layers = latency_layers(&paths, 0.35);
+    assert_eq!(layers.len(), 3, "three latency layers, got {layers:?}");
+    // Layers are ordered by construction; the outermost is the
+    // Singapore-detour class, far above the EU-only class.
+    let mean_of = |ids: &Vec<upin_core::PathId>| {
+        let v: Vec<f64> = paths
+            .iter()
+            .filter(|p| ids.contains(&p.path_id))
+            .map(|p| p.whisker.mean)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let (low, mid, high) = (mean_of(&layers[0]), mean_of(&layers[1]), mean_of(&layers[2]));
+    assert!(low < 80.0, "EU layer {low}");
+    assert!(mid > low * 2.0, "US-detour layer {mid} vs {low}");
+    assert!(high > mid * 1.4, "Singapore layer {high} vs {mid}");
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("latency_campaign_ireland", |b| {
+        b.iter(|| upin_bench::fig5(black_box(42), 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 6 — latency per ISD set grouped by hop count, to AWS Ireland.
+//!
+//! Shape checks: the 7-hop column of the home ISD set has a far wider
+//! spread than the 6-hop one; excluding the long-distance ASes
+//! (16-ffaa:0:1004 Singapore, 16-ffaa:0:1007 Ohio) collapses both its
+//! level and its spread — the paper's §6.1 conclusion.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (all, filtered, text) = upin_bench::fig6(42, 10);
+    println!("{text}");
+
+    let home = vec![16u16, 17, 19];
+    let col = |groups: &[upin_core::analysis::IsdSetLatency], hops: usize| {
+        groups
+            .iter()
+            .find(|g| g.isds == home && g.hops == hops)
+            .cloned()
+    };
+    let six = col(&all, 6).expect("6-hop home column exists");
+    let seven = col(&all, 7).expect("7-hop home column exists");
+    // "a much bigger gap in latency values" for the 7-hop column.
+    assert!(
+        seven.whisker.iqr() > six.whisker.iqr() * 3.0,
+        "7-hop IQR {} vs 6-hop {}",
+        seven.whisker.iqr(),
+        six.whisker.iqr()
+    );
+
+    // After excluding Singapore/Ohio, the 7-hop column shows "a smaller
+    // variance and comparable values".
+    let seven_filtered = col(&filtered, 7).expect("filtered 7-hop column");
+    assert!(
+        seven_filtered.whisker.std < seven.whisker.std / 3.0,
+        "filtered std {} vs {}",
+        seven_filtered.whisker.std,
+        seven.whisker.std
+    );
+    assert!(
+        seven_filtered.whisker.mean < seven.whisker.mean,
+        "exclusion removes the high-latency mass"
+    );
+    // There is an ISD-set column beyond the home set (the 18-transit
+    // paths), proving ISD membership alone does not determine latency.
+    assert!(all.iter().any(|g| g.isds != home));
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("isd_set_grouping", |b| {
+        b.iter(|| upin_bench::fig6(black_box(42), 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 7 — achieved bandwidth per path to the Germany server
+//! (19-ffaa:0:1303,[141.44.25.144]) at a 12 Mbps target.
+//!
+//! Shape checks (the paper's §6.2, first experiment): downstream beats
+//! upstream, and MTU-sized packets beat 64-byte packets in both
+//! directions ("all the paths get a lower bandwidth by sending 64-byte
+//! packets compared to the MTU packets").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let (paths, text) = upin_bench::fig7(42, 10);
+    println!("{text}");
+    assert!(paths.len() >= 3, "enough paths: {}", paths.len());
+
+    let up64: Vec<f64> = paths.iter().filter_map(|p| p.up_64.as_ref().map(|w| w.mean)).collect();
+    let upmtu: Vec<f64> = paths.iter().filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean)).collect();
+    let down64: Vec<f64> = paths.iter().filter_map(|p| p.down_64.as_ref().map(|w| w.mean)).collect();
+    let downmtu: Vec<f64> = paths.iter().filter_map(|p| p.down_mtu.as_ref().map(|w| w.mean)).collect();
+
+    // MTU > 64 B in both directions at the 12 Mbps target.
+    assert!(
+        mean(&upmtu) > mean(&up64) + 1.0,
+        "upstream MTU {} vs 64B {}",
+        mean(&upmtu),
+        mean(&up64)
+    );
+    assert!(
+        mean(&downmtu) > mean(&down64) + 0.5,
+        "downstream MTU {} vs 64B {}",
+        mean(&downmtu),
+        mean(&down64)
+    );
+    // Downstream > upstream ("in line with the internet's inherent
+    // asymmetry").
+    assert!(
+        mean(&downmtu) > mean(&upmtu),
+        "down {} vs up {}",
+        mean(&downmtu),
+        mean(&upmtu)
+    );
+    assert!(mean(&down64) > mean(&up64));
+    // MTU downstream approaches the 12 Mbps target.
+    assert!(mean(&downmtu) > 9.0, "downstream MTU mean {}", mean(&downmtu));
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("bandwidth_campaign_12mbps", |b| {
+        b.iter(|| upin_bench::fig7(black_box(42), 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

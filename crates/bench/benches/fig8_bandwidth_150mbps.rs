@@ -1,0 +1,61 @@
+//! Fig. 8 — achieved bandwidth per path to the Germany server at a
+//! 150 Mbps target: the reversal experiment.
+//!
+//! Shape checks (§6.2, second experiment): "This trend reverses when we
+//! require a higher bandwidth of 150 Mbps ... a higher achieved
+//! bandwidth by sending smaller packets instead of bigger ones", and
+//! overall achieved bandwidth collapses relative to the 12 Mbps run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let (paths, text) = upin_bench::fig8(42, 10);
+    println!("{text}");
+    assert!(paths.len() >= 3);
+
+    let up64: Vec<f64> = paths.iter().filter_map(|p| p.up_64.as_ref().map(|w| w.mean)).collect();
+    let upmtu: Vec<f64> = paths.iter().filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean)).collect();
+    let down64: Vec<f64> = paths.iter().filter_map(|p| p.down_64.as_ref().map(|w| w.mean)).collect();
+    let downmtu: Vec<f64> = paths.iter().filter_map(|p| p.down_mtu.as_ref().map(|w| w.mean)).collect();
+
+    // The reversal: 64 B > MTU in both directions at 150 Mbps.
+    assert!(
+        mean(&up64) > mean(&upmtu),
+        "upstream 64B {} must beat MTU {}",
+        mean(&up64),
+        mean(&upmtu)
+    );
+    assert!(
+        mean(&down64) > mean(&downmtu),
+        "downstream 64B {} must beat MTU {}",
+        mean(&down64),
+        mean(&downmtu)
+    );
+    // Congestion collapse: MTU achieves less at the higher target than
+    // it does at 12 Mbps (cross-check against Fig. 7's campaign).
+    let (fig7_paths, _) = upin_bench::fig7(42, 3);
+    let fig7_downmtu: Vec<f64> = fig7_paths
+        .iter()
+        .filter_map(|p| p.down_mtu.as_ref().map(|w| w.mean))
+        .collect();
+    assert!(
+        mean(&downmtu) < mean(&fig7_downmtu),
+        "150M MTU {} must fall below 12M MTU {}",
+        mean(&downmtu),
+        mean(&fig7_downmtu)
+    );
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("bandwidth_campaign_150mbps", |b| {
+        b.iter(|| upin_bench::fig8(black_box(42), 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

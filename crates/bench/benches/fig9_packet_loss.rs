@@ -1,0 +1,55 @@
+//! Fig. 9 — average packet loss per path to AWS US N. Virginia
+//! (16-ffaa:0:1003,[172.31.19.144]).
+//!
+//! Shape checks (§6.3): "the majority of paths exhibits a loss ratio of
+//! 0 %, with a few instances occasionally reaching almost the 10 % mark.
+//! ... particular paths notably register a complete 100 % loss rate",
+//! and the blacked-out paths are *consecutive* in measurement order —
+//! the shared-node congestion-episode hypothesis, injected here at AWS
+//! Frankfurt.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (paths, text, blackout) = upin_bench::fig9(42, 4);
+    println!("{text}");
+    let n = paths.len();
+    assert!(n >= 6, "enough paths: {n}");
+
+    // Consecutive tail paths at a complete 100 % loss.
+    let blacked: Vec<bool> = paths.iter().map(|p| p.total_blackout()).collect();
+    assert_eq!(
+        blacked.iter().filter(|b| **b).count(),
+        blackout,
+        "exactly the episode-covered paths black out: {blacked:?}"
+    );
+    assert!(
+        blacked[n - blackout..].iter().all(|b| *b),
+        "blackouts are consecutive at the tail: {blacked:?}"
+    );
+
+    // The healthy majority sits at ~0 % with occasional excursions.
+    let healthy = &paths[..n - blackout];
+    let mostly_zero = healthy
+        .iter()
+        .filter(|p| p.points.first().is_some_and(|(l, _)| *l == 0.0))
+        .count();
+    assert!(
+        mostly_zero * 2 >= healthy.len(),
+        "majority of healthy paths see 0% samples"
+    );
+    assert!(
+        healthy.iter().all(|p| p.mean_loss() < 20.0),
+        "healthy paths stay far from blackout"
+    );
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("loss_campaign_with_episode", |b| {
+        b.iter(|| upin_bench::fig9(black_box(42), 2))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

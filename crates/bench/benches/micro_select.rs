@@ -1,0 +1,134 @@
+//! Selection-engine scalability (§4.1.1): "the amount of data generated
+//! grows both with the number of tests performed per destination, as
+//! well as the number of destinations tested" — and the user-facing
+//! query layer has to stay responsive on top of it.
+//!
+//! Benches recommendation latency over synthetic campaigns of growing
+//! size, with and without a secondary index on `server_id`, plus the
+//! multi-criteria rankers over wide candidate sets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pathdb::{doc, Database, Value};
+use upin_core::multi::{pareto_front, weighted_rank, Weights};
+use upin_core::schema::{PATHS, PATHS_STATS};
+use upin_core::select::{aggregate_paths, recommend, Constraints, Objective, UserRequest};
+
+/// Build a synthetic campaign database: `servers × paths_per × rounds`
+/// stats documents plus the path metadata.
+fn synthetic_db(servers: u32, paths_per: u32, rounds: u32, index: bool) -> Database {
+    let db = Database::new();
+    {
+        let handle = db.collection(PATHS);
+        let mut coll = handle.write();
+        for s in 1..=servers {
+            for p in 0..paths_per {
+                coll.insert_one(doc! {
+                    "_id" => format!("{s}_{p}"),
+                    "server_id" => s as i64,
+                    "path_index" => p as i64,
+                    "sequence" => format!("17-ffaa:1:eaf#0,1 17-ffaa:0:1107#{p},0"),
+                    "hops" => (5 + p % 3) as i64,
+                    "isds" => vec![16i64, 17, (17 + p % 4) as i64],
+                    "ases" => vec![format!("17-ffaa:0:{p}")],
+                    "countries" => vec![if p % 4 == 0 { "United States" } else { "Switzerland" }.to_string()],
+                    "operators" => vec!["op".to_string()],
+                })
+                .unwrap();
+            }
+        }
+    }
+    {
+        let handle = db.collection(PATHS_STATS);
+        let mut coll = handle.write();
+        if index {
+            coll.create_index("server_id");
+        }
+        let mut batch = Vec::new();
+        for s in 1..=servers {
+            for p in 0..paths_per {
+                for r in 0..rounds {
+                    batch.push(doc! {
+                        "_id" => format!("{s}_{p}_{r}"),
+                        "path_id" => format!("{s}_{p}"),
+                        "server_id" => s as i64,
+                        "timestamp_ms" => (r * 3300) as i64,
+                        "isds" => vec![16i64, 17],
+                        "hops" => (5 + p % 3) as i64,
+                        "avg_latency_ms" => 20.0 + (p * 13 % 250) as f64 + (r % 7) as f64,
+                        "jitter_ms" => 0.3 + (p % 5) as f64,
+                        "loss_pct" => (p % 9) as f64,
+                        "bw_up_mtu_mbps" => 8.0 + (p % 4) as f64,
+                        "bw_down_mtu_mbps" => 10.0 + (p % 3) as f64,
+                        "target_mbps" => 12.0,
+                    });
+                }
+            }
+        }
+        coll.insert_many(batch).unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_select");
+    g.sample_size(20);
+
+    for &(servers, paths_per, rounds) in &[(21u32, 10u32, 10u32), (21, 24, 60)] {
+        let total = servers * paths_per * rounds;
+        let scan = synthetic_db(servers, paths_per, rounds, false);
+        let indexed = synthetic_db(servers, paths_per, rounds, true);
+        let request = UserRequest {
+            server_id: 7,
+            objective: Objective::MinLatency,
+            constraints: Constraints {
+                exclude_countries: vec!["United States".into()],
+                ..Constraints::default()
+            },
+        };
+        g.bench_function(format!("recommend/scan_{total}_docs"), |b| {
+            b.iter(|| recommend(&scan, black_box(&request), 3).unwrap())
+        });
+        g.bench_function(format!("recommend/indexed_{total}_docs"), |b| {
+            b.iter(|| recommend(&indexed, black_box(&request), 3).unwrap())
+        });
+    }
+
+    // Multi-criteria rankers over a wide candidate set.
+    let db = synthetic_db(1, 200, 20, true);
+    let candidates = aggregate_paths(&db, 1, &Constraints::default()).unwrap();
+    assert_eq!(candidates.len(), 200);
+    let criteria = [Objective::MinLatency, Objective::MinLoss, Objective::MaxBandwidthDown];
+    g.bench_function("pareto_front/200_candidates", |b| {
+        b.iter(|| pareto_front(black_box(&candidates), &criteria))
+    });
+    let weights = Weights {
+        latency: 2.0,
+        loss: 1.0,
+        bw_down: 1.0,
+        ..Weights::default()
+    };
+    g.bench_function("weighted_rank/200_candidates", |b| {
+        b.iter(|| weighted_rank(black_box(&candidates), &weights))
+    });
+
+    // Sanity: the two DB variants answer identically.
+    let scan = synthetic_db(21, 10, 10, false);
+    let indexed = synthetic_db(21, 10, 10, true);
+    let req = UserRequest {
+        server_id: 3,
+        objective: Objective::MinLoss,
+        constraints: Constraints::default(),
+    };
+    let a = recommend(&scan, &req, 5).unwrap();
+    let b = recommend(&indexed, &req, 5).unwrap();
+    assert_eq!(
+        a.iter().map(|r| r.aggregate.path_id).collect::<Vec<_>>(),
+        b.iter().map(|r| r.aggregate.path_id).collect::<Vec<_>>(),
+    );
+    let _ = Value::Null; // keep the import used on all cfgs
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmarks of the SCION simulator substrate: control-plane
+//! convergence (beaconing + indexing), path-server queries, SCMP probe
+//! campaigns and flow simulations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scion_sim::dataplane::flows::FlowParams;
+use scion_sim::dataplane::scmp::ProbeOptions;
+use scion_sim::net::ScionNetwork;
+use scion_sim::topology::scionlab::{paper_destinations, AWS_IRELAND, KISTI_AP, MY_AS};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_sim");
+    g.sample_size(20);
+
+    g.bench_function("network_construction_with_beaconing", |b| {
+        b.iter(|| ScionNetwork::scionlab(black_box(42)))
+    });
+
+    let net = ScionNetwork::scionlab(42);
+    g.bench_function("pathserver_query_ireland_40", |b| {
+        b.iter(|| net.path_server().query(net.topology(), MY_AS, black_box(AWS_IRELAND), 40))
+    });
+    g.bench_function("pathserver_query_korea_40", |b| {
+        b.iter(|| net.path_server().query(net.topology(), MY_AS, black_box(KISTI_AP), 40))
+    });
+
+    let paths = net.paths(MY_AS, AWS_IRELAND, 1);
+    let ireland = paper_destinations()[1];
+    g.bench_function("ping_30_probes", |b| {
+        b.iter(|| {
+            net.ping(black_box(&paths[0]), ireland, &ProbeOptions::default())
+                .unwrap()
+        })
+    });
+
+    let flow = FlowParams {
+        duration_s: 3.0,
+        packet_bytes: 1400,
+        target_mbps: 12.0,
+    };
+    g.bench_function("bwtest_both_directions", |b| {
+        b.iter(|| net.bwtest(black_box(&paths[0]), ireland, &flow, &flow).unwrap())
+    });
+
+    g.bench_function("path_validation_mac_chain", |b| {
+        b.iter(|| net.path_server().validate(net.topology(), black_box(&paths[0])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

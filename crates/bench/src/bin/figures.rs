@@ -1,0 +1,97 @@
+//! Regenerate every figure of the paper as text series.
+//!
+//! ```text
+//! figures [fig4|fig5|fig6|fig7|fig8|fig9|summary|all] [--seed N] [--iterations N]
+//! ```
+//!
+//! Output goes to stdout; pass `--out <dir>` to also write one
+//! `<figure>.txt` per figure (the inputs to EXPERIMENTS.md).
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut seed = 42u64;
+    let mut iterations = 10u32;
+    let mut out_dir: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--iterations" => {
+                i += 1;
+                iterations = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            name if name.starts_with("fig")
+                || name == "summary"
+                || name == "correlation"
+                || name == "consistency"
+                || name == "diversity"
+                || name == "all" =>
+            {
+                which.push(name.to_string());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = [
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "correlation",
+            "consistency",
+            "diversity",
+            "summary",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    for name in &which {
+        let text = match name.as_str() {
+            "fig4" => upin_bench::fig4(seed).1,
+            "fig5" => upin_bench::fig5(seed, iterations).1,
+            "fig6" => upin_bench::fig6(seed, iterations).2,
+            "fig7" => upin_bench::fig7(seed, iterations).1,
+            "fig8" => upin_bench::fig8(seed, iterations).1,
+            "fig9" => upin_bench::fig9(seed, iterations.min(5)).1,
+            "correlation" => upin_bench::correlation(seed, iterations).1,
+            "consistency" => upin_bench::destination_consistency(seed, iterations.min(5)).1,
+            "diversity" => upin_bench::choice_diversity(seed, iterations.min(5)).1,
+            "summary" => upin_bench::summary_campaign(seed, 25).1,
+            other => {
+                eprintln!("unknown figure {other:?}");
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let path = format!("{dir}/{name}.txt");
+            let mut f = std::fs::File::create(&path).expect("create figure file");
+            f.write_all(text.as_bytes()).expect("write figure file");
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [fig4|fig5|fig6|fig7|fig8|fig9|summary|all] [--seed N] [--iterations N] [--out DIR]"
+    );
+    std::process::exit(2);
+}

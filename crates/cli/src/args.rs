@@ -1,0 +1,192 @@
+//! Small declarative argument parser for the `upin` CLI.
+//!
+//! Grammar: `upin <command> [positional...] [--opt value]... [--flag]...`
+//! Options may repeat (`--exclude-country US --exclude-country SG`).
+
+use std::collections::HashMap;
+
+/// Whether an option consumes a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    Flag,
+    Value,
+}
+
+/// Parsed arguments of one command.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Parsed {
+    pub positional: Vec<String>,
+    options: HashMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+impl Parsed {
+    /// Single-valued option (last occurrence wins).
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// All occurrences of a repeatable option.
+    pub fn opt_all(&self, name: &str) -> Vec<&str> {
+        self.options
+            .get(name)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parse an option as a number.
+    pub fn opt_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.opt(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+/// Declarative option table for one command.
+#[derive(Debug, Clone, Default)]
+pub struct Spec {
+    options: Vec<(&'static str, Arity)>,
+    /// (min, max) positional arguments.
+    pub positionals: (usize, usize),
+}
+
+impl Spec {
+    pub fn new(min_pos: usize, max_pos: usize) -> Spec {
+        Spec {
+            options: Vec::new(),
+            positionals: (min_pos, max_pos),
+        }
+    }
+
+    pub fn flag(mut self, name: &'static str) -> Spec {
+        self.options.push((name, Arity::Flag));
+        self
+    }
+
+    pub fn value(mut self, name: &'static str) -> Spec {
+        self.options.push((name, Arity::Value));
+        self
+    }
+
+    fn arity_of(&self, name: &str) -> Option<Arity> {
+        self.options
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, a)| *a)
+    }
+
+    /// Parse an argument vector against the spec.
+    pub fn parse<I, S>(&self, args: I) -> Result<Parsed, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = Parsed::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            if let Some(name) = arg.strip_prefix("--").or_else(|| {
+                // Accept single-dash spellings the SCION tools use (-c, -m, -cs...).
+                arg.strip_prefix('-').filter(|r| !r.is_empty() && !r.chars().next().unwrap().is_ascii_digit())
+            }) {
+                match self.arity_of(name) {
+                    Some(Arity::Flag) => out.flags.push(name.to_string()),
+                    Some(Arity::Value) => {
+                        let v = iter
+                            .next()
+                            .ok_or_else(|| format!("--{name} expects a value"))?;
+                        out.options
+                            .entry(name.to_string())
+                            .or_default()
+                            .push(v.as_ref().to_string());
+                    }
+                    None => return Err(format!("unknown option --{name}")),
+                }
+            } else {
+                out.positional.push(arg.to_string());
+            }
+        }
+        let n = out.positional.len();
+        if n < self.positionals.0 || n > self.positionals.1 {
+            return Err(format!(
+                "expected between {} and {} positional arguments, got {n}",
+                self.positionals.0, self.positionals.1
+            ));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Spec {
+        Spec::new(1, 2)
+            .flag("extended")
+            .value("m")
+            .value("exclude-country")
+    }
+
+    #[test]
+    fn parses_positionals_flags_and_options() {
+        let p = spec()
+            .parse(["16-ffaa:0:1002", "--extended", "-m", "40"])
+            .unwrap();
+        assert_eq!(p.positional, vec!["16-ffaa:0:1002"]);
+        assert!(p.flag("extended"));
+        assert_eq!(p.opt("m"), Some("40"));
+        assert_eq!(p.opt_parse::<usize>("m").unwrap(), Some(40));
+    }
+
+    #[test]
+    fn repeatable_options_accumulate() {
+        let p = spec()
+            .parse(["x", "--exclude-country", "US", "--exclude-country", "SG"])
+            .unwrap();
+        assert_eq!(p.opt_all("exclude-country"), vec!["US", "SG"]);
+        assert_eq!(p.opt("exclude-country"), Some("SG"), "last wins for opt()");
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        assert!(spec().parse(["x", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(spec().parse(["x", "-m"]).is_err());
+    }
+
+    #[test]
+    fn positional_count_enforced() {
+        assert!(spec().parse(Vec::<&str>::new()).is_err());
+        assert!(spec().parse(["a", "b", "c"]).is_err());
+        assert!(spec().parse(["a", "b"]).is_ok());
+    }
+
+    #[test]
+    fn negative_numbers_are_not_options() {
+        let s = Spec::new(0, 3).value("k");
+        let p = s.parse(["-5", "--k", "3", "-7.5"]).unwrap();
+        assert_eq!(p.positional, vec!["-5", "-7.5"]);
+        assert_eq!(p.opt("k"), Some("3"));
+    }
+
+    #[test]
+    fn bad_numeric_option_reports() {
+        let p = spec().parse(["x", "-m", "lots"]).unwrap();
+        assert!(p.opt_parse::<usize>("m").is_err());
+    }
+}

@@ -1,0 +1,690 @@
+//! Command implementations. Each command is a pure function from parsed
+//! arguments to output text, so the whole CLI is unit-testable without
+//! process spawning.
+
+use crate::args::Spec;
+use crate::session::{CliError, Session};
+use scion_sim::addr::{IsdAsn, ScionAddr};
+use scion_tools::ping::{PathSelection, PingOptions};
+use scion_tools::showpaths::ShowpathsOptions;
+use upin_core::select::{recommend, Constraints, Objective, UserRequest};
+use upin_core::verify::verify_recommendation;
+use upin_core::SuiteConfig;
+
+/// Top-level dispatch: `run(&["showpaths", "16-ffaa:0:1002", "-m", "40"])`.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let (command, rest) = argv
+        .split_first()
+        .ok_or_else(|| CliError::Usage(usage()))?;
+
+    // Global options are valid on every command.
+    let with_globals = |spec: Spec| spec.value("seed").value("db");
+
+    match command.as_str() {
+        "destinations" => {
+            let p = parse(with_globals(Spec::new(0, 0)), rest)?;
+            let s = open(&p)?;
+            cmd_destinations(&s)
+        }
+        "showpaths" => {
+            let p = parse(
+                with_globals(Spec::new(1, 1).value("m").flag("extended")),
+                rest,
+            )?;
+            let s = open(&p)?;
+            let dst: IsdAsn = parse_ia(&p.positional[0])?;
+            let opts = ShowpathsOptions {
+                max_paths: p.opt_parse::<usize>("m").map_err(CliError::Usage)?.unwrap_or(10),
+                extended: p.flag("extended"),
+            };
+            let r = scion_tools::showpaths::showpaths(&s.net, s.local, dst, opts)?;
+            Ok(r.render())
+        }
+        "ping" => {
+            let p = parse(
+                with_globals(
+                    Spec::new(1, 1)
+                        .value("c")
+                        .value("interval")
+                        .value("sequence")
+                        .value("policy")
+                        .value("interactive"),
+                ),
+                rest,
+            )?;
+            let s = open(&p)?;
+            let dst: ScionAddr = parse_addr(&p.positional[0])?;
+            let mut opts = PingOptions {
+                count: p.opt_parse::<u32>("c").map_err(CliError::Usage)?.unwrap_or(3),
+                selection: selection_from(&p)?,
+                ..PingOptions::default()
+            };
+            if let Some(iv) = p.opt("interval") {
+                opts = opts.with_interval_str(iv)?;
+            }
+            let r = scion_tools::ping::ping(&s.net, s.local, dst, &opts)?;
+            Ok(format!("using path: {}\n{}", r.path, r.render()))
+        }
+        "traceroute" => {
+            let p = parse(with_globals(Spec::new(1, 1).value("sequence").value("policy")), rest)?;
+            let s = open(&p)?;
+            let dst: IsdAsn = parse_ia(&p.positional[0])?;
+            let r = scion_tools::traceroute::traceroute(&s.net, s.local, dst, &selection_from(&p)?)?;
+            Ok(r.render())
+        }
+        "bwtest" => {
+            let p = parse(
+                with_globals(Spec::new(1, 1).value("cs").value("sc").value("sequence").value("policy")),
+                rest,
+            )?;
+            let s = open(&p)?;
+            let dst: ScionAddr = parse_addr(&p.positional[0])?;
+            let cs = p.opt("cs").unwrap_or("3,1000,?,12Mbps");
+            let r = scion_tools::bwtester::bwtest(
+                &s.net,
+                s.local,
+                dst,
+                cs,
+                p.opt("sc"),
+                &selection_from(&p)?,
+            )?;
+            Ok(format!("using path: {}\n{}", r.path, r.render()))
+        }
+        "campaign" => {
+            let p = parse(
+                with_globals(
+                    Spec::new(1, 1)
+                        .flag("skip")
+                        .flag("some_only")
+                        .flag("parallel")
+                        .flag("no-bwtests"),
+                ),
+                rest,
+            )?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let mut suite_args: Vec<String> = vec![p.positional[0].clone()];
+            for flag in ["skip", "some_only", "parallel"] {
+                if p.flag(flag) {
+                    suite_args.push(format!("--{flag}"));
+                }
+            }
+            let mut cfg = SuiteConfig::from_args(&suite_args).map_err(CliError::Usage)?;
+            cfg.run_bwtests = !p.flag("no-bwtests");
+            let report = upin_core::TestSuite::new(&s.net, &s.db, cfg).run()?;
+            s.persist()?;
+            Ok(report.render())
+        }
+        "topology" => {
+            let p = parse(with_globals(Spec::new(0, 0)), rest)?;
+            let s = open(&p)?;
+            Ok(scion_sim::topology::render::render(s.net.topology()))
+        }
+        "failover" => {
+            let p = parse(
+                with_globals(Spec::new(1, 1).value("probes").value("threshold").value("max-paths")),
+                rest,
+            )?;
+            let s = open(&p)?;
+            let dst: ScionAddr = parse_addr(&p.positional[0])?;
+            let policy = scion_tools::multipath::FailoverPolicy {
+                total_probes: p.opt_parse::<u32>("probes").map_err(CliError::Usage)?.unwrap_or(30),
+                loss_threshold: p
+                    .opt_parse::<u32>("threshold")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(3),
+                interval_ms: 100.0,
+            };
+            let max_paths = p
+                .opt_parse::<usize>("max-paths")
+                .map_err(CliError::Usage)?
+                .unwrap_or(10);
+            let r = scion_tools::multipath::ping_with_failover(&s.net, s.local, dst, max_paths, &policy)?;
+            let mut out = format!(
+                "{} probes over {} candidate paths: {} received ({:.0}% loss), {} switch(es)\n",
+                r.probes.len(),
+                r.paths.len(),
+                r.received(),
+                r.loss() * 100.0,
+                r.switches
+            );
+            out.push_str(&format!("final path: {}\n", r.paths[r.final_path]));
+            Ok(out)
+        }
+        "recommend" => {
+            let p = parse(with_globals(recommend_spec()), rest)?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let server_id = resolve_server(&s, &p.positional[0])?;
+            let constraints = constraints_from(&p)?;
+            let k = p.opt_parse::<usize>("k").map_err(CliError::Usage)?.unwrap_or(3);
+
+            let render_agg = |tag: &str, a: &upin_core::select::PathAggregate| {
+                let lat = a
+                    .latency
+                    .as_ref()
+                    .map(|w| format!("{:.1} ms", w.mean))
+                    .unwrap_or_else(|| "-".into());
+                let down = a
+                    .bw_down_mtu
+                    .as_ref()
+                    .map(|w| format!("{:.1} Mbps", w.mean))
+                    .unwrap_or_else(|| "-".into());
+                format!(
+                    "{tag} {}  hops={} samples={} latency={} loss={:.1}% down={}\n    via {}\n",
+                    a.path_id, a.hops, a.samples, lat, a.mean_loss_pct, down, a.sequence
+                )
+            };
+
+            // Multi-criteria modes: --pareto lists the whole trade-off
+            // menu; --weight name=value (repeatable) scalarizes.
+            let weights = weights_from(&p)?;
+            if p.flag("pareto") || weights.is_some() {
+                let candidates =
+                    upin_core::select::aggregate_paths(&s.db, server_id, &constraints)?;
+                let mut out = String::new();
+                if let Some(w) = weights {
+                    for (i, (score, a)) in upin_core::multi::weighted_rank(&candidates, &w)
+                        .into_iter()
+                        .take(k)
+                        .enumerate()
+                    {
+                        out.push_str(&render_agg(&format!("#{} [{score:.3}]", i + 1), a));
+                    }
+                } else {
+                    let criteria = [
+                        Objective::MinLatency,
+                        Objective::MinLoss,
+                        Objective::MaxBandwidthDown,
+                    ];
+                    let front = upin_core::multi::pareto_front(&candidates, &criteria);
+                    out.push_str(&format!(
+                        "{} Pareto-optimal path(s) over latency/loss/downstream:\n",
+                        front.len()
+                    ));
+                    for a in front {
+                        out.push_str(&render_agg("*", a));
+                    }
+                }
+                if out.is_empty() {
+                    return Err(CliError::Usage("no candidates with complete statistics".into()));
+                }
+                return Ok(out);
+            }
+
+            let request = UserRequest {
+                server_id,
+                objective: objective_from(&p)?,
+                constraints,
+            };
+            let recs = recommend(&s.db, &request, k)?;
+            let mut out = String::new();
+            for r in &recs {
+                out.push_str(&render_agg(&format!("#{}", r.rank), &r.aggregate));
+            }
+            Ok(out)
+        }
+        "verify" => {
+            let p = parse(with_globals(recommend_spec().value("tolerance")), rest)?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let server_id = resolve_server(&s, &p.positional[0])?;
+            let objective = objective_from(&p)?;
+            let constraints = constraints_from(&p)?;
+            let recs = recommend(
+                &s.db,
+                &UserRequest {
+                    server_id,
+                    objective,
+                    constraints: constraints.clone(),
+                },
+                1,
+            )?;
+            let tolerance = p
+                .opt_parse::<f64>("tolerance")
+                .map_err(CliError::Usage)?
+                .unwrap_or(1.5);
+            let report = verify_recommendation(
+                &s.db, &s.net, s.local, &recs[0], &constraints, objective, tolerance,
+            )?;
+            s.persist()?;
+            let mut out = format!("verifying {} ...\n", recs[0].aggregate.path_id);
+            for (ia, rtt) in &report.trace {
+                match rtt {
+                    Some(ms) => out.push_str(&format!("  {ia}  {ms:.2} ms\n")),
+                    None => out.push_str(&format!("  {ia}  *\n")),
+                }
+            }
+            if report.satisfied() {
+                out.push_str("intent satisfied: no violations\n");
+                Ok(out)
+            } else {
+                for v in &report.violations {
+                    out.push_str(&format!("  VIOLATION: {v}\n"));
+                }
+                Err(CliError::Verification(out))
+            }
+        }
+        "health" => {
+            let p = parse(with_globals(Spec::new(1, 1).value("window").value("sigmas")), rest)?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let server_id = resolve_server(&s, &p.positional[0])?;
+            let mut cfg = upin_core::health::HealthConfig::default();
+            if let Some(w) = p.opt_parse::<usize>("window").map_err(CliError::Usage)? {
+                cfg.recent_window = w;
+            }
+            if let Some(k) = p.opt_parse::<f64>("sigmas").map_err(CliError::Usage)? {
+                cfg.threshold_sigmas = k;
+            }
+            let findings = upin_core::health::detect(&s.db, server_id, &cfg)?;
+            if findings.is_empty() {
+                return Ok("all paths healthy\n".to_string());
+            }
+            let mut out = String::new();
+            for f in findings {
+                let what = match f.anomaly {
+                    upin_core::health::Anomaly::Blackout => "BLACKOUT".to_string(),
+                    upin_core::health::Anomaly::LossOnset { baseline_pct, recent_pct } => {
+                        format!("loss onset {baseline_pct:.1}% -> {recent_pct:.1}%")
+                    }
+                    upin_core::health::Anomaly::LatencyShift { baseline_ms, recent_ms, sigmas } => {
+                        format!("latency shift {baseline_ms:.1}ms -> {recent_ms:.1}ms ({sigmas:.1} sigma)")
+                    }
+                };
+                out.push_str(&format!("{}: {what}\n", f.path_id));
+            }
+            Ok(out)
+        }
+        "summary" => {
+            let p = parse(with_globals(Spec::new(0, 0)), rest)?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let summary = upin_core::analysis::summary(&s.db)?;
+            let hist = upin_core::analysis::reachability(&s.db)?;
+            Ok(format!(
+                "{}\n{}",
+                upin_core::report::render_summary(&summary),
+                upin_core::report::render_fig4(&hist)
+            ))
+        }
+        "exec" => {
+            // Execute a literal SCION tool command line, exactly as the
+            // paper's scripts spawn them:
+            //   upin exec "scion ping 16-ffaa:0:1002,[172.31.43.7] -c 30 --interval 0.1s"
+            let p = parse(with_globals(Spec::new(1, 1)), rest)?;
+            let s = open(&p)?;
+            scion_tools::shell::execute(
+                &s.net,
+                s.local,
+                scion_sim::addr::HostAddr::new(10, 0, 2, 15),
+                &p.positional[0],
+            )
+            .map_err(CliError::Tool)
+        }
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+fn usage() -> String {
+    "upin — user-driven path control on a SCION network\n\
+     \n\
+     commands:\n\
+     \x20 destinations                         list the measurable servers\n\
+     \x20 showpaths <ia> [-m N] [--extended]   list paths to an AS\n\
+     \x20 ping <addr> [-c N] [--interval T] [--sequence S | --interactive N |\n\
+     \x20      --policy ACL]\n\
+     \x20 traceroute <ia> [--sequence S]\n\
+     \x20 bwtest <addr> [-cs SPEC] [-sc SPEC] [--sequence S]\n\
+     \x20 campaign <iterations> [--skip] [--some_only] [--parallel] [--no-bwtests]\n\
+     \x20 recommend <server|addr> [--objective latency|jitter|loss|bw-up|bw-down]\n\
+     \x20           [--exclude-country C]* [--exclude-isd N]* [--exclude-as IA]*\n\
+     \x20           [--exclude-operator O]* [--max-hops N] [-k N]\n\
+     \x20           [--pareto | --weight name=value ...]\n\
+     \x20 topology                             render the network map (Fig 1)\n\
+     \x20 failover <addr> [--probes N] [--threshold N] [--max-paths N]\n\
+     \x20 verify <server|addr> [same filters] [--tolerance F]\n\
+     \x20 health <server|addr> [--window N] [--sigmas K]   anomaly scan\n\
+     \x20 exec \"scion ping ... \"                executes a literal tool command line\n\
+     \x20 summary                              campaign scalars + Fig 4\n\
+     \n\
+     global: --seed N (default 42), --db DIR (persistent database)\n"
+        .to_string()
+}
+
+fn recommend_spec() -> Spec {
+    Spec::new(1, 1)
+        .value("objective")
+        .value("exclude-country")
+        .value("exclude-isd")
+        .value("exclude-as")
+        .value("exclude-operator")
+        .value("max-hops")
+        .value("k")
+        .flag("pareto")
+        .value("weight")
+}
+
+/// Parse repeated `--weight name=value` options into [`multi::Weights`].
+fn weights_from(p: &crate::args::Parsed) -> Result<Option<upin_core::multi::Weights>, CliError> {
+    let specs = p.opt_all("weight");
+    if specs.is_empty() {
+        return Ok(None);
+    }
+    let mut w = upin_core::multi::Weights::default();
+    for spec in specs {
+        let (name, value) = spec
+            .split_once('=')
+            .ok_or_else(|| CliError::Usage(format!("--weight expects name=value, got {spec:?}")))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad weight value in {spec:?}")))?;
+        match name {
+            "latency" => w.latency = value,
+            "jitter" => w.jitter = value,
+            "loss" => w.loss = value,
+            "bw-down" => w.bw_down = value,
+            "bw-up" => w.bw_up = value,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown weight {other:?} (latency|jitter|loss|bw-down|bw-up)"
+                )))
+            }
+        }
+    }
+    Ok(Some(w))
+}
+
+fn parse(spec: Spec, rest: &[String]) -> Result<crate::args::Parsed, CliError> {
+    spec.parse(rest).map_err(CliError::Usage)
+}
+
+fn open(p: &crate::args::Parsed) -> Result<Session, CliError> {
+    let seed = p.opt_parse::<u64>("seed").map_err(CliError::Usage)?.unwrap_or(42);
+    Session::open(seed, p.opt("db"))
+}
+
+fn parse_ia(s: &str) -> Result<IsdAsn, CliError> {
+    s.parse()
+        .map_err(|e| CliError::Usage(format!("bad ISD-AS {s:?}: {e}")))
+}
+
+fn parse_addr(s: &str) -> Result<ScionAddr, CliError> {
+    s.parse()
+        .map_err(|e| CliError::Usage(format!("bad SCION address {s:?}: {e}")))
+}
+
+fn selection_from(p: &crate::args::Parsed) -> Result<PathSelection, CliError> {
+    if let Some(seq) = p.opt("sequence") {
+        return Ok(PathSelection::Sequence(seq.to_string()));
+    }
+    if let Some(policy) = p.opt("policy") {
+        return Ok(PathSelection::Policy(policy.to_string()));
+    }
+    if let Some(i) = p.opt_parse::<usize>("interactive").map_err(CliError::Usage)? {
+        return Ok(PathSelection::Interactive(i));
+    }
+    Ok(PathSelection::Default)
+}
+
+fn objective_from(p: &crate::args::Parsed) -> Result<Objective, CliError> {
+    match p.opt("objective").unwrap_or("latency") {
+        "latency" => Ok(Objective::MinLatency),
+        "jitter" => Ok(Objective::MinJitter),
+        "loss" => Ok(Objective::MinLoss),
+        "bw-down" => Ok(Objective::MaxBandwidthDown),
+        "bw-up" => Ok(Objective::MaxBandwidthUp),
+        other => Err(CliError::Usage(format!(
+            "unknown objective {other:?} (latency|jitter|loss|bw-up|bw-down)"
+        ))),
+    }
+}
+
+fn constraints_from(p: &crate::args::Parsed) -> Result<Constraints, CliError> {
+    let mut c = Constraints {
+        exclude_countries: p.opt_all("exclude-country").iter().map(|s| s.to_string()).collect(),
+        exclude_ases: p.opt_all("exclude-as").iter().map(|s| s.to_string()).collect(),
+        exclude_operators: p
+            .opt_all("exclude-operator")
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ..Constraints::default()
+    };
+    for isd in p.opt_all("exclude-isd") {
+        c.exclude_isds.push(
+            isd.parse()
+                .map_err(|_| CliError::Usage(format!("bad ISD number {isd:?}")))?,
+        );
+    }
+    c.max_hops = p.opt_parse::<usize>("max-hops").map_err(CliError::Usage)?;
+    Ok(c)
+}
+
+/// Resolve a destination given as a server id, a full SCION address, or
+/// an ISD-AS (first server in that AS).
+fn resolve_server(s: &Session, token: &str) -> Result<u32, CliError> {
+    if let Ok(id) = token.parse::<u32>() {
+        return Ok(id);
+    }
+    let dests = upin_core::collect::destinations(&s.db)?;
+    if let Ok(addr) = token.parse::<ScionAddr>() {
+        return dests
+            .iter()
+            .find(|(_, a)| *a == addr)
+            .map(|(id, _)| *id)
+            .ok_or_else(|| CliError::Usage(format!("{addr} is not a registered destination")));
+    }
+    if let Ok(ia) = token.parse::<IsdAsn>() {
+        return dests
+            .iter()
+            .find(|(_, a)| a.ia == ia)
+            .map(|(id, _)| *id)
+            .ok_or_else(|| CliError::Usage(format!("no registered destination in {ia}")));
+    }
+    Err(CliError::Usage(format!(
+        "destination {token:?} is neither a server id, address, nor ISD-AS"
+    )))
+}
+
+fn cmd_destinations(s: &Session) -> Result<String, CliError> {
+    s.ensure_servers()?;
+    let dests = upin_core::collect::destinations(&s.db)?;
+    let mut out = format!("{} measurable destinations:\n", dests.len());
+    for (id, addr) in dests {
+        let name = s
+            .net
+            .topology()
+            .index_of(addr.ia)
+            .map(|i| s.net.topology().node(i).name.clone())
+            .unwrap_or_default();
+        out.push_str(&format!("{id:>3}  {addr}  ({name})\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn destinations_lists_21_servers() {
+        let out = run_cli(&["destinations"]).unwrap();
+        assert!(out.starts_with("21 measurable destinations"), "{out}");
+        assert!(out.contains("16-ffaa:0:1002,[172.31.43.7]"));
+    }
+
+    #[test]
+    fn showpaths_renders_extended() {
+        let out = run_cli(&["showpaths", "16-ffaa:0:1002", "-m", "40", "--extended"]).unwrap();
+        assert!(out.contains("Available paths"), "{out}");
+        assert!(out.contains("MTU: 1472"), "{out}");
+    }
+
+    #[test]
+    fn ping_with_paper_flags() {
+        let out = run_cli(&[
+            "ping",
+            "16-ffaa:0:1002,[172.31.43.7]",
+            "-c",
+            "5",
+            "--interval",
+            "0.1s",
+        ])
+        .unwrap();
+        assert!(out.contains("5 packets transmitted"), "{out}");
+    }
+
+    #[test]
+    fn bwtest_with_mtu_spec() {
+        let out = run_cli(&[
+            "bwtest",
+            "19-ffaa:0:1303,[141.44.25.144]",
+            "-cs",
+            "3,MTU,?,12Mbps",
+        ])
+        .unwrap();
+        assert!(out.contains("Achieved bandwidth"), "{out}");
+    }
+
+    #[test]
+    fn campaign_then_recommend_against_persistent_db() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+
+        let out = run_cli(&["campaign", "1", "--some_only", "--no-bwtests", "--db", dbflag]).unwrap();
+        assert!(out.contains("measurement:"), "{out}");
+
+        // A separate invocation reads the persisted database.
+        let out = run_cli(&["recommend", "1", "--objective", "latency", "--db", dbflag]).unwrap();
+        assert!(out.contains("#1"), "{out}");
+        assert!(out.contains("via 17-ffaa:1:eaf"), "{out}");
+
+        let out = run_cli(&["verify", "1", "--db", dbflag]).unwrap();
+        assert!(out.contains("intent satisfied"), "{out}");
+
+        let out = run_cli(&["summary", "--db", dbflag]).unwrap();
+        assert!(out.contains("Campaign summary"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recommend_with_exclusions() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-x-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+        run_cli(&["campaign", "1", "--some_only", "--no-bwtests", "--db", dbflag]).unwrap();
+        // Destination 1 is AWS Ireland; excluding the US is satisfiable
+        // (EU-only paths exist), excluding Switzerland is not (every
+        // path starts at MY_AS in Zurich).
+        let out = run_cli(&[
+            "recommend", "1", "--exclude-country", "United States", "--db", dbflag,
+        ])
+        .unwrap();
+        assert!(out.contains("#1"));
+        let err = run_cli(&[
+            "recommend", "1", "--exclude-country", "Switzerland", "--db", dbflag,
+        ]);
+        assert!(err.is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exec_runs_literal_tool_command_lines() {
+        let out = run_cli(&["exec", "scion showpaths 16-ffaa:0:1002 --extended -m 5"]).unwrap();
+        assert!(out.contains("Available paths"), "{out}");
+        let out = run_cli(&[
+            "exec",
+            "scion ping 16-ffaa:0:1002,[172.31.43.7] -c 3 --interval 0.1s",
+        ])
+        .unwrap();
+        assert!(out.contains("3 packets transmitted"), "{out}");
+        assert!(matches!(run_cli(&["exec", "rm -rf /"]), Err(CliError::Tool(_))));
+    }
+
+    #[test]
+    fn failover_command_reports_session() {
+        let out = run_cli(&[
+            "failover",
+            "16-ffaa:0:1002,[172.31.43.7]",
+            "--probes",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("8 probes over"), "{out}");
+        assert!(out.contains("final path:"), "{out}");
+    }
+
+    #[test]
+    fn ping_with_policy_flag() {
+        let out = run_cli(&[
+            "ping",
+            "16-ffaa:0:1002,[172.31.43.7]",
+            "-c",
+            "3",
+            "--policy",
+            "- 16-ffaa:0:1004, +",
+        ])
+        .unwrap();
+        assert!(out.contains("3 packets transmitted"), "{out}");
+        assert!(!out.contains("16-ffaa:0:1004"), "{out}");
+    }
+
+    #[test]
+    fn topology_renders_the_map() {
+        let out = run_cli(&["topology"]).unwrap();
+        assert!(out.contains("36 ASes in 8 ISDs"), "{out}");
+        assert!(out.contains("[user] 17-ffaa:1:eaf"));
+    }
+
+    #[test]
+    fn pareto_and_weighted_modes() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-p-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+        // Bandwidth stats are needed for the default Pareto criteria.
+        run_cli(&["campaign", "1", "--some_only", "--db", dbflag]).unwrap();
+
+        let out = run_cli(&["recommend", "1", "--pareto", "--db", dbflag]).unwrap();
+        assert!(out.contains("Pareto-optimal"), "{out}");
+        assert!(out.contains("* 1_"), "{out}");
+
+        let out = run_cli(&[
+            "recommend", "1", "--weight", "latency=5", "--weight", "loss=1", "--db", dbflag,
+        ])
+        .unwrap();
+        assert!(out.contains("#1 ["), "{out}");
+
+        let err = run_cli(&["recommend", "1", "--weight", "vibes=1", "--db", dbflag]);
+        assert!(matches!(err, Err(CliError::Usage(_))));
+        let err = run_cli(&["recommend", "1", "--weight", "latency", "--db", dbflag]);
+        assert!(matches!(err, Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn usage_errors_are_friendly() {
+        assert!(matches!(run_cli(&["wat"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_cli(&["showpaths"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_cli(&["showpaths", "not-an-ia"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli(&["recommend", "1", "--objective", "vibes"]),
+            Err(CliError::Usage(_))
+        ));
+        let help = run_cli(&["help"]).unwrap();
+        assert!(help.contains("commands:"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # upin-cli — the UPIN front-end
+//!
+//! The paper closes with "we intend to proceed ... by providing a user
+//! interface and a path recommendation feature, that remains our main
+//! direction for future research". This crate is that front-end: a CLI
+//! over the full stack, with a persistent measurement database.
+//!
+//! ```text
+//! upin destinations                                 list the 21 servers
+//! upin showpaths 16-ffaa:0:1002 -m 40 --extended    path discovery
+//! upin ping 16-ffaa:0:1002,[172.31.43.7] -c 30 --interval 0.1s
+//! upin traceroute 16-ffaa:0:1002
+//! upin bwtest 19-ffaa:0:1303,[141.44.25.144] -cs 3,MTU,?,12Mbps
+//! upin campaign 2 --skip                            run the test-suite
+//! upin recommend 2 --objective latency --exclude-country "United States" -k 3
+//! upin verify 2 --exclude-country Singapore         re-trace + check
+//! upin summary                                      campaign scalars
+//! ```
+//!
+//! Every command accepts `--seed N` (simulation seed, default 42) and
+//! `--db DIR` (database directory, default `./upin-db`; loaded when
+//! present, persisted after mutating commands).
+
+pub mod args;
+pub mod commands;
+pub mod session;
+
+pub use commands::run;
+pub use session::{CliError, Session};

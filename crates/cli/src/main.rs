@@ -1,0 +1,13 @@
+//! `upin` — the command-line front-end. All logic lives in
+//! [`upin_cli::commands`]; this shim only handles process I/O.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match upin_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("upin: {e}");
+            std::process::exit(1);
+        }
+    }
+}

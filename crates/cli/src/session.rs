@@ -1,0 +1,99 @@
+//! CLI session state: the simulated network plus the persistent
+//! database.
+
+use pathdb::Database;
+use scion_sim::addr::IsdAsn;
+use scion_sim::net::ScionNetwork;
+use scion_sim::topology::scionlab::MY_AS;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// CLI-level errors, rendered to stderr by `main`.
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Suite(upin_core::SuiteError),
+    Tool(scion_tools::ToolError),
+    Db(pathdb::DbError),
+    Verification(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Suite(e) => write!(f, "{e}"),
+            CliError::Tool(e) => write!(f, "{e}"),
+            CliError::Db(e) => write!(f, "{e}"),
+            CliError::Verification(m) => write!(f, "verification failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<upin_core::SuiteError> for CliError {
+    fn from(e: upin_core::SuiteError) -> Self {
+        CliError::Suite(e)
+    }
+}
+impl From<scion_tools::ToolError> for CliError {
+    fn from(e: scion_tools::ToolError) -> Self {
+        CliError::Tool(e)
+    }
+}
+impl From<pathdb::DbError> for CliError {
+    fn from(e: pathdb::DbError) -> Self {
+        CliError::Db(e)
+    }
+}
+
+/// One CLI invocation's environment.
+pub struct Session {
+    pub net: ScionNetwork,
+    pub db: Database,
+    pub local: IsdAsn,
+    db_dir: Option<PathBuf>,
+}
+
+impl Session {
+    /// Open a session: bring up the simulated SCIONLab network and load
+    /// the database directory when it exists.
+    pub fn open(seed: u64, db_dir: Option<&str>) -> Result<Session, CliError> {
+        let net = ScionNetwork::scionlab(seed);
+        let db_dir = db_dir.map(PathBuf::from);
+        let db = match &db_dir {
+            Some(dir) if Path::exists(dir) => Database::load_dir(dir)?,
+            _ => Database::new(),
+        };
+        Ok(Session {
+            net,
+            db,
+            local: MY_AS,
+            db_dir,
+        })
+    }
+
+    /// Ensure `availableServers` is populated (idempotent bootstrap for
+    /// DB-backed commands on a fresh database).
+    pub fn ensure_servers(&self) -> Result<(), CliError> {
+        if !self.db.has_collection(upin_core::schema::AVAILABLE_SERVERS)
+            || self
+                .db
+                .collection(upin_core::schema::AVAILABLE_SERVERS)
+                .read()
+                .is_empty()
+        {
+            upin_core::collect::register_available_servers(&self.db, &self.net)?;
+        }
+        Ok(())
+    }
+
+    /// Persist the database if a directory was configured.
+    pub fn persist(&self) -> Result<(), CliError> {
+        if let Some(dir) = &self.db_dir {
+            self.db.save_dir(dir)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,154 @@
+//! Configuration of the test-suite, mirroring the CLI of the paper's
+//! `test_suite.sh` wrapper plus the knobs its Python scripts hard-code.
+
+use scion_sim::addr::IsdAsn;
+use scion_sim::topology::scionlab::MY_AS;
+
+/// Test-suite configuration.
+///
+/// Defaults reproduce the paper's invocation:
+/// `./test_suite.sh <iterations>` with `scion showpaths --extended -m 40`,
+/// path retention at `min_hops + 1`, `scion ping -c 30 --interval 0.1s`,
+/// and `scion-bwtestclient -cs 3,{64,MTU},?,12Mbps`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteConfig {
+    /// The local (client) AS the suite runs from.
+    pub local_as: IsdAsn,
+    /// `<iterations>`: how many times each path is measured.
+    pub iterations: u32,
+    /// `--skip`: bypass the path-collection phase (paths already stored).
+    pub skip_collection: bool,
+    /// `--some_only`: restrict testing to the first destination.
+    pub some_only: bool,
+    /// `showpaths -m`: maximum paths requested per destination.
+    pub max_paths: usize,
+    /// Retain only paths with `hops ≤ min_hops + hop_slack` (§5.2 uses 1).
+    pub hop_slack: usize,
+    /// Ping probes per path (`-c`).
+    pub ping_count: u32,
+    /// Ping inter-probe interval, ms (`--interval 0.1s`).
+    pub ping_interval_ms: f64,
+    /// Bandwidth-test duration per direction, seconds.
+    pub bw_duration_s: f64,
+    /// Target bandwidth of the tests, Mbps (12 in the standard campaign,
+    /// 150 in the stress campaign of Fig. 8).
+    pub bw_target_mbps: f64,
+    /// Small-packet size for the first bandwidth test, bytes.
+    pub bw_small_bytes: u32,
+    /// Run the bandwidth tests at all (latency-only campaigns are much
+    /// faster; the Fig. 5/6/9 analyses only need ping data).
+    pub run_bwtests: bool,
+    /// Test destinations concurrently. Parallel runs keep every
+    /// guarantee except bitwise reproducibility of the random draws
+    /// (thread interleaving reorders per-operation RNG streams).
+    pub parallel: bool,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            local_as: MY_AS,
+            iterations: 1,
+            skip_collection: false,
+            some_only: false,
+            max_paths: 40,
+            hop_slack: 1,
+            ping_count: 30,
+            ping_interval_ms: 100.0,
+            bw_duration_s: 3.0,
+            bw_target_mbps: 12.0,
+            bw_small_bytes: 64,
+            run_bwtests: true,
+            parallel: false,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// Parse the wrapper-script argument vector:
+    /// `test_suite.sh <iterations> [--skip] [--some_only]`.
+    pub fn from_args<I, S>(args: I) -> Result<SuiteConfig, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut cfg = SuiteConfig::default();
+        let mut saw_iterations = false;
+        for arg in args {
+            let arg = arg.as_ref();
+            match arg {
+                "--skip" => cfg.skip_collection = true,
+                "--some_only" => cfg.some_only = true,
+                "--parallel" => cfg.parallel = true,
+                other if !saw_iterations => {
+                    cfg.iterations = other
+                        .parse()
+                        .map_err(|_| format!("iterations must be an integer, got {other:?}"))?;
+                    saw_iterations = true;
+                }
+                other => return Err(format!("unexpected argument {other:?}")),
+            }
+        }
+        if !saw_iterations {
+            return Err("missing <iterations> argument".into());
+        }
+        if cfg.iterations == 0 {
+            return Err("iterations must be at least 1".into());
+        }
+        Ok(cfg)
+    }
+
+    /// The `-cs` parameter string for the small-packet test.
+    pub fn small_spec(&self) -> String {
+        format!(
+            "{},{},?,{}Mbps",
+            self.bw_duration_s, self.bw_small_bytes, self.bw_target_mbps
+        )
+    }
+
+    /// The `-cs` parameter string for the MTU-sized test.
+    pub fn mtu_spec(&self) -> String {
+        format!("{},MTU,?,{}Mbps", self.bw_duration_s, self.bw_target_mbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SuiteConfig::default();
+        assert_eq!(c.max_paths, 40);
+        assert_eq!(c.hop_slack, 1);
+        assert_eq!(c.ping_count, 30);
+        assert_eq!(c.ping_interval_ms, 100.0);
+        assert_eq!(c.bw_target_mbps, 12.0);
+        assert_eq!(c.small_spec(), "3,64,?,12Mbps");
+        assert_eq!(c.mtu_spec(), "3,MTU,?,12Mbps");
+    }
+
+    #[test]
+    fn parses_paper_example_invocation() {
+        // `./test_suite.sh 100 --skip`
+        let c = SuiteConfig::from_args(["100", "--skip"]).unwrap();
+        assert_eq!(c.iterations, 100);
+        assert!(c.skip_collection);
+        assert!(!c.some_only);
+    }
+
+    #[test]
+    fn parses_some_only() {
+        let c = SuiteConfig::from_args(["5", "--some_only"]).unwrap();
+        assert!(c.some_only);
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(SuiteConfig::from_args(["--skip"]).is_err());
+        assert!(SuiteConfig::from_args(Vec::<&str>::new()).is_err());
+        assert!(SuiteConfig::from_args(["0"]).is_err());
+        assert!(SuiteConfig::from_args(["3", "--wat"]).is_err());
+        assert!(SuiteConfig::from_args(["3", "4"]).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type of the measurement suite and selection engine.
+
+use pathdb::DbError;
+use scion_tools::ToolError;
+use std::fmt;
+
+/// Errors surfaced by the UPIN core.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// A tool invocation failed in a way the suite cannot absorb.
+    Tool(ToolError),
+    /// Database failure.
+    Db(DbError),
+    /// A stored document misses fields the schema requires.
+    Schema(String),
+    /// A user request is unsatisfiable (no candidate paths remain).
+    NoCandidates(String),
+    /// A signed write failed authentication.
+    Unauthorized(String),
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::Tool(e) => write!(f, "tool error: {e}"),
+            SuiteError::Db(e) => write!(f, "database error: {e}"),
+            SuiteError::Schema(m) => write!(f, "schema error: {m}"),
+            SuiteError::NoCandidates(m) => write!(f, "no candidate paths: {m}"),
+            SuiteError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SuiteError::Tool(e) => Some(e),
+            SuiteError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ToolError> for SuiteError {
+    fn from(e: ToolError) -> Self {
+        SuiteError::Tool(e)
+    }
+}
+
+impl From<DbError> for SuiteError {
+    fn from(e: DbError) -> Self {
+        SuiteError::Db(e)
+    }
+}
+
+/// Convenience alias.
+pub type SuiteResult<T> = Result<T, SuiteError>;

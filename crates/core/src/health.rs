@@ -1,0 +1,213 @@
+//! Path health monitoring: detect paths whose recent behaviour deviates
+//! from their own history.
+//!
+//! A continuously-operated suite (see [`crate::schedule`]) accumulates a
+//! long baseline per path; the natural next question — and what an
+//! operator of the paper's system would ask the database — is *which
+//! paths just changed*. This module flags three anomaly classes:
+//! latency shifts (recent mean beyond k·σ of the baseline), loss onsets
+//! (a previously clean path starts dropping), and blackouts (every
+//! recent probe lost).
+
+use crate::analysis::measurements_by_path;
+use crate::error::SuiteResult;
+use crate::schema::{PathId, PathMeasurement};
+use pathdb::Database;
+
+/// What changed on a path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Anomaly {
+    /// Recent mean latency deviates from the baseline mean by more than
+    /// `threshold_sigmas` baseline standard deviations.
+    LatencyShift {
+        baseline_ms: f64,
+        recent_ms: f64,
+        sigmas: f64,
+    },
+    /// Baseline loss was below 1 %, recent loss exceeds `loss_onset_pct`.
+    LossOnset { baseline_pct: f64, recent_pct: f64 },
+    /// Every recent sample lost all probes.
+    Blackout,
+}
+
+/// A flagged path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthFinding {
+    pub path_id: PathId,
+    pub anomaly: Anomaly,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// How many of the newest samples form the "recent" window.
+    pub recent_window: usize,
+    /// Minimum baseline samples required before judging a path.
+    pub min_baseline: usize,
+    /// Latency-shift threshold in baseline standard deviations.
+    pub threshold_sigmas: f64,
+    /// Loss percentage that counts as an onset on a clean path.
+    pub loss_onset_pct: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            recent_window: 3,
+            min_baseline: 5,
+            threshold_sigmas: 4.0,
+            loss_onset_pct: 10.0,
+        }
+    }
+}
+
+/// Scan one destination's measurement history for anomalies.
+/// Measurements are already timestamp-ordered per path.
+pub fn detect(db: &Database, server_id: u32, cfg: &HealthConfig) -> SuiteResult<Vec<HealthFinding>> {
+    let grouped = measurements_by_path(db, server_id)?;
+    let mut findings = Vec::new();
+    for (path_id, ms) in grouped {
+        if ms.len() < cfg.min_baseline + cfg.recent_window {
+            continue;
+        }
+        let (baseline, recent) = ms.split_at(ms.len() - cfg.recent_window);
+        if let Some(anomaly) = judge(baseline, recent, cfg) {
+            findings.push(HealthFinding { path_id, anomaly });
+        }
+    }
+    Ok(findings)
+}
+
+fn judge(baseline: &[PathMeasurement], recent: &[PathMeasurement], cfg: &HealthConfig) -> Option<Anomaly> {
+    // Blackout: all recent samples fully lost.
+    if recent.iter().all(|m| m.loss_pct >= 100.0) {
+        return Some(Anomaly::Blackout);
+    }
+
+    // Loss onset: clean baseline, lossy present.
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let base_loss = mean(&baseline.iter().map(|m| m.loss_pct).collect::<Vec<_>>());
+    let recent_loss = mean(&recent.iter().map(|m| m.loss_pct).collect::<Vec<_>>());
+    if base_loss < 1.0 && recent_loss >= cfg.loss_onset_pct {
+        return Some(Anomaly::LossOnset {
+            baseline_pct: base_loss,
+            recent_pct: recent_loss,
+        });
+    }
+
+    // Latency shift.
+    let base_lat: Vec<f64> = baseline.iter().filter_map(|m| m.avg_latency_ms).collect();
+    let recent_lat: Vec<f64> = recent.iter().filter_map(|m| m.avg_latency_ms).collect();
+    if base_lat.len() >= cfg.min_baseline && !recent_lat.is_empty() {
+        let bm = mean(&base_lat);
+        let var = base_lat.iter().map(|x| (x - bm).powi(2)).sum::<f64>() / base_lat.len() as f64;
+        // Floor the deviation so ultra-stable baselines don't flag noise.
+        let sd = var.sqrt().max(bm * 0.01).max(0.1);
+        let rm = mean(&recent_lat);
+        let sigmas = (rm - bm).abs() / sd;
+        if sigmas > cfg.threshold_sigmas {
+            return Some(Anomaly::LatencyShift {
+                baseline_ms: bm,
+                recent_ms: rm,
+                sigmas,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{StatId, PATHS_STATS};
+
+    /// Insert a synthetic measurement history for path `1_0`.
+    fn seed_history(db: &Database, latencies: &[f64], losses: &[f64]) {
+        let handle = db.collection(PATHS_STATS);
+        let mut coll = handle.write();
+        for (i, (lat, loss)) in latencies.iter().zip(losses).enumerate() {
+            let m = PathMeasurement {
+                stat_id: StatId {
+                    path: PathId {
+                        server_id: 1,
+                        path_index: 0,
+                    },
+                    timestamp_ms: (i as u64 + 1) * 1000,
+                },
+                isds: vec![16, 17],
+                hops: 6,
+                avg_latency_ms: (*loss < 100.0).then_some(*lat),
+                jitter_ms: Some(0.3),
+                loss_pct: *loss,
+                bw_up_64: None,
+                bw_down_64: None,
+                bw_up_mtu: None,
+                bw_down_mtu: None,
+                target_mbps: 12.0,
+                error: None,
+            };
+            coll.insert_one(m.to_doc()).unwrap();
+        }
+    }
+
+    fn detect_one(db: &Database) -> Vec<HealthFinding> {
+        detect(db, 1, &HealthConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn stable_path_is_clean() {
+        let db = Database::new();
+        let lat: Vec<f64> = (0..10).map(|i| 25.0 + (i % 3) as f64 * 0.3).collect();
+        seed_history(&db, &lat, &vec![0.0; 10]);
+        assert!(detect_one(&db).is_empty());
+    }
+
+    #[test]
+    fn latency_shift_is_flagged() {
+        let db = Database::new();
+        let mut lat: Vec<f64> = (0..8).map(|i| 25.0 + (i % 3) as f64 * 0.5).collect();
+        lat.extend([150.0, 152.0, 149.0]); // the path re-routed
+        seed_history(&db, &lat, &vec![0.0; 11]);
+        let findings = detect_one(&db);
+        assert_eq!(findings.len(), 1);
+        match &findings[0].anomaly {
+            Anomaly::LatencyShift { baseline_ms, recent_ms, sigmas } => {
+                assert!((*baseline_ms - 25.5).abs() < 1.0);
+                assert!(*recent_ms > 140.0);
+                assert!(*sigmas > 4.0);
+            }
+            other => panic!("expected latency shift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_onset_is_flagged() {
+        let db = Database::new();
+        let lat = vec![25.0; 11];
+        let mut losses = vec![0.0; 8];
+        losses.extend([20.0, 23.3, 16.7]);
+        seed_history(&db, &lat, &losses);
+        let findings = detect_one(&db);
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(findings[0].anomaly, Anomaly::LossOnset { .. }));
+    }
+
+    #[test]
+    fn blackout_is_flagged() {
+        let db = Database::new();
+        let lat = vec![25.0; 11];
+        let mut losses = vec![0.0; 8];
+        losses.extend([100.0, 100.0, 100.0]);
+        seed_history(&db, &lat, &losses);
+        let findings = detect_one(&db);
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(findings[0].anomaly, Anomaly::Blackout));
+    }
+
+    #[test]
+    fn short_histories_are_skipped() {
+        let db = Database::new();
+        seed_history(&db, &[25.0, 900.0, 900.0], &[0.0, 0.0, 0.0]);
+        assert!(detect_one(&db).is_empty(), "not enough baseline");
+    }
+}

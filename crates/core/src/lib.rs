@@ -1,0 +1,64 @@
+//! # upin-core — user-driven path control over SCION
+//!
+//! The primary contribution of *"Evaluation of SCION for User-driven
+//! Path Control: a Usability Study"* (Battipaglia, Boldrini, Koning,
+//! Grosso — SC-W 2023), reimplemented as a library:
+//!
+//! * [`schema`] — the three-collection database schema of the paper's
+//!   Fig. 3 (`availableServers`, `paths`, `paths_stats`) with the
+//!   composite id codecs (`"2_15"`, `"2_15_<timestamp>"`).
+//! * [`collect`] — the path-collection stage (`showpaths --extended
+//!   -m 40`, retention at `min_hops + 1`, insertion + stale deletion).
+//! * [`measure`] — the measurement stage (`ping -c 30 --interval 0.1s`,
+//!   bandwidth tests at 64 B and MTU), with per-destination batched
+//!   insertion and fault-tolerant error recording.
+//! * [`suite`] — the `test_suite.sh` wrapper (`<iterations>`, `--skip`,
+//!   `--some_only`, plus an optional `--parallel` mode).
+//! * [`select`] — the selection engine: performance objectives and
+//!   geographic/sovereignty/operator exclusion constraints over the
+//!   collected statistics.
+//! * [`analysis`] / [`report`] — the statistics behind every figure of
+//!   the paper's §6 and their text renderings.
+//! * [`security`] — PKC-gated, signature-verified database writes
+//!   (§4.2.2's security design, implemented).
+//! * [`verify`] — the UPIN Path Tracer / Path Verifier roles (§2.1):
+//!   re-trace a delivered path, record it for audit, and check the
+//!   observed hops and latency against the user's intent.
+//!
+//! ```
+//! use pathdb::Database;
+//! use scion_sim::net::ScionNetwork;
+//! use upin_core::config::SuiteConfig;
+//! use upin_core::suite::TestSuite;
+//!
+//! let net = ScionNetwork::scionlab(42);
+//! let db = Database::new();
+//! let cfg = SuiteConfig { some_only: true, ping_count: 3, run_bwtests: false,
+//!                         ..SuiteConfig::default() };
+//! let suite = TestSuite::new(&net, &db, cfg);
+//! suite.bootstrap().unwrap();
+//! let report = suite.run().unwrap();
+//! assert!(report.measurement.inserted > 0);
+//! ```
+
+pub mod analysis;
+pub mod collect;
+pub mod config;
+pub mod domain;
+pub mod error;
+pub mod health;
+pub mod measure;
+pub mod multi;
+pub mod report;
+pub mod schedule;
+pub mod schema;
+pub mod security;
+pub mod select;
+pub mod suite;
+pub mod verify;
+
+pub use config::SuiteConfig;
+pub use error::{SuiteError, SuiteResult};
+pub use schema::{PathId, PathMeasurement, StatId};
+pub use select::{Constraints, Objective, Recommendation, UserRequest};
+pub use suite::{SuiteReport, TestSuite};

@@ -1,0 +1,349 @@
+//! Test execution: the `run_test.py` stage of the suite (§5.3).
+//!
+//! Three nested loops — iterations × destinations × paths — run, per
+//! path: `scion ping -c 30 --interval 0.1s --sequence '...'`, then
+//! `scion-bwtestclient -cs 3,64,?,<target>` and `-cs 3,MTU,?,<target>`.
+//! Results (plus the ISD set traversed) are buffered and inserted with
+//! **one bulk write per destination** — the fault-tolerance/overhead
+//! trade-off of §4.2.2: a crash costs at most one in-flight sample per
+//! path of one destination, never the balance of the dataset.
+
+use crate::config::SuiteConfig;
+use crate::error::SuiteResult;
+use crate::schema::{self, PathId, PathMeasurement, StatId, PATHS, PATHS_STATS};
+use pathdb::{Database, Document, Filter, FindOptions, Order};
+use scion_sim::addr::ScionAddr;
+use scion_sim::net::ScionNetwork;
+use scion_tools::bwtester::bwtest;
+use scion_tools::ping::{ping, PathSelection, PingOptions};
+use scion_tools::ToolError;
+
+/// Outcome of one measurement campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeasureReport {
+    pub iterations: u32,
+    pub destinations: usize,
+    /// Path measurements executed (including failed ones).
+    pub measured: usize,
+    /// Stats documents inserted.
+    pub inserted: usize,
+    /// Measurements that recorded a tool-level error.
+    pub errors: usize,
+}
+
+/// Run the full campaign against the paths currently stored.
+pub fn run_tests(db: &Database, net: &ScionNetwork, cfg: &SuiteConfig) -> SuiteResult<MeasureReport> {
+    let mut dests = crate::collect::destinations(db)?;
+    if cfg.some_only {
+        dests.truncate(1);
+    }
+    let mut report = MeasureReport {
+        iterations: cfg.iterations,
+        destinations: dests.len(),
+        ..MeasureReport::default()
+    };
+    for _iter in 0..cfg.iterations {
+        if cfg.parallel {
+            let results = parking_lot::Mutex::new(Vec::new());
+            crossbeam::scope(|scope| {
+                for (server_id, addr) in &dests {
+                    let results = &results;
+                    scope.spawn(move |_| {
+                        let r = measure_destination(db, net, cfg, *server_id, *addr);
+                        results.lock().push(r);
+                    });
+                }
+            })
+            .expect("measurement threads do not panic");
+            for r in results.into_inner() {
+                let (measured, inserted, errors) = r?;
+                report.measured += measured;
+                report.inserted += inserted;
+                report.errors += errors;
+            }
+        } else {
+            for (server_id, addr) in &dests {
+                let (measured, inserted, errors) =
+                    measure_destination(db, net, cfg, *server_id, *addr)?;
+                report.measured += measured;
+                report.inserted += inserted;
+                report.errors += errors;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Paths of one destination, ordered by path index.
+pub fn paths_of(db: &Database, server_id: u32) -> SuiteResult<Vec<(PathId, String, usize)>> {
+    let handle = db.collection(PATHS);
+    let coll = handle.read();
+    let docs = coll.find_with(
+        &Filter::eq("server_id", server_id as i64),
+        &FindOptions::default().sorted_by("path_index", Order::Asc),
+    );
+    docs.iter().map(schema::parse_path_doc).collect()
+}
+
+/// Measure every stored path of one destination once; bulk-insert at the
+/// end. Returns `(measured, inserted, errors)`.
+fn measure_destination(
+    db: &Database,
+    net: &ScionNetwork,
+    cfg: &SuiteConfig,
+    server_id: u32,
+    addr: ScionAddr,
+) -> SuiteResult<(usize, usize, usize)> {
+    let paths = paths_of(db, server_id)?;
+    let mut buffer: Vec<Document> = Vec::with_capacity(paths.len());
+    let mut errors = 0usize;
+    for (path_id, sequence, hops) in &paths {
+        let m = measure_path(net, cfg, *path_id, addr, sequence, *hops);
+        if m.error.is_some() {
+            errors += 1;
+        }
+        buffer.push(m.to_doc());
+    }
+    let measured = buffer.len();
+    // §4.2.2: one bulk insertion per destination.
+    let handle = db.collection(PATHS_STATS);
+    let inserted = handle.write().insert_many(buffer)?.len();
+    Ok((measured, inserted, errors))
+}
+
+/// Measure a single path once. Never fails: tool-level errors become a
+/// recorded measurement with `error` set, keeping the campaign alive in
+/// the presence of down or misbehaving servers (§4.1.2).
+pub fn measure_path(
+    net: &ScionNetwork,
+    cfg: &SuiteConfig,
+    path_id: PathId,
+    addr: ScionAddr,
+    sequence: &str,
+    hops: usize,
+) -> PathMeasurement {
+    let stat_id = StatId {
+        path: path_id,
+        timestamp_ms: net.now_ms() as u64,
+    };
+    let selection = PathSelection::Sequence(sequence.to_string());
+    let isds = scion_sim::path::ScionPath::from_sequence(sequence)
+        .map(|p| p.isd_set())
+        .unwrap_or_default();
+    let mut m = PathMeasurement {
+        stat_id,
+        isds,
+        hops,
+        avg_latency_ms: None,
+        jitter_ms: None,
+        loss_pct: 100.0,
+        bw_up_64: None,
+        bw_down_64: None,
+        bw_up_mtu: None,
+        bw_down_mtu: None,
+        target_mbps: cfg.bw_target_mbps,
+        error: None,
+    };
+
+    // 1. Latency and loss.
+    let ping_opts = PingOptions {
+        count: cfg.ping_count,
+        interval_ms: cfg.ping_interval_ms,
+        timeout_ms: 1000.0,
+        selection: selection.clone(),
+    };
+    match ping(net, cfg.local_as, addr, &ping_opts) {
+        Ok(report) => {
+            m.avg_latency_ms = report.avg_ms;
+            m.jitter_ms = report.mdev_ms;
+            m.loss_pct = report.loss_pct;
+        }
+        Err(e) => {
+            m.error = Some(error_tag("ping", &e));
+            return m;
+        }
+    }
+
+    if !cfg.run_bwtests {
+        return m;
+    }
+
+    // 2. Bandwidth with small packets.
+    match bwtest(net, cfg.local_as, addr, &cfg.small_spec(), None, &selection) {
+        Ok(r) => {
+            m.bw_up_64 = Some(r.cs.achieved_mbps);
+            m.bw_down_64 = Some(r.sc.achieved_mbps);
+        }
+        Err(e) => m.error = Some(error_tag("bwtest64", &e)),
+    }
+
+    // 3. Bandwidth with MTU-sized packets.
+    match bwtest(net, cfg.local_as, addr, &cfg.mtu_spec(), None, &selection) {
+        Ok(r) => {
+            m.bw_up_mtu = Some(r.cs.achieved_mbps);
+            m.bw_down_mtu = Some(r.sc.achieved_mbps);
+        }
+        Err(e) => m.error = Some(error_tag("bwtestMTU", &e)),
+    }
+    m
+}
+
+fn error_tag(stage: &str, e: &ToolError) -> String {
+    match e {
+        ToolError::Net(scion_sim::net::NetError::Timeout) => format!("{stage}: timeout"),
+        ToolError::Net(scion_sim::net::NetError::BadResponse) => format!("{stage}: bad response"),
+        other => format!("{stage}: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_paths, register_available_servers};
+    use pathdb::Value;
+    use scion_sim::fault::ServerBehavior;
+    use scion_sim::topology::scionlab::paper_destinations;
+
+    fn quick_cfg() -> SuiteConfig {
+        SuiteConfig {
+            iterations: 1,
+            some_only: true,
+            ping_count: 5,
+            run_bwtests: false,
+            ..SuiteConfig::default()
+        }
+    }
+
+    fn setup(cfg: &SuiteConfig) -> (Database, ScionNetwork) {
+        let net = ScionNetwork::scionlab(9);
+        let db = Database::new();
+        register_available_servers(&db, &net).unwrap();
+        collect_paths(&db, &net, cfg).unwrap();
+        (db, net)
+    }
+
+    #[test]
+    fn some_only_tests_exactly_first_destination() {
+        let cfg = quick_cfg();
+        let (db, net) = setup(&cfg);
+        let report = run_tests(&db, &net, &cfg).unwrap();
+        assert_eq!(report.destinations, 1);
+        assert_eq!(report.errors, 0);
+        let paths = paths_of(&db, 1).unwrap();
+        assert_eq!(report.measured, paths.len());
+        assert_eq!(report.inserted, report.measured);
+        // Only server 1 appears in the stats.
+        let handle = db.collection(PATHS_STATS);
+        let coll = handle.read();
+        assert_eq!(coll.count(&Filter::eq("server_id", 1i64)), coll.len());
+    }
+
+    #[test]
+    fn iterations_multiply_sample_count() {
+        let cfg = SuiteConfig {
+            iterations: 3,
+            ..quick_cfg()
+        };
+        let (db, net) = setup(&cfg);
+        let report = run_tests(&db, &net, &cfg).unwrap();
+        let paths = paths_of(&db, 1).unwrap();
+        assert_eq!(report.inserted, 3 * paths.len());
+    }
+
+    #[test]
+    fn measurements_carry_isds_and_latency() {
+        let cfg = quick_cfg();
+        let (db, net) = setup(&cfg);
+        run_tests(&db, &net, &cfg).unwrap();
+        let handle = db.collection(PATHS_STATS);
+        let coll = handle.read();
+        for d in coll.find(&Filter::True) {
+            let m = PathMeasurement::from_doc(&d).unwrap();
+            assert!(m.avg_latency_ms.is_some(), "{d}");
+            assert!(!m.isds.is_empty());
+            assert!(m.loss_pct < 50.0);
+        }
+    }
+
+    #[test]
+    fn down_server_is_recorded_not_fatal() {
+        let cfg = SuiteConfig {
+            run_bwtests: true,
+            ..quick_cfg()
+        };
+        let (db, net) = setup(&cfg);
+        // Destination 1 is the ETHZ-AP server in registration order.
+        let (_, addr) = crate::collect::destinations(&db).unwrap()[0];
+        net.set_server_behavior(addr, ServerBehavior::Down);
+        let report = run_tests(&db, &net, &cfg).unwrap();
+        assert!(report.errors > 0, "errors must be recorded");
+        assert_eq!(report.inserted, report.measured, "all samples stored");
+        let handle = db.collection(PATHS_STATS);
+        let coll = handle.read();
+        let errored = coll.count(&Filter::exists("error").and(Filter::ne("error", Value::Null)));
+        assert!(errored > 0);
+    }
+
+    #[test]
+    fn bad_response_server_is_survivable() {
+        let cfg = SuiteConfig {
+            run_bwtests: true,
+            ..quick_cfg()
+        };
+        let (db, net) = setup(&cfg);
+        let (_, addr) = crate::collect::destinations(&db).unwrap()[0];
+        net.set_server_behavior(addr, ServerBehavior::BadResponse);
+        let report = run_tests(&db, &net, &cfg).unwrap();
+        // Ping still works (SCMP), bandwidth tests fail with BadResponse.
+        assert!(report.errors > 0);
+        let handle = db.collection(PATHS_STATS);
+        let coll = handle.read();
+        let d = coll.find(&Filter::True).remove(0);
+        let m = PathMeasurement::from_doc(&d).unwrap();
+        assert!(m.avg_latency_ms.is_some(), "latency survives");
+        assert!(m.bw_up_64.is_none(), "bandwidth does not");
+        assert!(m.error.as_deref().unwrap().contains("bad response"));
+    }
+
+    #[test]
+    fn full_campaign_on_paper_destinations_shape() {
+        // A tiny full campaign over all 21 destinations: the paper's
+        // ≈3000-sample dataset scaled down to 1 iteration, ping-only.
+        let cfg = SuiteConfig {
+            some_only: false,
+            ..quick_cfg()
+        };
+        let (db, net) = setup(&cfg);
+        let report = run_tests(&db, &net, &cfg).unwrap();
+        assert_eq!(report.destinations, 21);
+        assert_eq!(report.errors, 0);
+        assert!(report.inserted > 100, "got {}", report.inserted);
+        // The five paper destinations all have samples.
+        let handle = db.collection(PATHS_STATS);
+        let coll = handle.read();
+        let dests = crate::collect::destinations(&db).unwrap();
+        for want in paper_destinations() {
+            let id = dests.iter().find(|(_, a)| *a == want).unwrap().0;
+            assert!(coll.count(&Filter::eq("server_id", id as i64)) > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_inserts_same_volume() {
+        let cfg = SuiteConfig {
+            some_only: false,
+            parallel: true,
+            ..quick_cfg()
+        };
+        let (db, net) = setup(&cfg);
+        let report = run_tests(&db, &net, &cfg).unwrap();
+        let sequential_cfg = SuiteConfig {
+            parallel: false,
+            ..cfg
+        };
+        let (db2, net2) = setup(&sequential_cfg);
+        let report2 = run_tests(&db2, &net2, &sequential_cfg).unwrap();
+        assert_eq!(report.inserted, report2.inserted);
+        assert_eq!(report.errors, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Continuous operation: periodic measurement rounds with bounded data
+//! retention.
+//!
+//! §4.1.2 notes that "continuous measurements require continuous
+//! functioning"; a deployed suite re-measures on a period and must not
+//! grow its database without bound. [`run_scheduled`] drives campaign
+//! rounds on a fixed period of the network clock and prunes statistics
+//! older than the retention window after each round, so the database
+//! holds a sliding window of fresh measurements.
+
+use crate::config::SuiteConfig;
+use crate::error::SuiteResult;
+use crate::measure::{run_tests, MeasureReport};
+use crate::schema::PATHS_STATS;
+use pathdb::{Database, Filter};
+use scion_sim::net::ScionNetwork;
+
+/// Periodic-campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ScheduleConfig {
+    /// Campaign parameters of each round (iterations are per round).
+    pub campaign: SuiteConfig,
+    /// Period between round starts, in network-clock ms. Rounds that
+    /// run longer than the period start back-to-back.
+    pub period_ms: f64,
+    /// Number of rounds to run.
+    pub rounds: u32,
+    /// Drop statistics older than this window (network-clock ms);
+    /// `None` disables pruning.
+    pub retention_ms: Option<f64>,
+}
+
+/// Outcome of a scheduled run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScheduleReport {
+    pub rounds: Vec<MeasureReport>,
+    /// Stats documents pruned by retention, total.
+    pub pruned: usize,
+    /// Network-clock timestamps at which each round started.
+    pub round_starts_ms: Vec<f64>,
+}
+
+impl ScheduleReport {
+    pub fn total_inserted(&self) -> usize {
+        self.rounds.iter().map(|r| r.inserted).sum()
+    }
+}
+
+/// Delete statistics with `timestamp_ms` older than `cutoff_ms`.
+/// Returns how many documents were removed.
+pub fn prune_stale(db: &Database, cutoff_ms: f64) -> usize {
+    let handle = db.collection(PATHS_STATS);
+    let mut coll = handle.write();
+    coll.delete_many(&Filter::lt("timestamp_ms", cutoff_ms))
+}
+
+/// Run `cfg.rounds` measurement rounds on the configured period.
+pub fn run_scheduled(
+    db: &Database,
+    net: &ScionNetwork,
+    cfg: &ScheduleConfig,
+) -> SuiteResult<ScheduleReport> {
+    let mut report = ScheduleReport::default();
+    for round in 0..cfg.rounds {
+        let start = net.now_ms();
+        report.round_starts_ms.push(start);
+        let measured = run_tests(db, net, &cfg.campaign)?;
+        report.rounds.push(measured);
+        if let Some(retention) = cfg.retention_ms {
+            report.pruned += prune_stale(db, net.now_ms() - retention);
+        }
+        // Sleep out the remainder of the period (if any).
+        let next = start + cfg.period_ms * (1.0);
+        let _ = round;
+        if net.now_ms() < next {
+            net.advance_ms(next - net.now_ms());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_paths, register_available_servers};
+    use crate::measure::paths_of;
+
+    fn setup() -> (Database, ScionNetwork, SuiteConfig) {
+        let net = ScionNetwork::scionlab(33);
+        let db = Database::new();
+        register_available_servers(&db, &net).unwrap();
+        let cfg = SuiteConfig {
+            iterations: 1,
+            some_only: true,
+            ping_count: 3,
+            run_bwtests: false,
+            skip_collection: true,
+            ..SuiteConfig::default()
+        };
+        collect_paths(&db, &net, &cfg).unwrap();
+        (db, net, cfg)
+    }
+
+    #[test]
+    fn rounds_run_on_the_period() {
+        let (db, net, campaign) = setup();
+        let sched = ScheduleConfig {
+            campaign,
+            period_ms: 600_000.0, // 10 minutes
+            rounds: 3,
+            retention_ms: None,
+        };
+        let report = run_scheduled(&db, &net, &sched).unwrap();
+        assert_eq!(report.rounds.len(), 3);
+        assert_eq!(report.pruned, 0);
+        // Round starts are one period apart (rounds are shorter than it).
+        for w in report.round_starts_ms.windows(2) {
+            assert!((w[1] - w[0] - 600_000.0).abs() < 1.0, "{w:?}");
+        }
+        let n_paths = paths_of(&db, 1).unwrap().len();
+        assert_eq!(report.total_inserted(), 3 * n_paths);
+        assert_eq!(db.collection(PATHS_STATS).read().len(), 3 * n_paths);
+    }
+
+    #[test]
+    fn retention_keeps_a_sliding_window() {
+        let (db, net, campaign) = setup();
+        let sched = ScheduleConfig {
+            campaign,
+            period_ms: 600_000.0,
+            rounds: 5,
+            // Keep a bit over one period: after each round only the
+            // latest two rounds' samples survive.
+            retention_ms: Some(700_000.0),
+        };
+        let report = run_scheduled(&db, &net, &sched).unwrap();
+        let n_paths = paths_of(&db, 1).unwrap().len();
+        assert_eq!(report.total_inserted(), 5 * n_paths);
+        assert!(report.pruned >= 3 * n_paths, "pruned {}", report.pruned);
+        let remaining = db.collection(PATHS_STATS).read().len();
+        assert!(remaining <= 2 * n_paths, "window bounded: {remaining}");
+        assert!(remaining >= n_paths, "latest round retained: {remaining}");
+        // Everything left is fresh.
+        let cutoff = net.now_ms() - 700_000.0 - 600_000.0;
+        let handle = db.collection(PATHS_STATS);
+        assert_eq!(handle.read().count(&Filter::lt("timestamp_ms", cutoff)), 0);
+    }
+
+    #[test]
+    fn back_to_back_rounds_when_period_is_short() {
+        let (db, net, campaign) = setup();
+        let sched = ScheduleConfig {
+            campaign,
+            period_ms: 1.0, // shorter than a round
+            rounds: 2,
+            retention_ms: None,
+        };
+        let report = run_scheduled(&db, &net, &sched).unwrap();
+        assert!(report.round_starts_ms[1] > report.round_starts_ms[0] + 1.0);
+    }
+
+    #[test]
+    fn prune_stale_is_exact() {
+        let (db, net, campaign) = setup();
+        run_tests(&db, &net, &campaign).unwrap();
+        let before = db.collection(PATHS_STATS).read().len();
+        assert!(before > 0);
+        // Cutoff in the far future removes everything; in the past, nothing.
+        assert_eq!(prune_stale(&db, -1.0), 0);
+        assert_eq!(prune_stale(&db, net.now_ms() + 1.0), before);
+        assert_eq!(db.collection(PATHS_STATS).read().len(), 0);
+    }
+}

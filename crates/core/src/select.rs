@@ -1,0 +1,417 @@
+//! The path selection engine: user-driven path control.
+//!
+//! This is the layer the paper builds its database *for*: "we then query
+//! [the database] to select the best path to give to a user to reach a
+//! destination, following their request on performance or devices to
+//! exclude for geographical or sovereignty reasons." A [`UserRequest`]
+//! carries a performance objective plus exclusion constraints; the
+//! engine aggregates the stored measurements per path, filters, ranks
+//! and returns recommendations with their supporting statistics.
+
+use crate::analysis::{measurements_by_path, Whisker};
+use crate::error::{SuiteError, SuiteResult};
+use crate::schema::{self, PathId, PATHS};
+use pathdb::{Database, Document, Filter, Value};
+
+/// What the user optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Lowest mean RTT — video conferencing, gaming.
+    MinLatency,
+    /// Most consistent RTT (lowest jitter) — streaming/VoIP; the paper
+    /// notes "latency consistency is more important than low latency
+    /// values" for these.
+    MinJitter,
+    /// Highest downstream bandwidth.
+    MaxBandwidthDown,
+    /// Highest upstream bandwidth.
+    MaxBandwidthUp,
+    /// Lowest packet loss.
+    MinLoss,
+}
+
+/// Exclusion constraints: geography, sovereignty and operators.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Constraints {
+    /// Paths must not traverse these ISDs.
+    pub exclude_isds: Vec<u16>,
+    /// Paths must not traverse these ASes (ISD-AS strings).
+    pub exclude_ases: Vec<String>,
+    /// Paths must not traverse devices in these countries.
+    pub exclude_countries: Vec<String>,
+    /// Paths must not traverse devices run by these operators.
+    pub exclude_operators: Vec<String>,
+    /// Upper bound on hop count.
+    pub max_hops: Option<usize>,
+    /// Discard paths whose mean loss exceeds this percentage.
+    pub max_loss_pct: Option<f64>,
+    /// Require a minimum number of samples before trusting a path.
+    pub min_samples: usize,
+    /// Only consider paths whose stored status is `alive` (set after
+    /// link failures: re-collection refreshes the status column).
+    pub require_alive: bool,
+}
+
+impl Constraints {
+    /// Translate the exclusions into a database filter over the `paths`
+    /// collection (the metadata side; statistics gates apply later).
+    pub fn to_filter(&self, server_id: u32) -> Filter {
+        let mut f = Filter::eq("server_id", server_id as i64);
+        if !self.exclude_isds.is_empty() {
+            f = f.and(Filter::not_in(
+                "isds",
+                self.exclude_isds.iter().map(|i| *i as i64).collect(),
+            ));
+        }
+        if !self.exclude_ases.is_empty() {
+            f = f.and(Filter::not_in("ases", self.exclude_ases.clone()));
+        }
+        if !self.exclude_countries.is_empty() {
+            f = f.and(Filter::not_in("countries", self.exclude_countries.clone()));
+        }
+        if !self.exclude_operators.is_empty() {
+            f = f.and(Filter::not_in("operators", self.exclude_operators.clone()));
+        }
+        if let Some(h) = self.max_hops {
+            f = f.and(Filter::lte("hops", h as i64));
+        }
+        if self.require_alive {
+            f = f.and(Filter::eq("status", "alive"));
+        }
+        f
+    }
+}
+
+/// A user's path request for one destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserRequest {
+    pub server_id: u32,
+    pub objective: Objective,
+    pub constraints: Constraints,
+}
+
+/// Aggregated statistics of one candidate path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathAggregate {
+    pub path_id: PathId,
+    pub sequence: String,
+    pub hops: usize,
+    pub samples: usize,
+    pub latency: Option<Whisker>,
+    /// Mean of per-train jitter (RTT mdev).
+    pub jitter_ms: Option<f64>,
+    pub mean_loss_pct: f64,
+    pub bw_up_mtu: Option<Whisker>,
+    pub bw_down_mtu: Option<Whisker>,
+}
+
+/// One ranked recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    pub rank: usize,
+    /// The objective's scalar for this path (lower is better; bandwidth
+    /// objectives store the negated value so ordering is uniform).
+    pub score: f64,
+    pub aggregate: PathAggregate,
+}
+
+/// Aggregate stored measurements for every path of a destination that
+/// passes the metadata constraints.
+pub fn aggregate_paths(
+    db: &Database,
+    server_id: u32,
+    constraints: &Constraints,
+) -> SuiteResult<Vec<PathAggregate>> {
+    let handle = db.collection(PATHS);
+    let candidates: Vec<Document> = handle.read().find(&constraints.to_filter(server_id));
+    let mut stats = measurements_by_path(db, server_id)?;
+    let mut out = Vec::with_capacity(candidates.len());
+    for doc in &candidates {
+        let (path_id, sequence, hops) = schema::parse_path_doc(doc)?;
+        let ms = stats.remove(&path_id).unwrap_or_default();
+        let lat: Vec<f64> = ms.iter().filter_map(|m| m.avg_latency_ms).collect();
+        let jit: Vec<f64> = ms.iter().filter_map(|m| m.jitter_ms).collect();
+        let up: Vec<f64> = ms.iter().filter_map(|m| m.bw_up_mtu).collect();
+        let down: Vec<f64> = ms.iter().filter_map(|m| m.bw_down_mtu).collect();
+        let loss = if ms.is_empty() {
+            100.0
+        } else {
+            ms.iter().map(|m| m.loss_pct).sum::<f64>() / ms.len() as f64
+        };
+        out.push(PathAggregate {
+            path_id,
+            sequence,
+            hops,
+            samples: ms.len(),
+            latency: Whisker::from_samples(&lat),
+            jitter_ms: if jit.is_empty() {
+                None
+            } else {
+                Some(jit.iter().sum::<f64>() / jit.len() as f64)
+            },
+            mean_loss_pct: loss,
+            bw_up_mtu: Whisker::from_samples(&up),
+            bw_down_mtu: Whisker::from_samples(&down),
+        });
+    }
+    Ok(out)
+}
+
+/// Answer a user request: the top-`k` paths under the objective, after
+/// applying constraints and statistics gates.
+pub fn recommend(db: &Database, request: &UserRequest, k: usize) -> SuiteResult<Vec<Recommendation>> {
+    let mut candidates = aggregate_paths(db, request.server_id, &request.constraints)?;
+    candidates.retain(|a| a.samples >= request.constraints.min_samples.max(1));
+    if let Some(max_loss) = request.constraints.max_loss_pct {
+        candidates.retain(|a| a.mean_loss_pct <= max_loss);
+    }
+    let mut scored: Vec<(f64, PathAggregate)> = candidates
+        .into_iter()
+        .filter_map(|a| score(&a, request.objective).map(|s| (s, a)))
+        .collect();
+    scored.sort_by(|x, y| {
+        x.0.partial_cmp(&y.0)
+            .expect("finite scores")
+            .then_with(|| x.1.path_id.cmp(&y.1.path_id))
+    });
+    if scored.is_empty() {
+        return Err(SuiteError::NoCandidates(format!(
+            "no path to destination {} satisfies the request",
+            request.server_id
+        )));
+    }
+    Ok(scored
+        .into_iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, (score, aggregate))| Recommendation {
+            rank: i + 1,
+            score,
+            aggregate,
+        })
+        .collect())
+}
+
+/// The objective's scalar; `None` when the path lacks the statistic.
+/// Lower is always better (bandwidths are negated). Shared with the
+/// multi-criteria engine so single- and multi-objective selection agree
+/// on what each objective means.
+fn score(a: &PathAggregate, objective: Objective) -> Option<f64> {
+    crate::multi::criterion_value(a, objective)
+}
+
+/// Everything the selection layer knows about one destination, rendered
+/// for a user ("offer users many paths to choose from").
+pub fn describe_choices(db: &Database, server_id: u32) -> SuiteResult<String> {
+    let aggregates = aggregate_paths(db, server_id, &Constraints::default())?;
+    let mut out = format!("destination {server_id}: {} candidate paths\n", aggregates.len());
+    for a in &aggregates {
+        let lat = a
+            .latency
+            .as_ref()
+            .map(|w| format!("{:.1}ms", w.mean))
+            .unwrap_or_else(|| "-".into());
+        let down = a
+            .bw_down_mtu
+            .as_ref()
+            .map(|w| format!("{:.1}Mbps", w.mean))
+            .unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "  {}  hops={} samples={} latency={} loss={:.1}% down={}\n",
+            a.path_id, a.hops, a.samples, lat, a.mean_loss_pct, down
+        ));
+    }
+    Ok(out)
+}
+
+/// Check a stored path document against constraints directly (used by
+/// property tests to cross-validate the DB filter translation).
+pub fn doc_violates(doc: &Document, c: &Constraints) -> bool {
+    let has = |field: &str, wanted: &[String]| -> bool {
+        match doc.get(field) {
+            Some(Value::Array(arr)) => arr
+                .iter()
+                .filter_map(Value::as_str)
+                .any(|v| wanted.iter().any(|w| w == v)),
+            _ => false,
+        }
+    };
+    let isd_hit = match doc.get("isds") {
+        Some(Value::Array(arr)) => arr
+            .iter()
+            .filter_map(Value::as_int)
+            .any(|v| c.exclude_isds.contains(&(v as u16))),
+        _ => false,
+    };
+    let hops_hit = match (c.max_hops, doc.get("hops").and_then(Value::as_int)) {
+        (Some(max), Some(h)) => h as usize > max,
+        _ => false,
+    };
+    isd_hit
+        || has("ases", &c.exclude_ases)
+        || has("countries", &c.exclude_countries)
+        || has("operators", &c.exclude_operators)
+        || hops_hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_paths, register_available_servers};
+    use crate::config::SuiteConfig;
+    use crate::measure::run_tests;
+    use scion_sim::net::ScionNetwork;
+    use scion_sim::topology::scionlab::{paper_destinations, AWS_OHIO, AWS_SINGAPORE};
+
+    /// One shared campaign against the Ireland destination.
+    fn campaign() -> (Database, u32) {
+        let net = ScionNetwork::scionlab(17);
+        let db = Database::new();
+        register_available_servers(&db, &net).unwrap();
+        let ireland = crate::analysis::server_id_of(&db, paper_destinations()[1]).unwrap();
+        let cfg = SuiteConfig {
+            iterations: 3,
+            ping_count: 10,
+            run_bwtests: true,
+            ..SuiteConfig::default()
+        };
+        // Collect all, but measure only Ireland's paths: shrink the
+        // availableServers set to the one destination for speed.
+        collect_paths(&db, &net, &cfg).unwrap();
+        {
+            let handle = db.collection(crate::schema::AVAILABLE_SERVERS);
+            let mut coll = handle.write();
+            coll.delete_many(&Filter::ne("_id", ireland.to_string()));
+        }
+        run_tests(&db, &net, &cfg).unwrap();
+        (db, ireland)
+    }
+
+    #[test]
+    fn selection_engine_end_to_end() {
+        let (db, ireland) = campaign();
+
+        // 1. Unconstrained min-latency: an EU-only path wins, and its
+        //    latency beats any Singapore-detour path by a wide margin.
+        let req = UserRequest {
+            server_id: ireland,
+            objective: Objective::MinLatency,
+            constraints: Constraints::default(),
+        };
+        let recs = recommend(&db, &req, 5).unwrap();
+        assert!(!recs.is_empty());
+        let best = &recs[0];
+        assert!(!best.aggregate.sequence.contains("16-ffaa:0:1004"), "best path avoids Singapore");
+        assert!(best.aggregate.latency.as_ref().unwrap().mean < 80.0);
+        // Ranked ascending.
+        for w in recs.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+
+        // 2. Sovereignty: exclude the United States and Singapore —
+        //    every recommended path avoids them.
+        let req = UserRequest {
+            server_id: ireland,
+            objective: Objective::MinLatency,
+            constraints: Constraints {
+                exclude_countries: vec!["United States".into(), "Singapore".into()],
+                ..Constraints::default()
+            },
+        };
+        let recs = recommend(&db, &req, 10).unwrap();
+        assert!(!recs.is_empty());
+        for r in &recs {
+            assert!(!r.aggregate.sequence.contains("16-ffaa:0:1003"));
+            assert!(!r.aggregate.sequence.contains("16-ffaa:0:1004"));
+            assert!(!r.aggregate.sequence.contains("16-ffaa:0:1007"));
+            assert!(!r.aggregate.sequence.contains("18-ffaa:0:1201"));
+        }
+
+        // 3. The paper's §6.1 conclusion as a query: excluding the two
+        //    jittery ASes shrinks the best jitter.
+        let jitter_req = UserRequest {
+            server_id: ireland,
+            objective: Objective::MinJitter,
+            constraints: Constraints {
+                exclude_ases: vec![AWS_SINGAPORE.to_string(), AWS_OHIO.to_string()],
+                ..Constraints::default()
+            },
+        };
+        let jrecs = recommend(&db, &jitter_req, 1).unwrap();
+        assert!(jrecs[0].score < 3.0, "clean path jitter {}", jrecs[0].score);
+
+        // 4. Bandwidth objective ranks by downstream mean, descending.
+        let bw_req = UserRequest {
+            server_id: ireland,
+            objective: Objective::MaxBandwidthDown,
+            constraints: Constraints::default(),
+        };
+        let brecs = recommend(&db, &bw_req, 3).unwrap();
+        let means: Vec<f64> = brecs
+            .iter()
+            .map(|r| r.aggregate.bw_down_mtu.as_ref().unwrap().mean)
+            .collect();
+        for w in means.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+
+        // 5. Unsatisfiable constraints report NoCandidates.
+        let impossible = UserRequest {
+            server_id: ireland,
+            objective: Objective::MinLatency,
+            constraints: Constraints {
+                exclude_countries: vec!["Switzerland".into()],
+                ..Constraints::default()
+            },
+        };
+        assert!(matches!(
+            recommend(&db, &impossible, 1),
+            Err(SuiteError::NoCandidates(_))
+        ));
+
+        // 6. describe_choices lists every candidate.
+        let text = describe_choices(&db, ireland).unwrap();
+        assert!(text.contains("candidate paths"));
+        assert!(text.lines().count() > 5, "{text}");
+    }
+
+    #[test]
+    fn hop_bound_and_sample_gate() {
+        let (db, ireland) = campaign();
+        let req = UserRequest {
+            server_id: ireland,
+            objective: Objective::MinLatency,
+            constraints: Constraints {
+                max_hops: Some(6),
+                min_samples: 2,
+                ..Constraints::default()
+            },
+        };
+        let recs = recommend(&db, &req, 20).unwrap();
+        for r in &recs {
+            assert!(r.aggregate.hops <= 6);
+            assert!(r.aggregate.samples >= 2);
+        }
+    }
+
+    #[test]
+    fn filter_translation_matches_direct_check() {
+        let (db, ireland) = campaign();
+        let c = Constraints {
+            exclude_isds: vec![18],
+            exclude_ases: vec![AWS_OHIO.to_string()],
+            exclude_countries: vec!["Singapore".into()],
+            max_hops: Some(7),
+            ..Constraints::default()
+        };
+        let handle = db.collection(PATHS);
+        let coll = handle.read();
+        let all = coll.find(&Filter::eq("server_id", ireland as i64));
+        let filtered = coll.find(&c.to_filter(ireland));
+        for d in &all {
+            let included = filtered.iter().any(|f| f.id() == d.id());
+            assert_eq!(included, !doc_violates(d, &c), "doc {:?}", d.id());
+        }
+        assert!(filtered.len() < all.len(), "constraints prune something");
+    }
+}

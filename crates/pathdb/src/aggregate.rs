@@ -1,0 +1,337 @@
+//! A small aggregation pipeline: group-by with accumulators, in the
+//! spirit of MongoDB's `$group`.
+//!
+//! The selection engine and figure analyses repeatedly need "group the
+//! matching documents by a key and fold each group" — this module gives
+//! that a first-class, reusable form:
+//!
+//! ```
+//! use pathdb::{doc, Collection, Filter};
+//! use pathdb::aggregate::{Accumulator, GroupBy};
+//!
+//! let mut c = Collection::new("stats");
+//! c.insert_one(doc! { "_id" => "a", "path" => "p1", "lat" => 20.0 }).unwrap();
+//! c.insert_one(doc! { "_id" => "b", "path" => "p1", "lat" => 30.0 }).unwrap();
+//! c.insert_one(doc! { "_id" => "c", "path" => "p2", "lat" => 90.0 }).unwrap();
+//!
+//! let groups = GroupBy::key("path")
+//!     .accumulate("avg_lat", Accumulator::Avg("lat".into()))
+//!     .accumulate("n", Accumulator::Count)
+//!     .run(&c, &Filter::True);
+//! assert_eq!(groups.len(), 2);
+//! let p1 = groups.iter().find(|g| g.get("_id").unwrap().as_str() == Some("p1")).unwrap();
+//! assert_eq!(p1.get("avg_lat").unwrap().as_float(), Some(25.0));
+//! assert_eq!(p1.get("n").unwrap().as_int(), Some(2));
+//! ```
+
+use crate::collection::Collection;
+use crate::document::Document;
+use crate::query::Filter;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Fold applied to each group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accumulator {
+    /// Number of documents in the group.
+    Count,
+    /// Sum of a numeric field (missing/non-numeric fields are skipped).
+    Sum(String),
+    /// Mean of a numeric field over documents that have it.
+    Avg(String),
+    /// Minimum of a numeric field.
+    Min(String),
+    /// Maximum of a numeric field.
+    Max(String),
+    /// First value of a field in insertion order.
+    First(String),
+    /// All values of a field, as an array.
+    Push(String),
+    /// Distinct values of a field, as an array (insertion-ordered).
+    AddToSet(String),
+}
+
+/// Running state of one accumulator.
+enum AccState {
+    Count(usize),
+    Sum(f64, bool),
+    Avg(f64, usize),
+    Min(Option<f64>),
+    Max(Option<f64>),
+    First(Option<Value>),
+    Push(Vec<Value>),
+    AddToSet(Vec<Value>, std::collections::HashSet<String>),
+}
+
+impl Accumulator {
+    fn init(&self) -> AccState {
+        match self {
+            Accumulator::Count => AccState::Count(0),
+            Accumulator::Sum(_) => AccState::Sum(0.0, false),
+            Accumulator::Avg(_) => AccState::Avg(0.0, 0),
+            Accumulator::Min(_) => AccState::Min(None),
+            Accumulator::Max(_) => AccState::Max(None),
+            Accumulator::First(_) => AccState::First(None),
+            Accumulator::Push(_) => AccState::Push(Vec::new()),
+            Accumulator::AddToSet(_) => {
+                AccState::AddToSet(Vec::new(), std::collections::HashSet::new())
+            }
+        }
+    }
+
+    fn field(&self) -> Option<&str> {
+        match self {
+            Accumulator::Count => None,
+            Accumulator::Sum(f)
+            | Accumulator::Avg(f)
+            | Accumulator::Min(f)
+            | Accumulator::Max(f)
+            | Accumulator::First(f)
+            | Accumulator::Push(f)
+            | Accumulator::AddToSet(f) => Some(f),
+        }
+    }
+}
+
+impl AccState {
+    fn feed(&mut self, value: Option<&Value>) {
+        match self {
+            AccState::Count(n) => *n += 1,
+            AccState::Sum(total, seen) => {
+                if let Some(x) = value.and_then(Value::as_number) {
+                    *total += x;
+                    *seen = true;
+                }
+            }
+            AccState::Avg(total, n) => {
+                if let Some(x) = value.and_then(Value::as_number) {
+                    *total += x;
+                    *n += 1;
+                }
+            }
+            AccState::Min(m) => {
+                if let Some(x) = value.and_then(Value::as_number) {
+                    *m = Some(m.map_or(x, |cur: f64| cur.min(x)));
+                }
+            }
+            AccState::Max(m) => {
+                if let Some(x) = value.and_then(Value::as_number) {
+                    *m = Some(m.map_or(x, |cur: f64| cur.max(x)));
+                }
+            }
+            AccState::First(slot) => {
+                if slot.is_none() {
+                    if let Some(v) = value {
+                        *slot = Some(v.clone());
+                    }
+                }
+            }
+            AccState::Push(items) => {
+                if let Some(v) = value {
+                    items.push(v.clone());
+                }
+            }
+            AccState::AddToSet(items, seen) => {
+                if let Some(v) = value {
+                    if seen.insert(v.index_key()) {
+                        items.push(v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AccState::Count(n) => Value::Int(n as i64),
+            AccState::Sum(total, seen) => {
+                if seen {
+                    Value::Float(total)
+                } else {
+                    Value::Null
+                }
+            }
+            AccState::Avg(total, n) => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / n as f64)
+                }
+            }
+            AccState::Min(m) => m.map(Value::Float).unwrap_or(Value::Null),
+            AccState::Max(m) => m.map(Value::Float).unwrap_or(Value::Null),
+            AccState::First(v) => v.unwrap_or(Value::Null),
+            AccState::Push(items) => Value::Array(items),
+            AccState::AddToSet(items, _) => Value::Array(items),
+        }
+    }
+}
+
+/// A group-by stage: key path plus named accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct GroupBy {
+    key: String,
+    accumulators: Vec<(String, Accumulator)>,
+}
+
+impl GroupBy {
+    /// Group by the (dotted) field `key`. Documents missing the key form
+    /// a single `Null`-keyed group.
+    pub fn key<K: Into<String>>(key: K) -> GroupBy {
+        GroupBy {
+            key: key.into(),
+            accumulators: Vec::new(),
+        }
+    }
+
+    /// Add a named accumulator to the output documents.
+    pub fn accumulate<N: Into<String>>(mut self, name: N, acc: Accumulator) -> GroupBy {
+        self.accumulators.push((name.into(), acc));
+        self
+    }
+
+    /// Run over the documents of `coll` matching `filter`. Each result
+    /// document carries the group key as `_id` plus one field per
+    /// accumulator. Groups appear in first-seen order.
+    pub fn run(&self, coll: &Collection, filter: &Filter) -> Vec<Document> {
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, (Value, Vec<AccState>)> = HashMap::new();
+        for doc in coll.find(filter) {
+            let key_value = doc.get_path(&self.key).cloned().unwrap_or(Value::Null);
+            let key = key_value.index_key();
+            let entry = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key.clone());
+                (
+                    key_value,
+                    self.accumulators.iter().map(|(_, a)| a.init()).collect(),
+                )
+            });
+            for ((_, acc), state) in self.accumulators.iter().zip(entry.1.iter_mut()) {
+                match acc.field() {
+                    Some(f) => state.feed(doc.get_path(f)),
+                    None => state.feed(None),
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let (key_value, states) = groups.remove(&key).expect("group recorded");
+                let mut out = Document::new();
+                out.set("_id", key_value);
+                for ((name, _), state) in self.accumulators.iter().zip(states) {
+                    out.set(name.clone(), state.finish());
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+
+    fn stats() -> Collection {
+        let mut c = Collection::new("paths_stats");
+        for (id, path, hops, lat, loss) in [
+            ("a", "p1", 6i64, Some(20.0), 0.0),
+            ("b", "p1", 6, Some(30.0), 3.3),
+            ("c", "p2", 7, Some(150.0), 0.0),
+            ("d", "p2", 7, None, 100.0),
+            ("e", "p3", 7, Some(90.0), 10.0),
+        ] {
+            let mut d = doc! { "_id" => id, "path" => path, "hops" => hops, "loss" => loss };
+            if let Some(l) = lat {
+                d.set("lat", l);
+            }
+            c.insert_one(d).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn groups_fold_all_accumulators() {
+        let c = stats();
+        let out = GroupBy::key("path")
+            .accumulate("n", Accumulator::Count)
+            .accumulate("avg_lat", Accumulator::Avg("lat".into()))
+            .accumulate("min_lat", Accumulator::Min("lat".into()))
+            .accumulate("max_lat", Accumulator::Max("lat".into()))
+            .accumulate("sum_loss", Accumulator::Sum("loss".into()))
+            .accumulate("hops", Accumulator::First("hops".into()))
+            .run(&c, &Filter::True);
+        assert_eq!(out.len(), 3);
+        let p1 = &out[0];
+        assert_eq!(p1.get("_id").unwrap().as_str(), Some("p1"));
+        assert_eq!(p1.get("n").unwrap().as_int(), Some(2));
+        assert_eq!(p1.get("avg_lat").unwrap().as_float(), Some(25.0));
+        assert_eq!(p1.get("min_lat").unwrap().as_float(), Some(20.0));
+        assert_eq!(p1.get("max_lat").unwrap().as_float(), Some(30.0));
+        assert_eq!(p1.get("sum_loss").unwrap().as_float(), Some(3.3));
+        assert_eq!(p1.get("hops").unwrap().as_int(), Some(6));
+    }
+
+    #[test]
+    fn avg_skips_missing_fields() {
+        let c = stats();
+        let out = GroupBy::key("path")
+            .accumulate("avg_lat", Accumulator::Avg("lat".into()))
+            .accumulate("n", Accumulator::Count)
+            .run(&c, &Filter::True);
+        let p2 = &out[1];
+        // One of p2's two docs lacks `lat`; the average uses only one.
+        assert_eq!(p2.get("n").unwrap().as_int(), Some(2));
+        assert_eq!(p2.get("avg_lat").unwrap().as_float(), Some(150.0));
+    }
+
+    #[test]
+    fn filter_applies_before_grouping() {
+        let c = stats();
+        let out = GroupBy::key("path")
+            .accumulate("n", Accumulator::Count)
+            .run(&c, &Filter::eq("hops", 7i64));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|g| g.get("_id").unwrap().as_str() != Some("p1")));
+    }
+
+    #[test]
+    fn push_and_add_to_set() {
+        let c = stats();
+        let out = GroupBy::key("hops")
+            .accumulate("paths", Accumulator::AddToSet("path".into()))
+            .accumulate("all", Accumulator::Push("path".into()))
+            .run(&c, &Filter::True);
+        let seven = out
+            .iter()
+            .find(|g| g.get("_id").unwrap().as_int() == Some(7))
+            .unwrap();
+        assert_eq!(seven.get("paths").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(seven.get("all").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn missing_key_groups_under_null() {
+        let mut c = stats();
+        c.insert_one(doc! { "_id" => "z", "lat" => 1.0 }).unwrap();
+        let out = GroupBy::key("path")
+            .accumulate("n", Accumulator::Count)
+            .run(&c, &Filter::True);
+        assert!(out.iter().any(|g| g.get("_id") == Some(&Value::Null)));
+    }
+
+    #[test]
+    fn empty_group_values_are_null() {
+        let mut c = Collection::new("t");
+        c.insert_one(doc! { "_id" => "x", "k" => "g" }).unwrap();
+        let out = GroupBy::key("k")
+            .accumulate("avg", Accumulator::Avg("missing".into()))
+            .accumulate("sum", Accumulator::Sum("missing".into()))
+            .accumulate("min", Accumulator::Min("missing".into()))
+            .run(&c, &Filter::True);
+        assert_eq!(out[0].get("avg"), Some(&Value::Null));
+        assert_eq!(out[0].get("sum"), Some(&Value::Null));
+        assert_eq!(out[0].get("min"), Some(&Value::Null));
+    }
+}

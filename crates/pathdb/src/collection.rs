@@ -1,0 +1,491 @@
+//! Collections: insertion-ordered document stores with a unique `_id`
+//! index, optional secondary indexes, filtered queries, updates and
+//! bulk insertion.
+
+use crate::document::Document;
+use crate::error::{DbError, DbResult};
+use crate::query::{Filter, FindOptions};
+use crate::update::Update;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A single collection (a "table" of documents).
+#[derive(Debug, Default)]
+pub struct Collection {
+    name: String,
+    /// Documents keyed by insertion sequence (preserves order under
+    /// deletion without shifting).
+    docs: BTreeMap<u64, Document>,
+    next_seq: u64,
+    /// Unique `_id` index: canonical id key → sequence.
+    primary: HashMap<String, u64>,
+    /// Secondary indexes: field → (canonical value key → sequences).
+    indexes: HashMap<String, HashMap<String, HashSet<u64>>>,
+    /// Counter for generated ids.
+    next_auto_id: u64,
+}
+
+impl Collection {
+    pub fn new(name: &str) -> Collection {
+        Collection {
+            name: name.to_string(),
+            ..Collection::default()
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    // ---- indexes ------------------------------------------------------
+
+    /// Create a secondary index over a (dotted) field. Idempotent.
+    pub fn create_index(&mut self, field: &str) {
+        if self.indexes.contains_key(field) {
+            return;
+        }
+        let mut map: HashMap<String, HashSet<u64>> = HashMap::new();
+        for (&seq, doc) in &self.docs {
+            for key in index_keys_of(doc, field) {
+                map.entry(key).or_default().insert(seq);
+            }
+        }
+        self.indexes.insert(field.to_string(), map);
+    }
+
+    pub fn indexed_fields(&self) -> Vec<&str> {
+        self.indexes.keys().map(String::as_str).collect()
+    }
+
+    fn index_insert(&mut self, seq: u64, doc: &Document) {
+        for (field, map) in &mut self.indexes {
+            for key in index_keys_of(doc, field) {
+                map.entry(key).or_default().insert(seq);
+            }
+        }
+    }
+
+    fn index_remove(&mut self, seq: u64, doc: &Document) {
+        for (field, map) in &mut self.indexes {
+            for key in index_keys_of(doc, field) {
+                if let Some(set) = map.get_mut(&key) {
+                    set.remove(&seq);
+                    if set.is_empty() {
+                        map.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- writes ---------------------------------------------------------
+
+    /// Insert one document. A missing `_id` gets an auto-generated one.
+    /// Returns the document's id key.
+    pub fn insert_one(&mut self, mut doc: Document) -> DbResult<String> {
+        let id_key = self.prepare_id(&mut doc)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.primary.insert(id_key.clone(), seq);
+        self.index_insert(seq, &doc);
+        self.docs.insert(seq, doc);
+        Ok(id_key)
+    }
+
+    /// Bulk insertion: all-or-nothing. This is the batched write path the
+    /// paper prefers for scalability (§4.2.2) — one call per destination
+    /// instead of one per measurement.
+    pub fn insert_many(&mut self, docs: Vec<Document>) -> DbResult<Vec<String>> {
+        // Pre-validate ids (including duplicates within the batch) so a
+        // failure leaves the collection untouched.
+        let mut staged: Vec<(String, Document)> = Vec::with_capacity(docs.len());
+        let mut batch_ids: HashSet<String> = HashSet::with_capacity(docs.len());
+        for mut doc in docs {
+            let id_key = self.prepare_id(&mut doc)?;
+            if !batch_ids.insert(id_key.clone()) {
+                return Err(DbError::DuplicateId(id_key));
+            }
+            staged.push((id_key, doc));
+        }
+        let mut ids = Vec::with_capacity(staged.len());
+        for (id_key, doc) in staged {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.primary.insert(id_key.clone(), seq);
+            self.index_insert(seq, &doc);
+            self.docs.insert(seq, doc);
+            ids.push(id_key);
+        }
+        Ok(ids)
+    }
+
+    fn prepare_id(&mut self, doc: &mut Document) -> DbResult<String> {
+        let id_key = match doc.get("_id") {
+            Some(v) => v.index_key(),
+            None => {
+                let id = format!("auto:{}", self.next_auto_id);
+                self.next_auto_id += 1;
+                doc.set("_id", id.clone());
+                Value::Str(id).index_key()
+            }
+        };
+        if self.primary.contains_key(&id_key) {
+            return Err(DbError::DuplicateId(id_key));
+        }
+        Ok(id_key)
+    }
+
+    /// Update all documents matching `filter`; returns how many changed.
+    pub fn update_many(&mut self, filter: &Filter, update: &Update) -> usize {
+        let seqs: Vec<u64> = self.matching_seqs(filter);
+        let mut count = 0;
+        for seq in seqs {
+            let Some(mut doc) = self.docs.remove(&seq) else {
+                continue;
+            };
+            self.index_remove(seq, &doc);
+            update.apply(&mut doc);
+            self.index_insert(seq, &doc);
+            self.docs.insert(seq, doc);
+            count += 1;
+        }
+        count
+    }
+
+    /// Delete all documents matching `filter`; returns how many.
+    pub fn delete_many(&mut self, filter: &Filter) -> usize {
+        let seqs: Vec<u64> = self.matching_seqs(filter);
+        for &seq in &seqs {
+            if let Some(doc) = self.docs.remove(&seq) {
+                self.index_remove(seq, &doc);
+                if let Some(id) = doc.get("_id") {
+                    self.primary.remove(&id.index_key());
+                }
+            }
+        }
+        seqs.len()
+    }
+
+    // ---- reads ----------------------------------------------------------
+
+    /// Fetch by `_id`.
+    pub fn find_by_id<V: Into<Value>>(&self, id: V) -> Option<&Document> {
+        let key = id.into().index_key();
+        self.primary.get(&key).and_then(|seq| self.docs.get(seq))
+    }
+
+    /// All documents matching `filter`, in insertion order.
+    pub fn find(&self, filter: &Filter) -> Vec<Document> {
+        self.find_with(filter, &FindOptions::default())
+    }
+
+    /// First match, in insertion order.
+    pub fn find_one(&self, filter: &Filter) -> Option<Document> {
+        let seqs = self.matching_seqs(filter);
+        seqs.first().and_then(|s| self.docs.get(s)).cloned()
+    }
+
+    /// Filtered, sorted, paginated, projected query.
+    pub fn find_with(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
+        let seqs = self.matching_seqs(filter);
+        let mut out: Vec<&Document> = seqs.iter().filter_map(|s| self.docs.get(s)).collect();
+        if !opts.sort.is_empty() {
+            out.sort_by(|a, b| opts.doc_cmp(a, b));
+        }
+        out.into_iter()
+            .skip(opts.skip)
+            .take(opts.limit.unwrap_or(usize::MAX))
+            .map(|d| opts.apply_projection(d))
+            .collect()
+    }
+
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.matching_seqs(filter).len()
+    }
+
+    /// Distinct values of a (dotted) field among matching documents.
+    /// Array fields contribute their elements, like Mongo's `distinct`.
+    pub fn distinct(&self, field: &str, filter: &Filter) -> Vec<Value> {
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut out = Vec::new();
+        for seq in self.matching_seqs(filter) {
+            let Some(doc) = self.docs.get(&seq) else { continue };
+            let candidates: Vec<Value> = match doc.get_path(field) {
+                Some(Value::Array(a)) => a.clone(),
+                Some(v) => vec![v.clone()],
+                None => continue,
+            };
+            for v in candidates {
+                if seen.insert(v.index_key()) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate all documents in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.values()
+    }
+
+    /// How a filter would be executed — the query planner's decision,
+    /// exposed for diagnostics (Mongo's `explain`).
+    pub fn explain(&self, filter: &Filter) -> QueryPlan {
+        if let Some((field, values)) = filter.index_candidates() {
+            if self.indexes.contains_key(field) {
+                return QueryPlan::IndexLookup {
+                    field: field.to_string(),
+                    candidate_keys: values.len(),
+                };
+            }
+        }
+        QueryPlan::FullScan {
+            documents: self.docs.len(),
+        }
+    }
+
+    /// Matching sequence numbers in insertion order, using a secondary
+    /// index when the filter pins an indexed field.
+    fn matching_seqs(&self, filter: &Filter) -> Vec<u64> {
+        if let Some((field, values)) = filter.index_candidates() {
+            if let Some(index) = self.indexes.get(field) {
+                let mut seqs: Vec<u64> = values
+                    .iter()
+                    .filter_map(|v| index.get(&v.index_key()))
+                    .flatten()
+                    .copied()
+                    .collect();
+                seqs.sort_unstable();
+                seqs.dedup();
+                // The index narrows candidates; the full filter still runs.
+                return seqs
+                    .into_iter()
+                    .filter(|s| {
+                        self.docs
+                            .get(s)
+                            .is_some_and(|d| filter.matches(d))
+                    })
+                    .collect();
+            }
+        }
+        self.docs
+            .iter()
+            .filter(|(_, d)| filter.matches(d))
+            .map(|(&s, _)| s)
+            .collect()
+    }
+}
+
+/// The query planner's verdict for a filter (see [`Collection::explain`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryPlan {
+    /// A secondary index narrows the candidates before the filter runs.
+    IndexLookup {
+        field: String,
+        /// Number of index keys probed (`$eq` = 1, `$in` = list length).
+        candidate_keys: usize,
+    },
+    /// Every document is tested.
+    FullScan { documents: usize },
+}
+
+/// Index keys a document contributes for `field` (array fields index
+/// each element, like Mongo multikey indexes).
+fn index_keys_of(doc: &Document, field: &str) -> Vec<String> {
+    match doc.get_path(field) {
+        Some(Value::Array(a)) => a.iter().map(Value::index_key).collect(),
+        Some(v) => vec![v.index_key()],
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+    use crate::query::Order;
+
+    fn stats_collection() -> Collection {
+        let mut c = Collection::new("paths_stats");
+        for (id, server, hops, lat) in [
+            ("1_0_100", 1i64, 5i64, 20.0),
+            ("1_1_100", 1, 6, 25.0),
+            ("2_0_100", 2, 6, 90.0),
+            ("2_1_100", 2, 7, 155.0),
+            ("2_1_200", 2, 7, 160.0),
+        ] {
+            c.insert_one(doc! {
+                "_id" => id,
+                "server_id" => server,
+                "hops" => hops,
+                "avg_latency_ms" => lat,
+                "isds" => vec![16i64, 17],
+            })
+            .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn insert_and_find_by_id() {
+        let c = stats_collection();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.find_by_id("2_0_100").unwrap().get("hops"), Some(&Value::Int(6)));
+        assert!(c.find_by_id("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut c = stats_collection();
+        let err = c.insert_one(doc! { "_id" => "1_0_100" });
+        assert!(matches!(err, Err(DbError::DuplicateId(_))));
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn auto_id_assigned_when_missing() {
+        let mut c = Collection::new("t");
+        let id1 = c.insert_one(doc! { "x" => 1i64 }).unwrap();
+        let id2 = c.insert_one(doc! { "x" => 2i64 }).unwrap();
+        assert_ne!(id1, id2);
+        assert!(c.iter().all(|d| d.contains_key("_id")));
+    }
+
+    #[test]
+    fn insert_many_is_atomic() {
+        let mut c = stats_collection();
+        let batch = vec![
+            doc! { "_id" => "3_0_100" },
+            doc! { "_id" => "1_0_100" }, // duplicate of an existing doc
+        ];
+        assert!(c.insert_many(batch).is_err());
+        assert_eq!(c.len(), 5, "failed batch must not partially apply");
+        assert!(c.find_by_id("3_0_100").is_none());
+        // Duplicates *within* a batch are also rejected.
+        let batch = vec![doc! { "_id" => "9" }, doc! { "_id" => "9" }];
+        assert!(c.insert_many(batch).is_err());
+        assert!(c.find_by_id("9").is_none());
+    }
+
+    #[test]
+    fn find_with_filter_sort_limit() {
+        let c = stats_collection();
+        let opts = FindOptions::default()
+            .sorted_by("avg_latency_ms", Order::Asc)
+            .limited(2);
+        let out = c.find_with(&Filter::eq("server_id", 2i64), &opts);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id(), Some("2_0_100"));
+        assert_eq!(out[1].id(), Some("2_1_100"));
+    }
+
+    #[test]
+    fn find_preserves_insertion_order() {
+        let c = stats_collection();
+        let ids: Vec<String> = c
+            .find(&Filter::True)
+            .iter()
+            .map(|d| d.id().unwrap().to_string())
+            .collect();
+        assert_eq!(ids, vec!["1_0_100", "1_1_100", "2_0_100", "2_1_100", "2_1_200"]);
+    }
+
+    #[test]
+    fn update_many_applies_and_counts() {
+        let mut c = stats_collection();
+        let n = c.update_many(
+            &Filter::eq("server_id", 2i64),
+            &Update::new().set("checked", true).inc("hops", 1.0),
+        );
+        assert_eq!(n, 3);
+        let d = c.find_by_id("2_1_100").unwrap();
+        assert_eq!(d.get("hops"), Some(&Value::Int(8)));
+        assert_eq!(d.get("checked"), Some(&Value::Bool(true)));
+        // Untouched documents unchanged.
+        assert_eq!(c.find_by_id("1_0_100").unwrap().get("checked"), None);
+    }
+
+    #[test]
+    fn delete_many_removes_and_frees_ids() {
+        let mut c = stats_collection();
+        let n = c.delete_many(&Filter::eq("server_id", 1i64));
+        assert_eq!(n, 2);
+        assert_eq!(c.len(), 3);
+        // The id can be reused after deletion.
+        c.insert_one(doc! { "_id" => "1_0_100", "fresh" => true }).unwrap();
+        assert_eq!(c.find_by_id("1_0_100").unwrap().get("fresh"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn count_and_distinct() {
+        let c = stats_collection();
+        assert_eq!(c.count(&Filter::eq("hops", 7i64)), 2);
+        let servers = c.distinct("server_id", &Filter::True);
+        assert_eq!(servers.len(), 2);
+        // distinct over array fields flattens elements.
+        let isds = c.distinct("isds", &Filter::True);
+        assert_eq!(isds.len(), 2);
+    }
+
+    #[test]
+    fn secondary_index_agrees_with_scan() {
+        let mut c = stats_collection();
+        let filter = Filter::eq("server_id", 2i64).and(Filter::gt("avg_latency_ms", 100.0));
+        let scan = c.find(&filter);
+        c.create_index("server_id");
+        assert_eq!(c.indexed_fields(), vec!["server_id"]);
+        let indexed = c.find(&filter);
+        assert_eq!(scan, indexed);
+        // Index maintained across updates and deletes.
+        c.update_many(&Filter::eq("_id", "2_1_200"), &Update::new().set("server_id", 3i64));
+        assert_eq!(c.count(&Filter::eq("server_id", 3i64)), 1);
+        c.delete_many(&Filter::eq("server_id", 3i64));
+        assert_eq!(c.count(&Filter::eq("server_id", 3i64)), 0);
+        assert_eq!(c.count(&Filter::eq("server_id", 2i64)), 2);
+    }
+
+    #[test]
+    fn explain_reports_the_plan() {
+        let mut c = stats_collection();
+        let f = Filter::eq("server_id", 2i64).and(Filter::gt("hops", 5i64));
+        assert_eq!(c.explain(&f), QueryPlan::FullScan { documents: 5 });
+        c.create_index("server_id");
+        assert_eq!(
+            c.explain(&f),
+            QueryPlan::IndexLookup {
+                field: "server_id".into(),
+                candidate_keys: 1
+            }
+        );
+        // A range-only filter cannot use the index.
+        assert_eq!(
+            c.explain(&Filter::gt("server_id", 1i64)),
+            QueryPlan::FullScan { documents: 5 }
+        );
+        // $in probes one key per listed value.
+        assert_eq!(
+            c.explain(&Filter::is_in("server_id", vec![1i64, 2])),
+            QueryPlan::IndexLookup {
+                field: "server_id".into(),
+                candidate_keys: 2
+            }
+        );
+    }
+
+    #[test]
+    fn index_on_array_field_is_multikey() {
+        let mut c = stats_collection();
+        c.create_index("isds");
+        assert_eq!(c.count(&Filter::eq("isds", 16i64)), 5);
+        assert_eq!(c.count(&Filter::eq("isds", 99i64)), 0);
+    }
+}

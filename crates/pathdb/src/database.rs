@@ -1,0 +1,236 @@
+//! The database: named collections behind reader/writer locks, plus
+//! JSON-lines persistence.
+//!
+//! Concurrency model: the collection map is behind an outer `RwLock`;
+//! each collection sits in its own `Arc<RwLock<Collection>>`, so
+//! measurement writers on different collections (or readers on the same
+//! one) do not contend — the scalability requirement of §4.1.1.
+
+use crate::collection::Collection;
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A handle to a collection, cloneable across threads.
+pub type CollectionHandle = Arc<RwLock<Collection>>;
+
+/// An embedded multi-collection document database.
+#[derive(Default)]
+pub struct Database {
+    collections: RwLock<HashMap<String, CollectionHandle>>,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Get (creating on first use) a collection by name.
+    pub fn collection(&self, name: &str) -> CollectionHandle {
+        if let Some(c) = self.collections.read().get(name) {
+            return c.clone();
+        }
+        let mut map = self.collections.write();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(RwLock::new(Collection::new(name))))
+            .clone()
+    }
+
+    /// Whether a collection exists (has been created).
+    pub fn has_collection(&self, name: &str) -> bool {
+        self.collections.read().contains_key(name)
+    }
+
+    /// Names of all collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Drop a collection entirely. Returns whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Total documents across all collections.
+    pub fn total_documents(&self) -> usize {
+        self.collections
+            .read()
+            .values()
+            .map(|c| c.read().len())
+            .sum()
+    }
+
+    // ---- persistence -----------------------------------------------------
+
+    /// Persist every collection as `<dir>/<name>.jsonl` (one document per
+    /// line). Existing files for dropped collections are left in place;
+    /// callers that need exact mirroring should clear the directory.
+    pub fn save_dir<P: AsRef<Path>>(&self, dir: P) -> DbResult<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        for name in self.collection_names() {
+            let handle = self.collection(&name);
+            let coll = handle.read();
+            let path = dir.join(format!("{name}.jsonl"));
+            let mut w = BufWriter::new(fs::File::create(&path)?);
+            for doc in coll.iter() {
+                let json = Value::Doc(doc.clone()).to_json();
+                writeln!(w, "{json}")?;
+            }
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Load all `*.jsonl` files in `dir` as collections. Loaded
+    /// collections replace same-named in-memory ones.
+    pub fn load_dir<P: AsRef<Path>>(dir: P) -> DbResult<Database> {
+        let db = Database::new();
+        let dir = dir.as_ref();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let handle = db.collection(name);
+            let mut coll = handle.write();
+            let reader = BufReader::new(fs::File::open(&path)?);
+            for (lineno, line) in reader.lines().enumerate() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let json: serde_json::Value = serde_json::from_str(&line).map_err(|e| {
+                    DbError::Parse(format!("{}:{}: {e}", path.display(), lineno + 1))
+                })?;
+                match Value::from_json(&json) {
+                    Value::Doc(doc) => {
+                        coll.insert_one(doc)?;
+                    }
+                    _ => {
+                        return Err(DbError::Parse(format!(
+                            "{}:{}: top-level value is not an object",
+                            path.display(),
+                            lineno + 1
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+    use crate::query::Filter;
+
+    #[test]
+    fn collections_are_created_on_demand() {
+        let db = Database::new();
+        assert!(!db.has_collection("paths"));
+        db.collection("paths").write().insert_one(doc! { "x" => 1i64 }).unwrap();
+        assert!(db.has_collection("paths"));
+        assert_eq!(db.collection_names(), vec!["paths"]);
+        assert_eq!(db.total_documents(), 1);
+    }
+
+    #[test]
+    fn same_name_returns_same_collection() {
+        let db = Database::new();
+        db.collection("c").write().insert_one(doc! { "a" => 1i64 }).unwrap();
+        assert_eq!(db.collection("c").read().len(), 1);
+    }
+
+    #[test]
+    fn drop_collection_removes_data() {
+        let db = Database::new();
+        db.collection("c").write().insert_one(doc! { "a" => 1i64 }).unwrap();
+        assert!(db.drop_collection("c"));
+        assert!(!db.drop_collection("c"));
+        assert_eq!(db.collection("c").read().len(), 0);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pathdb-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let db = Database::new();
+        {
+            let h = db.collection("availableServers");
+            let mut c = h.write();
+            c.insert_one(doc! { "_id" => "1", "address" => "16-ffaa:0:1002,[172.31.43.7]" }).unwrap();
+            c.insert_one(doc! { "_id" => "2", "address" => "19-ffaa:0:1303,[141.44.25.144]" }).unwrap();
+        }
+        {
+            let h = db.collection("paths_stats");
+            h.write()
+                .insert_one(doc! {
+                    "_id" => "2_15_1699000000",
+                    "avg_latency_ms" => 155.25f64,
+                    "isds" => vec![16i64, 17, 19],
+                    "ok" => true,
+                    "note" => Value::Null,
+                })
+                .unwrap();
+        }
+        db.save_dir(&dir).unwrap();
+
+        let loaded = Database::load_dir(&dir).unwrap();
+        assert_eq!(loaded.collection_names(), vec!["availableServers", "paths_stats"]);
+        assert_eq!(loaded.collection("availableServers").read().len(), 2);
+        let h = loaded.collection("paths_stats");
+        let c = h.read();
+        let d = c.find_one(&Filter::eq("_id", "2_15_1699000000")).unwrap();
+        assert_eq!(d.get("avg_latency_ms"), Some(&Value::Float(155.25)));
+        assert_eq!(d.get("isds"), Some(&Value::Array(vec![16i64.into(), 17i64.into(), 19i64.into()])));
+        assert_eq!(d.get("note"), Some(&Value::Null));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("pathdb-garbage-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("bad.jsonl"), "{not json\n").unwrap();
+        assert!(matches!(Database::load_dir(&dir), Err(DbError::Parse(_))));
+        fs::write(dir.join("bad.jsonl"), "[1,2,3]\n").unwrap();
+        assert!(matches!(Database::load_dir(&dir), Err(DbError::Parse(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_documents() {
+        let db = std::sync::Arc::new(Database::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let h = db.collection("stats");
+                for i in 0..100 {
+                    h.write()
+                        .insert_one(doc! { "_id" => format!("{t}_{i}"), "t" => t as i64 })
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.collection("stats").read().len(), 800);
+    }
+}

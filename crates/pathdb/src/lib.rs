@@ -1,0 +1,45 @@
+//! # pathdb — an embedded schemaless document database
+//!
+//! A MongoDB-workalike used as the storage layer of the UPIN path
+//! measurement suite, replacing the MongoDB instance of the paper
+//! (*Battipaglia et al., SC-W 2023*, §4.2.1) with an in-process engine:
+//!
+//! * insertion-ordered [`document::Document`]s with dotted-path access,
+//! * [`query::Filter`] with Mongo operator semantics
+//!   (`$eq/$ne/$gt/$in/$nin/$exists/$all/$size`, `$and/$or/$not`,
+//!   array-contains equality, numeric widening),
+//! * [`update::Update`] (`$set/$unset/$inc/$push/$setOnInsert`),
+//! * unique `_id` plus secondary (multikey) indexes,
+//! * atomic bulk insertion — the batched write path whose
+//!   fault-tolerance/scalability trade-off the paper discusses,
+//! * JSON-lines persistence ([`database::Database::save_dir`]).
+//!
+//! ```
+//! use pathdb::{doc, Database, Filter};
+//!
+//! let db = Database::new();
+//! let servers = db.collection("availableServers");
+//! servers.write().insert_one(doc! {
+//!     "_id" => "2",
+//!     "address" => "16-ffaa:0:1003,[172.31.19.144]",
+//! }).unwrap();
+//! let hit = servers.read().find_one(&Filter::contains("address", "1003")).unwrap();
+//! assert_eq!(hit.id(), Some("2"));
+//! ```
+
+pub mod aggregate;
+pub mod collection;
+pub mod database;
+pub mod document;
+pub mod error;
+pub mod query;
+pub mod update;
+pub mod value;
+
+pub use collection::{Collection, QueryPlan};
+pub use database::{CollectionHandle, Database};
+pub use document::Document;
+pub use error::{DbError, DbResult};
+pub use query::{Filter, FindOptions, Order};
+pub use update::{Update, UpdateOp};
+pub use value::Value;

@@ -1,0 +1,305 @@
+//! The dynamic value model: what a document field can hold.
+//!
+//! Mirrors the subset of BSON the paper's schema uses: null, booleans,
+//! integers, floats, strings, arrays and nested documents. Values
+//! convert losslessly to and from `serde_json::Value` for persistence.
+
+use crate::document::Document;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Doc(Document),
+}
+
+impl Value {
+    /// Numeric view (ints widen to float) for cross-type comparison.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        self.as_number()
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_doc(&self) -> Option<&Document> {
+        match self {
+            Value::Doc(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Query-ordering comparison. Numbers compare across Int/Float;
+    /// values of different (non-numeric) types are unordered, which
+    /// makes range filters on mismatched types evaluate to false —
+    /// Mongo-like behaviour for the operators we support.
+    pub fn query_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, Value::Null) => Some(Ordering::Equal),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Array(a), Value::Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.query_cmp(y) {
+                        Some(Ordering::Equal) => continue,
+                        other => return other,
+                    }
+                }
+                Some(a.len().cmp(&b.len()))
+            }
+            // Nested documents support equality only (no ordering).
+            (Value::Doc(a), Value::Doc(b)) => {
+                if a.len() == b.len()
+                    && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| {
+                        ka == kb && va.query_eq(vb)
+                    })
+                {
+                    Some(Ordering::Equal)
+                } else {
+                    None
+                }
+            }
+            _ => match (self.as_number(), other.as_number()) {
+                (Some(a), Some(b)) => a.partial_cmp(&b),
+                _ => None,
+            },
+        }
+    }
+
+    /// Equality under query semantics (numeric widening).
+    pub fn query_eq(&self, other: &Value) -> bool {
+        self.query_cmp(other) == Some(Ordering::Equal)
+    }
+
+    /// A canonical string key for indexing (total across types).
+    pub fn index_key(&self) -> String {
+        match self {
+            Value::Null => "n:".to_string(),
+            Value::Bool(b) => format!("b:{b}"),
+            Value::Int(i) => format!("f:{:.6}", *i as f64),
+            Value::Float(f) => format!("f:{f:.6}"),
+            Value::Str(s) => format!("s:{s}"),
+            Value::Array(a) => {
+                let mut k = "a:".to_string();
+                for v in a {
+                    k.push_str(&v.index_key());
+                    k.push('\u{1f}');
+                }
+                k
+            }
+            Value::Doc(d) => format!("d:{d}"),
+        }
+    }
+
+    /// Convert to a `serde_json::Value` for persistence.
+    pub fn to_json(&self) -> serde_json::Value {
+        match self {
+            Value::Null => serde_json::Value::Null,
+            Value::Bool(b) => serde_json::Value::Bool(*b),
+            Value::Int(i) => serde_json::Value::from(*i),
+            Value::Float(f) => serde_json::Number::from_f64(*f)
+                .map(serde_json::Value::Number)
+                .unwrap_or(serde_json::Value::Null),
+            Value::Str(s) => serde_json::Value::String(s.clone()),
+            Value::Array(a) => serde_json::Value::Array(a.iter().map(Value::to_json).collect()),
+            Value::Doc(d) => serde_json::Value::Object(
+                d.iter()
+                    .map(|(k, v)| (k.to_string(), v.to_json()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Convert back from persisted JSON.
+    pub fn from_json(v: &serde_json::Value) -> Value {
+        match v {
+            serde_json::Value::Null => Value::Null,
+            serde_json::Value::Bool(b) => Value::Bool(*b),
+            serde_json::Value::Number(n) => {
+                if let Some(i) = n.as_i64() {
+                    Value::Int(i)
+                } else {
+                    Value::Float(n.as_f64().unwrap_or(f64::NAN))
+                }
+            }
+            serde_json::Value::String(s) => Value::Str(s.clone()),
+            serde_json::Value::Array(a) => Value::Array(a.iter().map(Value::from_json).collect()),
+            serde_json::Value::Object(o) => {
+                let mut d = Document::new();
+                for (k, v) in o {
+                    d.set(k, Value::from_json(v));
+                }
+                Value::Doc(d)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_json())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<u16> for Value {
+    fn from(i: u16) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Document> for Value {
+    fn from(d: Document) -> Self {
+        Value::Doc(d)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_widening_equality() {
+        assert!(Value::Int(3).query_eq(&Value::Float(3.0)));
+        assert!(!Value::Int(3).query_eq(&Value::Float(3.5)));
+        assert!(!Value::Int(3).query_eq(&Value::Str("3".into())));
+    }
+
+    #[test]
+    fn cross_type_comparison_is_unordered() {
+        assert_eq!(Value::Str("a".into()).query_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).query_cmp(&Value::Str("true".into())), None);
+    }
+
+    #[test]
+    fn array_comparison_is_lexicographic() {
+        let a: Value = vec![1i64, 2].into();
+        let b: Value = vec![1i64, 3].into();
+        let c: Value = vec![1i64, 2, 0].into();
+        assert_eq!(a.query_cmp(&b), Some(Ordering::Less));
+        assert_eq!(a.query_cmp(&c), Some(Ordering::Less));
+        assert_eq!(a.query_cmp(&a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_values() {
+        let mut d = Document::new();
+        d.set("s", "hello");
+        d.set("i", 42i64);
+        d.set("f", 2.5f64);
+        d.set("b", true);
+        d.set("n", Value::Null);
+        d.set("a", vec![1i64, 2, 3]);
+        let v = Value::Doc(d);
+        let back = Value::from_json(&v.to_json());
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn index_key_distinguishes_types_but_not_int_float() {
+        assert_eq!(Value::Int(3).index_key(), Value::Float(3.0).index_key());
+        assert_ne!(Value::Int(3).index_key(), Value::Str("3".into()).index_key());
+        assert_ne!(Value::Null.index_key(), Value::Str("".into()).index_key());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_number(), Some(3.0));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Float(1.5).as_int(), None);
+    }
+}

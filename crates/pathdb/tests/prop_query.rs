@@ -1,0 +1,180 @@
+//! Property-based tests of the document store: value round-trips,
+//! filter algebra, update semantics and collection invariants.
+
+use pathdb::{doc, Collection, Document, Filter, FindOptions, Order, Update, Value};
+use proptest::prelude::*;
+
+// ---- generators -----------------------------------------------------------
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1.0e9..1.0e9f64).prop_map(Value::Float),
+        "[a-z0-9_]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|pairs| {
+                let mut d = Document::new();
+                for (k, v) in pairs {
+                    d.set(k, v);
+                }
+                Value::Doc(d)
+            }),
+        ]
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    prop::collection::vec(("[a-z]{1,8}", arb_value()), 0..8).prop_map(|pairs| {
+        let mut d = Document::new();
+        for (k, v) in pairs {
+            d.set(k, v);
+        }
+        d
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrip(v in arb_value()) {
+        let back = Value::from_json(&v.to_json());
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn query_eq_is_reflexive_for_json_representable(v in arb_value()) {
+        prop_assert!(v.query_eq(&v));
+    }
+
+    #[test]
+    fn index_key_consistent_with_query_eq(a in arb_scalar(), b in arb_scalar()) {
+        // Equal values must share an index key (the converse need not
+        // hold for floats vs ints, which is exactly why Eq widens).
+        if a.query_eq(&b) {
+            prop_assert_eq!(a.index_key(), b.index_key());
+        }
+    }
+
+    #[test]
+    fn set_then_get_path(segments in prop::collection::vec("[a-z]{1,5}", 1..4), v in arb_scalar()) {
+        let path = segments.join(".");
+        let mut d = Document::new();
+        d.set_path(&path, v.clone());
+        prop_assert_eq!(d.get_path(&path), Some(&v));
+        // And removal empties it.
+        let removed = d.remove_path(&path);
+        prop_assert_eq!(removed, Some(v));
+        prop_assert_eq!(d.get_path(&path), None);
+    }
+
+    #[test]
+    fn not_is_complement(d in arb_doc(), key in "[a-z]{1,8}", v in arb_scalar()) {
+        for f in [
+            Filter::eq(key.clone(), v.clone()),
+            Filter::gt(key.clone(), v.clone()),
+            Filter::exists(key.clone()),
+            Filter::contains(key.clone(), "a"),
+        ] {
+            prop_assert_eq!(f.clone().negate().matches(&d), !f.matches(&d));
+        }
+    }
+
+    #[test]
+    fn and_or_agree_with_pointwise(d in arb_doc(), k1 in "[a-z]{1,4}", k2 in "[a-z]{1,4}", v in arb_scalar()) {
+        let f1 = Filter::exists(k1);
+        let f2 = Filter::eq(k2, v);
+        let and = f1.clone().and(f2.clone());
+        let or = f1.clone().or(f2.clone());
+        prop_assert_eq!(and.matches(&d), f1.matches(&d) && f2.matches(&d));
+        prop_assert_eq!(or.matches(&d), f1.matches(&d) || f2.matches(&d));
+    }
+
+    #[test]
+    fn ne_is_not_eq(d in arb_doc(), k in "[a-z]{1,6}", v in arb_scalar()) {
+        prop_assert_eq!(
+            Filter::ne(k.clone(), v.clone()).matches(&d),
+            !Filter::eq(k, v).matches(&d)
+        );
+    }
+
+    #[test]
+    fn range_trichotomy_on_numbers(x in -1000i64..1000, y in -1000i64..1000) {
+        let d = doc! { "v" => x };
+        let gt = Filter::gt("v", y).matches(&d);
+        let lt = Filter::lt("v", y).matches(&d);
+        let eq = Filter::eq("v", y).matches(&d);
+        prop_assert_eq!([gt, lt, eq].iter().filter(|b| **b).count(), 1);
+        prop_assert_eq!(Filter::gte("v", y).matches(&d), gt || eq);
+        prop_assert_eq!(Filter::lte("v", y).matches(&d), lt || eq);
+    }
+
+    #[test]
+    fn insert_find_delete_roundtrip(ids in prop::collection::hash_set("[a-z0-9]{1,8}", 1..20)) {
+        let mut coll = Collection::new("t");
+        for (i, id) in ids.iter().enumerate() {
+            coll.insert_one(doc! { "_id" => id.clone(), "ord" => i as i64 }).unwrap();
+        }
+        prop_assert_eq!(coll.len(), ids.len());
+        for id in &ids {
+            prop_assert!(coll.find_by_id(id.clone()).is_some());
+            // Re-inserting any existing id fails.
+            let dup = coll.insert_one(doc! { "_id" => id.clone() });
+            prop_assert!(dup.is_err(), "duplicate id must be rejected");
+        }
+        let removed = coll.delete_many(&Filter::True);
+        prop_assert_eq!(removed, ids.len());
+        prop_assert!(coll.is_empty());
+    }
+
+    #[test]
+    fn indexed_and_scan_queries_agree(
+        vals in prop::collection::vec(0i64..5, 1..40),
+        probe in 0i64..5,
+    ) {
+        let mut scan = Collection::new("scan");
+        let mut idx = Collection::new("idx");
+        idx.create_index("k");
+        for (i, v) in vals.iter().enumerate() {
+            let d = doc! { "_id" => i.to_string(), "k" => *v };
+            scan.insert_one(d.clone()).unwrap();
+            idx.insert_one(d).unwrap();
+        }
+        let f = Filter::eq("k", probe);
+        prop_assert_eq!(scan.find(&f), idx.find(&f));
+        let f_in = Filter::is_in("k", vec![probe, probe + 1]);
+        prop_assert_eq!(scan.find(&f_in), idx.find(&f_in));
+    }
+
+    #[test]
+    fn sort_orders_results(vals in prop::collection::vec(-100i64..100, 1..30)) {
+        let mut coll = Collection::new("t");
+        for (i, v) in vals.iter().enumerate() {
+            coll.insert_one(doc! { "_id" => i.to_string(), "v" => *v }).unwrap();
+        }
+        let opts = FindOptions::default().sorted_by("v", Order::Asc);
+        let out = coll.find_with(&Filter::True, &opts);
+        let sorted: Vec<i64> = out.iter().map(|d| d.get("v").unwrap().as_int().unwrap()).collect();
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn update_inc_accumulates(incs in prop::collection::vec(-50i64..50, 1..20)) {
+        let mut coll = Collection::new("t");
+        coll.insert_one(doc! { "_id" => "x", "n" => 0i64 }).unwrap();
+        for by in &incs {
+            coll.update_many(&Filter::eq("_id", "x"), &Update::new().inc("n", *by as f64));
+        }
+        let total: i64 = incs.iter().sum();
+        let d = coll.find_by_id("x").unwrap();
+        prop_assert_eq!(d.get("n"), Some(&Value::Int(total)));
+    }
+}

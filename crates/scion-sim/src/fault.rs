@@ -1,0 +1,208 @@
+//! Fault and congestion injection: server behaviours, link outages and
+//! time-windowed congestion episodes.
+//!
+//! The paper's test-suite has to survive servers that are down, servers
+//! that answer with errors, and transient congestion that blacks out
+//! whole groups of paths (its Fig. 9 shows paths 2_16–2_23 at 100 % loss
+//! during one episode). This module is the control surface experiments
+//! use to provoke those situations deterministically.
+
+use crate::addr::{IsdAsn, ScionAddr};
+use crate::topology::LinkIndex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// How a destination server responds to probes and bandwidth tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServerBehavior {
+    /// Normal operation.
+    Up,
+    /// Unreachable: every probe times out (100 % loss).
+    Down,
+    /// The server responds, but with a malformed/error payload; clients
+    /// must treat the measurement as failed rather than crash.
+    BadResponse,
+    /// Drops each request independently with the given probability.
+    Flaky(f64),
+}
+
+impl Default for ServerBehavior {
+    fn default() -> Self {
+        ServerBehavior::Up
+    }
+}
+
+/// A time window during which a node or link direction is saturated.
+/// Packets crossing the congested element during the window are dropped
+/// with probability [`CongestionEpisode::severity`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionEpisode {
+    pub target: CongestionTarget,
+    /// Window start, in network-clock milliseconds.
+    pub start_ms: f64,
+    /// Window end (exclusive), in network-clock milliseconds.
+    pub end_ms: f64,
+    /// Drop probability while active (1.0 = total blackout).
+    pub severity: f64,
+}
+
+impl CongestionEpisode {
+    pub fn active_at(&self, t_ms: f64) -> bool {
+        t_ms >= self.start_ms && t_ms < self.end_ms
+    }
+}
+
+/// What a congestion episode saturates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CongestionTarget {
+    /// The whole AS: every packet transiting (or terminating in) it.
+    Node(IsdAsn),
+    /// One link, both directions.
+    Link(LinkIndex),
+}
+
+/// Mutable fault state of a running network.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    servers: HashMap<ScionAddr, ServerBehavior>,
+    episodes: Vec<CongestionEpisode>,
+    links_down: HashSet<LinkIndex>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    pub fn set_server(&mut self, addr: ScionAddr, behavior: ServerBehavior) {
+        self.servers.insert(addr, behavior);
+    }
+
+    pub fn server(&self, addr: ScionAddr) -> ServerBehavior {
+        self.servers.get(&addr).copied().unwrap_or_default()
+    }
+
+    pub fn add_episode(&mut self, ep: CongestionEpisode) {
+        self.episodes.push(ep);
+    }
+
+    pub fn clear_episodes(&mut self) {
+        self.episodes.clear();
+    }
+
+    pub fn set_link_down(&mut self, link: LinkIndex, down: bool) {
+        if down {
+            self.links_down.insert(link);
+        } else {
+            self.links_down.remove(&link);
+        }
+    }
+
+    pub fn link_is_down(&self, link: LinkIndex) -> bool {
+        self.links_down.contains(&link)
+    }
+
+    /// Highest severity among episodes covering `node` at time `t_ms`
+    /// (0.0 when none).
+    pub fn node_congestion(&self, node: IsdAsn, t_ms: f64) -> f64 {
+        self.episodes
+            .iter()
+            .filter(|e| e.target == CongestionTarget::Node(node) && e.active_at(t_ms))
+            .map(|e| e.severity)
+            .fold(0.0, f64::max)
+    }
+
+    /// Highest severity among episodes covering `link` at time `t_ms`.
+    pub fn link_congestion(&self, link: LinkIndex, t_ms: f64) -> f64 {
+        self.episodes
+            .iter()
+            .filter(|e| e.target == CongestionTarget::Link(link) && e.active_at(t_ms))
+            .map(|e| e.severity)
+            .fold(0.0, f64::max)
+    }
+
+    /// Congestion windows `(start_ms, end_ms, severity)` targeting `link`.
+    pub fn windows_for_link(&self, link: LinkIndex) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        self.episodes
+            .iter()
+            .filter(move |e| e.target == CongestionTarget::Link(link))
+            .map(|e| (e.start_ms, e.end_ms, e.severity))
+    }
+
+    /// Congestion windows `(start_ms, end_ms, severity)` targeting `node`.
+    pub fn windows_for_node(&self, node: IsdAsn) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        self.episodes
+            .iter()
+            .filter(move |e| e.target == CongestionTarget::Node(node))
+            .map(|e| (e.start_ms, e.end_ms, e.severity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Asn, HostAddr};
+
+    fn ia(isd: u16, c: u16) -> IsdAsn {
+        IsdAsn::new(isd, Asn::from_groups(0xffaa, 0, c))
+    }
+
+    #[test]
+    fn default_server_behavior_is_up() {
+        let plan = FaultPlan::new();
+        let addr = ScionAddr::new(ia(16, 2), HostAddr::new(1, 2, 3, 4));
+        assert_eq!(plan.server(addr), ServerBehavior::Up);
+    }
+
+    #[test]
+    fn server_behavior_overrides() {
+        let mut plan = FaultPlan::new();
+        let addr = ScionAddr::new(ia(16, 2), HostAddr::new(1, 2, 3, 4));
+        plan.set_server(addr, ServerBehavior::Down);
+        assert_eq!(plan.server(addr), ServerBehavior::Down);
+        plan.set_server(addr, ServerBehavior::Flaky(0.25));
+        assert_eq!(plan.server(addr), ServerBehavior::Flaky(0.25));
+    }
+
+    #[test]
+    fn episode_window_is_half_open() {
+        let ep = CongestionEpisode {
+            target: CongestionTarget::Node(ia(16, 7)),
+            start_ms: 100.0,
+            end_ms: 200.0,
+            severity: 1.0,
+        };
+        assert!(!ep.active_at(99.9));
+        assert!(ep.active_at(100.0));
+        assert!(ep.active_at(199.9));
+        assert!(!ep.active_at(200.0));
+    }
+
+    #[test]
+    fn node_congestion_takes_max_severity() {
+        let mut plan = FaultPlan::new();
+        let node = ia(16, 7);
+        for sev in [0.4, 0.9, 0.2] {
+            plan.add_episode(CongestionEpisode {
+                target: CongestionTarget::Node(node),
+                start_ms: 0.0,
+                end_ms: 1000.0,
+                severity: sev,
+            });
+        }
+        assert_eq!(plan.node_congestion(node, 500.0), 0.9);
+        assert_eq!(plan.node_congestion(node, 1500.0), 0.0);
+        assert_eq!(plan.node_congestion(ia(16, 1), 500.0), 0.0);
+    }
+
+    #[test]
+    fn link_state_toggles() {
+        let mut plan = FaultPlan::new();
+        let l = LinkIndex(3);
+        assert!(!plan.link_is_down(l));
+        plan.set_link_down(l, true);
+        assert!(plan.link_is_down(l));
+        plan.set_link_down(l, false);
+        assert!(!plan.link_is_down(l));
+    }
+}

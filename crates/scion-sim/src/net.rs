@@ -1,0 +1,490 @@
+//! [`ScionNetwork`]: the façade tying topology, control plane, data
+//! plane and fault state together. This is the object end-host tools
+//! (`scion-tools`) and the measurement suite (`upin-core`) talk to.
+//!
+//! A network carries a monotonically advancing *network clock* (in ms):
+//! every operation consumes realistic wall time (a 30-probe ping at
+//! 100 ms intervals advances ~3 s), which is what lets time-windowed
+//! congestion episodes black out exactly the measurements that run
+//! inside the window — the mechanism behind the paper's Fig. 9.
+
+use crate::addr::{IsdAsn, ScionAddr};
+use crate::beacon::{BeaconConfig, KeyProvider};
+use crate::dataplane::flows::{bwtest, FlowOutcome, FlowParams};
+use crate::dataplane::scmp::{ping, probe_prefix, ProbeOptions, ProbeOutcome};
+use crate::dataplane::{compile_path, header_bytes, CompiledPath};
+use crate::fault::{CongestionEpisode, FaultPlan, ServerBehavior};
+use crate::path::{PathStatus, ScionPath};
+use crate::pathserver::{PathError, PathServer};
+use crate::topology::{LinkIndex, Topology};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Errors surfaced to end-host applications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// The requested destination AS or server does not exist.
+    UnknownDestination(ScionAddr),
+    /// The path failed validation (adjacency, valley, MAC...).
+    InvalidPath(PathError),
+    /// The destination server is up but answers garbage; applications
+    /// must handle this without crashing (paper §4.1.2, "Error
+    /// Messages").
+    BadResponse,
+    /// The destination did not answer at all within the test window.
+    Timeout,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownDestination(a) => write!(f, "unknown destination {a}"),
+            NetError::InvalidPath(e) => write!(f, "invalid path: {e}"),
+            NetError::BadResponse => write!(f, "server returned an error response"),
+            NetError::Timeout => write!(f, "destination timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result of a full bandwidth test (both directions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BwtestOutcome {
+    /// Client → server direction.
+    pub cs: FlowOutcome,
+    /// Server → client direction.
+    pub sc: FlowOutcome,
+}
+
+/// Per-hop traceroute measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHop {
+    pub ia: IsdAsn,
+    /// RTT to this hop's border router, ms; `None` = no answer.
+    pub rtt_ms: Option<f64>,
+}
+
+/// The simulated SCION network.
+pub struct ScionNetwork {
+    topo: Topology,
+    pathserver: PathServer,
+    faults: Mutex<FaultPlan>,
+    clock_ms: Mutex<f64>,
+    seed: u64,
+    op_counter: Mutex<u64>,
+}
+
+impl ScionNetwork {
+    /// Build a network over an arbitrary topology.
+    pub fn new(topo: Topology, seed: u64) -> ScionNetwork {
+        let keys = KeyProvider::new(seed ^ 0x5c10_ab5e_c2e7_5eed);
+        let pathserver = PathServer::new(&topo, keys, &BeaconConfig::default());
+        ScionNetwork {
+            topo,
+            pathserver,
+            faults: Mutex::new(FaultPlan::new()),
+            clock_ms: Mutex::new(0.0),
+            seed,
+            op_counter: Mutex::new(0),
+        }
+    }
+
+    /// The standard experimental network: SCIONLab with `MY_AS` attached
+    /// to ETHZ-AP.
+    pub fn scionlab(seed: u64) -> ScionNetwork {
+        ScionNetwork::new(crate::topology::scionlab::scionlab_topology(), seed)
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn path_server(&self) -> &PathServer {
+        &self.pathserver
+    }
+
+    /// Current network clock in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        *self.clock_ms.lock()
+    }
+
+    /// Advance the network clock (idle time between operations).
+    pub fn advance_ms(&self, ms: f64) {
+        *self.clock_ms.lock() += ms.max(0.0);
+    }
+
+    // ---- fault injection -------------------------------------------
+
+    pub fn set_server_behavior(&self, addr: ScionAddr, behavior: ServerBehavior) {
+        self.faults.lock().set_server(addr, behavior);
+    }
+
+    pub fn add_congestion(&self, episode: CongestionEpisode) {
+        self.faults.lock().add_episode(episode);
+    }
+
+    pub fn clear_congestion(&self) {
+        self.faults.lock().clear_episodes();
+    }
+
+    pub fn set_link_down(&self, link: LinkIndex, down: bool) {
+        self.faults.lock().set_link_down(link, down);
+    }
+
+    // ---- control plane ----------------------------------------------
+
+    /// Paths from `src` to `dst`, ranked by hop count, capped at `max`,
+    /// with liveness status filled in from the current fault state
+    /// (mirrors `scion showpaths -m <max>`).
+    pub fn paths(&self, src: IsdAsn, dst: IsdAsn, max: usize) -> Vec<ScionPath> {
+        let mut paths = self.pathserver.query(&self.topo, src, dst, max);
+        let faults = self.faults.lock();
+        let now = self.now_ms();
+        for p in &mut paths {
+            p.status = if self.route_is_up(&faults, p, now) {
+                PathStatus::Alive
+            } else {
+                PathStatus::Timeout
+            };
+        }
+        // showpaths costs of the order of a second of wall time.
+        drop(faults);
+        self.advance_ms(800.0);
+        paths
+    }
+
+    /// Re-attach metadata/MACs to a bare route (`--sequence` handling).
+    pub fn authorize(&self, route: &ScionPath) -> Result<ScionPath, NetError> {
+        self.pathserver
+            .authorize(&self.topo, route)
+            .ok_or(NetError::InvalidPath(PathError::BadMac))
+    }
+
+    fn route_is_up(&self, faults: &FaultPlan, path: &ScionPath, now_ms: f64) -> bool {
+        for i in 0..path.hops.len().saturating_sub(1) {
+            let Some(idx) = self.topo.index_of(path.hops[i].ia) else {
+                return false;
+            };
+            let Some((li, _)) = self.topo.link_at_iface(idx, path.hops[i].egress) else {
+                return false;
+            };
+            if faults.link_is_down(li) || faults.link_congestion(li, now_ms) >= 1.0 {
+                return false;
+            }
+        }
+        path.hops
+            .iter()
+            .all(|h| faults.node_congestion(h.ia, now_ms) < 1.0)
+    }
+
+    // ---- data plane --------------------------------------------------
+
+    /// Validate + compile a path against the current fault state.
+    fn compile(&self, path: &ScionPath, dst: Option<ScionAddr>) -> Result<CompiledPath, NetError> {
+        self.pathserver
+            .validate(&self.topo, path)
+            .map_err(NetError::InvalidPath)?;
+        let faults = self.faults.lock();
+        let server = match dst {
+            Some(addr) => {
+                if self.topo.server_as(addr) != self.topo.index_of(addr.ia)
+                    || self.topo.server_as(addr).is_none()
+                {
+                    return Err(NetError::UnknownDestination(addr));
+                }
+                faults.server(addr)
+            }
+            None => ServerBehavior::Up,
+        };
+        compile_path(&self.topo, &faults, path, server).map_err(NetError::InvalidPath)
+    }
+
+    fn op_rng(&self) -> StdRng {
+        let mut ctr = self.op_counter.lock();
+        *ctr += 1;
+        StdRng::seed_from_u64(self.seed ^ (*ctr).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// `scion ping`: SCMP echoes over an explicit path to a server.
+    pub fn ping(
+        &self,
+        path: &ScionPath,
+        dst: ScionAddr,
+        opts: &ProbeOptions,
+    ) -> Result<ProbeOutcome, NetError> {
+        if path.dst() != Some(dst.ia) {
+            return Err(NetError::UnknownDestination(dst));
+        }
+        let compiled = self.compile(path, Some(dst))?;
+        let start = self.now_ms();
+        let out = ping(&compiled, opts, start, self.op_rng());
+        // The campaign occupies count × interval plus the last RTT.
+        self.advance_ms(opts.count as f64 * opts.interval_ms + 300.0);
+        Ok(out)
+    }
+
+    /// `scion traceroute`: probe each border router along the path.
+    pub fn traceroute(&self, path: &ScionPath) -> Result<Vec<TraceHop>, NetError> {
+        let compiled = self.compile(path, None)?;
+        let start = self.now_ms();
+        let opts = ProbeOptions {
+            count: 1,
+            interval_ms: 0.0,
+            payload_bytes: 8,
+            timeout_ms: 2000.0,
+        };
+        let mut out = Vec::with_capacity(path.hops.len());
+        out.push(TraceHop {
+            ia: path.hops[0].ia,
+            rtt_ms: Some(0.05),
+        });
+        for (i, hop) in path.hops.iter().enumerate().skip(1) {
+            let probe = probe_prefix(&compiled, i, &opts, start, self.op_rng());
+            out.push(TraceHop {
+                ia: hop.ia,
+                rtt_ms: probe.rtts_ms.first().copied().flatten(),
+            });
+        }
+        self.advance_ms(1000.0);
+        Ok(out)
+    }
+
+    /// `scion-bwtestclient`: a bandwidth test in both directions.
+    pub fn bwtest(
+        &self,
+        path: &ScionPath,
+        dst: ScionAddr,
+        cs: &FlowParams,
+        sc: &FlowParams,
+    ) -> Result<BwtestOutcome, NetError> {
+        if path.dst() != Some(dst.ia) {
+            return Err(NetError::UnknownDestination(dst));
+        }
+        let compiled = self.compile(path, Some(dst))?;
+        let start = self.now_ms();
+        let header = header_bytes(path.hop_count());
+        let mut rng = self.op_rng();
+        let result = bwtest(&compiled, cs, sc, header, start, &mut rng);
+        self.advance_ms((cs.duration_s + sc.duration_s) * 1000.0 + 500.0);
+        match result {
+            Some((cs_out, sc_out)) => Ok(BwtestOutcome {
+                cs: cs_out,
+                sc: sc_out,
+            }),
+            None => match compiled.server {
+                ServerBehavior::BadResponse => Err(NetError::BadResponse),
+                _ => Err(NetError::Timeout),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::CongestionTarget;
+    use crate::topology::scionlab::*;
+
+    fn net() -> ScionNetwork {
+        ScionNetwork::scionlab(7)
+    }
+
+    fn ireland() -> ScionAddr {
+        paper_destinations()[1]
+    }
+
+    #[test]
+    fn paths_to_ireland_have_paper_shape() {
+        let n = net();
+        let paths = n.paths(MY_AS, AWS_IRELAND, 40);
+        assert!(!paths.is_empty());
+        let min = paths[0].hop_count();
+        assert_eq!(min, 6, "Ireland needs 6 hops from MY_AS");
+        // Ranked by hop count.
+        for w in paths.windows(2) {
+            assert!(w[0].hop_count() <= w[1].hop_count());
+        }
+        // All alive in a fault-free network.
+        assert!(paths.iter().all(|p| p.status == PathStatus::Alive));
+    }
+
+    #[test]
+    fn ping_over_discovered_path_measures_geography() {
+        let n = net();
+        let paths = n.paths(MY_AS, AWS_IRELAND, 40);
+        let eu = &paths[0];
+        let out = n.ping(eu, ireland(), &ProbeOptions::default()).unwrap();
+        assert!(out.received() >= 28);
+        let rtt = out.avg_rtt_ms().unwrap();
+        assert!((15.0..60.0).contains(&rtt), "EU path RTT {rtt}");
+        // A Singapore-detour path must be far slower.
+        let sg = paths
+            .iter()
+            .find(|p| p.hops.iter().any(|h| h.ia == AWS_SINGAPORE))
+            .expect("a Singapore detour exists within min+1 hops");
+        let out_sg = n.ping(sg, ireland(), &ProbeOptions::default()).unwrap();
+        let rtt_sg = out_sg.avg_rtt_ms().unwrap();
+        assert!(rtt_sg > rtt + 150.0, "Singapore detour {rtt_sg} vs EU {rtt}");
+    }
+
+    #[test]
+    fn forged_sequence_is_rejected_until_authorized() {
+        let n = net();
+        let paths = n.paths(MY_AS, AWS_IRELAND, 5);
+        let bare = ScionPath::from_sequence(&paths[0].sequence()).unwrap();
+        // Without MACs the data plane refuses it.
+        let err = n.ping(&bare, ireland(), &ProbeOptions::default());
+        assert!(matches!(err, Err(NetError::InvalidPath(_))));
+        // Authorization against the path server re-attaches MACs.
+        let authorized = n.authorize(&bare).unwrap();
+        assert!(n.ping(&authorized, ireland(), &ProbeOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn down_server_times_out_and_flaky_drops() {
+        let n = net();
+        let paths = n.paths(MY_AS, AWS_IRELAND, 1);
+        n.set_server_behavior(ireland(), ServerBehavior::Down);
+        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        assert_eq!(out.received(), 0);
+        n.set_server_behavior(ireland(), ServerBehavior::Up);
+        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        assert!(out.received() > 25);
+    }
+
+    #[test]
+    fn bad_response_server_fails_bwtest_but_answers_ping() {
+        let n = net();
+        let paths = n.paths(MY_AS, AWS_IRELAND, 1);
+        n.set_server_behavior(ireland(), ServerBehavior::BadResponse);
+        let params = FlowParams {
+            duration_s: 3.0,
+            packet_bytes: 1400,
+            target_mbps: 12.0,
+        };
+        let res = n.bwtest(&paths[0], ireland(), &params, &params);
+        assert_eq!(res.unwrap_err(), NetError::BadResponse);
+        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        assert!(out.received() > 25, "SCMP still answers");
+    }
+
+    #[test]
+    fn node_congestion_blacks_out_paths_in_window() {
+        let n = net();
+        let paths = n.paths(MY_AS, AWS_IRELAND, 1);
+        let start = n.now_ms();
+        n.add_congestion(CongestionEpisode {
+            target: CongestionTarget::Node(AWS_FRANKFURT),
+            start_ms: start,
+            end_ms: start + 60_000.0,
+            severity: 1.0,
+        });
+        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        assert_eq!(out.received(), 0, "every Ireland path crosses Frankfurt");
+        // After the window the path works again.
+        n.advance_ms(120_000.0);
+        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        assert!(out.received() > 25);
+    }
+
+    #[test]
+    fn clock_advances_with_operations() {
+        let n = net();
+        let t0 = n.now_ms();
+        let paths = n.paths(MY_AS, AWS_IRELAND, 1);
+        let t1 = n.now_ms();
+        assert!(t1 > t0);
+        n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        assert!(n.now_ms() >= t1 + 3000.0, "30 probes × 100 ms");
+    }
+
+    #[test]
+    fn bwtest_runs_end_to_end() {
+        let n = net();
+        let paths = n.paths(MY_AS, AWS_IRELAND, 1);
+        let params = FlowParams {
+            duration_s: 3.0,
+            packet_bytes: 1400,
+            target_mbps: 12.0,
+        };
+        let out = n.bwtest(&paths[0], ireland(), &params, &params).unwrap();
+        assert!(out.cs.achieved_mbps > 5.0, "cs {}", out.cs.achieved_mbps);
+        assert!(out.sc.achieved_mbps > 5.0, "sc {}", out.sc.achieved_mbps);
+    }
+
+    #[test]
+    fn peering_shortcut_paths_are_constructed_and_forward() {
+        use crate::topology::scionlab::{GEANT_AP, TU_DELFT};
+        let n = net();
+        // ETHZ-AP peers with GEANT: MY_AS reaches GEANT in 3 hops.
+        let paths = n.paths(MY_AS, GEANT_AP, 40);
+        assert_eq!(paths[0].hop_count(), 3, "{}", paths[0]);
+        assert_eq!(paths[0].hops[1].ia, crate::topology::scionlab::ETHZ_AP);
+        // And Delft in 4, continuing down past the peering crossing.
+        let paths = n.paths(MY_AS, TU_DELFT, 40);
+        assert_eq!(paths[0].hop_count(), 4, "{}", paths[0]);
+        assert!(paths[0].hops.iter().any(|h| h.ia == GEANT_AP));
+        // The peering path carries valid MACs and actually forwards.
+        let addr = crate::addr::ScionAddr::new(GEANT_AP, crate::addr::HostAddr::new(62, 40, 111, 66));
+        let out = n
+            .ping(&n.paths(MY_AS, GEANT_AP, 1)[0], addr, &ProbeOptions::default())
+            .unwrap();
+        assert!(out.received() >= 28);
+        // Its RTT is far below the 5-hop route through the cores.
+        let rtt = out.avg_rtt_ms().unwrap();
+        assert!(rtt < 15.0, "peering shortcut RTT {rtt}");
+    }
+
+    #[test]
+    fn core_after_peering_is_a_valley_violation() {
+        use crate::pathserver::{validate_structure, PathError};
+        let n = net();
+        // Hand-build: MY_AS -> ETHZ-AP ~peer~ GEANT -> (up!) OVGU core.
+        // Upward after peering must be rejected.
+        let geant = crate::topology::scionlab::GEANT_AP;
+        let mut hops = n.paths(MY_AS, geant, 1)[0].hops.clone();
+        let topo = n.topology();
+        let geant_idx = topo.index_of(geant).unwrap();
+        let (_, up_link) = topo
+            .links_of(geant_idx)
+            .find(|(_, l)| l.kind == crate::topology::LinkKind::Parent && l.b == geant_idx)
+            .expect("GEANT has a parent");
+        let core_idx = up_link.peer_of(geant_idx).unwrap();
+        hops.last_mut().unwrap().egress = up_link.iface_of(geant_idx).unwrap();
+        hops.push(crate::path::PathHop::new(
+            topo.node(core_idx).ia,
+            up_link.iface_of(core_idx).unwrap(),
+            crate::addr::IfaceId::NONE,
+        ));
+        let forged = ScionPath {
+            hops,
+            mtu: 0,
+            expected_latency_ms: 0.0,
+            status: crate::path::PathStatus::Unknown,
+            macs: vec![],
+        };
+        assert!(matches!(
+            validate_structure(topo, &forged),
+            Err(PathError::Valley(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_destination_is_reported() {
+        let n = net();
+        let paths = n.paths(MY_AS, AWS_IRELAND, 1);
+        let bogus = ScionAddr::new(AWS_IRELAND, crate::addr::HostAddr::new(10, 9, 9, 9));
+        assert!(matches!(
+            n.ping(&paths[0], bogus, &ProbeOptions::default()),
+            Err(NetError::UnknownDestination(_))
+        ));
+        // Path/destination AS mismatch is also rejected.
+        let virginia = paper_destinations()[2];
+        assert!(matches!(
+            n.ping(&paths[0], virginia, &ProbeOptions::default()),
+            Err(NetError::UnknownDestination(_))
+        ));
+    }
+}

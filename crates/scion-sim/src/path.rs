@@ -1,0 +1,277 @@
+//! End-to-end SCION paths: hop sequences, hop-predicate strings and
+//! path metadata (`scion showpaths --extended` fields).
+
+use crate::addr::{AddrParseError, IfaceId, IsdAsn};
+use crate::crypto::MacTag;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One transited AS on a path, with the ingress interface the packet
+/// arrives on and the egress interface it leaves through. Interface id 0
+/// ([`IfaceId::NONE`]) marks the missing side at the two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathHop {
+    pub ia: IsdAsn,
+    pub ingress: IfaceId,
+    pub egress: IfaceId,
+}
+
+impl PathHop {
+    pub fn new(ia: IsdAsn, ingress: IfaceId, egress: IfaceId) -> PathHop {
+        PathHop { ia, ingress, egress }
+    }
+}
+
+impl fmt::Display for PathHop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Canonical hop-predicate form used by `--sequence`:
+        // `17-ffaa:0:1107#2,5` (ingress,egress).
+        write!(f, "{}#{},{}", self.ia, self.ingress, self.egress)
+    }
+}
+
+impl FromStr for PathHop {
+    type Err = AddrParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ia, ifs) = s
+            .split_once('#')
+            .ok_or_else(|| AddrParseError::BadHost(s.to_string()))?;
+        let ia: IsdAsn = ia.parse()?;
+        let (ig, eg) = ifs
+            .split_once(',')
+            .ok_or_else(|| AddrParseError::BadHost(s.to_string()))?;
+        let parse_if = |t: &str| -> Result<IfaceId, AddrParseError> {
+            t.parse::<u16>()
+                .map(IfaceId)
+                .map_err(|_| AddrParseError::BadHost(s.to_string()))
+        };
+        Ok(PathHop {
+            ia,
+            ingress: parse_if(ig)?,
+            egress: parse_if(eg)?,
+        })
+    }
+}
+
+/// Liveness of a path as probed by `showpaths` (the `--extended` "Status"
+/// column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathStatus {
+    Alive,
+    Timeout,
+    /// Not probed (showpaths without status probing).
+    Unknown,
+}
+
+impl fmt::Display for PathStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathStatus::Alive => write!(f, "alive"),
+            PathStatus::Timeout => write!(f, "timeout"),
+            PathStatus::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// A complete forwarding path between two ASes, as handed out by the path
+/// server and accepted by the data plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScionPath {
+    /// Transited ASes in order, source first, destination last.
+    pub hops: Vec<PathHop>,
+    /// Path MTU: minimum of all link MTUs.
+    pub mtu: u32,
+    /// Sum of one-way link propagation delays (the "Latency" hint that
+    /// `showpaths --extended` reports when metadata is available).
+    pub expected_latency_ms: f64,
+    /// Liveness at path-server query time.
+    pub status: PathStatus,
+    /// Chained hop-field MACs, one per hop, attached by the path server.
+    /// The data plane recomputes and checks these; a path parsed from a
+    /// bare sequence string has no MACs and must be re-authorized against
+    /// a path server before it can forward packets.
+    #[serde(default)]
+    pub macs: Vec<MacTag>,
+}
+
+impl ScionPath {
+    /// Number of ASes on the path (the paper's "hop count"; e.g. the
+    /// 6-hop and 7-hop classes of Fig. 5).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Source AS.
+    pub fn src(&self) -> Option<IsdAsn> {
+        self.hops.first().map(|h| h.ia)
+    }
+
+    /// Destination AS.
+    pub fn dst(&self) -> Option<IsdAsn> {
+        self.hops.last().map(|h| h.ia)
+    }
+
+    /// The ordered set of ISDs the path traverses (deduplicated,
+    /// order-preserving) — stored with each measurement in the paper's DB.
+    pub fn isd_set(&self) -> Vec<u16> {
+        let mut out: Vec<u16> = Vec::new();
+        for h in &self.hops {
+            if out.last() != Some(&h.ia.isd.0) {
+                out.push(h.ia.isd.0);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether any AS appears twice (invalid path).
+    pub fn has_loop(&self) -> bool {
+        for (i, h) in self.hops.iter().enumerate() {
+            if self.hops[i + 1..].iter().any(|o| o.ia == h.ia) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Canonical hop-predicate sequence string, the exact format passed to
+    /// `scion ping --sequence '...'` in the paper's test-suite.
+    pub fn sequence(&self) -> String {
+        let mut s = String::new();
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(&h.to_string());
+        }
+        s
+    }
+
+    /// Parse a hop-predicate sequence back into an (unmetadata'd) path.
+    /// MTU/latency/status are not carried by the sequence format, so they
+    /// are filled with neutral defaults; resolve against a path server to
+    /// re-attach metadata.
+    pub fn from_sequence(s: &str) -> Result<ScionPath, AddrParseError> {
+        let hops = s
+            .split_whitespace()
+            .map(|h| h.parse::<PathHop>())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ScionPath {
+            hops,
+            mtu: 0,
+            expected_latency_ms: 0.0,
+            status: PathStatus::Unknown,
+            macs: Vec::new(),
+        })
+    }
+
+    /// Structural equality on hop sequence only (ignores metadata), used
+    /// to match database paths against freshly discovered ones.
+    pub fn same_route(&self, other: &ScionPath) -> bool {
+        self.hops == other.hops
+    }
+}
+
+impl fmt::Display for ScionPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // showpaths-like rendering: `A 2>1 B 4>3 C`.
+        for (i, h) in self.hops.iter().enumerate() {
+            if i == 0 {
+                write!(f, "{} {}", h.ia, h.egress)?;
+            } else if i == self.hops.len() - 1 {
+                write!(f, ">{} {}", h.ingress, h.ia)?;
+            } else {
+                write!(f, ">{} {} {}", h.ingress, h.ia, h.egress)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Asn;
+
+    fn ia(isd: u16, c: u16) -> IsdAsn {
+        IsdAsn::new(isd, Asn::from_groups(0xffaa, 0, c))
+    }
+
+    fn sample_path() -> ScionPath {
+        ScionPath {
+            hops: vec![
+                PathHop::new(ia(17, 0xeaf), IfaceId::NONE, IfaceId(1)),
+                PathHop::new(ia(17, 0x1107), IfaceId(5), IfaceId(2)),
+                PathHop::new(ia(17, 0x1101), IfaceId(3), IfaceId(4)),
+                PathHop::new(ia(16, 0x1002), IfaceId(9), IfaceId::NONE),
+            ],
+            mtu: 1472,
+            expected_latency_ms: 21.5,
+            status: PathStatus::Alive,
+            macs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn hop_predicate_roundtrip() {
+        let h = PathHop::new(ia(17, 0x1107), IfaceId(2), IfaceId(5));
+        assert_eq!(h.to_string(), "17-ffaa:0:1107#2,5");
+        assert_eq!("17-ffaa:0:1107#2,5".parse::<PathHop>().unwrap(), h);
+    }
+
+    #[test]
+    fn hop_predicate_rejects_malformed() {
+        for s in ["17-ffaa:0:1107", "17-ffaa:0:1107#2", "17-ffaa:0:1107#a,b", "#1,2"] {
+            assert!(s.parse::<PathHop>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn sequence_roundtrip() {
+        let p = sample_path();
+        let parsed = ScionPath::from_sequence(&p.sequence()).unwrap();
+        assert!(parsed.same_route(&p));
+    }
+
+    #[test]
+    fn hop_count_counts_ases() {
+        assert_eq!(sample_path().hop_count(), 4);
+    }
+
+    #[test]
+    fn isd_set_is_sorted_and_deduped() {
+        assert_eq!(sample_path().isd_set(), vec![16, 17]);
+    }
+
+    #[test]
+    fn loop_detection() {
+        let mut p = sample_path();
+        assert!(!p.has_loop());
+        p.hops.push(PathHop::new(ia(17, 0x1107), IfaceId(1), IfaceId::NONE));
+        assert!(p.has_loop());
+    }
+
+    #[test]
+    fn display_shows_interface_chain() {
+        let s = sample_path().to_string();
+        assert!(s.starts_with("17-ffaa:0:eaf 1>5 17-ffaa:0:1107"), "{s}");
+        assert!(s.ends_with(">9 16-ffaa:0:1002"), "{s}");
+    }
+
+    #[test]
+    fn src_dst_accessors() {
+        let p = sample_path();
+        assert_eq!(p.src(), Some(ia(17, 0xeaf)));
+        assert_eq!(p.dst(), Some(ia(16, 0x1002)));
+        let empty = ScionPath {
+            hops: vec![],
+            mtu: 0,
+            expected_latency_ms: 0.0,
+            status: PathStatus::Unknown,
+            macs: Vec::new(),
+        };
+        assert_eq!(empty.src(), None);
+    }
+}

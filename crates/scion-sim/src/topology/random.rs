@@ -1,0 +1,227 @@
+//! Seeded random topology generation.
+//!
+//! The paper's portability requirement (§4.1.3) is that the suite works
+//! "on all the SCION-based networks, with minimal modifications". The
+//! SCIONLab replica is one network; this module generates arbitrarily
+//! many valid ones — multi-ISD graphs with core meshes, intra-ISD
+//! parent DAGs, optional peering links and servers — so property tests
+//! can drive the whole stack (beaconing, path server, tools, suite)
+//! over networks it was never tuned for.
+
+use crate::addr::{Asn, HostAddr, IsdAsn};
+use crate::geo::GeoLocation;
+use crate::topology::{AsKind, DirAttrs, LinkKind, Topology, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters of a generated network.
+#[derive(Debug, Clone)]
+pub struct RandomTopologyConfig {
+    /// Number of ISDs (≥ 1).
+    pub isds: usize,
+    /// ASes per ISD, inclusive range (min ≥ 2 so every ISD has a leaf).
+    pub ases_per_isd: (usize, usize),
+    /// Core ASes per ISD, inclusive range (min ≥ 1).
+    pub cores_per_isd: (usize, usize),
+    /// Probability of an extra (redundancy) parent link per non-core AS.
+    pub extra_parent_prob: f64,
+    /// Probability that a pair of non-core ASes in different ISDs gets a
+    /// peering link (sampled over a bounded number of pairs).
+    pub peering_prob: f64,
+    /// Probability an AS hosts a measurable server.
+    pub server_prob: f64,
+}
+
+impl Default for RandomTopologyConfig {
+    fn default() -> Self {
+        RandomTopologyConfig {
+            isds: 3,
+            ases_per_isd: (3, 6),
+            cores_per_isd: (1, 2),
+            extra_parent_prob: 0.4,
+            peering_prob: 0.15,
+            server_prob: 0.6,
+        }
+    }
+}
+
+/// Generate a valid topology from a seed. The same (seed, config) pair
+/// always yields the same network. The first non-core AS of ISD 1 plays
+/// the "user AS" role (returned second).
+pub fn random_topology(seed: u64, cfg: &RandomTopologyConfig) -> (Topology, IsdAsn) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7090_1093);
+    let mut b = TopologyBuilder::new();
+    let mut cores: Vec<Vec<IsdAsn>> = Vec::new();
+    let mut leaves: Vec<Vec<IsdAsn>> = Vec::new();
+
+    let attrs = |rng: &mut StdRng| {
+        DirAttrs::new(rng.gen_range(100.0..5000.0))
+            .with_loss(rng.gen_range(0.0..0.005))
+            .with_jitter(rng.gen_range(0.05..2.0))
+            .with_background(rng.gen_range(0.0..0.6))
+    };
+
+    for isd in 0..cfg.isds {
+        let isd_num = 10 + isd as u16;
+        let n_ases = rng.gen_range(cfg.ases_per_isd.0..=cfg.ases_per_isd.1);
+        let n_cores = rng
+            .gen_range(cfg.cores_per_isd.0..=cfg.cores_per_isd.1)
+            .min(n_ases - 1);
+        let mut isd_cores = Vec::new();
+        let mut isd_leaves = Vec::new();
+        for a in 0..n_ases {
+            let ia = IsdAsn::new(isd_num, Asn::from_groups(0xffaa, isd as u16, a as u16 + 1));
+            let kind = if a < n_cores { AsKind::Core } else { AsKind::NonCore };
+            let geo = GeoLocation::new(
+                rng.gen_range(-60.0..70.0),
+                rng.gen_range(-180.0..180.0),
+                &format!("city-{isd_num}-{a}"),
+                &format!("country-{}", rng.gen_range(0..8)),
+            );
+            b.add_as(ia, kind, &format!("as-{ia}"), &format!("op-{}", rng.gen_range(0..5)), geo)
+                .expect("unique ids by construction");
+            if kind == AsKind::Core {
+                isd_cores.push(ia);
+            } else {
+                isd_leaves.push(ia);
+                if rng.gen_bool(cfg.server_prob) {
+                    let host = HostAddr::new(10, isd as u8, a as u8, 1);
+                    b.add_server(ia, host, &format!("server-{ia}"))
+                        .expect("unique hosts by construction");
+                }
+            }
+        }
+
+        // Intra-ISD core mesh (when multiple cores).
+        for i in 0..isd_cores.len() {
+            for j in i + 1..isd_cores.len() {
+                b.add_link(isd_cores[i], isd_cores[j], LinkKind::Core, 1472, attrs(&mut rng), attrs(&mut rng))
+                    .expect("valid core link");
+            }
+        }
+        // Parent DAG: each leaf gets a parent among cores and earlier
+        // leaves (guaranteeing an upward path), plus optional extras.
+        for (li, leaf) in isd_leaves.iter().enumerate() {
+            let parent = if li == 0 || rng.gen_bool(0.7) {
+                isd_cores[rng.gen_range(0..isd_cores.len())]
+            } else {
+                isd_leaves[rng.gen_range(0..li)]
+            };
+            b.add_link(parent, *leaf, LinkKind::Parent, 1472, attrs(&mut rng), attrs(&mut rng))
+                .expect("valid parent link");
+            if rng.gen_bool(cfg.extra_parent_prob) {
+                let extra = isd_cores[rng.gen_range(0..isd_cores.len())];
+                // A second link to the same parent is fine (parallel
+                // links are allowed); a distinct parent adds diversity.
+                if extra != parent {
+                    b.add_link(extra, *leaf, LinkKind::Parent, 1472, attrs(&mut rng), attrs(&mut rng))
+                        .expect("valid parent link");
+                }
+            }
+        }
+        cores.push(isd_cores);
+        leaves.push(isd_leaves);
+    }
+
+    // Inter-ISD core connectivity: a ring over ISDs plus random chords,
+    // which keeps every ISD reachable.
+    for i in 0..cfg.isds {
+        let j = (i + 1) % cfg.isds;
+        if i == j {
+            continue;
+        }
+        let a = cores[i][0];
+        let c = cores[j][0];
+        b.add_link(a, c, LinkKind::Core, 1460, attrs(&mut rng), attrs(&mut rng))
+            .expect("valid inter-ISD core link");
+    }
+    for _ in 0..cfg.isds {
+        let i = rng.gen_range(0..cfg.isds);
+        let j = rng.gen_range(0..cfg.isds);
+        if i == j {
+            continue;
+        }
+        let a = cores[i][rng.gen_range(0..cores[i].len())];
+        let c = cores[j][rng.gen_range(0..cores[j].len())];
+        if a != c {
+            // Duplicate core links are allowed (parallel links).
+            b.add_link(a, c, LinkKind::Core, 1460, attrs(&mut rng), attrs(&mut rng))
+                .expect("valid chord");
+        }
+    }
+
+    // Sparse peering between non-core ASes of different ISDs.
+    for i in 0..cfg.isds {
+        for j in i + 1..cfg.isds {
+            if leaves[i].is_empty() || leaves[j].is_empty() {
+                continue;
+            }
+            if rng.gen_bool(cfg.peering_prob) {
+                let x = leaves[i][rng.gen_range(0..leaves[i].len())];
+                let y = leaves[j][rng.gen_range(0..leaves[j].len())];
+                b.add_link(x, y, LinkKind::Peering, 1472, attrs(&mut rng), attrs(&mut rng))
+                    .expect("valid peering link");
+            }
+        }
+    }
+
+    let user = leaves[0].first().copied().unwrap_or(cores[0][0]);
+    let topo = b.build().expect("generator only produces valid topologies");
+    (topo, user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beacon::{run_beaconing, BeaconConfig, KeyProvider};
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = RandomTopologyConfig::default();
+        let (a, ua) = random_topology(7, &cfg);
+        let (b, ub) = random_topology(7, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(ua, ub);
+        let (c, _) = random_topology(8, &cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_seed_yields_a_valid_connected_control_plane() {
+        let cfg = RandomTopologyConfig::default();
+        for seed in 0..30 {
+            let (topo, user) = random_topology(seed, &cfg);
+            assert!(topo.num_ases() >= 2 * cfg.isds);
+            // Beaconing reaches every non-core AS of every ISD.
+            let keys = KeyProvider::new(seed);
+            let store = run_beaconing(&topo, &keys, &BeaconConfig::default());
+            for (_, node) in topo.ases() {
+                if node.kind.is_core() {
+                    continue;
+                }
+                assert!(
+                    store.down.contains_key(&node.ia),
+                    "seed {seed}: no down segment for {}",
+                    node.ia
+                );
+            }
+            assert!(topo.index_of(user).is_some());
+        }
+    }
+
+    #[test]
+    fn respects_shape_parameters() {
+        let cfg = RandomTopologyConfig {
+            isds: 5,
+            ases_per_isd: (4, 4),
+            cores_per_isd: (2, 2),
+            ..RandomTopologyConfig::default()
+        };
+        let (topo, _) = random_topology(3, &cfg);
+        assert_eq!(topo.num_ases(), 20);
+        assert_eq!(topo.isds().len(), 5);
+        for isd in topo.isds() {
+            assert_eq!(topo.cores_of_isd(isd).len(), 2, "isd {isd}");
+        }
+    }
+}

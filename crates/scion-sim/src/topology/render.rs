@@ -1,0 +1,87 @@
+//! Text rendering of a topology — the Fig. 1 analogue: ISDs, ASes with
+//! their roles (core / attachment point / user, as the figure's color
+//! coding), geography, and the inter-AS links.
+
+use crate::topology::{AsKind, LinkKind, Topology};
+use std::fmt::Write;
+
+/// Render the topology grouped by ISD, with a link table.
+pub fn render(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} ASes in {} ISDs, {} links, {} servers",
+        topo.num_ases(),
+        topo.isds().len(),
+        topo.num_links(),
+        topo.all_servers().len()
+    );
+    for isd in topo.isds() {
+        let _ = writeln!(out, "\nISD {isd}");
+        for (idx, node) in topo.ases() {
+            if node.ia.isd.0 != isd {
+                continue;
+            }
+            let marker = match node.kind {
+                AsKind::Core => "[core]",
+                AsKind::AttachmentPoint => "[AP]  ",
+                AsKind::User => "[user]",
+                AsKind::NonCore => "      ",
+            };
+            let servers = if node.servers.is_empty() {
+                String::new()
+            } else {
+                format!("  ({} server{})", node.servers.len(), if node.servers.len() > 1 { "s" } else { "" })
+            };
+            let _ = writeln!(
+                out,
+                "  {marker} {:<16} {:<20} {}, {}{servers}",
+                node.ia.to_string(),
+                node.name,
+                node.location.city,
+                node.location.country
+            );
+            let _ = idx;
+        }
+    }
+    let _ = writeln!(out, "\nlinks:");
+    for (_, link) in topo.links() {
+        let a = topo.node(link.a);
+        let b = topo.node(link.b);
+        let kind = match link.kind {
+            LinkKind::Core => "core   ",
+            LinkKind::Parent => "parent ",
+            LinkKind::Peering => "peering",
+        };
+        let _ = writeln!(
+            out,
+            "  {kind} {:<16} <-> {:<16} {:>7.1} km  {:>6.2} ms",
+            a.ia.to_string(),
+            b.ia.to_string(),
+            a.location.distance_km(&b.location),
+            link.propagation_ms
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::scionlab::scionlab_topology;
+
+    #[test]
+    fn renders_the_scionlab_map() {
+        let text = render(&scionlab_topology());
+        assert!(text.starts_with("36 ASes in 8 ISDs"), "{}", &text[..60]);
+        // Role markers match Fig. 1's color coding.
+        assert!(text.contains("[core] 16-ffaa:0:1001"), "{text}");
+        assert!(text.contains("[AP]   17-ffaa:0:1107"), "{text}");
+        assert!(text.contains("[user] 17-ffaa:1:eaf"), "{text}");
+        // The one peering link is listed.
+        assert!(text.contains("peering 17-ffaa:0:1107"), "{text}");
+        // Long-haul geography is visible.
+        assert!(text.contains("ISD 25"));
+        assert!(text.contains("Sydney"));
+    }
+}

@@ -1,0 +1,56 @@
+//! `scion address` — report the local host's SCION address.
+
+use crate::error::ToolError;
+use scion_sim::addr::{HostAddr, IsdAsn, ScionAddr};
+use scion_sim::net::ScionNetwork;
+
+/// The result of `scion address`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddressInfo {
+    pub addr: ScionAddr,
+    /// AS display name from the topology.
+    pub as_name: String,
+}
+
+impl AddressInfo {
+    /// Render like the CLI: the bare `ISD-ASN,ip` line.
+    pub fn render(&self) -> String {
+        format!("{},{}", self.addr.ia, self.addr.host)
+    }
+}
+
+/// Run `scion address` for a host in `local_ia`.
+pub fn address(net: &ScionNetwork, local_ia: IsdAsn, host: HostAddr) -> Result<AddressInfo, ToolError> {
+    let idx = net
+        .topology()
+        .index_of(local_ia)
+        .ok_or_else(|| ToolError::Usage(format!("unknown local AS {local_ia}")))?;
+    Ok(AddressInfo {
+        addr: ScionAddr::new(local_ia, host),
+        as_name: net.topology().node(idx).name.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_sim::topology::scionlab::MY_AS;
+
+    #[test]
+    fn local_address_renders() {
+        let net = ScionNetwork::scionlab(1);
+        let info = address(&net, MY_AS, HostAddr::new(10, 0, 2, 15)).unwrap();
+        assert_eq!(info.render(), "17-ffaa:1:eaf,10.0.2.15");
+        assert_eq!(info.as_name, "MY_AS#1");
+    }
+
+    #[test]
+    fn unknown_as_is_usage_error() {
+        let net = ScionNetwork::scionlab(1);
+        let bogus: IsdAsn = "99-ffaa:0:9999".parse().unwrap();
+        assert!(matches!(
+            address(&net, bogus, HostAddr::new(1, 1, 1, 1)),
+            Err(ToolError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! Shared error type for the tool layer.
+
+use scion_sim::addr::AddrParseError;
+use scion_sim::net::NetError;
+use std::fmt;
+
+/// Errors any of the re-implemented SCION applications can return.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToolError {
+    /// Malformed address / sequence / parameter string.
+    Usage(String),
+    /// The network rejected the operation.
+    Net(NetError),
+    /// No path satisfies the request (destination unreachable or the
+    /// `--sequence` predicate matched nothing).
+    NoPath(String),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::Usage(m) => write!(f, "usage error: {m}"),
+            ToolError::Net(e) => write!(f, "network error: {e}"),
+            ToolError::NoPath(m) => write!(f, "no path: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+impl From<NetError> for ToolError {
+    fn from(e: NetError) -> Self {
+        ToolError::Net(e)
+    }
+}
+
+impl From<AddrParseError> for ToolError {
+    fn from(e: AddrParseError) -> Self {
+        ToolError::Usage(e.to_string())
+    }
+}
+
+impl From<crate::units::UnitError> for ToolError {
+    fn from(e: crate::units::UnitError) -> Self {
+        ToolError::Usage(e.to_string())
+    }
+}

@@ -1,0 +1,203 @@
+//! Multipath failover: SCION's headline end-host capability.
+//!
+//! SCIONLab's "main goal is to provide a variety of paths between
+//! different ASes to support multipath operations" (§3.1). This module
+//! implements the canonical multipath client behaviour on top of the
+//! probe layer: hold a ranked set of paths, probe over the active one,
+//! and fail over to the next path as soon as consecutive losses cross a
+//! threshold — without any routing-protocol convergence, because the
+//! endpoint owns the path.
+
+use crate::error::ToolError;
+use scion_sim::addr::{IsdAsn, ScionAddr};
+use scion_sim::dataplane::scmp::ProbeOptions;
+use scion_sim::net::ScionNetwork;
+use scion_sim::path::ScionPath;
+
+/// Failover policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverPolicy {
+    /// Consecutive lost probes that trigger a switch.
+    pub loss_threshold: u32,
+    /// Probes to send in total.
+    pub total_probes: u32,
+    /// Inter-probe interval, ms.
+    pub interval_ms: f64,
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> Self {
+        FailoverPolicy {
+            loss_threshold: 3,
+            total_probes: 30,
+            interval_ms: 100.0,
+        }
+    }
+}
+
+/// One probe's record in the session log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRecord {
+    /// Index of the path (into [`FailoverReport::paths`]) used.
+    pub path: usize,
+    pub rtt_ms: Option<f64>,
+}
+
+/// Outcome of a failover session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverReport {
+    /// The candidate paths, in preference order.
+    pub paths: Vec<ScionPath>,
+    /// Per-probe log.
+    pub probes: Vec<ProbeRecord>,
+    /// Number of path switches performed.
+    pub switches: usize,
+    /// Index of the path in use at the end.
+    pub final_path: usize,
+}
+
+impl FailoverReport {
+    pub fn received(&self) -> usize {
+        self.probes.iter().filter(|p| p.rtt_ms.is_some()).count()
+    }
+
+    pub fn loss(&self) -> f64 {
+        if self.probes.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.received() as f64 / self.probes.len() as f64
+    }
+}
+
+/// Probe `dst` with automatic failover across up to `max_paths`
+/// candidate paths (ranked as `showpaths` ranks them).
+///
+/// Probes are sent one at a time over the active path; after
+/// `loss_threshold` consecutive losses the client rotates to the next
+/// candidate (wrapping), re-probing immediately.
+pub fn ping_with_failover(
+    net: &ScionNetwork,
+    local: IsdAsn,
+    dst: ScionAddr,
+    max_paths: usize,
+    policy: &FailoverPolicy,
+) -> Result<FailoverReport, ToolError> {
+    let paths = net.paths(local, dst.ia, max_paths);
+    if paths.is_empty() {
+        return Err(ToolError::NoPath(format!("no path to {}", dst.ia)));
+    }
+    let single = ProbeOptions {
+        count: 1,
+        interval_ms: policy.interval_ms,
+        payload_bytes: 8,
+        timeout_ms: 1000.0,
+    };
+    let mut probes = Vec::with_capacity(policy.total_probes as usize);
+    let mut active = 0usize;
+    let mut consecutive_losses = 0u32;
+    let mut switches = 0usize;
+    for _ in 0..policy.total_probes {
+        let outcome = net.ping(&paths[active], dst, &single)?;
+        let rtt = outcome.rtts_ms.first().copied().flatten();
+        probes.push(ProbeRecord { path: active, rtt_ms: rtt });
+        match rtt {
+            Some(_) => consecutive_losses = 0,
+            None => {
+                consecutive_losses += 1;
+                if consecutive_losses >= policy.loss_threshold && paths.len() > 1 {
+                    active = (active + 1) % paths.len();
+                    consecutive_losses = 0;
+                    switches += 1;
+                }
+            }
+        }
+    }
+    Ok(FailoverReport {
+        paths,
+        probes,
+        switches,
+        final_path: active,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_sim::fault::{CongestionEpisode, CongestionTarget};
+    use scion_sim::topology::scionlab::{paper_destinations, AWS_IRELAND, ETHZ_CORE, MY_AS};
+
+    fn net() -> ScionNetwork {
+        ScionNetwork::scionlab(19)
+    }
+
+    fn quick_policy() -> FailoverPolicy {
+        FailoverPolicy {
+            loss_threshold: 2,
+            total_probes: 12,
+            interval_ms: 50.0,
+        }
+    }
+
+    #[test]
+    fn healthy_network_never_switches() {
+        let n = net();
+        let report =
+            ping_with_failover(&n, MY_AS, paper_destinations()[1], 5, &quick_policy()).unwrap();
+        assert_eq!(report.switches, 0);
+        assert_eq!(report.final_path, 0);
+        assert!(report.received() >= 11);
+        assert!(report.probes.iter().all(|p| p.path == 0));
+    }
+
+    #[test]
+    fn blackout_on_primary_triggers_failover() {
+        let n = net();
+        // The preferred Ireland paths go up through the ETHZ core; the
+        // Swisscom-core paths avoid it. Blind the ETHZ core for the
+        // whole session: the client must rotate to a Swisscom path.
+        let t0 = n.now_ms();
+        n.add_congestion(CongestionEpisode {
+            target: CongestionTarget::Node(ETHZ_CORE),
+            start_ms: t0,
+            end_ms: t0 + 10_000_000.0,
+            severity: 1.0,
+        });
+        let policy = FailoverPolicy {
+            loss_threshold: 2,
+            total_probes: 40,
+            interval_ms: 50.0,
+        };
+        let report = ping_with_failover(&n, MY_AS, paper_destinations()[1], 40, &policy).unwrap();
+        assert!(report.switches > 0, "must fail over");
+        assert!(report.received() > 0, "an ETHZ-core-free path eventually answers");
+        // The path in use at the end avoids the congested core.
+        let final_path = &report.paths[report.final_path];
+        assert!(
+            !final_path.hops.iter().any(|h| h.ia == ETHZ_CORE),
+            "final path {final_path}"
+        );
+        // And once found, it keeps answering.
+        let tail: Vec<_> = report.probes.iter().rev().take(3).collect();
+        assert!(tail.iter().all(|p| p.rtt_ms.is_some()), "{tail:?}");
+    }
+
+    #[test]
+    fn no_path_is_an_error() {
+        let n = net();
+        let bogus = ScionAddr::new("99-ffaa:0:9999".parse().unwrap(), scion_sim::addr::HostAddr::new(1, 1, 1, 1));
+        assert!(matches!(
+            ping_with_failover(&n, MY_AS, bogus, 5, &quick_policy()),
+            Err(ToolError::NoPath(_))
+        ));
+        let _ = AWS_IRELAND;
+    }
+
+    #[test]
+    fn loss_accounting_is_consistent() {
+        let n = net();
+        let report =
+            ping_with_failover(&n, MY_AS, paper_destinations()[0], 3, &quick_policy()).unwrap();
+        let implied = 1.0 - report.received() as f64 / report.probes.len() as f64;
+        assert!((report.loss() - implied).abs() < 1e-12);
+    }
+}

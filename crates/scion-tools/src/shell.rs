@@ -1,0 +1,330 @@
+//! Command-line emulation: execute the literal command strings the
+//! paper's Python scripts spawn as subprocesses.
+//!
+//! `collect_paths.py` and `run_test.py` build strings like
+//!
+//! ```text
+//! scion showpaths 16-ffaa:0:1002 --extended -m 40
+//! scion ping 16-ffaa:0:1002,[172.31.43.7] -c 30 --sequence '...' --interval 0.1s
+//! scion-bwtestclient -s 19-ffaa:0:1303,[141.44.25.144] -cs 3,64,?,12Mbps
+//! ```
+//!
+//! [`execute`] parses exactly these shapes (including single-quoted
+//! arguments) and dispatches to the tool implementations, returning the
+//! rendered stdout — so higher layers can be written against command
+//! strings, like the original suite.
+
+use crate::bwtester::bwtest;
+use crate::error::ToolError;
+use crate::ping::{ping, PathSelection, PingOptions};
+use crate::showpaths::{showpaths, ShowpathsOptions};
+use crate::traceroute::traceroute;
+use scion_sim::addr::{HostAddr, IsdAsn, ScionAddr};
+use scion_sim::net::ScionNetwork;
+
+/// Split a command line into tokens, honoring single and double quotes
+/// (the suite quotes hop-predicate sequences).
+pub fn tokenize(line: &str) -> Result<Vec<String>, ToolError> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quote: Option<char> = None;
+    let mut had_token = false;
+    for ch in line.chars() {
+        match quote {
+            Some(q) => {
+                if ch == q {
+                    quote = None;
+                } else {
+                    cur.push(ch);
+                }
+            }
+            None => match ch {
+                '\'' | '"' => {
+                    quote = Some(ch);
+                    had_token = true;
+                }
+                c if c.is_whitespace() => {
+                    if had_token || !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                        had_token = false;
+                    }
+                }
+                c => {
+                    cur.push(c);
+                    had_token = true;
+                }
+            },
+        }
+    }
+    if quote.is_some() {
+        return Err(ToolError::Usage(format!("unterminated quote in {line:?}")));
+    }
+    if had_token || !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+/// Execute one SCION tool command line from a host in `local` (with
+/// host address `local_host` for `scion address`). Returns the tool's
+/// rendered output.
+pub fn execute(
+    net: &ScionNetwork,
+    local: IsdAsn,
+    local_host: HostAddr,
+    line: &str,
+) -> Result<String, ToolError> {
+    let tokens = tokenize(line)?;
+    let mut it = tokens.iter().map(String::as_str);
+    let program = it
+        .next()
+        .ok_or_else(|| ToolError::Usage("empty command line".into()))?;
+    let rest: Vec<&str> = it.collect();
+    match program {
+        "scion" => {
+            let (sub, args) = rest
+                .split_first()
+                .ok_or_else(|| ToolError::Usage("scion: missing subcommand".into()))?;
+            match *sub {
+                "address" => Ok(crate::address::address(net, local, local_host)?.render() + "\n"),
+                "showpaths" => exec_showpaths(net, local, args),
+                "ping" => exec_ping(net, local, args),
+                "traceroute" => exec_traceroute(net, local, args),
+                other => Err(ToolError::Usage(format!("scion: unknown subcommand {other:?}"))),
+            }
+        }
+        "scion-bwtestclient" => exec_bwtest(net, local, &rest),
+        other => Err(ToolError::Usage(format!("unknown program {other:?}"))),
+    }
+}
+
+fn want_value<'a>(args: &mut std::slice::Iter<'a, &'a str>, flag: &str) -> Result<&'a str, ToolError> {
+    args.next()
+        .copied()
+        .ok_or_else(|| ToolError::Usage(format!("{flag} expects a value")))
+}
+
+fn exec_showpaths(net: &ScionNetwork, local: IsdAsn, args: &[&str]) -> Result<String, ToolError> {
+    let mut dst: Option<IsdAsn> = None;
+    let mut opts = ShowpathsOptions::default();
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--extended" => opts.extended = true,
+            "-m" | "--maxpaths" => {
+                let v = want_value(&mut it, arg)?;
+                opts.max_paths = v
+                    .parse()
+                    .map_err(|_| ToolError::Usage(format!("bad -m value {v:?}")))?;
+            }
+            a if !a.starts_with('-') && dst.is_none() => {
+                dst = Some(a.parse()?);
+            }
+            other => return Err(ToolError::Usage(format!("showpaths: unexpected {other:?}"))),
+        }
+    }
+    let dst = dst.ok_or_else(|| ToolError::Usage("showpaths: missing destination".into()))?;
+    Ok(showpaths(net, local, dst, opts)?.render())
+}
+
+fn exec_ping(net: &ScionNetwork, local: IsdAsn, args: &[&str]) -> Result<String, ToolError> {
+    let mut dst: Option<ScionAddr> = None;
+    let mut opts = PingOptions::default();
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "-c" | "--count" => {
+                let v = want_value(&mut it, arg)?;
+                opts.count = v
+                    .parse()
+                    .map_err(|_| ToolError::Usage(format!("bad -c value {v:?}")))?;
+            }
+            "--interval" => {
+                let v = want_value(&mut it, arg)?;
+                opts = opts.with_interval_str(v)?;
+            }
+            "--timeout" => {
+                let v = want_value(&mut it, arg)?;
+                opts.timeout_ms = crate::units::parse_duration_ms(v)?;
+            }
+            "--sequence" => {
+                opts.selection = PathSelection::Sequence(want_value(&mut it, arg)?.to_string());
+            }
+            "--policy" => {
+                opts.selection = PathSelection::Policy(want_value(&mut it, arg)?.to_string());
+            }
+            "--interactive" => {
+                // The scripted form of interactive mode supplies the
+                // chosen index (a terminal would prompt).
+                let v = want_value(&mut it, arg)?;
+                opts.selection = PathSelection::Interactive(
+                    v.parse()
+                        .map_err(|_| ToolError::Usage(format!("bad --interactive index {v:?}")))?,
+                );
+            }
+            a if !a.starts_with('-') && dst.is_none() => {
+                dst = Some(a.parse()?);
+            }
+            other => return Err(ToolError::Usage(format!("ping: unexpected {other:?}"))),
+        }
+    }
+    let dst = dst.ok_or_else(|| ToolError::Usage("ping: missing destination".into()))?;
+    Ok(ping(net, local, dst, &opts)?.render())
+}
+
+fn exec_traceroute(net: &ScionNetwork, local: IsdAsn, args: &[&str]) -> Result<String, ToolError> {
+    let mut dst: Option<IsdAsn> = None;
+    let mut selection = PathSelection::Default;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--sequence" => {
+                selection = PathSelection::Sequence(want_value(&mut it, arg)?.to_string());
+            }
+            a if !a.starts_with('-') && dst.is_none() => {
+                // Accept both bare ISD-AS and full addresses.
+                dst = Some(match a.parse::<ScionAddr>() {
+                    Ok(addr) => addr.ia,
+                    Err(_) => a.parse()?,
+                });
+            }
+            other => return Err(ToolError::Usage(format!("traceroute: unexpected {other:?}"))),
+        }
+    }
+    let dst = dst.ok_or_else(|| ToolError::Usage("traceroute: missing destination".into()))?;
+    Ok(traceroute(net, local, dst, &selection)?.render())
+}
+
+fn exec_bwtest(net: &ScionNetwork, local: IsdAsn, args: &[&str]) -> Result<String, ToolError> {
+    let mut server: Option<ScionAddr> = None;
+    let mut cs: Option<String> = None;
+    let mut sc: Option<String> = None;
+    let mut selection = PathSelection::Default;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "-s" | "--server" => {
+                server = Some(want_value(&mut it, arg)?.parse()?);
+            }
+            "-cs" => cs = Some(want_value(&mut it, arg)?.to_string()),
+            "-sc" => sc = Some(want_value(&mut it, arg)?.to_string()),
+            "--sequence" | "-sequence" => {
+                selection = PathSelection::Sequence(want_value(&mut it, arg)?.to_string());
+            }
+            other => return Err(ToolError::Usage(format!("bwtestclient: unexpected {other:?}"))),
+        }
+    }
+    let server = server.ok_or_else(|| ToolError::Usage("bwtestclient: missing -s server".into()))?;
+    let cs = cs.unwrap_or_else(|| "3,1000,30,?".to_string());
+    Ok(bwtest(net, local, server, &cs, sc.as_deref(), &selection)?.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_sim::topology::scionlab::MY_AS;
+
+    fn net() -> ScionNetwork {
+        ScionNetwork::scionlab(91)
+    }
+
+    fn host() -> HostAddr {
+        HostAddr::new(10, 0, 2, 15)
+    }
+
+    #[test]
+    fn tokenizer_handles_quotes() {
+        assert_eq!(
+            tokenize("scion ping x --sequence '17-ffaa:1:eaf#0,1 17-ffaa:0:1107#3,0'").unwrap(),
+            vec![
+                "scion",
+                "ping",
+                "x",
+                "--sequence",
+                "17-ffaa:1:eaf#0,1 17-ffaa:0:1107#3,0"
+            ]
+        );
+        assert_eq!(tokenize("a \"b c\" d").unwrap(), vec!["a", "b c", "d"]);
+        assert_eq!(tokenize("  ").unwrap(), Vec::<String>::new());
+        assert_eq!(tokenize("a ''").unwrap(), vec!["a", ""]);
+        assert!(tokenize("a 'b").is_err());
+    }
+
+    #[test]
+    fn paper_showpaths_command_runs() {
+        let out = execute(
+            &net(),
+            MY_AS,
+            host(),
+            "scion showpaths 16-ffaa:0:1002 --extended -m 40",
+        )
+        .unwrap();
+        assert!(out.contains("Available paths to 16-ffaa:0:1002"), "{out}");
+        assert!(out.contains("MTU:"), "{out}");
+    }
+
+    #[test]
+    fn paper_ping_command_with_sequence_runs() {
+        let n = net();
+        let seq = n.paths(MY_AS, "16-ffaa:0:1002".parse().unwrap(), 1)[0].sequence();
+        let line = format!(
+            "scion ping 16-ffaa:0:1002,[172.31.43.7] -c 30 --sequence '{seq}' --interval 0.1s"
+        );
+        let out = execute(&n, MY_AS, host(), &line).unwrap();
+        assert!(out.contains("30 packets transmitted"), "{out}");
+    }
+
+    #[test]
+    fn paper_bwtest_command_runs() {
+        let out = execute(
+            &net(),
+            MY_AS,
+            host(),
+            "scion-bwtestclient -s 19-ffaa:0:1303,[141.44.25.144] -cs 3,64,?,12Mbps",
+        )
+        .unwrap();
+        assert!(out.contains("Achieved bandwidth"), "{out}");
+    }
+
+    #[test]
+    fn address_and_traceroute_run() {
+        let n = net();
+        let out = execute(&n, MY_AS, host(), "scion address").unwrap();
+        assert_eq!(out, "17-ffaa:1:eaf,10.0.2.15\n");
+        let out = execute(&n, MY_AS, host(), "scion traceroute 16-ffaa:0:1002").unwrap();
+        assert!(out.contains("17-ffaa:0:1107"), "{out}");
+    }
+
+    #[test]
+    fn malformed_commands_are_usage_errors() {
+        let n = net();
+        for line in [
+            "",
+            "rm -rf /",
+            "scion",
+            "scion frobnicate",
+            "scion showpaths",
+            "scion showpaths 16-ffaa:0:1002 -m lots",
+            "scion ping",
+            "scion-bwtestclient -cs 3,64,?,12Mbps", // missing -s
+        ] {
+            assert!(
+                matches!(execute(&n, MY_AS, host(), line), Err(ToolError::Usage(_))),
+                "{line:?} should be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn interactive_scripted_index_selects_path() {
+        let n = net();
+        let out = execute(
+            &n,
+            MY_AS,
+            host(),
+            "scion ping 16-ffaa:0:1002,[172.31.43.7] -c 2 --interactive 3",
+        )
+        .unwrap();
+        assert!(out.contains("2 packets transmitted"), "{out}");
+    }
+}

@@ -1,0 +1,129 @@
+//! `scion traceroute` — per-hop RTTs along a chosen path, "particularly
+//! useful to test how the latency is affected by each link" (§3.3).
+
+use crate::error::ToolError;
+use crate::ping::{resolve_path, PathSelection};
+use scion_sim::addr::IsdAsn;
+use scion_sim::net::ScionNetwork;
+use scion_sim::path::ScionPath;
+
+/// One row of traceroute output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracerouteHop {
+    pub index: usize,
+    pub ia: IsdAsn,
+    /// RTT to this border router; `None` renders as `*`.
+    pub rtt_ms: Option<f64>,
+}
+
+/// Structured traceroute result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracerouteReport {
+    pub path: ScionPath,
+    pub hops: Vec<TracerouteHop>,
+}
+
+impl TracerouteReport {
+    /// Largest RTT increase between consecutive answering hops — the
+    /// "which link hurts" readout the paper uses traceroute for.
+    pub fn max_hop_delta_ms(&self) -> Option<(IsdAsn, f64)> {
+        let mut best: Option<(IsdAsn, f64)> = None;
+        let mut prev = 0.0;
+        for hop in &self.hops {
+            let Some(rtt) = hop.rtt_ms else { continue };
+            let delta = rtt - prev;
+            prev = rtt;
+            if best.as_ref().is_none_or(|(_, d)| delta > *d) {
+                best = Some((hop.ia, delta));
+            }
+        }
+        best
+    }
+
+    /// CLI-style rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for hop in &self.hops {
+            match hop.rtt_ms {
+                Some(rtt) => out.push_str(&format!("{:>2} {} {:.3}ms\n", hop.index, hop.ia, rtt)),
+                None => out.push_str(&format!("{:>2} {} *\n", hop.index, hop.ia)),
+            }
+        }
+        out
+    }
+}
+
+/// Run `scion traceroute` from `local` to `dst` over the selected path.
+pub fn traceroute(
+    net: &ScionNetwork,
+    local: IsdAsn,
+    dst: IsdAsn,
+    selection: &PathSelection,
+) -> Result<TracerouteReport, ToolError> {
+    let path = resolve_path(net, local, dst, selection)?;
+    let hops = net.traceroute(&path)?;
+    Ok(TracerouteReport {
+        path,
+        hops: hops
+            .into_iter()
+            .enumerate()
+            .map(|(index, h)| TracerouteHop {
+                index,
+                ia: h.ia,
+                rtt_ms: h.rtt_ms,
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_sim::topology::scionlab::{AWS_IRELAND, AWS_SINGAPORE, MY_AS};
+
+    fn net() -> ScionNetwork {
+        ScionNetwork::scionlab(21)
+    }
+
+    #[test]
+    fn traces_every_hop_in_order() {
+        let n = net();
+        let r = traceroute(&n, MY_AS, AWS_IRELAND, &PathSelection::Default).unwrap();
+        assert_eq!(r.hops.len(), r.path.hop_count());
+        assert_eq!(r.hops[0].ia, MY_AS);
+        assert_eq!(r.hops.last().unwrap().ia, AWS_IRELAND);
+        // RTTs are (noisily) non-decreasing along the path; check the
+        // endpoints which differ by tens of ms.
+        let first = r.hops[1].rtt_ms.unwrap();
+        let last = r.hops.last().unwrap().rtt_ms.unwrap();
+        assert!(last > first);
+    }
+
+    #[test]
+    fn long_haul_link_dominates_delta() {
+        let n = net();
+        // Pick a Singapore-detour path to Ireland.
+        let paths = n.paths(MY_AS, AWS_IRELAND, 40);
+        let sg = paths
+            .iter()
+            .find(|p| p.hops.iter().any(|h| h.ia == AWS_SINGAPORE))
+            .unwrap();
+        let r = traceroute(&n, MY_AS, AWS_IRELAND, &PathSelection::Sequence(sg.sequence())).unwrap();
+        let (worst_ia, delta) = r.max_hop_delta_ms().unwrap();
+        // The biggest jump is entering or leaving Singapore.
+        assert!(
+            worst_ia == AWS_SINGAPORE || worst_ia == AWS_IRELAND,
+            "worst {worst_ia} delta {delta}"
+        );
+        assert!(delta > 80.0, "delta {delta}");
+    }
+
+    #[test]
+    fn renders_rows() {
+        let n = net();
+        let r = traceroute(&n, MY_AS, AWS_IRELAND, &PathSelection::Default).unwrap();
+        let text = r.render();
+        assert!(text.lines().count() == r.hops.len());
+        assert!(text.contains("17-ffaa:0:1107"), "{text}");
+    }
+}

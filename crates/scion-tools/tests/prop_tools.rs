@@ -1,0 +1,81 @@
+//! Property-based tests of the tool layer: bwtester parameter algebra
+//! and unit parsing.
+
+use proptest::prelude::*;
+use scion_tools::bwtester::BwParams;
+use scion_tools::units::{format_bandwidth_mbps, parse_bandwidth_mbps, parse_duration_ms};
+
+proptest! {
+    /// The `?` wildcard solves the bandwidth identity: for any
+    /// (duration, size, bandwidth), the inferred packet count satisfies
+    /// `bandwidth ≈ size × 8 × count / duration` to rounding error.
+    #[test]
+    fn count_wildcard_satisfies_identity(
+        duration in 1u32..=10,
+        size in 4u32..1473,
+        mbps in 1u32..500,
+    ) {
+        let spec = format!("{},{},?,{}Mbps", duration, size, mbps);
+        let p = BwParams::parse(&spec).unwrap();
+        let implied = p.packet_bytes as f64 * 8.0 * p.num_packets as f64
+            / p.duration_s / 1e6;
+        let err = (implied - mbps as f64).abs() / mbps as f64;
+        prop_assert!(err < 0.01, "{spec}: implied {implied}");
+        prop_assert_eq!(p.num_packets, p.flow().num_packets());
+    }
+
+    /// A fully-specified tuple derived from a solved one always passes
+    /// the consistency check.
+    #[test]
+    fn solved_tuple_is_self_consistent(
+        duration in 1u32..=10,
+        size in 4u32..1473,
+        mbps in 1u32..500,
+    ) {
+        let p = BwParams::parse(&format!("{},{},?,{}Mbps", duration, size, mbps)).unwrap();
+        let full = format!(
+            "{},{},{},{}Mbps",
+            p.duration_s, p.packet_bytes, p.num_packets, p.target_mbps
+        );
+        let q = BwParams::parse(&full).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// The bandwidth wildcard inverts the count wildcard.
+    #[test]
+    fn bandwidth_wildcard_inverts(
+        duration in 1u32..=10,
+        size in 4u32..1473,
+        count in 1u64..1_000_000,
+    ) {
+        let spec = format!("{},{},{},?", duration, size, count);
+        let p = BwParams::parse(&spec).unwrap();
+        let expect = size as f64 * 8.0 * count as f64 / duration as f64 / 1e6;
+        prop_assert!((p.target_mbps - expect).abs() < 1e-9);
+    }
+
+    /// Limits always reject: any duration > 10 s or size < 4 B fails.
+    #[test]
+    fn limits_enforced(duration in 11u32..100, size in 0u32..4) {
+        let long = BwParams::parse(&format!("{},100,?,10Mbps", duration));
+        let tiny = BwParams::parse(&format!("3,{},?,10Mbps", size));
+        prop_assert!(long.is_err(), "duration over the cap must fail");
+        prop_assert!(tiny.is_err(), "packet size under the floor must fail");
+    }
+
+    #[test]
+    fn bandwidth_format_parse_roundtrip(mbps in 0.001..5000.0f64) {
+        let s = format_bandwidth_mbps(mbps);
+        let back = parse_bandwidth_mbps(&s).unwrap();
+        // Rendering rounds to 2 decimals (or whole kbps).
+        prop_assert!((back - mbps).abs() / mbps < 0.02, "{mbps} -> {s} -> {back}");
+    }
+
+    #[test]
+    fn duration_parse_units_consistent(ms in 1u32..1_000_000) {
+        let from_ms = parse_duration_ms(&format!("{}ms", ms)).unwrap();
+        prop_assert_eq!(from_ms, ms as f64);
+        let from_s = parse_duration_ms(&format!("{}s", ms as f64 / 1000.0)).unwrap();
+        prop_assert!((from_s - ms as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: bring up the SCIONLab network, discover paths, and
+//! measure one of them — the five-minute tour of the stack.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use upin::scion_sim::addr::HostAddr;
+use upin::scion_sim::net::ScionNetwork;
+use upin::scion_sim::topology::scionlab::{paper_destinations, AWS_IRELAND, MY_AS};
+use upin::scion_tools::ping::{ping, PathSelection, PingOptions};
+use upin::scion_tools::showpaths::{showpaths, ShowpathsOptions};
+use upin::scion_tools::{address, traceroute};
+
+fn main() {
+    // The experimental setup of the paper's §3: the SCIONLab topology
+    // with our own AS (MY_AS#1) attached to ETHZ-AP.
+    let net = ScionNetwork::scionlab(42);
+
+    // `scion address`
+    let info = address::address(&net, MY_AS, HostAddr::new(10, 0, 2, 15)).unwrap();
+    println!("local address: {} ({})\n", info.render(), info.as_name);
+
+    // `scion showpaths 16-ffaa:0:1002 --extended -m 40`
+    let result = showpaths(
+        &net,
+        MY_AS,
+        AWS_IRELAND,
+        ShowpathsOptions {
+            max_paths: 40,
+            extended: true,
+        },
+    )
+    .unwrap();
+    println!("{}", result.render());
+
+    // `scion ping 16-ffaa:0:1002,[172.31.43.7] -c 30 --interval 0.1s`
+    let ireland = paper_destinations()[1];
+    let report = ping(&net, MY_AS, ireland, &PingOptions::paper()).unwrap();
+    println!(
+        "pinged {} over the {}-hop default path:",
+        ireland,
+        report.path.hop_count()
+    );
+    println!("{}", report.render());
+
+    // `scion traceroute` over the same path shows where latency lives.
+    let trace = traceroute::traceroute(
+        &net,
+        MY_AS,
+        AWS_IRELAND,
+        &PathSelection::Sequence(report.path.sequence()),
+    )
+    .unwrap();
+    println!("traceroute:\n{}", trace.render());
+    if let Some((ia, delta)) = trace.max_hop_delta_ms() {
+        println!("largest RTT jump: +{delta:.1} ms entering {ia}");
+    }
+}

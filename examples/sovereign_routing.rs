@@ -1,0 +1,121 @@
+//! User-driven path control with sovereignty constraints — the UPIN use
+//! case the paper builds toward: "select the best path to give to a
+//! user ... following their request on performance or devices to
+//! exclude for geographical or sovereignty reasons."
+//!
+//! Runs a measurement campaign against AWS Ireland, then answers three
+//! user requests from the database:
+//!   1. lowest latency, unconstrained;
+//!   2. lowest latency, but never transiting the United States or
+//!      Singapore;
+//!   3. most consistent latency (jitter), excluding the two wide-jitter
+//!      ASes the paper identifies (16-ffaa:0:1004, 16-ffaa:0:1007).
+//!
+//! ```text
+//! cargo run --release --example sovereign_routing
+//! ```
+
+use upin::pathdb::Database;
+use upin::scion_sim::net::ScionNetwork;
+use upin::scion_sim::topology::scionlab::{paper_destinations, AWS_OHIO, AWS_SINGAPORE};
+use upin::upin_core::analysis::server_id_of;
+use upin::upin_core::collect::{collect_paths, register_available_servers};
+use upin::upin_core::measure::run_tests;
+use upin::upin_core::select::{describe_choices, recommend, Constraints, Objective, UserRequest};
+use upin::upin_core::SuiteConfig;
+
+fn main() {
+    let net = ScionNetwork::scionlab(7);
+    let db = Database::new();
+    register_available_servers(&db, &net).unwrap();
+
+    let cfg = SuiteConfig {
+        iterations: 5,
+        run_bwtests: false,
+        ..SuiteConfig::default()
+    };
+    collect_paths(&db, &net, &cfg).unwrap();
+
+    // Measure only the Ireland destination for this demo.
+    let ireland = paper_destinations()[1];
+    let server_id = server_id_of(&db, ireland).unwrap();
+    {
+        let handle = db.collection(upin::upin_core::schema::AVAILABLE_SERVERS);
+        handle
+            .write()
+            .delete_many(&upin::pathdb::Filter::ne("_id", server_id.to_string()));
+    }
+    println!("measuring all paths to {ireland} (5 rounds)...\n");
+    run_tests(&db, &net, &cfg).unwrap();
+
+    println!("{}", describe_choices(&db, server_id).unwrap());
+
+    let show = |label: &str, recs: &[upin::upin_core::Recommendation]| {
+        println!("== {label}");
+        for r in recs.iter().take(3) {
+            let lat = r
+                .aggregate
+                .latency
+                .as_ref()
+                .map(|w| format!("{:.1} ms", w.mean))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "  #{} {}  hops={}  latency={}  jitter={:.2} ms  loss={:.1}%",
+                r.rank,
+                r.aggregate.path_id,
+                r.aggregate.hops,
+                lat,
+                r.aggregate.jitter_ms.unwrap_or(f64::NAN),
+                r.aggregate.mean_loss_pct
+            );
+            println!("     via {}", r.aggregate.sequence);
+        }
+        println!();
+    };
+
+    // 1. Fastest path, no constraints.
+    let fastest = recommend(
+        &db,
+        &UserRequest {
+            server_id,
+            objective: Objective::MinLatency,
+            constraints: Constraints::default(),
+        },
+        3,
+    )
+    .unwrap();
+    show("fastest path (unconstrained)", &fastest);
+
+    // 2. Sovereignty: never leave through the US or Singapore.
+    let sovereign = recommend(
+        &db,
+        &UserRequest {
+            server_id,
+            objective: Objective::MinLatency,
+            constraints: Constraints {
+                exclude_countries: vec!["United States".into(), "Singapore".into()],
+                ..Constraints::default()
+            },
+        },
+        3,
+    )
+    .unwrap();
+    show("fastest path avoiding US + Singapore devices", &sovereign);
+
+    // 3. Streaming/VoIP: consistency over raw speed, excluding the
+    //    wide-jitter ASes (the paper's §6.1 recommendation).
+    let steady = recommend(
+        &db,
+        &UserRequest {
+            server_id,
+            objective: Objective::MinJitter,
+            constraints: Constraints {
+                exclude_ases: vec![AWS_SINGAPORE.to_string(), AWS_OHIO.to_string()],
+                ..Constraints::default()
+            },
+        },
+        3,
+    )
+    .unwrap();
+    show("most consistent path (jitter) for streaming/VoIP", &steady);
+}

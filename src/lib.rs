@@ -1,0 +1,39 @@
+//! # upin — user-driven path control on a SCION network
+//!
+//! Facade crate re-exporting the full stack:
+//!
+//! * [`scion_sim`] — deterministic SCION network simulator (topology,
+//!   beaconing control plane, SCMP/flow data plane, faults).
+//! * [`scion_tools`] — the SCION end-host applications (`showpaths`,
+//!   `ping`, `traceroute`, `bwtestclient`) against the simulator.
+//! * [`pathdb`] — embedded MongoDB-style document database.
+//! * [`upin_core`] — the paper's contribution: measurement test-suite,
+//!   statistics schema and the user-driven path selection engine.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour, and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction inventory.
+
+pub use pathdb;
+pub use scion_sim;
+pub use scion_tools;
+pub use upin_core;
+
+/// One-call setup of the standard experimental environment: the
+/// SCIONLab network with `MY_AS` attached, a fresh database with the 21
+/// destinations registered, and paths collected under the default
+/// configuration.
+pub fn standard_setup(
+    seed: u64,
+) -> (
+    scion_sim::net::ScionNetwork,
+    pathdb::Database,
+    upin_core::SuiteConfig,
+) {
+    let net = scion_sim::net::ScionNetwork::scionlab(seed);
+    let db = pathdb::Database::new();
+    let cfg = upin_core::SuiteConfig::default();
+    upin_core::collect::register_available_servers(&db, &net)
+        .expect("server registration succeeds on the built-in topology");
+    upin_core::collect::collect_paths(&db, &net, &cfg).expect("collection succeeds");
+    (net, db, cfg)
+}

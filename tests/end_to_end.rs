@@ -1,0 +1,187 @@
+//! End-to-end integration: the full pipeline from network bring-up
+//! through measurement campaign to user-facing path recommendation,
+//! crossing every crate of the workspace.
+
+use upin::pathdb::{Database, Filter};
+use upin::scion_sim::net::ScionNetwork;
+use upin::scion_sim::topology::scionlab::{paper_destinations, MY_AS};
+use upin::upin_core::analysis::{self, server_id_of};
+use upin::upin_core::collect::destinations;
+use upin::upin_core::schema::{PathMeasurement, PATHS, PATHS_STATS};
+use upin::upin_core::select::{recommend, Constraints, Objective, UserRequest};
+use upin::upin_core::{SuiteConfig, TestSuite};
+
+fn quick_cfg() -> SuiteConfig {
+    SuiteConfig {
+        iterations: 2,
+        ping_count: 5,
+        run_bwtests: false,
+        ..SuiteConfig::default()
+    }
+}
+
+#[test]
+fn campaign_then_recommendation() {
+    let (net, db, _) = upin::standard_setup(101);
+    let cfg = quick_cfg();
+    let suite = TestSuite::new(&net, &db, SuiteConfig { skip_collection: true, ..cfg });
+    let report = suite.run().unwrap();
+    assert_eq!(report.measurement.destinations, 21);
+    assert_eq!(report.measurement.errors, 0);
+
+    // Recommendations exist for every paper destination and their
+    // latency agrees with the raw samples.
+    for addr in paper_destinations() {
+        let server_id = server_id_of(&db, addr).unwrap();
+        let recs = recommend(
+            &db,
+            &UserRequest {
+                server_id,
+                objective: Objective::MinLatency,
+                constraints: Constraints::default(),
+            },
+            3,
+        )
+        .unwrap();
+        assert!(!recs.is_empty());
+        let best = &recs[0].aggregate;
+        // Cross-check the aggregate against raw documents.
+        let raw = analysis::measurements_by_path(&db, server_id).unwrap();
+        let samples = &raw[&best.path_id];
+        let mean: f64 = samples.iter().filter_map(|m| m.avg_latency_ms).sum::<f64>()
+            / samples.iter().filter(|m| m.avg_latency_ms.is_some()).count() as f64;
+        let agg_mean = best.latency.as_ref().unwrap().mean;
+        assert!(
+            (mean - agg_mean).abs() < 1e-9,
+            "aggregate {agg_mean} vs raw {mean}"
+        );
+        // No other candidate path has a lower aggregate mean.
+        for (other_id, ms) in &raw {
+            let v: Vec<f64> = ms.iter().filter_map(|m| m.avg_latency_ms).collect();
+            if v.is_empty() {
+                continue;
+            }
+            let other_mean = v.iter().sum::<f64>() / v.len() as f64;
+            assert!(
+                other_mean >= agg_mean - 1e-9,
+                "path {other_id} beats the recommendation"
+            );
+        }
+    }
+}
+
+#[test]
+fn stats_volume_and_schema_consistency() {
+    let (net, db, _) = upin::standard_setup(102);
+    let cfg = quick_cfg();
+    TestSuite::new(&net, &db, SuiteConfig { skip_collection: true, ..cfg })
+        .run()
+        .unwrap();
+
+    let paths = db.collection(PATHS);
+    let stats = db.collection(PATHS_STATS);
+    let n_paths = paths.read().len();
+    let n_stats = stats.read().len();
+    assert_eq!(n_stats, 2 * n_paths, "iterations × paths samples");
+
+    // Every stats document references an existing path and decodes.
+    let coll = stats.read();
+    let pcoll = paths.read();
+    for d in coll.find(&Filter::True) {
+        let m = PathMeasurement::from_doc(&d).unwrap();
+        assert!(
+            pcoll.find_by_id(m.stat_id.path.to_string()).is_some(),
+            "orphan stats doc {d}"
+        );
+        assert!(!m.isds.is_empty());
+        assert!((0.0..=100.0).contains(&m.loss_pct));
+    }
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let run = |seed: u64| {
+        let (net, db, _) = upin::standard_setup(seed);
+        TestSuite::new(
+            &net,
+            &db,
+            SuiteConfig {
+                skip_collection: true,
+                some_only: true,
+                ..quick_cfg()
+            },
+        )
+        .run()
+        .unwrap();
+        let stats = db.collection(PATHS_STATS);
+        let coll = stats.read();
+        coll.find(&Filter::True)
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<String>>()
+    };
+    assert_eq!(run(7), run(7), "same seed, same database");
+    assert_ne!(run(7), run(8), "different seed, different draws");
+}
+
+#[test]
+fn network_and_db_agree_on_destination_inventory() {
+    let (net, db, _) = upin::standard_setup(103);
+    let dests = destinations(&db).unwrap();
+    assert_eq!(dests.len(), 21);
+    for (_, addr) in &dests {
+        assert!(net.topology().server_as(*addr).is_some());
+    }
+    // Every destination got at least one stored path, discoverable from
+    // MY_AS.
+    let paths = db.collection(PATHS);
+    let coll = paths.read();
+    for (id, addr) in dests {
+        assert!(
+            coll.count(&Filter::eq("server_id", id as i64)) > 0,
+            "no paths stored for {addr}"
+        );
+        assert!(!net.paths(MY_AS, addr.ia, 5).is_empty());
+    }
+}
+
+#[test]
+fn signed_write_path_guards_the_stats_collection() {
+    use upin::upin_core::security::{SecureWriter, WriterIdentity};
+    use upin::scion_sim::topology::scionlab::ETHZ_CORE;
+
+    let db = Database::new();
+    let master = 0xbeef;
+    let identity = WriterIdentity::provision(master, MY_AS, ETHZ_CORE);
+    let mut writer = SecureWriter::new(master);
+    writer.trust_issuer(ETHZ_CORE).authorize(MY_AS);
+
+    // A real measurement batch from a tiny campaign, signed and stored.
+    let net = ScionNetwork::scionlab(104);
+    let paths = net.paths(MY_AS, paper_destinations()[1].ia, 2);
+    let docs: Vec<upin::pathdb::Document> = paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            upin::pathdb::doc! {
+                "_id" => format!("9_{i}_1000"),
+                "sequence" => p.sequence(),
+                "avg_latency_ms" => p.expected_latency_ms * 2.0,
+            }
+        })
+        .collect();
+    let ids = writer
+        .insert_signed(&db, PATHS_STATS, identity.sign(docs.clone()))
+        .unwrap();
+    assert_eq!(ids.len(), 2);
+
+    // Replayed batch fails on duplicate ids; tampered batch fails on
+    // signature; both leave the collection intact.
+    assert!(writer
+        .insert_signed(&db, PATHS_STATS, identity.sign(docs.clone()))
+        .is_err());
+    let mut tampered = identity.sign(docs);
+    tampered.docs[0].set("avg_latency_ms", 0.01);
+    assert!(writer.insert_signed(&db, PATHS_STATS, tampered).is_err());
+    assert_eq!(db.collection(PATHS_STATS).read().len(), 2);
+}

@@ -1,0 +1,113 @@
+//! Link-failure handling across the stack: failures show up in
+//! `showpaths` status, re-collection refreshes the stored status, and
+//! the selection engine routes around dead paths when asked.
+
+use upin::pathdb::Filter;
+use upin::scion_sim::path::PathStatus;
+use upin::scion_sim::topology::scionlab::{AWS_IRELAND, AWS_OHIO, MY_AS};
+use upin::upin_core::collect::collect_paths;
+use upin::upin_core::measure::run_tests;
+use upin::upin_core::schema::PATHS;
+use upin::upin_core::select::{recommend, Constraints, Objective, UserRequest};
+use upin::upin_core::SuiteConfig;
+
+/// The link index of the Frankfurt->Ohio AWS link.
+fn ohio_uplink(net: &upin::scion_sim::net::ScionNetwork) -> upin::scion_sim::topology::LinkIndex {
+    let topo = net.topology();
+    let ohio = topo.index_of(AWS_OHIO).unwrap();
+    topo.links_of(ohio)
+        .find(|(_, l)| l.kind == upin::scion_sim::topology::LinkKind::Parent && l.b == ohio)
+        .map(|(li, _)| li)
+        .expect("Ohio has a parent link")
+}
+
+#[test]
+fn failed_link_flows_through_status_collection_and_selection() {
+    let (net, db, cfg) = upin::standard_setup(301);
+
+    // 1. Healthy network: every Ireland path is alive.
+    let before = net.paths(MY_AS, AWS_IRELAND, 40);
+    assert!(before.iter().all(|p| p.status == PathStatus::Alive));
+    let via_ohio = before
+        .iter()
+        .filter(|p| p.hops.iter().any(|h| h.ia == AWS_OHIO))
+        .count();
+    assert!(via_ohio > 0, "Ohio detours exist");
+
+    // 2. Kill the Frankfurt->Ohio link: showpaths marks those paths dead.
+    net.set_link_down(ohio_uplink(&net), true);
+    let after = net.paths(MY_AS, AWS_IRELAND, 40);
+    let dead: Vec<_> = after
+        .iter()
+        .filter(|p| p.status == PathStatus::Timeout)
+        .collect();
+    assert_eq!(dead.len(), via_ohio, "exactly the Ohio paths time out");
+    assert!(dead
+        .iter()
+        .all(|p| p.hops.iter().any(|h| h.ia == AWS_OHIO)));
+
+    // 3. Re-collection refreshes the stored status column.
+    collect_paths(&db, &net, &cfg).unwrap();
+    let handle = db.collection(PATHS);
+    let timeout_paths = handle.read().count(&Filter::eq("status", "timeout"));
+    assert!(timeout_paths >= via_ohio, "stored status refreshed");
+
+    // 4. Measure and select: with `require_alive`, no recommendation
+    //    crosses the dead link.
+    let quick = SuiteConfig {
+        iterations: 1,
+        ping_count: 3,
+        run_bwtests: false,
+        skip_collection: true,
+        ..cfg
+    };
+    // Only measure Ireland for speed.
+    let ireland_id = upin::upin_core::analysis::server_id_of(
+        &db,
+        upin::scion_sim::topology::scionlab::paper_destinations()[1],
+    )
+    .unwrap();
+    {
+        let servers = db.collection(upin::upin_core::schema::AVAILABLE_SERVERS);
+        servers
+            .write()
+            .delete_many(&Filter::ne("_id", ireland_id.to_string()));
+    }
+    run_tests(&db, &net, &quick).unwrap();
+
+    let recs = recommend(
+        &db,
+        &UserRequest {
+            server_id: ireland_id,
+            objective: Objective::MinLatency,
+            constraints: Constraints {
+                require_alive: true,
+                ..Constraints::default()
+            },
+        },
+        50,
+    )
+    .unwrap();
+    assert!(!recs.is_empty());
+    for r in &recs {
+        assert!(
+            !r.aggregate.sequence.contains(&AWS_OHIO.to_string()),
+            "alive-only selection must avoid the dead link: {}",
+            r.aggregate.sequence
+        );
+    }
+
+    // 5. Repair the link: discovery and selection recover.
+    net.set_link_down(ohio_uplink(&net), false);
+    let repaired = net.paths(MY_AS, AWS_IRELAND, 40);
+    assert!(repaired.iter().all(|p| p.status == PathStatus::Alive));
+    collect_paths(&db, &net, &cfg).unwrap();
+    let handle = db.collection(PATHS);
+    assert_eq!(
+        handle
+            .read()
+            .count(&Filter::eq("server_id", ireland_id as i64).and(Filter::eq("status", "timeout"))),
+        0,
+        "statuses healed after re-collection"
+    );
+}

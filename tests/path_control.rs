@@ -1,0 +1,119 @@
+//! Integration tests of user-driven path *control*: that the path a
+//! user (or the suite) selects is the path the network actually
+//! forwards over, and that control-plane authorization gates the data
+//! plane.
+
+use upin::scion_sim::fault::{CongestionEpisode, CongestionTarget};
+use upin::scion_sim::net::{NetError, ScionNetwork};
+use upin::scion_sim::path::ScionPath;
+use upin::scion_sim::topology::scionlab::{
+    paper_destinations, AWS_FRANKFURT, AWS_IRELAND, AWS_OHIO, AWS_SINGAPORE, MY_AS,
+};
+use upin::scion_tools::ping::{ping, PathSelection, PingOptions};
+use upin::scion_tools::traceroute::traceroute;
+
+#[test]
+fn chosen_path_is_the_forwarded_path() {
+    let net = ScionNetwork::scionlab(55);
+    let paths = net.paths(MY_AS, AWS_IRELAND, 40);
+    // Pick the Singapore detour explicitly.
+    let sg = paths
+        .iter()
+        .find(|p| p.hops.iter().any(|h| h.ia == AWS_SINGAPORE))
+        .expect("Singapore detour available");
+    let trace = traceroute(&net, MY_AS, AWS_IRELAND, &PathSelection::Sequence(sg.sequence())).unwrap();
+    // The traceroute visits exactly the chosen ASes in order.
+    let visited: Vec<_> = trace.hops.iter().map(|h| h.ia).collect();
+    let chosen: Vec<_> = sg.hops.iter().map(|h| h.ia).collect();
+    assert_eq!(visited, chosen);
+}
+
+#[test]
+fn latency_follows_the_user_choice_not_the_default() {
+    let net = ScionNetwork::scionlab(56);
+    let ireland = paper_destinations()[1];
+    let paths = net.paths(MY_AS, AWS_IRELAND, 40);
+    let eu = &paths[0];
+    let ohio = paths
+        .iter()
+        .find(|p| p.hops.iter().any(|h| h.ia == AWS_OHIO))
+        .expect("Ohio detour");
+    let opts = |p: &ScionPath| PingOptions {
+        count: 10,
+        interval_ms: 50.0,
+        timeout_ms: 1000.0,
+        selection: PathSelection::Sequence(p.sequence()),
+    };
+    let eu_rtt = ping(&net, MY_AS, ireland, &opts(eu)).unwrap().avg_ms.unwrap();
+    let ohio_rtt = ping(&net, MY_AS, ireland, &opts(ohio)).unwrap().avg_ms.unwrap();
+    assert!(
+        ohio_rtt > eu_rtt + 80.0,
+        "user-selected detour must show its geography: {ohio_rtt} vs {eu_rtt}"
+    );
+}
+
+#[test]
+fn tampered_sequences_cannot_forward() {
+    let net = ScionNetwork::scionlab(57);
+    let paths = net.paths(MY_AS, AWS_IRELAND, 2);
+    let good = &paths[0];
+
+    // 1. A fabricated shortcut skipping intermediate ASes.
+    let mut forged = ScionPath::from_sequence(&good.sequence()).unwrap();
+    forged.hops.remove(2);
+    assert!(net.authorize(&forged).is_err());
+
+    // 2. A spliced path mixing two real paths' halves.
+    if paths.len() > 1 {
+        let other = &paths[1];
+        let mut spliced = good.clone();
+        let k = spliced.hops.len() / 2;
+        spliced.hops.truncate(k);
+        spliced.hops.extend(other.hops[k..].iter().copied());
+        if !good.same_route(&spliced) {
+            assert!(net.authorize(&spliced).is_err());
+        }
+    }
+
+    // 3. Even a byte-identical route with zeroed MACs is refused by the
+    //    data plane directly.
+    let mut stripped = good.clone();
+    stripped.macs.clear();
+    let err = net.ping(&stripped, paper_destinations()[1], &Default::default());
+    assert!(matches!(err, Err(NetError::InvalidPath(_))));
+}
+
+#[test]
+fn interactive_choice_matches_showpaths_ordering() {
+    let net = ScionNetwork::scionlab(58);
+    let ireland = paper_destinations()[1];
+    let listed = net.paths(MY_AS, AWS_IRELAND, usize::MAX);
+    for choice in [0usize, 3, listed.len() - 1] {
+        let opts = PingOptions {
+            count: 2,
+            interval_ms: 10.0,
+            timeout_ms: 1500.0,
+            selection: PathSelection::Interactive(choice),
+        };
+        let report = ping(&net, MY_AS, ireland, &opts).unwrap();
+        assert!(report.path.same_route(&listed[choice]), "choice {choice}");
+    }
+}
+
+#[test]
+fn congestion_windows_blind_exactly_the_covered_interval() {
+    let net = ScionNetwork::scionlab(59);
+    let ireland = paper_destinations()[1];
+    let paths = net.paths(MY_AS, AWS_IRELAND, 1);
+    // 30 probes at 100 ms: black out the middle second only.
+    let t0 = net.now_ms();
+    net.add_congestion(CongestionEpisode {
+        target: CongestionTarget::Node(AWS_FRANKFURT),
+        start_ms: t0 + 1000.0,
+        end_ms: t0 + 2000.0,
+        severity: 1.0,
+    });
+    let report = ping(&net, MY_AS, ireland, &PingOptions::paper()).unwrap();
+    assert!(report.received >= 18 && report.received <= 22, "{}", report.received);
+    assert!((report.loss_pct - 33.3).abs() < 8.0, "{}", report.loss_pct);
+}
