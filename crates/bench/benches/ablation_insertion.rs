@@ -32,7 +32,9 @@ fn bench(c: &mut Criterion) {
     // overhead on every sample. Print the numbers the design argument
     // rests on.
     let n = 24; // one destination's paths
-    println!("crash mid-destination: batched loses <= {n} samples (one per path), single loses <= 1");
+    println!(
+        "crash mid-destination: batched loses <= {n} samples (one per path), single loses <= 1"
+    );
 
     let mut g = c.benchmark_group("ablation_insertion");
 

@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     let (paths, text) = upin_bench::fig5(42, 10);
     println!("{text}");
 
-    assert!(paths.len() >= 8, "enough paths for the figure: {}", paths.len());
+    assert!(
+        paths.len() >= 8,
+        "enough paths for the figure: {}",
+        paths.len()
+    );
     assert!(
         paths.iter().all(|p| p.hops == 6 || p.hops == 7),
         "retention keeps the 6/7-hop classes only"
@@ -34,7 +38,11 @@ fn bench(c: &mut Criterion) {
             .collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
-    let (low, mid, high) = (mean_of(&layers[0]), mean_of(&layers[1]), mean_of(&layers[2]));
+    let (low, mid, high) = (
+        mean_of(&layers[0]),
+        mean_of(&layers[1]),
+        mean_of(&layers[2]),
+    );
     assert!(low < 80.0, "EU layer {low}");
     assert!(mid > low * 2.0, "US-detour layer {mid} vs {low}");
     assert!(high > mid * 1.4, "Singapore layer {high} vs {mid}");

@@ -17,10 +17,22 @@ fn bench(c: &mut Criterion) {
     println!("{text}");
     assert!(paths.len() >= 3, "enough paths: {}", paths.len());
 
-    let up64: Vec<f64> = paths.iter().filter_map(|p| p.up_64.as_ref().map(|w| w.mean)).collect();
-    let upmtu: Vec<f64> = paths.iter().filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean)).collect();
-    let down64: Vec<f64> = paths.iter().filter_map(|p| p.down_64.as_ref().map(|w| w.mean)).collect();
-    let downmtu: Vec<f64> = paths.iter().filter_map(|p| p.down_mtu.as_ref().map(|w| w.mean)).collect();
+    let up64: Vec<f64> = paths
+        .iter()
+        .filter_map(|p| p.up_64.as_ref().map(|w| w.mean))
+        .collect();
+    let upmtu: Vec<f64> = paths
+        .iter()
+        .filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean))
+        .collect();
+    let down64: Vec<f64> = paths
+        .iter()
+        .filter_map(|p| p.down_64.as_ref().map(|w| w.mean))
+        .collect();
+    let downmtu: Vec<f64> = paths
+        .iter()
+        .filter_map(|p| p.down_mtu.as_ref().map(|w| w.mean))
+        .collect();
 
     // MTU > 64 B in both directions at the 12 Mbps target.
     assert!(
@@ -45,7 +57,11 @@ fn bench(c: &mut Criterion) {
     );
     assert!(mean(&down64) > mean(&up64));
     // MTU downstream approaches the 12 Mbps target.
-    assert!(mean(&downmtu) > 9.0, "downstream MTU mean {}", mean(&downmtu));
+    assert!(
+        mean(&downmtu) > 9.0,
+        "downstream MTU mean {}",
+        mean(&downmtu)
+    );
 
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);

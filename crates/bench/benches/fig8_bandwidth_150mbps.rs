@@ -17,10 +17,22 @@ fn bench(c: &mut Criterion) {
     println!("{text}");
     assert!(paths.len() >= 3);
 
-    let up64: Vec<f64> = paths.iter().filter_map(|p| p.up_64.as_ref().map(|w| w.mean)).collect();
-    let upmtu: Vec<f64> = paths.iter().filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean)).collect();
-    let down64: Vec<f64> = paths.iter().filter_map(|p| p.down_64.as_ref().map(|w| w.mean)).collect();
-    let downmtu: Vec<f64> = paths.iter().filter_map(|p| p.down_mtu.as_ref().map(|w| w.mean)).collect();
+    let up64: Vec<f64> = paths
+        .iter()
+        .filter_map(|p| p.up_64.as_ref().map(|w| w.mean))
+        .collect();
+    let upmtu: Vec<f64> = paths
+        .iter()
+        .filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean))
+        .collect();
+    let down64: Vec<f64> = paths
+        .iter()
+        .filter_map(|p| p.down_64.as_ref().map(|w| w.mean))
+        .collect();
+    let downmtu: Vec<f64> = paths
+        .iter()
+        .filter_map(|p| p.down_mtu.as_ref().map(|w| w.mean))
+        .collect();
 
     // The reversal: 64 B > MTU in both directions at 150 Mbps.
     assert!(

@@ -31,7 +31,11 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("insert_many/10k", |b| {
         b.iter_batched(
-            || (0..10_000).map(|i| doc! { "_id" => i.to_string(), "v" => i as i64 }).collect::<Vec<_>>(),
+            || {
+                (0..10_000)
+                    .map(|i| doc! { "_id" => i.to_string(), "v" => i as i64 })
+                    .collect::<Vec<_>>()
+            },
             |docs| {
                 let mut coll = Collection::new("t");
                 coll.insert_many(docs).unwrap();

@@ -97,7 +97,11 @@ fn bench(c: &mut Criterion) {
     let db = synthetic_db(1, 200, 20, true);
     let candidates = aggregate_paths(&db, 1, &Constraints::default()).unwrap();
     assert_eq!(candidates.len(), 200);
-    let criteria = [Objective::MinLatency, Objective::MinLoss, Objective::MaxBandwidthDown];
+    let criteria = [
+        Objective::MinLatency,
+        Objective::MinLoss,
+        Objective::MaxBandwidthDown,
+    ];
     g.bench_function("pareto_front/200_candidates", |b| {
         b.iter(|| pareto_front(black_box(&candidates), &criteria))
     });

@@ -18,10 +18,16 @@ fn bench(c: &mut Criterion) {
 
     let net = ScionNetwork::scionlab(42);
     g.bench_function("pathserver_query_ireland_40", |b| {
-        b.iter(|| net.path_server().query(net.topology(), MY_AS, black_box(AWS_IRELAND), 40))
+        b.iter(|| {
+            net.path_server()
+                .query(net.topology(), MY_AS, black_box(AWS_IRELAND), 40)
+        })
     });
     g.bench_function("pathserver_query_korea_40", |b| {
-        b.iter(|| net.path_server().query(net.topology(), MY_AS, black_box(KISTI_AP), 40))
+        b.iter(|| {
+            net.path_server()
+                .query(net.topology(), MY_AS, black_box(KISTI_AP), 40)
+        })
     });
 
     let paths = net.paths(MY_AS, AWS_IRELAND, 1);
@@ -39,11 +45,17 @@ fn bench(c: &mut Criterion) {
         target_mbps: 12.0,
     };
     g.bench_function("bwtest_both_directions", |b| {
-        b.iter(|| net.bwtest(black_box(&paths[0]), ireland, &flow, &flow).unwrap())
+        b.iter(|| {
+            net.bwtest(black_box(&paths[0]), ireland, &flow, &flow)
+                .unwrap()
+        })
     });
 
     g.bench_function("path_validation_mac_chain", |b| {
-        b.iter(|| net.path_server().validate(net.topology(), black_box(&paths[0])))
+        b.iter(|| {
+            net.path_server()
+                .validate(net.topology(), black_box(&paths[0]))
+        })
     });
     g.finish();
 }

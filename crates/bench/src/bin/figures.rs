@@ -21,11 +21,17 @@ fn main() {
         match args[i].as_str() {
             "--seed" => {
                 i += 1;
-                seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--iterations" => {
                 i += 1;
-                iterations = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                iterations = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--out" => {
                 i += 1;

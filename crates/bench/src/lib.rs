@@ -189,11 +189,13 @@ pub fn fig9(seed: u64, rounds: u32) -> (Vec<PathLoss>, String, usize) {
 /// five destinations". Runs the 12 Mbps campaign against each paper
 /// destination and reports, per destination, whether the two Fig. 7
 /// orderings (MTU > 64 B, downstream > upstream) hold.
-pub fn destination_consistency(seed: u64, iterations: u32) -> (Vec<(ScionAddr, bool, bool)>, String) {
+pub fn destination_consistency(
+    seed: u64,
+    iterations: u32,
+) -> (Vec<(ScionAddr, bool, bool)>, String) {
     let mut rows = Vec::new();
-    let mut text = String::from(
-        "Fig 7 trend per destination (12 Mbps target): MTU>64B | down>up\n",
-    );
+    let mut text =
+        String::from("Fig 7 trend per destination (12 Mbps target): MTU>64B | down>up\n");
     for dest in paper_destinations() {
         let (db, server_id) = bandwidth_campaign(seed, iterations, dest, 12.0);
         let paths = analysis::bandwidth_by_path(&db, server_id, 12.0).expect("series");
@@ -231,7 +233,10 @@ use std::fmt::Write;
 /// A usability readout the paper motivates ("offer users many paths to
 /// choose from"): for each paper destination, how many distinct paths a
 /// mix of user requests actually receives, and the Pareto-front size.
-pub fn choice_diversity(seed: u64, iterations: u32) -> (Vec<(ScionAddr, usize, usize, usize)>, String) {
+pub fn choice_diversity(
+    seed: u64,
+    iterations: u32,
+) -> (Vec<(ScionAddr, usize, usize, usize)>, String) {
     use upin_core::multi::pareto_front;
     use upin_core::select::{aggregate_paths, recommend, Constraints, Objective, UserRequest};
 
@@ -281,8 +286,9 @@ pub fn choice_diversity(seed: u64, iterations: u32) -> (Vec<(ScionAddr, usize, u
     );
     for dest in paper_destinations() {
         let server_id = analysis::server_id_of(&db, dest).expect("registered");
-        let candidates = aggregate_paths(&db, server_id, &upin_core::select::Constraints::default())
-            .expect("aggregates");
+        let candidates =
+            aggregate_paths(&db, server_id, &upin_core::select::Constraints::default())
+                .expect("aggregates");
         let mut winners = std::collections::BTreeSet::new();
         for req in request_mix(server_id) {
             if let Ok(recs) = recommend(&db, &req, 1) {
@@ -291,7 +297,11 @@ pub fn choice_diversity(seed: u64, iterations: u32) -> (Vec<(ScionAddr, usize, u
         }
         let front = pareto_front(
             &candidates,
-            &[Objective::MinLatency, Objective::MinLoss, Objective::MaxBandwidthDown],
+            &[
+                Objective::MinLatency,
+                Objective::MinLoss,
+                Objective::MaxBandwidthDown,
+            ],
         );
         let _ = writeln!(
             &mut text,
@@ -342,7 +352,11 @@ mod tests {
     fn fig4_matches_paper_scalars() {
         let (hist, text) = fig4(1);
         assert_eq!(hist.destinations, 21);
-        assert!((5.4..5.95).contains(&hist.mean_min_hops), "{}", hist.mean_min_hops);
+        assert!(
+            (5.4..5.95).contains(&hist.mean_min_hops),
+            "{}",
+            hist.mean_min_hops
+        );
         let frac = hist.frac_within(6);
         assert!((0.62..0.80).contains(&frac), "{frac}");
         assert!(text.contains("Fig 4"));

@@ -98,7 +98,8 @@ impl Spec {
             let arg = arg.as_ref();
             if let Some(name) = arg.strip_prefix("--").or_else(|| {
                 // Accept single-dash spellings the SCION tools use (-c, -m, -cs...).
-                arg.strip_prefix('-').filter(|r| !r.is_empty() && !r.chars().next().unwrap().is_ascii_digit())
+                arg.strip_prefix('-')
+                    .filter(|r| !r.is_empty() && !r.chars().next().unwrap().is_ascii_digit())
             }) {
                 match self.arity_of(name) {
                     Some(Arity::Flag) => out.flags.push(name.to_string()),
@@ -106,10 +107,18 @@ impl Spec {
                         let v = iter
                             .next()
                             .ok_or_else(|| format!("--{name} expects a value"))?;
+                        let v = v.as_ref();
+                        // `--workers --parallel` should complain about the missing
+                        // value, not record "--parallel" as the worker count.
+                        if let Some(next_name) = v.strip_prefix("--") {
+                            if self.arity_of(next_name).is_some() {
+                                return Err(format!("--{name} expects a value"));
+                            }
+                        }
                         out.options
                             .entry(name.to_string())
                             .or_default()
-                            .push(v.as_ref().to_string());
+                            .push(v.to_string());
                     }
                     None => return Err(format!("unknown option --{name}")),
                 }
@@ -167,6 +176,15 @@ mod tests {
     #[test]
     fn missing_value_rejected() {
         assert!(spec().parse(["x", "-m"]).is_err());
+    }
+
+    #[test]
+    fn option_token_is_not_a_value() {
+        assert!(spec().parse(["x", "-m", "--extended"]).is_err());
+        // A value that merely starts with dashes but is not a known option
+        // still parses (free-form strings are legal values).
+        let p = spec().parse(["x", "--exclude-country", "--weird"]).unwrap();
+        assert_eq!(p.opt("exclude-country"), Some("--weird"));
     }
 
     #[test]

@@ -13,9 +13,7 @@ use upin_core::SuiteConfig;
 
 /// Top-level dispatch: `run(&["showpaths", "16-ffaa:0:1002", "-m", "40"])`.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
-    let (command, rest) = argv
-        .split_first()
-        .ok_or_else(|| CliError::Usage(usage()))?;
+    let (command, rest) = argv.split_first().ok_or_else(|| CliError::Usage(usage()))?;
 
     // Global options are valid on every command.
     let with_globals = |spec: Spec| spec.value("seed").value("db");
@@ -34,7 +32,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             let s = open(&p)?;
             let dst: IsdAsn = parse_ia(&p.positional[0])?;
             let opts = ShowpathsOptions {
-                max_paths: p.opt_parse::<usize>("m").map_err(CliError::Usage)?.unwrap_or(10),
+                max_paths: p
+                    .opt_parse::<usize>("m")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(10),
                 extended: p.flag("extended"),
             };
             let r = scion_tools::showpaths::showpaths(&s.net, s.local, dst, opts)?;
@@ -55,7 +56,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             let s = open(&p)?;
             let dst: ScionAddr = parse_addr(&p.positional[0])?;
             let mut opts = PingOptions {
-                count: p.opt_parse::<u32>("c").map_err(CliError::Usage)?.unwrap_or(3),
+                count: p
+                    .opt_parse::<u32>("c")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(3),
                 selection: selection_from(&p)?,
                 ..PingOptions::default()
             };
@@ -66,15 +70,25 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             Ok(format!("using path: {}\n{}", r.path, r.render()))
         }
         "traceroute" => {
-            let p = parse(with_globals(Spec::new(1, 1).value("sequence").value("policy")), rest)?;
+            let p = parse(
+                with_globals(Spec::new(1, 1).value("sequence").value("policy")),
+                rest,
+            )?;
             let s = open(&p)?;
             let dst: IsdAsn = parse_ia(&p.positional[0])?;
-            let r = scion_tools::traceroute::traceroute(&s.net, s.local, dst, &selection_from(&p)?)?;
+            let r =
+                scion_tools::traceroute::traceroute(&s.net, s.local, dst, &selection_from(&p)?)?;
             Ok(r.render())
         }
         "bwtest" => {
             let p = parse(
-                with_globals(Spec::new(1, 1).value("cs").value("sc").value("sequence").value("policy")),
+                with_globals(
+                    Spec::new(1, 1)
+                        .value("cs")
+                        .value("sc")
+                        .value("sequence")
+                        .value("policy"),
+                ),
                 rest,
             )?;
             let s = open(&p)?;
@@ -97,7 +111,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                         .flag("skip")
                         .flag("some_only")
                         .flag("parallel")
-                        .flag("no-bwtests"),
+                        .flag("no-bwtests")
+                        .value("workers")
+                        .value("retries"),
                 ),
                 rest,
             )?;
@@ -107,6 +123,12 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             for flag in ["skip", "some_only", "parallel"] {
                 if p.flag(flag) {
                     suite_args.push(format!("--{flag}"));
+                }
+            }
+            for opt in ["workers", "retries"] {
+                if let Some(v) = p.opt(opt) {
+                    suite_args.push(format!("--{opt}"));
+                    suite_args.push(v.to_string());
                 }
             }
             let mut cfg = SuiteConfig::from_args(&suite_args).map_err(CliError::Usage)?;
@@ -122,13 +144,21 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         }
         "failover" => {
             let p = parse(
-                with_globals(Spec::new(1, 1).value("probes").value("threshold").value("max-paths")),
+                with_globals(
+                    Spec::new(1, 1)
+                        .value("probes")
+                        .value("threshold")
+                        .value("max-paths"),
+                ),
                 rest,
             )?;
             let s = open(&p)?;
             let dst: ScionAddr = parse_addr(&p.positional[0])?;
             let policy = scion_tools::multipath::FailoverPolicy {
-                total_probes: p.opt_parse::<u32>("probes").map_err(CliError::Usage)?.unwrap_or(30),
+                total_probes: p
+                    .opt_parse::<u32>("probes")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(30),
                 loss_threshold: p
                     .opt_parse::<u32>("threshold")
                     .map_err(CliError::Usage)?
@@ -139,7 +169,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 .opt_parse::<usize>("max-paths")
                 .map_err(CliError::Usage)?
                 .unwrap_or(10);
-            let r = scion_tools::multipath::ping_with_failover(&s.net, s.local, dst, max_paths, &policy)?;
+            let r = scion_tools::multipath::ping_with_failover(
+                &s.net, s.local, dst, max_paths, &policy,
+            )?;
             let mut out = format!(
                 "{} probes over {} candidate paths: {} received ({:.0}% loss), {} switch(es)\n",
                 r.probes.len(),
@@ -157,7 +189,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             s.ensure_servers()?;
             let server_id = resolve_server(&s, &p.positional[0])?;
             let constraints = constraints_from(&p)?;
-            let k = p.opt_parse::<usize>("k").map_err(CliError::Usage)?.unwrap_or(3);
+            let k = p
+                .opt_parse::<usize>("k")
+                .map_err(CliError::Usage)?
+                .unwrap_or(3);
 
             let render_agg = |tag: &str, a: &upin_core::select::PathAggregate| {
                 let lat = a
@@ -207,7 +242,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                     }
                 }
                 if out.is_empty() {
-                    return Err(CliError::Usage("no candidates with complete statistics".into()));
+                    return Err(CliError::Usage(
+                        "no candidates with complete statistics".into(),
+                    ));
                 }
                 return Ok(out);
             }
@@ -245,7 +282,13 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 .map_err(CliError::Usage)?
                 .unwrap_or(1.5);
             let report = verify_recommendation(
-                &s.db, &s.net, s.local, &recs[0], &constraints, objective, tolerance,
+                &s.db,
+                &s.net,
+                s.local,
+                &recs[0],
+                &constraints,
+                objective,
+                tolerance,
             )?;
             s.persist()?;
             let mut out = format!("verifying {} ...\n", recs[0].aggregate.path_id);
@@ -266,7 +309,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             }
         }
         "health" => {
-            let p = parse(with_globals(Spec::new(1, 1).value("window").value("sigmas")), rest)?;
+            let p = parse(
+                with_globals(Spec::new(1, 1).value("window").value("sigmas")),
+                rest,
+            )?;
             let s = open(&p)?;
             s.ensure_servers()?;
             let server_id = resolve_server(&s, &p.positional[0])?;
@@ -285,10 +331,17 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             for f in findings {
                 let what = match f.anomaly {
                     upin_core::health::Anomaly::Blackout => "BLACKOUT".to_string(),
-                    upin_core::health::Anomaly::LossOnset { baseline_pct, recent_pct } => {
+                    upin_core::health::Anomaly::LossOnset {
+                        baseline_pct,
+                        recent_pct,
+                    } => {
                         format!("loss onset {baseline_pct:.1}% -> {recent_pct:.1}%")
                     }
-                    upin_core::health::Anomaly::LatencyShift { baseline_ms, recent_ms, sigmas } => {
+                    upin_core::health::Anomaly::LatencyShift {
+                        baseline_ms,
+                        recent_ms,
+                        sigmas,
+                    } => {
                         format!("latency shift {baseline_ms:.1}ms -> {recent_ms:.1}ms ({sigmas:.1} sigma)")
                     }
                 };
@@ -340,7 +393,8 @@ fn usage() -> String {
      \x20      --policy ACL]\n\
      \x20 traceroute <ia> [--sequence S]\n\
      \x20 bwtest <addr> [-cs SPEC] [-sc SPEC] [--sequence S]\n\
-     \x20 campaign <iterations> [--skip] [--some_only] [--parallel] [--no-bwtests]\n\
+     \x20 campaign <iterations> [--skip] [--some_only] [--parallel] [--workers N]\n\
+     \x20          [--retries N] [--no-bwtests]\n\
      \x20 recommend <server|addr> [--objective latency|jitter|loss|bw-up|bw-down]\n\
      \x20           [--exclude-country C]* [--exclude-isd N]* [--exclude-as IA]*\n\
      \x20           [--exclude-operator O]* [--max-hops N] [-k N]\n\
@@ -404,7 +458,10 @@ fn parse(spec: Spec, rest: &[String]) -> Result<crate::args::Parsed, CliError> {
 }
 
 fn open(p: &crate::args::Parsed) -> Result<Session, CliError> {
-    let seed = p.opt_parse::<u64>("seed").map_err(CliError::Usage)?.unwrap_or(42);
+    let seed = p
+        .opt_parse::<u64>("seed")
+        .map_err(CliError::Usage)?
+        .unwrap_or(42);
     Session::open(seed, p.opt("db"))
 }
 
@@ -425,7 +482,10 @@ fn selection_from(p: &crate::args::Parsed) -> Result<PathSelection, CliError> {
     if let Some(policy) = p.opt("policy") {
         return Ok(PathSelection::Policy(policy.to_string()));
     }
-    if let Some(i) = p.opt_parse::<usize>("interactive").map_err(CliError::Usage)? {
+    if let Some(i) = p
+        .opt_parse::<usize>("interactive")
+        .map_err(CliError::Usage)?
+    {
         return Ok(PathSelection::Interactive(i));
     }
     Ok(PathSelection::Default)
@@ -446,8 +506,16 @@ fn objective_from(p: &crate::args::Parsed) -> Result<Objective, CliError> {
 
 fn constraints_from(p: &crate::args::Parsed) -> Result<Constraints, CliError> {
     let mut c = Constraints {
-        exclude_countries: p.opt_all("exclude-country").iter().map(|s| s.to_string()).collect(),
-        exclude_ases: p.opt_all("exclude-as").iter().map(|s| s.to_string()).collect(),
+        exclude_countries: p
+            .opt_all("exclude-country")
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        exclude_ases: p
+            .opt_all("exclude-as")
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         exclude_operators: p
             .opt_all("exclude-operator")
             .iter()
@@ -562,7 +630,15 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let dbflag = dir.to_str().unwrap();
 
-        let out = run_cli(&["campaign", "1", "--some_only", "--no-bwtests", "--db", dbflag]).unwrap();
+        let out = run_cli(&[
+            "campaign",
+            "1",
+            "--some_only",
+            "--no-bwtests",
+            "--db",
+            dbflag,
+        ])
+        .unwrap();
         assert!(out.contains("measurement:"), "{out}");
 
         // A separate invocation reads the persisted database.
@@ -583,17 +659,35 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("upin-cli-x-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let dbflag = dir.to_str().unwrap();
-        run_cli(&["campaign", "1", "--some_only", "--no-bwtests", "--db", dbflag]).unwrap();
+        run_cli(&[
+            "campaign",
+            "1",
+            "--some_only",
+            "--no-bwtests",
+            "--db",
+            dbflag,
+        ])
+        .unwrap();
         // Destination 1 is AWS Ireland; excluding the US is satisfiable
         // (EU-only paths exist), excluding Switzerland is not (every
         // path starts at MY_AS in Zurich).
         let out = run_cli(&[
-            "recommend", "1", "--exclude-country", "United States", "--db", dbflag,
+            "recommend",
+            "1",
+            "--exclude-country",
+            "United States",
+            "--db",
+            dbflag,
         ])
         .unwrap();
         assert!(out.contains("#1"));
         let err = run_cli(&[
-            "recommend", "1", "--exclude-country", "Switzerland", "--db", dbflag,
+            "recommend",
+            "1",
+            "--exclude-country",
+            "Switzerland",
+            "--db",
+            dbflag,
         ]);
         assert!(err.is_err());
         std::fs::remove_dir_all(&dir).unwrap();
@@ -609,18 +703,15 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("3 packets transmitted"), "{out}");
-        assert!(matches!(run_cli(&["exec", "rm -rf /"]), Err(CliError::Tool(_))));
+        assert!(matches!(
+            run_cli(&["exec", "rm -rf /"]),
+            Err(CliError::Tool(_))
+        ));
     }
 
     #[test]
     fn failover_command_reports_session() {
-        let out = run_cli(&[
-            "failover",
-            "16-ffaa:0:1002,[172.31.43.7]",
-            "--probes",
-            "8",
-        ])
-        .unwrap();
+        let out = run_cli(&["failover", "16-ffaa:0:1002,[172.31.43.7]", "--probes", "8"]).unwrap();
         assert!(out.contains("8 probes over"), "{out}");
         assert!(out.contains("final path:"), "{out}");
     }
@@ -660,7 +751,14 @@ mod tests {
         assert!(out.contains("* 1_"), "{out}");
 
         let out = run_cli(&[
-            "recommend", "1", "--weight", "latency=5", "--weight", "loss=1", "--db", dbflag,
+            "recommend",
+            "1",
+            "--weight",
+            "latency=5",
+            "--weight",
+            "loss=1",
+            "--db",
+            dbflag,
         ])
         .unwrap();
         assert!(out.contains("#1 ["), "{out}");

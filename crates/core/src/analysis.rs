@@ -159,10 +159,7 @@ pub fn latency_by_path(db: &Database, server_id: u32) -> SuiteResult<Vec<PathLat
 /// relative gap threshold. The paper observes three layers for the
 /// Ireland destination (EU-only, Ohio/US detours, Singapore detours).
 pub fn latency_layers(paths: &[PathLatency], gap_ratio: f64) -> Vec<Vec<PathId>> {
-    let mut means: Vec<(f64, PathId)> = paths
-        .iter()
-        .map(|p| (p.whisker.mean, p.path_id))
-        .collect();
+    let mut means: Vec<(f64, PathId)> = paths.iter().map(|p| (p.whisker.mean, p.path_id)).collect();
     means.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     let mut layers: Vec<Vec<PathId>> = Vec::new();
     let mut last: Option<f64> = None;
@@ -212,10 +209,7 @@ pub fn latency_by_isd_set(
         if samples.is_empty() {
             continue;
         }
-        let key = (
-            ms[0].isds.clone(),
-            ms[0].hops,
-        );
+        let key = (ms[0].isds.clone(), ms[0].hops);
         let entry = columns.entry(key).or_default();
         entry.0.extend(samples);
         entry.1 += 1;
@@ -295,11 +289,7 @@ impl PathLoss {
         if total == 0 {
             return 0.0;
         }
-        self.points
-            .iter()
-            .map(|(l, c)| l * *c as f64)
-            .sum::<f64>()
-            / total as f64
+        self.points.iter().map(|(l, c)| l * *c as f64).sum::<f64>() / total as f64
     }
 
     /// Whether every sample was a full blackout.
@@ -396,9 +386,15 @@ pub fn distance_correlation(
     let mut dist = Vec::new();
     let mut hops = Vec::new();
     for p in &latencies {
-        let Some(doc) = coll.find_by_id(p.path_id.to_string()) else { continue };
-        let Some(seq) = doc.get("sequence").and_then(Value::as_str) else { continue };
-        let Some(km) = path_distance_km(net, seq) else { continue };
+        let Some(doc) = coll.find_by_id(p.path_id.to_string()) else {
+            continue;
+        };
+        let Some(seq) = doc.get("sequence").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(km) = path_distance_km(net, seq) else {
+            continue;
+        };
         lat.push(p.whisker.mean);
         dist.push(km);
         hops.push(p.hops as f64);
@@ -540,7 +536,13 @@ mod tests {
                 },
             }
         }
-        let paths = vec![pl(0, 28.0), pl(1, 30.0), pl(2, 155.0), pl(3, 160.0), pl(4, 270.0)];
+        let paths = vec![
+            pl(0, 28.0),
+            pl(1, 30.0),
+            pl(2, 155.0),
+            pl(3, 160.0),
+            pl(4, 270.0),
+        ];
         let layers = latency_layers(&paths, 0.3);
         assert_eq!(layers.len(), 3, "{layers:?}");
         assert_eq!(layers[0].len(), 2);

@@ -185,8 +185,10 @@ fn collect_for_destination(
 
     // Delete paths for this destination that are no longer available.
     let deleted = coll.delete_many(
-        &Filter::eq("server_id", server_id as i64)
-            .and(Filter::not_in("_id", live_ids.into_iter().map(Value::from).collect())),
+        &Filter::eq("server_id", server_id as i64).and(Filter::not_in(
+            "_id",
+            live_ids.into_iter().map(Value::from).collect(),
+        )),
     );
     Ok((discovered, retained.len(), inserted, updated, deleted))
 }
@@ -252,7 +254,10 @@ mod tests {
                 .map(|d| d.get("hops").unwrap().as_int().unwrap())
                 .collect();
             let min = *hops.iter().min().unwrap();
-            assert!(hops.iter().all(|h| *h <= min + 1), "server {server_id}: {hops:?}");
+            assert!(
+                hops.iter().all(|h| *h <= min + 1),
+                "server {server_id}: {hops:?}"
+            );
         }
     }
 

@@ -38,10 +38,24 @@ pub struct SuiteConfig {
     /// Run the bandwidth tests at all (latency-only campaigns are much
     /// faster; the Fig. 5/6/9 analyses only need ping data).
     pub run_bwtests: bool,
-    /// Test destinations concurrently. Parallel runs keep every
-    /// guarantee except bitwise reproducibility of the random draws
-    /// (thread interleaving reorders per-operation RNG streams).
+    /// Test destinations concurrently. Parallel and sequential runs
+    /// produce the identical `paths_stats` document set for the same
+    /// seed: each destination runs on its own deterministic network
+    /// fork and batches commit in destination order.
     pub parallel: bool,
+    /// Worker-pool size for `--parallel` campaigns; the runner never
+    /// holds more than this many destination measurements in flight.
+    pub workers: usize,
+    /// Extra attempts per failed tool invocation (0 disables retry).
+    pub retry_attempts: u32,
+    /// Backoff before the first retry, in simulated milliseconds.
+    pub retry_base_ms: f64,
+    /// Multiplier applied to the backoff after each failed retry.
+    pub retry_multiplier: f64,
+    /// Circuit breaker: after this many *consecutive* hard-failed paths
+    /// on one destination, its remaining paths are skipped for the
+    /// iteration and the destination is recorded in the report.
+    pub breaker_threshold: usize,
 }
 
 impl Default for SuiteConfig {
@@ -60,13 +74,19 @@ impl Default for SuiteConfig {
             bw_small_bytes: 64,
             run_bwtests: true,
             parallel: false,
+            workers: 4,
+            retry_attempts: 2,
+            retry_base_ms: 200.0,
+            retry_multiplier: 2.0,
+            breaker_threshold: 3,
         }
     }
 }
 
 impl SuiteConfig {
     /// Parse the wrapper-script argument vector:
-    /// `test_suite.sh <iterations> [--skip] [--some_only]`.
+    /// `test_suite.sh <iterations> [--skip] [--some_only] [--parallel]
+    /// [--workers <n>] [--retries <n>]`.
     pub fn from_args<I, S>(args: I) -> Result<SuiteConfig, String>
     where
         I: IntoIterator<Item = S>,
@@ -74,12 +94,32 @@ impl SuiteConfig {
     {
         let mut cfg = SuiteConfig::default();
         let mut saw_iterations = false;
+        let mut expecting: Option<&'static str> = None;
         for arg in args {
             let arg = arg.as_ref();
+            if let Some(opt) = expecting.take() {
+                match opt {
+                    "--workers" => {
+                        cfg.workers =
+                            arg.parse().ok().filter(|w| *w >= 1).ok_or_else(|| {
+                                format!("--workers needs a count >= 1, got {arg:?}")
+                            })?;
+                    }
+                    "--retries" => {
+                        cfg.retry_attempts = arg
+                            .parse()
+                            .map_err(|_| format!("--retries must be an integer, got {arg:?}"))?;
+                    }
+                    _ => unreachable!(),
+                }
+                continue;
+            }
             match arg {
                 "--skip" => cfg.skip_collection = true,
                 "--some_only" => cfg.some_only = true,
                 "--parallel" => cfg.parallel = true,
+                "--workers" => expecting = Some("--workers"),
+                "--retries" => expecting = Some("--retries"),
                 other if !saw_iterations => {
                     cfg.iterations = other
                         .parse()
@@ -88,6 +128,9 @@ impl SuiteConfig {
                 }
                 other => return Err(format!("unexpected argument {other:?}")),
             }
+        }
+        if let Some(opt) = expecting {
+            return Err(format!("{opt} needs a value"));
         }
         if !saw_iterations {
             return Err("missing <iterations> argument".into());
@@ -150,5 +193,22 @@ mod tests {
         assert!(SuiteConfig::from_args(["0"]).is_err());
         assert!(SuiteConfig::from_args(["3", "--wat"]).is_err());
         assert!(SuiteConfig::from_args(["3", "4"]).is_err());
+        assert!(SuiteConfig::from_args(["3", "--workers"]).is_err());
+        assert!(SuiteConfig::from_args(["3", "--workers", "0"]).is_err());
+        assert!(SuiteConfig::from_args(["3", "--retries", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_runner_knobs() {
+        let c = SuiteConfig::from_args(["7", "--parallel", "--workers", "2", "--retries", "5"])
+            .unwrap();
+        assert!(c.parallel);
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.retry_attempts, 5);
+        // Defaults keep the runner conservative but self-healing.
+        let d = SuiteConfig::default();
+        assert_eq!(d.workers, 4);
+        assert_eq!(d.retry_attempts, 2);
+        assert_eq!(d.breaker_threshold, 3);
     }
 }

@@ -56,7 +56,9 @@ pub fn explore(db: &Database, net: &ScionNetwork) -> SuiteResult<usize> {
         let (contribution, observations) = existing
             .map(|d| {
                 (
-                    d.get("latency_contribution_ms").cloned().unwrap_or(Value::Null),
+                    d.get("latency_contribution_ms")
+                        .cloned()
+                        .unwrap_or(Value::Null),
                     d.get("observations").cloned().unwrap_or(Value::Int(0)),
                 )
             })
@@ -90,12 +92,18 @@ pub fn enrich_from_traces(db: &Database) -> SuiteResult<usize> {
         let coll = handle.read();
         let mut obs: Vec<Document> = Vec::new();
         for trace in coll.find(&Filter::True) {
-            let Some(Value::Array(hops)) = trace.get("hops") else { continue };
+            let Some(Value::Array(hops)) = trace.get("hops") else {
+                continue;
+            };
             let mut prev_rtt = 0.0;
             for h in hops {
                 let Some(hd) = h.as_doc() else { continue };
-                let Some(ia) = hd.get("ia").and_then(Value::as_str) else { continue };
-                let Some(rtt) = hd.get("rtt_ms").and_then(Value::as_float) else { continue };
+                let Some(ia) = hd.get("ia").and_then(Value::as_str) else {
+                    continue;
+                };
+                let Some(rtt) = hd.get("rtt_ms").and_then(Value::as_float) else {
+                    continue;
+                };
                 let delta = (rtt - prev_rtt).max(0.0);
                 prev_rtt = rtt;
                 obs.push(doc! { "ia" => ia, "delta" => delta });
@@ -118,7 +126,9 @@ pub fn enrich_from_traces(db: &Database) -> SuiteResult<usize> {
     let mut coll = handle.write();
     let mut enriched = 0;
     for g in groups {
-        let Some(ia) = g.get("_id").and_then(Value::as_str) else { continue };
+        let Some(ia) = g.get("_id").and_then(Value::as_str) else {
+            continue;
+        };
         let mean = g.get("mean_delta").cloned().unwrap_or(Value::Null);
         let n = g.get("n").cloned().unwrap_or(Value::Int(0));
         let updated = coll.update_many(
@@ -145,7 +155,12 @@ fn decode(d: &Document) -> SuiteResult<DomainInfo> {
         .ok_or_else(|| SuiteError::Schema("domain doc without _id".into()))?
         .parse()
         .map_err(|e| SuiteError::Schema(format!("bad domain id: {e}")))?;
-    let s = |k: &str| d.get(k).and_then(Value::as_str).unwrap_or_default().to_string();
+    let s = |k: &str| {
+        d.get(k)
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
     Ok(DomainInfo {
         ia,
         name: s("name"),
@@ -223,7 +238,10 @@ mod tests {
     #[test]
     fn explore_registers_every_as() {
         let (db, net) = explored();
-        assert_eq!(db.collection(DOMAINS).read().len(), net.topology().num_ases());
+        assert_eq!(
+            db.collection(DOMAINS).read().len(),
+            net.topology().num_ases()
+        );
         let infos = domains_matching(&db, &Filter::eq("country", "Switzerland")).unwrap();
         assert!(infos.len() >= 5, "{infos:?}");
         assert!(infos.iter().any(|d| d.ia == MY_AS));
@@ -296,6 +314,8 @@ mod tests {
         assert!(!ases.contains(&AWS_IRELAND));
         assert!(!ases.contains(&AWS_N_VIRGINIA));
         // Empty constraints resolve to nothing.
-        assert!(resolve_exclusions(&db, &Constraints::default()).unwrap().is_empty());
+        assert!(resolve_exclusions(&db, &Constraints::default())
+            .unwrap()
+            .is_empty());
     }
 }

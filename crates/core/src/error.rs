@@ -17,6 +17,10 @@ pub enum SuiteError {
     NoCandidates(String),
     /// A signed write failed authentication.
     Unauthorized(String),
+    /// The campaign runner itself failed (e.g. a worker thread died) —
+    /// distinct from per-measurement tool errors, which are recorded as
+    /// data, not raised.
+    Campaign(String),
 }
 
 impl fmt::Display for SuiteError {
@@ -27,6 +31,7 @@ impl fmt::Display for SuiteError {
             SuiteError::Schema(m) => write!(f, "schema error: {m}"),
             SuiteError::NoCandidates(m) => write!(f, "no candidate paths: {m}"),
             SuiteError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            SuiteError::Campaign(m) => write!(f, "campaign runner error: {m}"),
         }
     }
 }

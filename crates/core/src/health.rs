@@ -14,6 +14,80 @@ use crate::error::SuiteResult;
 use crate::schema::{PathId, PathMeasurement};
 use pathdb::Database;
 
+/// One structured event emitted by the campaign runner
+/// ([`crate::runner`]) while it keeps a campaign alive: retries of
+/// transient tool failures and circuit-breaker trips on persistently
+/// dead destinations. The health layer consumes these alongside the
+/// stored measurements — an operator asking "which paths just changed"
+/// also wants to know which destinations the runner gave up on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignEvent {
+    /// A tool invocation failed transiently and was re-attempted after a
+    /// backoff of `delay_ms` simulated milliseconds.
+    Retry {
+        path_id: PathId,
+        stage: &'static str,
+        /// 1-based retry number (first retry = 1).
+        attempt: u32,
+        delay_ms: f64,
+    },
+    /// Every configured attempt failed; the error row was recorded.
+    RetriesExhausted {
+        path_id: PathId,
+        stage: &'static str,
+        attempts: u32,
+    },
+    /// `consecutive` paths in a row hard-failed, so the destination's
+    /// remaining `skipped_paths` paths were not measured this iteration.
+    CircuitOpen {
+        server_id: u32,
+        consecutive: usize,
+        skipped_paths: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignEvent::Retry { path_id, stage, attempt, delay_ms } => write!(
+                f,
+                "path {path_id}: {stage} failed, retry #{attempt} after {delay_ms:.0} ms"
+            ),
+            CampaignEvent::RetriesExhausted { path_id, stage, attempts } => {
+                write!(f, "path {path_id}: {stage} failed all {attempts} attempts")
+            }
+            CampaignEvent::CircuitOpen { server_id, consecutive, skipped_paths } => write!(
+                f,
+                "destination {server_id}: breaker open after {consecutive} consecutive failures, {skipped_paths} paths skipped"
+            ),
+        }
+    }
+}
+
+/// Condense a campaign's event stream into per-destination counts:
+/// `(retries, exhausted, breaker trips)` — the shape an operator
+/// dashboard would plot next to [`detect`]'s findings.
+pub fn summarize_events(
+    events: &[CampaignEvent],
+) -> std::collections::BTreeMap<u32, (usize, usize, usize)> {
+    let mut out: std::collections::BTreeMap<u32, (usize, usize, usize)> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        match e {
+            CampaignEvent::Retry { path_id, .. } => {
+                out.entry(path_id.server_id).or_default().0 += 1
+            }
+            CampaignEvent::RetriesExhausted { path_id, .. } => {
+                out.entry(path_id.server_id).or_default().1 += 1
+            }
+            CampaignEvent::CircuitOpen { server_id, .. } => {
+                out.entry(*server_id).or_default().2 += 1
+            }
+        }
+    }
+    out
+}
+
 /// What changed on a path.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Anomaly {
@@ -63,7 +137,11 @@ impl Default for HealthConfig {
 
 /// Scan one destination's measurement history for anomalies.
 /// Measurements are already timestamp-ordered per path.
-pub fn detect(db: &Database, server_id: u32, cfg: &HealthConfig) -> SuiteResult<Vec<HealthFinding>> {
+pub fn detect(
+    db: &Database,
+    server_id: u32,
+    cfg: &HealthConfig,
+) -> SuiteResult<Vec<HealthFinding>> {
     let grouped = measurements_by_path(db, server_id)?;
     let mut findings = Vec::new();
     for (path_id, ms) in grouped {
@@ -78,7 +156,11 @@ pub fn detect(db: &Database, server_id: u32, cfg: &HealthConfig) -> SuiteResult<
     Ok(findings)
 }
 
-fn judge(baseline: &[PathMeasurement], recent: &[PathMeasurement], cfg: &HealthConfig) -> Option<Anomaly> {
+fn judge(
+    baseline: &[PathMeasurement],
+    recent: &[PathMeasurement],
+    cfg: &HealthConfig,
+) -> Option<Anomaly> {
     // Blackout: all recent samples fully lost.
     if recent.iter().all(|m| m.loss_pct >= 100.0) {
         return Some(Anomaly::Blackout);
@@ -158,7 +240,7 @@ mod tests {
     fn stable_path_is_clean() {
         let db = Database::new();
         let lat: Vec<f64> = (0..10).map(|i| 25.0 + (i % 3) as f64 * 0.3).collect();
-        seed_history(&db, &lat, &vec![0.0; 10]);
+        seed_history(&db, &lat, &[0.0; 10]);
         assert!(detect_one(&db).is_empty());
     }
 
@@ -167,11 +249,15 @@ mod tests {
         let db = Database::new();
         let mut lat: Vec<f64> = (0..8).map(|i| 25.0 + (i % 3) as f64 * 0.5).collect();
         lat.extend([150.0, 152.0, 149.0]); // the path re-routed
-        seed_history(&db, &lat, &vec![0.0; 11]);
+        seed_history(&db, &lat, &[0.0; 11]);
         let findings = detect_one(&db);
         assert_eq!(findings.len(), 1);
         match &findings[0].anomaly {
-            Anomaly::LatencyShift { baseline_ms, recent_ms, sigmas } => {
+            Anomaly::LatencyShift {
+                baseline_ms,
+                recent_ms,
+                sigmas,
+            } => {
                 assert!((*baseline_ms - 25.5).abs() < 1.0);
                 assert!(*recent_ms > 140.0);
                 assert!(*sigmas > 4.0);
@@ -202,6 +288,54 @@ mod tests {
         let findings = detect_one(&db);
         assert_eq!(findings.len(), 1);
         assert!(matches!(findings[0].anomaly, Anomaly::Blackout));
+    }
+
+    #[test]
+    fn events_summarize_per_destination() {
+        let pid = PathId {
+            server_id: 4,
+            path_index: 0,
+        };
+        let events = vec![
+            CampaignEvent::Retry {
+                path_id: pid,
+                stage: "bwtest64",
+                attempt: 1,
+                delay_ms: 200.0,
+            },
+            CampaignEvent::Retry {
+                path_id: pid,
+                stage: "bwtest64",
+                attempt: 2,
+                delay_ms: 400.0,
+            },
+            CampaignEvent::RetriesExhausted {
+                path_id: pid,
+                stage: "bwtest64",
+                attempts: 3,
+            },
+            CampaignEvent::CircuitOpen {
+                server_id: 4,
+                consecutive: 3,
+                skipped_paths: 5,
+            },
+            CampaignEvent::Retry {
+                path_id: PathId {
+                    server_id: 9,
+                    path_index: 2,
+                },
+                stage: "bwtestMTU",
+                attempt: 1,
+                delay_ms: 200.0,
+            },
+        ];
+        let summary = summarize_events(&events);
+        assert_eq!(summary[&4], (2, 1, 1));
+        assert_eq!(summary[&9], (1, 0, 0));
+        // Every event renders a human-readable line.
+        for e in &events {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

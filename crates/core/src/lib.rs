@@ -12,6 +12,10 @@
 //! * [`measure`] — the measurement stage (`ping -c 30 --interval 0.1s`,
 //!   bandwidth tests at 64 B and MTU), with per-destination batched
 //!   insertion and fault-tolerant error recording.
+//! * [`runner`] — the campaign engine: bounded worker pool, retry with
+//!   deterministic exponential backoff, per-destination circuit breaker,
+//!   and destination-ordered commits that make parallel campaigns
+//!   bit-identical to sequential ones.
 //! * [`suite`] — the `test_suite.sh` wrapper (`<iterations>`, `--skip`,
 //!   `--some_only`, plus an optional `--parallel` mode).
 //! * [`select`] — the selection engine: performance objectives and
@@ -50,6 +54,7 @@ pub mod health;
 pub mod measure;
 pub mod multi;
 pub mod report;
+pub mod runner;
 pub mod schedule;
 pub mod schema;
 pub mod security;

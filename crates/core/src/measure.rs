@@ -7,11 +7,17 @@
 //! **one bulk write per destination** — the fault-tolerance/overhead
 //! trade-off of §4.2.2: a crash costs at most one in-flight sample per
 //! path of one destination, never the balance of the dataset.
+//!
+//! Execution (worker pool, retry/backoff, circuit breaker, deterministic
+//! batching) lives in [`crate::runner`]; this module defines what a
+//! single path measurement is and the campaign's report shape.
 
 use crate::config::SuiteConfig;
 use crate::error::SuiteResult;
-use crate::schema::{self, PathId, PathMeasurement, StatId, PATHS, PATHS_STATS};
-use pathdb::{Database, Document, Filter, FindOptions, Order};
+use crate::health::CampaignEvent;
+use crate::runner::{retry_tool, RetryPolicy};
+use crate::schema::{self, PathId, PathMeasurement, StatId, PATHS};
+use pathdb::{Database, Filter, FindOptions, Order};
 use scion_sim::addr::ScionAddr;
 use scion_sim::net::ScionNetwork;
 use scion_tools::bwtester::bwtest;
@@ -27,51 +33,28 @@ pub struct MeasureReport {
     pub measured: usize,
     /// Stats documents inserted.
     pub inserted: usize,
-    /// Measurements that recorded a tool-level error.
+    /// Measurements that recorded a tool-level error after retries.
     pub errors: usize,
+    /// Tool invocations that were re-attempted after a transient failure.
+    pub retries: usize,
+    /// Path measurements skipped by the circuit breaker.
+    pub skipped: usize,
+    /// Most worker threads ever live at once (1 for sequential runs);
+    /// never exceeds [`SuiteConfig::workers`].
+    pub peak_workers: usize,
+    /// Destinations whose circuit breaker tripped at least once.
+    pub tripped: Vec<u32>,
+    /// Structured retry/breaker event log, in destination order.
+    pub events: Vec<CampaignEvent>,
 }
 
 /// Run the full campaign against the paths currently stored.
-pub fn run_tests(db: &Database, net: &ScionNetwork, cfg: &SuiteConfig) -> SuiteResult<MeasureReport> {
-    let mut dests = crate::collect::destinations(db)?;
-    if cfg.some_only {
-        dests.truncate(1);
-    }
-    let mut report = MeasureReport {
-        iterations: cfg.iterations,
-        destinations: dests.len(),
-        ..MeasureReport::default()
-    };
-    for _iter in 0..cfg.iterations {
-        if cfg.parallel {
-            let results = parking_lot::Mutex::new(Vec::new());
-            crossbeam::scope(|scope| {
-                for (server_id, addr) in &dests {
-                    let results = &results;
-                    scope.spawn(move |_| {
-                        let r = measure_destination(db, net, cfg, *server_id, *addr);
-                        results.lock().push(r);
-                    });
-                }
-            })
-            .expect("measurement threads do not panic");
-            for r in results.into_inner() {
-                let (measured, inserted, errors) = r?;
-                report.measured += measured;
-                report.inserted += inserted;
-                report.errors += errors;
-            }
-        } else {
-            for (server_id, addr) in &dests {
-                let (measured, inserted, errors) =
-                    measure_destination(db, net, cfg, *server_id, *addr)?;
-                report.measured += measured;
-                report.inserted += inserted;
-                report.errors += errors;
-            }
-        }
-    }
-    Ok(report)
+pub fn run_tests(
+    db: &Database,
+    net: &ScionNetwork,
+    cfg: &SuiteConfig,
+) -> SuiteResult<MeasureReport> {
+    crate::runner::run_campaign(db, net, cfg)
 }
 
 /// Paths of one destination, ordered by path index.
@@ -85,42 +68,21 @@ pub fn paths_of(db: &Database, server_id: u32) -> SuiteResult<Vec<(PathId, Strin
     docs.iter().map(schema::parse_path_doc).collect()
 }
 
-/// Measure every stored path of one destination once; bulk-insert at the
-/// end. Returns `(measured, inserted, errors)`.
-fn measure_destination(
-    db: &Database,
-    net: &ScionNetwork,
-    cfg: &SuiteConfig,
-    server_id: u32,
-    addr: ScionAddr,
-) -> SuiteResult<(usize, usize, usize)> {
-    let paths = paths_of(db, server_id)?;
-    let mut buffer: Vec<Document> = Vec::with_capacity(paths.len());
-    let mut errors = 0usize;
-    for (path_id, sequence, hops) in &paths {
-        let m = measure_path(net, cfg, *path_id, addr, sequence, *hops);
-        if m.error.is_some() {
-            errors += 1;
-        }
-        buffer.push(m.to_doc());
-    }
-    let measured = buffer.len();
-    // §4.2.2: one bulk insertion per destination.
-    let handle = db.collection(PATHS_STATS);
-    let inserted = handle.write().insert_many(buffer)?.len();
-    Ok((measured, inserted, errors))
-}
-
-/// Measure a single path once. Never fails: tool-level errors become a
-/// recorded measurement with `error` set, keeping the campaign alive in
-/// the presence of down or misbehaving servers (§4.1.2).
+/// Measure a single path once, retrying transient tool failures under
+/// `policy` (backoffs advance `net`'s simulated clock; retries land in
+/// `events`). Never fails: tool-level errors that survive the retries
+/// become a recorded measurement with `error` set, keeping the campaign
+/// alive in the presence of down or misbehaving servers (§4.1.2).
+#[allow(clippy::too_many_arguments)]
 pub fn measure_path(
     net: &ScionNetwork,
     cfg: &SuiteConfig,
+    policy: &RetryPolicy,
     path_id: PathId,
     addr: ScionAddr,
     sequence: &str,
     hops: usize,
+    events: &mut Vec<CampaignEvent>,
 ) -> PathMeasurement {
     let stat_id = StatId {
         path: path_id,
@@ -152,7 +114,9 @@ pub fn measure_path(
         timeout_ms: 1000.0,
         selection: selection.clone(),
     };
-    match ping(net, cfg.local_as, addr, &ping_opts) {
+    match retry_tool(net, policy, "ping", path_id, events, || {
+        ping(net, cfg.local_as, addr, &ping_opts)
+    }) {
         Ok(report) => {
             m.avg_latency_ms = report.avg_ms;
             m.jitter_ms = report.mdev_ms;
@@ -169,7 +133,9 @@ pub fn measure_path(
     }
 
     // 2. Bandwidth with small packets.
-    match bwtest(net, cfg.local_as, addr, &cfg.small_spec(), None, &selection) {
+    match retry_tool(net, policy, "bwtest64", path_id, events, || {
+        bwtest(net, cfg.local_as, addr, &cfg.small_spec(), None, &selection)
+    }) {
         Ok(r) => {
             m.bw_up_64 = Some(r.cs.achieved_mbps);
             m.bw_down_64 = Some(r.sc.achieved_mbps);
@@ -178,7 +144,9 @@ pub fn measure_path(
     }
 
     // 3. Bandwidth with MTU-sized packets.
-    match bwtest(net, cfg.local_as, addr, &cfg.mtu_spec(), None, &selection) {
+    match retry_tool(net, policy, "bwtestMTU", path_id, events, || {
+        bwtest(net, cfg.local_as, addr, &cfg.mtu_spec(), None, &selection)
+    }) {
         Ok(r) => {
             m.bw_up_mtu = Some(r.cs.achieved_mbps);
             m.bw_down_mtu = Some(r.sc.achieved_mbps);
@@ -200,6 +168,7 @@ fn error_tag(stage: &str, e: &ToolError) -> String {
 mod tests {
     use super::*;
     use crate::collect::{collect_paths, register_available_servers};
+    use crate::schema::PATHS_STATS;
     use pathdb::Value;
     use scion_sim::fault::ServerBehavior;
     use scion_sim::topology::scionlab::paper_destinations;

@@ -134,7 +134,11 @@ pub fn weighted_rank<'a>(
             let mut score = 0.0;
             for &(c, w, min, max) in &ranges {
                 let v = criterion_value(a, c).expect("complete");
-                let norm = if max > min { (v - min) / (max - min) } else { 0.0 };
+                let norm = if max > min {
+                    (v - min) / (max - min)
+                } else {
+                    0.0
+                };
                 score += w * norm;
             }
             (score / total_w, a)
@@ -198,7 +202,11 @@ mod tests {
     #[test]
     fn pareto_front_keeps_tradeoffs_drops_dominated() {
         let cands = candidates();
-        let criteria = [Objective::MinLatency, Objective::MinLoss, Objective::MaxBandwidthDown];
+        let criteria = [
+            Objective::MinLatency,
+            Objective::MinLoss,
+            Objective::MaxBandwidthDown,
+        ];
         let front = pareto_front(&cands, &criteria);
         let ids: Vec<u32> = front.iter().map(|a| a.path_id.path_index).collect();
         assert!(ids.contains(&0), "fastest survives: {ids:?}");

@@ -66,7 +66,9 @@ pub fn render_fig6(
     for g in all {
         out.push_str(&fmt_group(g));
     }
-    out.push_str(&format!("[right: excluding long-distance ASes {excluded_ases:?}]\n"));
+    out.push_str(&format!(
+        "[right: excluding long-distance ASes {excluded_ases:?}]\n"
+    ));
     for g in excluded {
         out.push_str(&fmt_group(g));
     }
@@ -121,7 +123,11 @@ pub fn render_fig9(dest_label: &str, paths: &[PathLoss]) -> String {
             "{:<8} {}{}\n",
             p.path_id.to_string(),
             dots.join("  "),
-            if p.total_blackout() { "   <- 100% loss" } else { "" }
+            if p.total_blackout() {
+                "   <- 100% loss"
+            } else {
+                ""
+            }
         ));
     }
     out
@@ -176,7 +182,10 @@ mod tests {
     #[test]
     fn fig5_lists_paths() {
         let paths = vec![PathLatency {
-            path_id: PathId { server_id: 2, path_index: 3 },
+            path_id: PathId {
+                server_id: 2,
+                path_index: 3,
+            },
             hops: 6,
             whisker: whisker(28.0),
         }];
@@ -189,11 +198,17 @@ mod tests {
     fn fig9_marks_blackouts() {
         let paths = vec![
             PathLoss {
-                path_id: PathId { server_id: 2, path_index: 16 },
+                path_id: PathId {
+                    server_id: 2,
+                    path_index: 16,
+                },
                 points: vec![(100.0, 4)],
             },
             PathLoss {
-                path_id: PathId { server_id: 2, path_index: 1 },
+                path_id: PathId {
+                    server_id: 2,
+                    path_index: 1,
+                },
                 points: vec![(0.0, 4)],
             },
         ];

@@ -1,0 +1,463 @@
+//! Campaign execution: the engine under [`crate::measure::run_tests`].
+//!
+//! The paper's requirement (§4.1.2) is that a dead destination must not
+//! kill the campaign; this module adds the three properties campaign-
+//! scale data quality actually needs on top of that:
+//!
+//! * **Bounded concurrency** — `--parallel` runs destinations through a
+//!   worker pool of [`SuiteConfig::workers`] threads, never one thread
+//!   per destination.
+//! * **Determinism** — every destination is measured on its own
+//!   [`ScionNetwork::fork`], whose clock and RNG stream depend only on
+//!   the iteration and the destination's position. Workers return
+//!   per-destination batches which commit in destination order, so a
+//!   parallel campaign produces the *identical* `paths_stats` document
+//!   set as a sequential one (same `_id`s, same field values), for any
+//!   worker count.
+//! * **Self-healing** — transiently failed tool invocations are retried
+//!   with deterministic exponential backoff (jitter drawn from the
+//!   fork's seeded RNG, delays advanced on the simulated clock), and a
+//!   per-destination circuit breaker stops hammering a destination
+//!   whose paths hard-fail consecutively, skipping its remaining paths
+//!   for the iteration. Both emit structured [`CampaignEvent`]s.
+
+use crate::config::SuiteConfig;
+use crate::error::{SuiteError, SuiteResult};
+use crate::health::CampaignEvent;
+use crate::measure::{measure_path, paths_of, MeasureReport};
+use crate::schema::{PathId, PATHS_STATS};
+use pathdb::{Database, Document};
+use scion_sim::addr::ScionAddr;
+use scion_sim::net::ScionNetwork;
+use scion_tools::ToolError;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Retry schedule for one tool invocation: up to `attempts` retries,
+/// the n-th delayed by `base_ms * multiplier^n`, scaled by a
+/// deterministic jitter factor in `[0.5, 1.5)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    pub attempts: u32,
+    pub base_ms: f64,
+    pub multiplier: f64,
+}
+
+impl RetryPolicy {
+    pub fn from_config(cfg: &SuiteConfig) -> RetryPolicy {
+        RetryPolicy {
+            attempts: cfg.retry_attempts,
+            base_ms: cfg.retry_base_ms,
+            multiplier: cfg.retry_multiplier,
+        }
+    }
+
+    /// Nominal backoff before retry number `attempt` (0-based), before
+    /// jitter.
+    pub fn delay_ms(&self, attempt: u32) -> f64 {
+        self.base_ms * self.multiplier.powi(attempt as i32)
+    }
+}
+
+/// Only timeouts are worth retrying: a server that answers garbage
+/// (`BadResponse`) or a path that fails validation will do so again.
+fn is_transient(e: &ToolError) -> bool {
+    matches!(e, ToolError::Net(scion_sim::net::NetError::Timeout))
+}
+
+/// Run `op` under `policy`, sleeping backoffs on the simulated clock and
+/// logging every retry. The final error (if all attempts fail) is
+/// returned for the caller to record as an error row.
+pub(crate) fn retry_tool<T>(
+    net: &ScionNetwork,
+    policy: &RetryPolicy,
+    stage: &'static str,
+    path_id: PathId,
+    events: &mut Vec<CampaignEvent>,
+    mut op: impl FnMut() -> Result<T, ToolError>,
+) -> Result<T, ToolError> {
+    let mut retries = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if retries < policy.attempts && is_transient(&e) => {
+                let delay = policy.delay_ms(retries) * (0.5 + net.jitter_unit());
+                net.advance_ms(delay);
+                retries += 1;
+                events.push(CampaignEvent::Retry {
+                    path_id,
+                    stage,
+                    attempt: retries,
+                    delay_ms: delay,
+                });
+            }
+            Err(e) => {
+                if retries > 0 {
+                    events.push(CampaignEvent::RetriesExhausted {
+                        path_id,
+                        stage,
+                        attempts: retries + 1,
+                    });
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// One destination's unit of work: everything a worker needs, with no
+/// database access (paths are pre-fetched, results are batched).
+struct DestJob {
+    index: usize,
+    server_id: u32,
+    addr: ScionAddr,
+    net: ScionNetwork,
+    paths: Vec<(PathId, String, usize)>,
+}
+
+/// What a worker hands back, committed by the coordinator in
+/// destination order.
+struct DestBatch {
+    index: usize,
+    server_id: u32,
+    docs: Vec<Document>,
+    errors: usize,
+    skipped: usize,
+    tripped: bool,
+    events: Vec<CampaignEvent>,
+    elapsed_ms: f64,
+}
+
+/// Run the full campaign over the stored paths. Both the sequential and
+/// the parallel mode execute destinations on identical network forks;
+/// they differ only in *where* the work runs.
+pub fn run_campaign(
+    db: &Database,
+    net: &ScionNetwork,
+    cfg: &SuiteConfig,
+) -> SuiteResult<MeasureReport> {
+    let mut dests = crate::collect::destinations(db)?;
+    if cfg.some_only {
+        dests.truncate(1);
+    }
+    let mut path_lists = Vec::with_capacity(dests.len());
+    for (server_id, _) in &dests {
+        path_lists.push(paths_of(db, *server_id)?);
+    }
+    let mut report = MeasureReport {
+        iterations: cfg.iterations,
+        destinations: dests.len(),
+        ..MeasureReport::default()
+    };
+    let workers = cfg.workers.max(1);
+    for iter in 0..cfg.iterations {
+        let jobs: Vec<DestJob> = dests
+            .iter()
+            .zip(&path_lists)
+            .enumerate()
+            .map(|(index, (&(server_id, addr), paths))| DestJob {
+                index,
+                server_id,
+                addr,
+                net: net.fork(((iter as u64) << 32) | index as u64),
+                paths: paths.clone(),
+            })
+            .collect();
+        let mut batches = if cfg.parallel && workers > 1 && jobs.len() > 1 {
+            run_pooled(jobs, cfg, workers, &mut report.peak_workers)?
+        } else {
+            report.peak_workers = report.peak_workers.max(1);
+            jobs.into_iter().map(|j| run_destination(cfg, j)).collect()
+        };
+        batches.sort_by_key(|b| b.index);
+        let mut iter_elapsed = 0.0f64;
+        for batch in batches {
+            iter_elapsed = iter_elapsed.max(batch.elapsed_ms);
+            report.measured += batch.docs.len();
+            report.errors += batch.errors;
+            report.skipped += batch.skipped;
+            if batch.tripped && !report.tripped.contains(&batch.server_id) {
+                report.tripped.push(batch.server_id);
+            }
+            report.retries += batch
+                .events
+                .iter()
+                .filter(|e| matches!(e, CampaignEvent::Retry { .. }))
+                .count();
+            // §4.2.2: one bulk insertion per destination.
+            let handle = db.collection(PATHS_STATS);
+            report.inserted += handle.write().insert_many(batch.docs)?.len();
+            report.events.extend(batch.events);
+        }
+        // The campaign's wall time is the slowest destination's; keep the
+        // parent clock ahead of every fork so the next iteration's
+        // timestamps are fresh.
+        net.advance_ms(iter_elapsed);
+    }
+    Ok(report)
+}
+
+/// Measure every path of one destination on its private network fork,
+/// tripping the circuit breaker on consecutive hard failures.
+fn run_destination(cfg: &SuiteConfig, job: DestJob) -> DestBatch {
+    let policy = RetryPolicy::from_config(cfg);
+    let start_ms = job.net.now_ms();
+    let mut docs = Vec::with_capacity(job.paths.len());
+    let mut events = Vec::new();
+    let mut errors = 0usize;
+    let mut consecutive = 0usize;
+    let mut skipped = 0usize;
+    let mut tripped = false;
+    for (i, (path_id, sequence, hops)) in job.paths.iter().enumerate() {
+        let m = measure_path(
+            &job.net,
+            cfg,
+            &policy,
+            *path_id,
+            job.addr,
+            sequence,
+            *hops,
+            &mut events,
+        );
+        if m.error.is_some() {
+            errors += 1;
+            consecutive += 1;
+        } else {
+            consecutive = 0;
+        }
+        docs.push(m.to_doc());
+        if cfg.breaker_threshold > 0 && consecutive >= cfg.breaker_threshold {
+            skipped = job.paths.len() - (i + 1);
+            tripped = true;
+            events.push(CampaignEvent::CircuitOpen {
+                server_id: job.server_id,
+                consecutive,
+                skipped_paths: skipped,
+            });
+            break;
+        }
+    }
+    DestBatch {
+        index: job.index,
+        server_id: job.server_id,
+        docs,
+        errors,
+        skipped,
+        tripped,
+        events,
+        elapsed_ms: job.net.now_ms() - start_ms,
+    }
+}
+
+/// Drain `jobs` through at most `workers` threads. Threads pull from a
+/// shared queue, so the live thread count never exceeds
+/// `min(workers, jobs)` no matter how many destinations there are.
+fn run_pooled(
+    jobs: Vec<DestJob>,
+    cfg: &SuiteConfig,
+    workers: usize,
+    peak_workers: &mut usize,
+) -> SuiteResult<Vec<DestBatch>> {
+    let expected = jobs.len();
+    let spawned = workers.min(expected);
+    let queue = parking_lot::Mutex::new(jobs.into_iter().collect::<VecDeque<_>>());
+    let results = parking_lot::Mutex::new(Vec::with_capacity(expected));
+    let in_flight = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(*peak_workers);
+    std::thread::scope(|scope| -> SuiteResult<()> {
+        let handles: Vec<_> = (0..spawned)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let Some(job) = queue.lock().pop_front() else {
+                        break;
+                    };
+                    let live = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(live, Ordering::SeqCst);
+                    let batch = run_destination(cfg, job);
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    results.lock().push(batch);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join()
+                .map_err(|_| SuiteError::Campaign("a measurement worker panicked".into()))?;
+        }
+        Ok(())
+    })?;
+    *peak_workers = peak.into_inner();
+    let out = results.into_inner();
+    if out.len() != expected {
+        return Err(SuiteError::Campaign(format!(
+            "worker pool lost batches: {} of {expected} returned",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_paths, register_available_servers};
+    use scion_sim::fault::ServerBehavior;
+
+    fn setup(seed: u64, cfg: &SuiteConfig) -> (Database, ScionNetwork) {
+        let net = ScionNetwork::scionlab(seed);
+        let db = Database::new();
+        register_available_servers(&db, &net).unwrap();
+        collect_paths(&db, &net, cfg).unwrap();
+        (db, net)
+    }
+
+    fn quick() -> SuiteConfig {
+        SuiteConfig {
+            iterations: 1,
+            ping_count: 5,
+            run_bwtests: false,
+            ..SuiteConfig::default()
+        }
+    }
+
+    fn stats_snapshot(db: &Database) -> Vec<(String, Document)> {
+        let handle = db.collection(PATHS_STATS);
+        let coll = handle.read();
+        let mut out: Vec<(String, Document)> = coll
+            .iter()
+            .map(|d| (d.id().unwrap().to_string(), d.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    #[test]
+    fn parallel_and_sequential_document_sets_are_identical() {
+        for workers in [1, 3, 16] {
+            let seq_cfg = SuiteConfig {
+                iterations: 2,
+                parallel: false,
+                ..quick()
+            };
+            let (db_seq, net_seq) = setup(23, &seq_cfg);
+            run_campaign(&db_seq, &net_seq, &seq_cfg).unwrap();
+
+            let par_cfg = SuiteConfig {
+                parallel: true,
+                workers,
+                ..seq_cfg.clone()
+            };
+            let (db_par, net_par) = setup(23, &par_cfg);
+            let report = run_campaign(&db_par, &net_par, &par_cfg).unwrap();
+
+            assert_eq!(
+                stats_snapshot(&db_seq),
+                stats_snapshot(&db_par),
+                "workers={workers}"
+            );
+            assert!(report.peak_workers <= workers.max(1));
+        }
+    }
+
+    #[test]
+    fn retry_backoff_grows_and_is_deterministic() {
+        let net = ScionNetwork::scionlab(5);
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_ms: 100.0,
+            multiplier: 2.0,
+        };
+        let pid = PathId {
+            server_id: 1,
+            path_index: 0,
+        };
+        let run = |salt: u64| {
+            let fork = net.fork(salt);
+            let mut events = Vec::new();
+            let r: Result<(), ToolError> =
+                retry_tool(&fork, &policy, "ping", pid, &mut events, || {
+                    Err(ToolError::Net(scion_sim::net::NetError::Timeout))
+                });
+            assert!(r.is_err());
+            (fork.now_ms(), events)
+        };
+        let (t1, ev1) = run(9);
+        let (t2, ev2) = run(9);
+        assert_eq!(t1, t2, "backoff delays are deterministic per fork");
+        assert_eq!(ev1, ev2);
+        // 3 retries + 1 exhaustion, delays in [0.5, 1.5)·nominal, growing
+        // nominally by the multiplier.
+        assert_eq!(ev1.len(), 4);
+        let delays: Vec<f64> = ev1
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::Retry { delay_ms, .. } => Some(*delay_ms),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delays.len(), 3);
+        for (i, d) in delays.iter().enumerate() {
+            let nominal = 100.0 * 2f64.powi(i as i32);
+            assert!(
+                (nominal * 0.5..nominal * 1.5).contains(d),
+                "delay {d} outside jitter band of {nominal}"
+            );
+        }
+        assert!(matches!(
+            ev1.last(),
+            Some(CampaignEvent::RetriesExhausted { attempts: 4, .. })
+        ));
+        // The fork slept the backoffs on the simulated clock.
+        assert!((t1 - net.now_ms() - delays.iter().sum::<f64>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let net = ScionNetwork::scionlab(5);
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_ms: 100.0,
+            multiplier: 2.0,
+        };
+        let mut events = Vec::new();
+        let mut calls = 0;
+        let r: Result<(), ToolError> = retry_tool(
+            &net,
+            &policy,
+            "bwtest64",
+            PathId {
+                server_id: 1,
+                path_index: 0,
+            },
+            &mut events,
+            || {
+                calls += 1;
+                Err(ToolError::Net(scion_sim::net::NetError::BadResponse))
+            },
+        );
+        assert!(r.is_err());
+        assert_eq!(calls, 1, "BadResponse is deterministic; retrying is futile");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutive_failures_and_skips_the_tail() {
+        let cfg = SuiteConfig {
+            run_bwtests: true,
+            some_only: true,
+            retry_attempts: 0,
+            ..quick()
+        };
+        let (db, net) = setup(9, &cfg);
+        let (server_id, addr) = crate::collect::destinations(&db).unwrap()[0];
+        net.set_server_behavior(addr, ServerBehavior::Down);
+        let report = run_campaign(&db, &net, &cfg).unwrap();
+        let paths = paths_of(&db, server_id).unwrap();
+        assert!(report.tripped.contains(&server_id));
+        assert_eq!(report.errors, cfg.breaker_threshold);
+        assert_eq!(report.skipped, paths.len() - cfg.breaker_threshold);
+        assert_eq!(report.measured, cfg.breaker_threshold);
+        assert!(report.events.iter().any(
+            |e| matches!(e, CampaignEvent::CircuitOpen { server_id: s, .. } if *s == server_id)
+        ));
+    }
+}

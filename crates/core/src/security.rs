@@ -118,12 +118,13 @@ impl SecureWriter {
                 batch.signer
             )));
         }
-        let issuer_keys = self
-            .issuers
-            .get(&batch.cert.issuer)
-            .ok_or_else(|| SuiteError::Unauthorized(format!("untrusted issuer {}", batch.cert.issuer)))?;
+        let issuer_keys = self.issuers.get(&batch.cert.issuer).ok_or_else(|| {
+            SuiteError::Unauthorized(format!("untrusted issuer {}", batch.cert.issuer))
+        })?;
         if batch.cert.subject != batch.signer || batch.cert.subject_public != batch.signer_public {
-            return Err(SuiteError::Unauthorized("certificate does not bind the signer".into()));
+            return Err(SuiteError::Unauthorized(
+                "certificate does not bind the signer".into(),
+            ));
         }
         if !batch.cert.verify(issuer_keys) {
             return Err(SuiteError::Unauthorized("invalid certificate".into()));
@@ -133,7 +134,9 @@ impl SecureWriter {
         // certificate before checking the signature.
         let signer_keys = KeyPair::derive(self.master, batch.signer);
         if signer_keys.public != batch.signer_public {
-            return Err(SuiteError::Unauthorized("certified key is not the signer's".into()));
+            return Err(SuiteError::Unauthorized(
+                "certified key is not the signer's".into(),
+            ));
         }
         if !signer_keys.verify(&batch_bytes(&batch.docs), &batch.signature) {
             return Err(SuiteError::Unauthorized("batch signature mismatch".into()));
@@ -197,7 +200,11 @@ mod tests {
         batch.docs[0].set("avg_latency_ms", 1.0);
         let err = writer.insert_signed(&db, "paths_stats", batch);
         assert!(matches!(err, Err(SuiteError::Unauthorized(_))));
-        assert_eq!(db.collection("paths_stats").read().len(), 0, "nothing stored");
+        assert_eq!(
+            db.collection("paths_stats").read().len(),
+            0,
+            "nothing stored"
+        );
     }
 
     #[test]
@@ -225,7 +232,10 @@ mod tests {
         // An attacker re-signs with a different key (wrong master).
         let forged_keys = KeyPair::derive(MASTER ^ 1, MY_AS);
         batch.signature = forged_keys.sign(b"whatever");
-        assert!(matches!(writer.verify(&batch), Err(SuiteError::Unauthorized(_))));
+        assert!(matches!(
+            writer.verify(&batch),
+            Err(SuiteError::Unauthorized(_))
+        ));
     }
 
     #[test]
@@ -233,6 +243,9 @@ mod tests {
         let (identity, writer) = provisioned();
         let mut batch = identity.sign(sample_docs());
         batch.signer_public ^= 1;
-        assert!(matches!(writer.verify(&batch), Err(SuiteError::Unauthorized(_))));
+        assert!(matches!(
+            writer.verify(&batch),
+            Err(SuiteError::Unauthorized(_))
+        ));
     }
 }

@@ -159,7 +159,11 @@ pub fn aggregate_paths(
 
 /// Answer a user request: the top-`k` paths under the objective, after
 /// applying constraints and statistics gates.
-pub fn recommend(db: &Database, request: &UserRequest, k: usize) -> SuiteResult<Vec<Recommendation>> {
+pub fn recommend(
+    db: &Database,
+    request: &UserRequest,
+    k: usize,
+) -> SuiteResult<Vec<Recommendation>> {
     let mut candidates = aggregate_paths(db, request.server_id, &request.constraints)?;
     candidates.retain(|a| a.samples >= request.constraints.min_samples.max(1));
     if let Some(max_loss) = request.constraints.max_loss_pct {
@@ -169,9 +173,11 @@ pub fn recommend(db: &Database, request: &UserRequest, k: usize) -> SuiteResult<
         .into_iter()
         .filter_map(|a| score(&a, request.objective).map(|s| (s, a)))
         .collect();
+    // total_cmp instead of partial_cmp: a NaN score (e.g. a path whose
+    // only stored jitter samples are NaN) must rank last, not panic a
+    // user query.
     scored.sort_by(|x, y| {
-        x.0.partial_cmp(&y.0)
-            .expect("finite scores")
+        x.0.total_cmp(&y.0)
             .then_with(|| x.1.path_id.cmp(&y.1.path_id))
     });
     if scored.is_empty() {
@@ -204,7 +210,10 @@ fn score(a: &PathAggregate, objective: Objective) -> Option<f64> {
 /// for a user ("offer users many paths to choose from").
 pub fn describe_choices(db: &Database, server_id: u32) -> SuiteResult<String> {
     let aggregates = aggregate_paths(db, server_id, &Constraints::default())?;
-    let mut out = format!("destination {server_id}: {} candidate paths\n", aggregates.len());
+    let mut out = format!(
+        "destination {server_id}: {} candidate paths\n",
+        aggregates.len()
+    );
     for a in &aggregates {
         let lat = a
             .latency
@@ -301,7 +310,10 @@ mod tests {
         let recs = recommend(&db, &req, 5).unwrap();
         assert!(!recs.is_empty());
         let best = &recs[0];
-        assert!(!best.aggregate.sequence.contains("16-ffaa:0:1004"), "best path avoids Singapore");
+        assert!(
+            !best.aggregate.sequence.contains("16-ffaa:0:1004"),
+            "best path avoids Singapore"
+        );
         assert!(best.aggregate.latency.as_ref().unwrap().mean < 80.0);
         // Ranked ascending.
         for w in recs.windows(2) {
@@ -392,6 +404,65 @@ mod tests {
             assert!(r.aggregate.hops <= 6);
             assert!(r.aggregate.samples >= 2);
         }
+    }
+
+    #[test]
+    fn nan_scores_rank_last_instead_of_panicking() {
+        use crate::schema::{PathMeasurement, StatId, PATHS_STATS};
+        let db = Database::new();
+        // Two stored paths for destination 1.
+        {
+            let handle = db.collection(PATHS);
+            let mut coll = handle.write();
+            for idx in 0..2i64 {
+                coll.insert_one(pathdb::doc! {
+                    "_id" => format!("1_{idx}"),
+                    "server_id" => 1i64,
+                    "path_index" => idx,
+                    "sequence" => format!("seq-{idx}"),
+                    "hops" => 5i64,
+                })
+                .unwrap();
+            }
+        }
+        // Path 1_0's only jitter sample is NaN; path 1_1 is healthy.
+        {
+            let handle = db.collection(PATHS_STATS);
+            let mut coll = handle.write();
+            for (idx, jitter) in [(0u32, f64::NAN), (1u32, 0.4)] {
+                let m = PathMeasurement {
+                    stat_id: StatId {
+                        path: PathId {
+                            server_id: 1,
+                            path_index: idx,
+                        },
+                        timestamp_ms: 1000,
+                    },
+                    isds: vec![17],
+                    hops: 5,
+                    avg_latency_ms: Some(25.0),
+                    jitter_ms: Some(jitter),
+                    loss_pct: 0.0,
+                    bw_up_64: None,
+                    bw_down_64: None,
+                    bw_up_mtu: None,
+                    bw_down_mtu: None,
+                    target_mbps: 12.0,
+                    error: None,
+                };
+                coll.insert_one(m.to_doc()).unwrap();
+            }
+        }
+        let req = UserRequest {
+            server_id: 1,
+            objective: Objective::MinJitter,
+            constraints: Constraints::default(),
+        };
+        // Previously: panic at `partial_cmp(...).expect("finite scores")`.
+        let recs = recommend(&db, &req, 10).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].aggregate.path_id.path_index, 1, "finite score wins");
+        assert!(recs[1].score.is_nan(), "NaN-scored path ranks last");
     }
 
     #[test]

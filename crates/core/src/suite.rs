@@ -35,6 +35,19 @@ impl SuiteReport {
             "measurement: {} iterations x {} destinations, {} samples stored, {} errors\n",
             m.iterations, m.destinations, m.inserted, m.errors
         ));
+        if m.retries > 0 || m.skipped > 0 {
+            out.push_str(&format!(
+                "runner: {} retries, {} path measurements skipped by the circuit breaker\n",
+                m.retries, m.skipped
+            ));
+        }
+        if !m.tripped.is_empty() {
+            let ids: Vec<String> = m.tripped.iter().map(u32::to_string).collect();
+            out.push_str(&format!(
+                "breaker tripped: destinations {}\n",
+                ids.join(", ")
+            ));
+        }
         out
     }
 }

@@ -60,7 +60,10 @@ impl std::fmt::Display for Violation {
             Violation::LatencyRegression {
                 promised_ms,
                 measured_ms,
-            } => write!(f, "measured {measured_ms:.1} ms vs promised {promised_ms:.1} ms"),
+            } => write!(
+                f,
+                "measured {measured_ms:.1} ms vs promised {promised_ms:.1} ms"
+            ),
         }
     }
 }
@@ -91,8 +94,7 @@ pub fn trace_and_record(
         .dst()
         .ok_or_else(|| SuiteError::Schema("path without destination".into()))?;
     let report = traceroute(net, local, dst, &PathSelection::Sequence(path.sequence()))?;
-    let trace: Vec<(IsdAsn, Option<f64>)> =
-        report.hops.iter().map(|h| (h.ia, h.rtt_ms)).collect();
+    let trace: Vec<(IsdAsn, Option<f64>)> = report.hops.iter().map(|h| (h.ia, h.rtt_ms)).collect();
 
     let record = doc! {
         "sequence" => path.sequence(),
@@ -135,12 +137,19 @@ pub fn verify_recommendation(
         if constraints.exclude_isds.contains(&ia.isd.0) {
             violations.push(Violation::ExcludedIsd(ia.isd.0));
         }
-        if constraints.exclude_ases.iter().any(|a| a == &ia.to_string()) {
+        if constraints
+            .exclude_ases
+            .iter()
+            .any(|a| a == &ia.to_string())
+        {
             violations.push(Violation::ExcludedAs(*ia));
         }
         if let Some(idx) = net.topology().index_of(*ia) {
             let node = net.topology().node(idx);
-            if constraints.exclude_countries.contains(&node.location.country) {
+            if constraints
+                .exclude_countries
+                .contains(&node.location.country)
+            {
                 violations.push(Violation::ExcludedCountry(node.location.country.clone()));
             }
             if constraints.exclude_operators.contains(&node.operator) {
@@ -330,7 +339,10 @@ mod tests {
         for v in [
             Violation::ExcludedIsd(20),
             Violation::ExcludedCountry("Singapore".into()),
-            Violation::TooManyHops { limit: 6, actual: 7 },
+            Violation::TooManyHops {
+                limit: 6,
+                actual: 7,
+            },
             Violation::LatencyRegression {
                 promised_ms: 25.0,
                 measured_ms: 180.0,

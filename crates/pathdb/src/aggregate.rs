@@ -293,7 +293,9 @@ mod tests {
             .accumulate("n", Accumulator::Count)
             .run(&c, &Filter::eq("hops", 7i64));
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|g| g.get("_id").unwrap().as_str() != Some("p1")));
+        assert!(out
+            .iter()
+            .all(|g| g.get("_id").unwrap().as_str() != Some("p1")));
     }
 
     #[test]

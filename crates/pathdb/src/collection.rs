@@ -131,10 +131,19 @@ impl Collection {
         let id_key = match doc.get("_id") {
             Some(v) => v.index_key(),
             None => {
-                let id = format!("auto:{}", self.next_auto_id);
-                self.next_auto_id += 1;
-                doc.set("_id", id.clone());
-                Value::Str(id).index_key()
+                // A user may have inserted an explicit `auto:N` id; skip
+                // forward past taken ids instead of reporting a spurious
+                // duplicate.
+                let (id, key) = loop {
+                    let id = format!("auto:{}", self.next_auto_id);
+                    self.next_auto_id += 1;
+                    let key = Value::Str(id.clone()).index_key();
+                    if !self.primary.contains_key(&key) {
+                        break (id, key);
+                    }
+                };
+                doc.set("_id", id);
+                key
             }
         };
         if self.primary.contains_key(&id_key) {
@@ -160,18 +169,21 @@ impl Collection {
         count
     }
 
-    /// Delete all documents matching `filter`; returns how many.
+    /// Delete all documents matching `filter`; returns how many were
+    /// actually removed (not merely matched).
     pub fn delete_many(&mut self, filter: &Filter) -> usize {
         let seqs: Vec<u64> = self.matching_seqs(filter);
+        let mut removed = 0;
         for &seq in &seqs {
             if let Some(doc) = self.docs.remove(&seq) {
                 self.index_remove(seq, &doc);
                 if let Some(id) = doc.get("_id") {
                     self.primary.remove(&id.index_key());
                 }
+                removed += 1;
             }
         }
-        seqs.len()
+        removed
     }
 
     // ---- reads ----------------------------------------------------------
@@ -187,10 +199,17 @@ impl Collection {
         self.find_with(filter, &FindOptions::default())
     }
 
-    /// First match, in insertion order.
+    /// First match, in insertion order. Unlike [`Collection::find`],
+    /// this stops at the first hit instead of materializing every match.
     pub fn find_one(&self, filter: &Filter) -> Option<Document> {
-        let seqs = self.matching_seqs(filter);
-        seqs.first().and_then(|s| self.docs.get(s)).cloned()
+        if let Some((field, _)) = filter.index_candidates() {
+            if field == "_id" || self.indexes.contains_key(field) {
+                // Index-narrowed candidate sets are already cheap.
+                let seqs = self.matching_seqs(filter);
+                return seqs.first().and_then(|s| self.docs.get(s)).cloned();
+            }
+        }
+        self.docs.values().find(|d| filter.matches(d)).cloned()
     }
 
     /// Filtered, sorted, paginated, projected query.
@@ -217,7 +236,9 @@ impl Collection {
         let mut seen: HashSet<String> = HashSet::new();
         let mut out = Vec::new();
         for seq in self.matching_seqs(filter) {
-            let Some(doc) = self.docs.get(&seq) else { continue };
+            let Some(doc) = self.docs.get(&seq) else {
+                continue;
+            };
             let candidates: Vec<Value> = match doc.get_path(field) {
                 Some(Value::Array(a)) => a.clone(),
                 Some(v) => vec![v.clone()],
@@ -241,7 +262,7 @@ impl Collection {
     /// exposed for diagnostics (Mongo's `explain`).
     pub fn explain(&self, filter: &Filter) -> QueryPlan {
         if let Some((field, values)) = filter.index_candidates() {
-            if self.indexes.contains_key(field) {
+            if field == "_id" || self.indexes.contains_key(field) {
                 return QueryPlan::IndexLookup {
                     field: field.to_string(),
                     candidate_keys: values.len(),
@@ -253,10 +274,26 @@ impl Collection {
         }
     }
 
-    /// Matching sequence numbers in insertion order, using a secondary
-    /// index when the filter pins an indexed field.
+    /// Matching sequence numbers in insertion order, using the primary
+    /// `_id` index or a secondary index when the filter pins one.
     fn matching_seqs(&self, filter: &Filter) -> Vec<u64> {
         if let Some((field, values)) = filter.index_candidates() {
+            // `_id` equality goes through the unique primary index — the
+            // hot path of the per-path `update_many` refresh during
+            // collection, previously a full scan.
+            if field == "_id" {
+                let mut seqs: Vec<u64> = values
+                    .iter()
+                    .filter_map(|v| self.primary.get(&v.index_key()))
+                    .copied()
+                    .collect();
+                seqs.sort_unstable();
+                seqs.dedup();
+                return seqs
+                    .into_iter()
+                    .filter(|s| self.docs.get(s).is_some_and(|d| filter.matches(d)))
+                    .collect();
+            }
             if let Some(index) = self.indexes.get(field) {
                 let mut seqs: Vec<u64> = values
                     .iter()
@@ -269,11 +306,7 @@ impl Collection {
                 // The index narrows candidates; the full filter still runs.
                 return seqs
                     .into_iter()
-                    .filter(|s| {
-                        self.docs
-                            .get(s)
-                            .is_some_and(|d| filter.matches(d))
-                    })
+                    .filter(|s| self.docs.get(s).is_some_and(|d| filter.matches(d)))
                     .collect();
             }
         }
@@ -339,7 +372,10 @@ mod tests {
     fn insert_and_find_by_id() {
         let c = stats_collection();
         assert_eq!(c.len(), 5);
-        assert_eq!(c.find_by_id("2_0_100").unwrap().get("hops"), Some(&Value::Int(6)));
+        assert_eq!(
+            c.find_by_id("2_0_100").unwrap().get("hops"),
+            Some(&Value::Int(6))
+        );
         assert!(c.find_by_id("nope").is_none());
     }
 
@@ -358,6 +394,50 @@ mod tests {
         let id2 = c.insert_one(doc! { "x" => 2i64 }).unwrap();
         assert_ne!(id1, id2);
         assert!(c.iter().all(|d| d.contains_key("_id")));
+    }
+
+    #[test]
+    fn auto_id_skips_user_supplied_auto_ids() {
+        let mut c = Collection::new("t");
+        // A user claims the ids the generator would mint next.
+        c.insert_one(doc! { "_id" => "auto:0" }).unwrap();
+        c.insert_one(doc! { "_id" => "auto:1" }).unwrap();
+        // Generation must skip forward, not report a spurious duplicate.
+        let id = c.insert_one(doc! { "x" => 1i64 }).unwrap();
+        assert_eq!(id, Value::Str("auto:2".into()).index_key());
+        let id = c.insert_one(doc! { "x" => 2i64 }).unwrap();
+        assert_eq!(id, Value::Str("auto:3".into()).index_key());
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn id_equality_uses_the_primary_index() {
+        let c = stats_collection();
+        // The plan says index, and the results agree with a scan.
+        assert_eq!(
+            c.explain(&Filter::eq("_id", "2_1_100")),
+            QueryPlan::IndexLookup {
+                field: "_id".into(),
+                candidate_keys: 1
+            }
+        );
+        let by_index = c.find(&Filter::eq("_id", "2_1_100"));
+        assert_eq!(by_index.len(), 1);
+        assert_eq!(by_index[0].id(), Some("2_1_100"));
+        // `$in` over ids probes one key per value, in insertion order.
+        let many = c.find(&Filter::is_in("_id", vec!["2_1_200", "1_0_100"]));
+        assert_eq!(many.len(), 2);
+        assert_eq!(many[0].id(), Some("1_0_100"));
+        // A conjunction keeps applying the residual filter.
+        let narrowed = c.find(&Filter::eq("_id", "2_1_100").and(Filter::gt("hops", 100i64)));
+        assert!(narrowed.is_empty());
+        // Misses stay misses.
+        assert!(c.find(&Filter::eq("_id", "nope")).is_empty());
+        assert!(c.find_one(&Filter::eq("_id", "nope")).is_none());
+        assert_eq!(
+            c.find_one(&Filter::eq("_id", "2_0_100")).unwrap().id(),
+            Some("2_0_100")
+        );
     }
 
     #[test]
@@ -396,7 +476,10 @@ mod tests {
             .iter()
             .map(|d| d.id().unwrap().to_string())
             .collect();
-        assert_eq!(ids, vec!["1_0_100", "1_1_100", "2_0_100", "2_1_100", "2_1_200"]);
+        assert_eq!(
+            ids,
+            vec!["1_0_100", "1_1_100", "2_0_100", "2_1_100", "2_1_200"]
+        );
     }
 
     #[test]
@@ -421,8 +504,12 @@ mod tests {
         assert_eq!(n, 2);
         assert_eq!(c.len(), 3);
         // The id can be reused after deletion.
-        c.insert_one(doc! { "_id" => "1_0_100", "fresh" => true }).unwrap();
-        assert_eq!(c.find_by_id("1_0_100").unwrap().get("fresh"), Some(&Value::Bool(true)));
+        c.insert_one(doc! { "_id" => "1_0_100", "fresh" => true })
+            .unwrap();
+        assert_eq!(
+            c.find_by_id("1_0_100").unwrap().get("fresh"),
+            Some(&Value::Bool(true))
+        );
     }
 
     #[test]
@@ -446,7 +533,10 @@ mod tests {
         let indexed = c.find(&filter);
         assert_eq!(scan, indexed);
         // Index maintained across updates and deletes.
-        c.update_many(&Filter::eq("_id", "2_1_200"), &Update::new().set("server_id", 3i64));
+        c.update_many(
+            &Filter::eq("_id", "2_1_200"),
+            &Update::new().set("server_id", 3i64),
+        );
         assert_eq!(c.count(&Filter::eq("server_id", 3i64)), 1);
         c.delete_many(&Filter::eq("server_id", 3i64));
         assert_eq!(c.count(&Filter::eq("server_id", 3i64)), 0);

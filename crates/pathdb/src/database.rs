@@ -142,7 +142,10 @@ mod tests {
     fn collections_are_created_on_demand() {
         let db = Database::new();
         assert!(!db.has_collection("paths"));
-        db.collection("paths").write().insert_one(doc! { "x" => 1i64 }).unwrap();
+        db.collection("paths")
+            .write()
+            .insert_one(doc! { "x" => 1i64 })
+            .unwrap();
         assert!(db.has_collection("paths"));
         assert_eq!(db.collection_names(), vec!["paths"]);
         assert_eq!(db.total_documents(), 1);
@@ -151,14 +154,20 @@ mod tests {
     #[test]
     fn same_name_returns_same_collection() {
         let db = Database::new();
-        db.collection("c").write().insert_one(doc! { "a" => 1i64 }).unwrap();
+        db.collection("c")
+            .write()
+            .insert_one(doc! { "a" => 1i64 })
+            .unwrap();
         assert_eq!(db.collection("c").read().len(), 1);
     }
 
     #[test]
     fn drop_collection_removes_data() {
         let db = Database::new();
-        db.collection("c").write().insert_one(doc! { "a" => 1i64 }).unwrap();
+        db.collection("c")
+            .write()
+            .insert_one(doc! { "a" => 1i64 })
+            .unwrap();
         assert!(db.drop_collection("c"));
         assert!(!db.drop_collection("c"));
         assert_eq!(db.collection("c").read().len(), 0);
@@ -172,8 +181,10 @@ mod tests {
         {
             let h = db.collection("availableServers");
             let mut c = h.write();
-            c.insert_one(doc! { "_id" => "1", "address" => "16-ffaa:0:1002,[172.31.43.7]" }).unwrap();
-            c.insert_one(doc! { "_id" => "2", "address" => "19-ffaa:0:1303,[141.44.25.144]" }).unwrap();
+            c.insert_one(doc! { "_id" => "1", "address" => "16-ffaa:0:1002,[172.31.43.7]" })
+                .unwrap();
+            c.insert_one(doc! { "_id" => "2", "address" => "19-ffaa:0:1303,[141.44.25.144]" })
+                .unwrap();
         }
         {
             let h = db.collection("paths_stats");
@@ -190,13 +201,23 @@ mod tests {
         db.save_dir(&dir).unwrap();
 
         let loaded = Database::load_dir(&dir).unwrap();
-        assert_eq!(loaded.collection_names(), vec!["availableServers", "paths_stats"]);
+        assert_eq!(
+            loaded.collection_names(),
+            vec!["availableServers", "paths_stats"]
+        );
         assert_eq!(loaded.collection("availableServers").read().len(), 2);
         let h = loaded.collection("paths_stats");
         let c = h.read();
         let d = c.find_one(&Filter::eq("_id", "2_15_1699000000")).unwrap();
         assert_eq!(d.get("avg_latency_ms"), Some(&Value::Float(155.25)));
-        assert_eq!(d.get("isds"), Some(&Value::Array(vec![16i64.into(), 17i64.into(), 19i64.into()])));
+        assert_eq!(
+            d.get("isds"),
+            Some(&Value::Array(vec![
+                16i64.into(),
+                17i64.into(),
+                19i64.into()
+            ]))
+        );
         assert_eq!(d.get("note"), Some(&Value::Null));
         fs::remove_dir_all(&dir).unwrap();
     }

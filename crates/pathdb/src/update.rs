@@ -157,7 +157,11 @@ mod tests {
     #[test]
     fn inc_float_and_missing() {
         let mut d = doc! { "f" => 1.5f64 };
-        Update::new().inc("f", 0.5).inc("new", 3.0).inc("newf", 0.25).apply(&mut d);
+        Update::new()
+            .inc("f", 0.5)
+            .inc("new", 3.0)
+            .inc("newf", 0.25)
+            .apply(&mut d);
         assert_eq!(d.get("f"), Some(&Value::Float(2.0)));
         assert_eq!(d.get("new"), Some(&Value::Int(3)));
         assert_eq!(d.get("newf"), Some(&Value::Float(0.25)));
@@ -178,7 +182,10 @@ mod tests {
             .push("missing", 1i64)
             .push("scalar", 1i64)
             .apply(&mut d);
-        assert_eq!(d.get("a"), Some(&Value::Array(vec![1i64.into(), 2i64.into()])));
+        assert_eq!(
+            d.get("a"),
+            Some(&Value::Array(vec![1i64.into(), 2i64.into()]))
+        );
         assert_eq!(d.get("missing"), Some(&Value::Array(vec![1i64.into()])));
         assert_eq!(d.get("scalar"), Some(&Value::Array(vec![1i64.into()])));
     }
@@ -197,7 +204,10 @@ mod tests {
     #[test]
     fn dotted_updates() {
         let mut d = Document::new();
-        Update::new().set("s.latency.avg", 20.0).inc("s.count", 1.0).apply(&mut d);
+        Update::new()
+            .set("s.latency.avg", 20.0)
+            .inc("s.count", 1.0)
+            .apply(&mut d);
         assert_eq!(d.get_path("s.latency.avg"), Some(&Value::Float(20.0)));
         assert_eq!(d.get_path("s.count"), Some(&Value::Int(1)));
     }

@@ -94,9 +94,9 @@ impl Value {
             // Nested documents support equality only (no ordering).
             (Value::Doc(a), Value::Doc(b)) => {
                 if a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| {
-                        ka == kb && va.query_eq(vb)
-                    })
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.query_eq(vb))
                 {
                     Some(Ordering::Equal)
                 } else {
@@ -260,7 +260,10 @@ mod tests {
     #[test]
     fn cross_type_comparison_is_unordered() {
         assert_eq!(Value::Str("a".into()).query_cmp(&Value::Int(1)), None);
-        assert_eq!(Value::Bool(true).query_cmp(&Value::Str("true".into())), None);
+        assert_eq!(
+            Value::Bool(true).query_cmp(&Value::Str("true".into())),
+            None
+        );
     }
 
     #[test]
@@ -290,7 +293,10 @@ mod tests {
     #[test]
     fn index_key_distinguishes_types_but_not_int_float() {
         assert_eq!(Value::Int(3).index_key(), Value::Float(3.0).index_key());
-        assert_ne!(Value::Int(3).index_key(), Value::Str("3".into()).index_key());
+        assert_ne!(
+            Value::Int(3).index_key(),
+            Value::Str("3".into()).index_key()
+        );
         assert_ne!(Value::Null.index_key(), Value::Str("".into()).index_key());
     }
 

@@ -127,10 +127,7 @@ pub struct IsdAsn {
 
 impl IsdAsn {
     pub const fn new(isd: u16, asn: Asn) -> IsdAsn {
-        IsdAsn {
-            isd: Isd(isd),
-            asn,
-        }
+        IsdAsn { isd: Isd(isd), asn }
     }
 
     /// Convenience constructor from the three ASN hex groups.
@@ -278,7 +275,10 @@ mod tests {
 
     #[test]
     fn asn_display_matches_scionlab_format() {
-        assert_eq!(Asn::from_groups(0xffaa, 0, 0x1002).to_string(), "ffaa:0:1002");
+        assert_eq!(
+            Asn::from_groups(0xffaa, 0, 0x1002).to_string(),
+            "ffaa:0:1002"
+        );
         assert_eq!(Asn(0).to_string(), "0:0:0");
     }
 
@@ -292,7 +292,15 @@ mod tests {
 
     #[test]
     fn asn_rejects_malformed() {
-        for s in ["", "ffaa", "ffaa:0", "ffaa:0:1002:5", "xyz:0:1", "fffff:0:1", ":0:1"] {
+        for s in [
+            "",
+            "ffaa",
+            "ffaa:0",
+            "ffaa:0:1002:5",
+            "xyz:0:1",
+            "fffff:0:1",
+            ":0:1",
+        ] {
             assert!(s.parse::<Asn>().is_err(), "{s} should not parse");
         }
     }

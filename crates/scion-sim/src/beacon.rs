@@ -163,7 +163,11 @@ fn propagate_down(
             link.b_if,
             &keys.key(child_ia),
         );
-        store.down.entry(child_ia).or_default().push(extended.clone());
+        store
+            .down
+            .entry(child_ia)
+            .or_default()
+            .push(extended.clone());
         visited.push(child);
         propagate_down(topo, keys, cfg, child, extended, visited, store);
         visited.pop();
@@ -190,16 +194,61 @@ mod tests {
     fn diamond() -> Topology {
         let mut b = TopologyBuilder::new();
         let attrs = || DirAttrs::new(1000.0);
-        b.add_as(ia(1, 0x10), AsKind::Core, "C1", "op", geo("c1")).unwrap();
-        b.add_as(ia(1, 0x11), AsKind::NonCore, "L1", "op", geo("l1")).unwrap();
-        b.add_as(ia(1, 0x12), AsKind::NonCore, "L2", "op", geo("l2")).unwrap();
-        b.add_as(ia(2, 0x20), AsKind::Core, "C2", "op", geo("c2")).unwrap();
-        b.add_as(ia(2, 0x21), AsKind::NonCore, "L3", "op", geo("l3")).unwrap();
-        b.add_link(ia(1, 0x10), ia(1, 0x11), LinkKind::Parent, 1472, attrs(), attrs()).unwrap();
-        b.add_link(ia(1, 0x10), ia(1, 0x12), LinkKind::Parent, 1472, attrs(), attrs()).unwrap();
-        b.add_link(ia(1, 0x11), ia(1, 0x12), LinkKind::Parent, 1472, attrs(), attrs()).unwrap();
-        b.add_link(ia(2, 0x20), ia(2, 0x21), LinkKind::Parent, 1472, attrs(), attrs()).unwrap();
-        b.add_link(ia(1, 0x10), ia(2, 0x20), LinkKind::Core, 1472, attrs(), attrs()).unwrap();
+        b.add_as(ia(1, 0x10), AsKind::Core, "C1", "op", geo("c1"))
+            .unwrap();
+        b.add_as(ia(1, 0x11), AsKind::NonCore, "L1", "op", geo("l1"))
+            .unwrap();
+        b.add_as(ia(1, 0x12), AsKind::NonCore, "L2", "op", geo("l2"))
+            .unwrap();
+        b.add_as(ia(2, 0x20), AsKind::Core, "C2", "op", geo("c2"))
+            .unwrap();
+        b.add_as(ia(2, 0x21), AsKind::NonCore, "L3", "op", geo("l3"))
+            .unwrap();
+        b.add_link(
+            ia(1, 0x10),
+            ia(1, 0x11),
+            LinkKind::Parent,
+            1472,
+            attrs(),
+            attrs(),
+        )
+        .unwrap();
+        b.add_link(
+            ia(1, 0x10),
+            ia(1, 0x12),
+            LinkKind::Parent,
+            1472,
+            attrs(),
+            attrs(),
+        )
+        .unwrap();
+        b.add_link(
+            ia(1, 0x11),
+            ia(1, 0x12),
+            LinkKind::Parent,
+            1472,
+            attrs(),
+            attrs(),
+        )
+        .unwrap();
+        b.add_link(
+            ia(2, 0x20),
+            ia(2, 0x21),
+            LinkKind::Parent,
+            1472,
+            attrs(),
+            attrs(),
+        )
+        .unwrap();
+        b.add_link(
+            ia(1, 0x10),
+            ia(2, 0x20),
+            LinkKind::Core,
+            1472,
+            attrs(),
+            attrs(),
+        )
+        .unwrap();
         b.build().unwrap()
     }
 
@@ -229,7 +278,9 @@ mod tests {
         // L1 has exactly the direct segment.
         assert_eq!(store.down[&ia(1, 0x11)].len(), 1);
         // No cross-ISD down segments.
-        assert!(store.down[&ia(2, 0x21)].iter().all(|s| s.first_ia() == ia(2, 0x20)));
+        assert!(store.down[&ia(2, 0x21)]
+            .iter()
+            .all(|s| s.first_ia() == ia(2, 0x20)));
     }
 
     #[test]
@@ -272,9 +323,14 @@ mod tests {
         for seg in store.down.values().flatten() {
             for pair in seg.hops.windows(2) {
                 let a = topo.index_of(pair[0].ia).unwrap();
-                let (_, link) = topo.link_at_iface(a, pair[0].out_if).expect("egress resolves");
+                let (_, link) = topo
+                    .link_at_iface(a, pair[0].out_if)
+                    .expect("egress resolves");
                 assert_eq!(link.peer_of(a).map(|p| topo.node(p).ia), Some(pair[1].ia));
-                assert_eq!(link.iface_of(topo.index_of(pair[1].ia).unwrap()), Some(pair[1].in_if));
+                assert_eq!(
+                    link.iface_of(topo.index_of(pair[1].ia).unwrap()),
+                    Some(pair[1].in_if)
+                );
             }
         }
     }

@@ -113,7 +113,12 @@ pub struct Certificate {
 
 impl Certificate {
     /// Issue a certificate for `subject` under the `issuer_keys` of a core AS.
-    pub fn issue(issuer: IsdAsn, issuer_keys: &KeyPair, subject: IsdAsn, subject_public: u64) -> Certificate {
+    pub fn issue(
+        issuer: IsdAsn,
+        issuer_keys: &KeyPair,
+        subject: IsdAsn,
+        subject_public: u64,
+    ) -> Certificate {
         let payload = cert_payload(subject, subject_public, issuer);
         Certificate {
             subject,
@@ -223,7 +228,10 @@ mod tests {
 
     #[test]
     fn trc_core_membership() {
-        let trc = Trc { isd: 17, cores: vec![ia(17, 0x1101)] };
+        let trc = Trc {
+            isd: 17,
+            cores: vec![ia(17, 0x1101)],
+        };
         assert!(trc.is_core(ia(17, 0x1101)));
         assert!(!trc.is_core(ia(17, 0x1107)));
     }

@@ -127,8 +127,8 @@ pub fn simulate_flow(
                 keep *= avail_mbps / offered_mbps;
                 // (3) overload penalty, biased against large packets.
                 let excess = offered_mbps / avail_mbps - 1.0;
-                let p_size = (OVERLOAD_K * excess.powf(OVERLOAD_ALPHA) * (wire_bytes / SIZE_REF))
-                    .min(0.97);
+                let p_size =
+                    (OVERLOAD_K * excess.powf(OVERLOAD_ALPHA) * (wire_bytes / SIZE_REF)).min(0.97);
                 keep *= 1.0 - p_size;
             } else if avail_mbps <= 0.0 {
                 keep = 0.0;
@@ -275,7 +275,10 @@ mod tests {
     fn high_target_mtu_is_congestion_collapsed() {
         let low = mean_achieved(&access_path(), &mtu_params(12.0), 0..20);
         let high = mean_achieved(&access_path(), &mtu_params(150.0), 0..20);
-        assert!(high < low, "150 Mbps target must achieve less than 12 Mbps target: {high} vs {low}");
+        assert!(
+            high < low,
+            "150 Mbps target must achieve less than 12 Mbps target: {high} vs {low}"
+        );
     }
 
     #[test]
@@ -314,11 +317,35 @@ mod tests {
             server: ServerBehavior::Down,
             hop_count: 3,
         };
-        assert!(bwtest(&path, &mtu_params(12.0), &mtu_params(12.0), 130, 0.0, &mut rng(4)).is_none());
+        assert!(bwtest(
+            &path,
+            &mtu_params(12.0),
+            &mtu_params(12.0),
+            130,
+            0.0,
+            &mut rng(4)
+        )
+        .is_none());
         path.server = ServerBehavior::BadResponse;
-        assert!(bwtest(&path, &mtu_params(12.0), &mtu_params(12.0), 130, 0.0, &mut rng(5)).is_none());
+        assert!(bwtest(
+            &path,
+            &mtu_params(12.0),
+            &mtu_params(12.0),
+            130,
+            0.0,
+            &mut rng(5)
+        )
+        .is_none());
         path.server = ServerBehavior::Up;
-        let (cs, sc) = bwtest(&path, &mtu_params(12.0), &mtu_params(12.0), 130, 0.0, &mut rng(6)).unwrap();
+        let (cs, sc) = bwtest(
+            &path,
+            &mtu_params(12.0),
+            &mtu_params(12.0),
+            130,
+            0.0,
+            &mut rng(6),
+        )
+        .unwrap();
         assert!(cs.achieved_mbps > 0.0 && sc.achieved_mbps > 0.0);
     }
 
@@ -336,12 +363,22 @@ mod tests {
         let mut cs_sum = 0.0;
         let mut sc_sum = 0.0;
         for s in 0..20 {
-            let (cs, sc) =
-                bwtest(&path, &mtu_params(150.0), &mtu_params(150.0), 130, 0.0, &mut rng(s)).unwrap();
+            let (cs, sc) = bwtest(
+                &path,
+                &mtu_params(150.0),
+                &mtu_params(150.0),
+                130,
+                0.0,
+                &mut rng(s),
+            )
+            .unwrap();
             cs_sum += cs.achieved_mbps;
             sc_sum += sc.achieved_mbps;
         }
-        assert!(sc_sum > cs_sum, "downstream {sc_sum} must beat upstream {cs_sum}");
+        assert!(
+            sc_sum > cs_sum,
+            "downstream {sc_sum} must beat upstream {cs_sum}"
+        );
     }
 
     #[test]

@@ -129,7 +129,9 @@ pub fn compile_path(
     for i in 0..path.hops.len() - 1 {
         let from_ia = path.hops[i].ia;
         let to_ia = path.hops[i + 1].ia;
-        let from = topo.index_of(from_ia).ok_or(PathError::UnknownAs(from_ia))?;
+        let from = topo
+            .index_of(from_ia)
+            .ok_or(PathError::UnknownAs(from_ia))?;
         let (li, link) = topo
             .link_at_iface(from, path.hops[i].egress)
             .ok_or(PathError::BrokenAdjacency(i))?;
@@ -184,4 +186,3 @@ pub fn compile_path(
         hop_count: path.hops.len(),
     })
 }
-

@@ -235,8 +235,7 @@ fn forward(mut it: Itinerary, sim: &mut ProbeSim, engine: &mut Engine<ProbeSim>)
     let util = sample_util(hop.background_util, &mut sim.rng);
     let queue_ms = hop.serialization_ms(hop.mtu) * (util / (1.0 - util)).min(50.0);
     let jitter = (sim.rng.gen::<f64>() * 2.0 - 1.0) * hop.jitter_ms;
-    let delay_ms =
-        (hop.prop_ms + hop.serialization_ms(it.size) + queue_ms + jitter).max(0.01);
+    let delay_ms = (hop.prop_ms + hop.serialization_ms(it.size) + queue_ms + jitter).max(0.01);
     it.next += 1;
     engine.schedule_in((delay_ms * 1e6) as u64, move |s, e| forward(it, s, e));
 }
@@ -288,8 +287,18 @@ mod tests {
 
     #[test]
     fn rtt_scales_with_propagation() {
-        let near = ping(&compiled(vec![hop(2.0, 0.0)]), &ProbeOptions::default(), 0.0, rng(2));
-        let far = ping(&compiled(vec![hop(80.0, 0.0)]), &ProbeOptions::default(), 0.0, rng(2));
+        let near = ping(
+            &compiled(vec![hop(2.0, 0.0)]),
+            &ProbeOptions::default(),
+            0.0,
+            rng(2),
+        );
+        let far = ping(
+            &compiled(vec![hop(80.0, 0.0)]),
+            &ProbeOptions::default(),
+            0.0,
+            rng(2),
+        );
         assert!(far.avg_rtt_ms().unwrap() > near.avg_rtt_ms().unwrap() + 100.0);
     }
 
@@ -324,7 +333,11 @@ mod tests {
         let path = compiled(vec![h]);
         let out = ping(&path, &ProbeOptions::default(), 0.0, rng(5));
         // Probes 0..15 die, 15..30 survive (modulo in-flight boundary).
-        assert!(out.received() >= 14 && out.received() <= 16, "{}", out.received());
+        assert!(
+            out.received() >= 14 && out.received() <= 16,
+            "{}",
+            out.received()
+        );
         assert!(out.rtts_ms[0].is_none());
         assert!(out.rtts_ms[29].is_some());
     }

@@ -45,11 +45,14 @@ impl SimTime {
     }
 }
 
+/// The callback fired when an event's time arrives.
+type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+
 /// A scheduled event: fire time, tie-breaking sequence number, callback.
 struct Event<S> {
     at: SimTime,
     seq: u64,
-    run: Box<dyn FnOnce(&mut S, &mut Engine<S>)>,
+    run: EventFn<S>,
 }
 
 impl<S> PartialEq for Event<S> {
@@ -216,11 +219,14 @@ mod tests {
     fn handlers_can_schedule_followups() {
         let mut engine: Engine<Vec<u64>> = Engine::new();
         let mut log = Vec::new();
-        engine.schedule_at(SimTime(10), |_s: &mut Vec<u64>, e: &mut Engine<Vec<u64>>| {
-            e.schedule_in(5, |s: &mut Vec<u64>, e2: &mut Engine<Vec<u64>>| {
-                s.push(e2.now().0);
-            });
-        });
+        engine.schedule_at(
+            SimTime(10),
+            |_s: &mut Vec<u64>, e: &mut Engine<Vec<u64>>| {
+                e.schedule_in(5, |s: &mut Vec<u64>, e2: &mut Engine<Vec<u64>>| {
+                    s.push(e2.now().0);
+                });
+            },
+        );
         engine.run_to_completion(&mut log);
         assert_eq!(log, vec![15]);
         assert_eq!(engine.executed(), 2);
@@ -281,12 +287,18 @@ mod tests {
     fn past_events_clamp_to_now() {
         let mut engine: Engine<Vec<u64>> = Engine::new();
         let mut log = Vec::new();
-        engine.schedule_at(SimTime(100), |_s: &mut Vec<u64>, e: &mut Engine<Vec<u64>>| {
-            // Scheduling "in the past" runs at the current time instead.
-            e.schedule_at(SimTime(10), |s: &mut Vec<u64>, e2: &mut Engine<Vec<u64>>| {
-                s.push(e2.now().0);
-            });
-        });
+        engine.schedule_at(
+            SimTime(100),
+            |_s: &mut Vec<u64>, e: &mut Engine<Vec<u64>>| {
+                // Scheduling "in the past" runs at the current time instead.
+                e.schedule_at(
+                    SimTime(10),
+                    |s: &mut Vec<u64>, e2: &mut Engine<Vec<u64>>| {
+                        s.push(e2.now().0);
+                    },
+                );
+            },
+        );
         engine.run_to_completion(&mut log);
         assert_eq!(log, vec![100]);
     }

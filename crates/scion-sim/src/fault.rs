@@ -13,9 +13,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// How a destination server responds to probes and bandwidth tests.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum ServerBehavior {
     /// Normal operation.
+    #[default]
     Up,
     /// Unreachable: every probe times out (100 % loss).
     Down,
@@ -24,12 +25,6 @@ pub enum ServerBehavior {
     BadResponse,
     /// Drops each request independently with the given probability.
     Flaky(f64),
-}
-
-impl Default for ServerBehavior {
-    fn default() -> Self {
-        ServerBehavior::Up
-    }
 }
 
 /// A time window during which a node or link direction is saturated.

@@ -19,7 +19,7 @@ use crate::pathserver::{PathError, PathServer};
 use crate::topology::{LinkIndex, Topology};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Errors surfaced to end-host applications.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +95,32 @@ impl ScionNetwork {
     /// to ETHZ-AP.
     pub fn scionlab(seed: u64) -> ScionNetwork {
         ScionNetwork::new(crate::topology::scionlab::scionlab_topology(), seed)
+    }
+
+    /// An independent copy of this network for one unit of campaign work:
+    /// same topology, path server (so MACs stay valid across the fork) and
+    /// a snapshot of the current fault plan and clock, but its own RNG
+    /// stream derived from `salt` and a fresh operation counter.
+    ///
+    /// Two forks with the same salt taken from the same network state
+    /// replay identical random draws regardless of what any *other* fork
+    /// does in between — the property that makes a parallel measurement
+    /// campaign bit-identical to a sequential one.
+    pub fn fork(&self, salt: u64) -> ScionNetwork {
+        ScionNetwork {
+            topo: self.topo.clone(),
+            pathserver: self.pathserver.clone(),
+            faults: Mutex::new(self.faults.lock().clone()),
+            clock_ms: Mutex::new(self.now_ms()),
+            seed: splitmix(self.seed ^ splitmix(salt)),
+            op_counter: Mutex::new(0),
+        }
+    }
+
+    /// One deterministic draw in `[0, 1)` from this network's seeded
+    /// stream (consumes one operation slot, like any other op).
+    pub fn jitter_unit(&self) -> f64 {
+        self.op_rng().gen::<f64>()
     }
 
     pub fn topology(&self) -> &Topology {
@@ -206,7 +232,17 @@ impl ScionNetwork {
         *ctr += 1;
         StdRng::seed_from_u64(self.seed ^ (*ctr).wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
+}
 
+/// SplitMix64 finalizer: decorrelates fork seeds even for adjacent salts.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ScionNetwork {
     /// `scion ping`: SCMP echoes over an explicit path to a server.
     pub fn ping(
         &self,
@@ -326,7 +362,10 @@ mod tests {
             .expect("a Singapore detour exists within min+1 hops");
         let out_sg = n.ping(sg, ireland(), &ProbeOptions::default()).unwrap();
         let rtt_sg = out_sg.avg_rtt_ms().unwrap();
-        assert!(rtt_sg > rtt + 150.0, "Singapore detour {rtt_sg} vs EU {rtt}");
+        assert!(
+            rtt_sg > rtt + 150.0,
+            "Singapore detour {rtt_sg} vs EU {rtt}"
+        );
     }
 
     #[test]
@@ -339,7 +378,9 @@ mod tests {
         assert!(matches!(err, Err(NetError::InvalidPath(_))));
         // Authorization against the path server re-attaches MACs.
         let authorized = n.authorize(&bare).unwrap();
-        assert!(n.ping(&authorized, ireland(), &ProbeOptions::default()).is_ok());
+        assert!(n
+            .ping(&authorized, ireland(), &ProbeOptions::default())
+            .is_ok());
     }
 
     #[test]
@@ -347,10 +388,14 @@ mod tests {
         let n = net();
         let paths = n.paths(MY_AS, AWS_IRELAND, 1);
         n.set_server_behavior(ireland(), ServerBehavior::Down);
-        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        let out = n
+            .ping(&paths[0], ireland(), &ProbeOptions::default())
+            .unwrap();
         assert_eq!(out.received(), 0);
         n.set_server_behavior(ireland(), ServerBehavior::Up);
-        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        let out = n
+            .ping(&paths[0], ireland(), &ProbeOptions::default())
+            .unwrap();
         assert!(out.received() > 25);
     }
 
@@ -366,7 +411,9 @@ mod tests {
         };
         let res = n.bwtest(&paths[0], ireland(), &params, &params);
         assert_eq!(res.unwrap_err(), NetError::BadResponse);
-        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        let out = n
+            .ping(&paths[0], ireland(), &ProbeOptions::default())
+            .unwrap();
         assert!(out.received() > 25, "SCMP still answers");
     }
 
@@ -381,11 +428,15 @@ mod tests {
             end_ms: start + 60_000.0,
             severity: 1.0,
         });
-        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        let out = n
+            .ping(&paths[0], ireland(), &ProbeOptions::default())
+            .unwrap();
         assert_eq!(out.received(), 0, "every Ireland path crosses Frankfurt");
         // After the window the path works again.
         n.advance_ms(120_000.0);
-        let out = n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        let out = n
+            .ping(&paths[0], ireland(), &ProbeOptions::default())
+            .unwrap();
         assert!(out.received() > 25);
     }
 
@@ -396,7 +447,8 @@ mod tests {
         let paths = n.paths(MY_AS, AWS_IRELAND, 1);
         let t1 = n.now_ms();
         assert!(t1 > t0);
-        n.ping(&paths[0], ireland(), &ProbeOptions::default()).unwrap();
+        n.ping(&paths[0], ireland(), &ProbeOptions::default())
+            .unwrap();
         assert!(n.now_ms() >= t1 + 3000.0, "30 probes × 100 ms");
     }
 
@@ -427,9 +479,14 @@ mod tests {
         assert_eq!(paths[0].hop_count(), 4, "{}", paths[0]);
         assert!(paths[0].hops.iter().any(|h| h.ia == GEANT_AP));
         // The peering path carries valid MACs and actually forwards.
-        let addr = crate::addr::ScionAddr::new(GEANT_AP, crate::addr::HostAddr::new(62, 40, 111, 66));
+        let addr =
+            crate::addr::ScionAddr::new(GEANT_AP, crate::addr::HostAddr::new(62, 40, 111, 66));
         let out = n
-            .ping(&n.paths(MY_AS, GEANT_AP, 1)[0], addr, &ProbeOptions::default())
+            .ping(
+                &n.paths(MY_AS, GEANT_AP, 1)[0],
+                addr,
+                &ProbeOptions::default(),
+            )
             .unwrap();
         assert!(out.received() >= 28);
         // Its RTT is far below the 5-hop route through the cores.
@@ -469,6 +526,48 @@ mod tests {
             validate_structure(topo, &forged),
             Err(PathError::Valley(_))
         ));
+    }
+
+    #[test]
+    fn forks_with_same_salt_replay_identical_draws() {
+        let n = net();
+        n.set_server_behavior(ireland(), ServerBehavior::Flaky(0.5));
+        let paths = n.paths(MY_AS, AWS_IRELAND, 1);
+        let a = n.fork(3);
+        let b = n.fork(3);
+        // Interleave unrelated work on one fork's sibling: `a`'s draws
+        // must not change.
+        let _ = b.jitter_unit();
+        let out_a = a
+            .ping(&paths[0], ireland(), &ProbeOptions::default())
+            .unwrap();
+        let c = n.fork(3);
+        let out_c = c
+            .ping(&paths[0], ireland(), &ProbeOptions::default())
+            .unwrap();
+        assert_eq!(out_a, out_c, "same salt, same state, same outcome");
+        assert_eq!(a.now_ms(), c.now_ms());
+        // A different salt yields an independent stream.
+        let d = n.fork(4);
+        assert_ne!(a.jitter_unit(), d.jitter_unit());
+    }
+
+    #[test]
+    fn fork_snapshots_clock_and_faults_without_sharing() {
+        let n = net();
+        n.advance_ms(5_000.0);
+        let f = n.fork(1);
+        assert_eq!(f.now_ms(), n.now_ms());
+        // Advancing the fork leaves the parent untouched.
+        f.advance_ms(1_000.0);
+        assert_eq!(n.now_ms(), 5_000.0);
+        // Fault changes after the fork do not leak into it.
+        n.set_server_behavior(ireland(), ServerBehavior::Down);
+        let paths = f.paths(MY_AS, AWS_IRELAND, 1);
+        let out = f
+            .ping(&paths[0], ireland(), &ProbeOptions::default())
+            .unwrap();
+        assert!(out.received() > 25, "fork still sees the server up");
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct PathHop {
 
 impl PathHop {
     pub fn new(ia: IsdAsn, ingress: IfaceId, egress: IfaceId) -> PathHop {
-        PathHop { ia, ingress, egress }
+        PathHop {
+            ia,
+            ingress,
+            egress,
+        }
     }
 }
 
@@ -223,7 +227,12 @@ mod tests {
 
     #[test]
     fn hop_predicate_rejects_malformed() {
-        for s in ["17-ffaa:0:1107", "17-ffaa:0:1107#2", "17-ffaa:0:1107#a,b", "#1,2"] {
+        for s in [
+            "17-ffaa:0:1107",
+            "17-ffaa:0:1107#2",
+            "17-ffaa:0:1107#a,b",
+            "#1,2",
+        ] {
             assert!(s.parse::<PathHop>().is_err(), "{s} should fail");
         }
     }
@@ -249,7 +258,8 @@ mod tests {
     fn loop_detection() {
         let mut p = sample_path();
         assert!(!p.has_loop());
-        p.hops.push(PathHop::new(ia(17, 0x1107), IfaceId(1), IfaceId::NONE));
+        p.hops
+            .push(PathHop::new(ia(17, 0x1107), IfaceId(1), IfaceId::NONE));
         assert!(p.has_loop());
     }
 

@@ -70,7 +70,10 @@ impl PathServer {
 
     /// Segment statistics (diagnostics).
     pub fn segment_counts(&self) -> (usize, usize) {
-        (self.store.num_core_segments(), self.store.num_down_segments())
+        (
+            self.store.num_core_segments(),
+            self.store.num_down_segments(),
+        )
     }
 
     /// All end-to-end paths from `src` to `dst`, ranked by hop count then
@@ -215,7 +218,10 @@ impl PathServer {
             return;
         }
         path.macs = self.mac_chain(&path);
-        debug_assert!(self.validate(topo, &path).is_ok(), "constructed path must validate");
+        debug_assert!(
+            self.validate(topo, &path).is_ok(),
+            "constructed path must validate"
+        );
         out.push(path);
     }
 
@@ -223,7 +229,14 @@ impl PathServer {
         let mut macs = Vec::with_capacity(path.hops.len());
         let mut prev = MacTag(0);
         for h in &path.hops {
-            let m = hop_mac(&self.keys.key(h.ia), PATH_INFO, h.ia, h.ingress, h.egress, prev);
+            let m = hop_mac(
+                &self.keys.key(h.ia),
+                PATH_INFO,
+                h.ia,
+                h.ingress,
+                h.egress,
+                prev,
+            );
             macs.push(m);
             prev = m;
         }
@@ -355,9 +368,13 @@ fn shortcut_candidates(us: &Segment, ds: &Segment) -> Vec<Vec<PathHop>> {
 fn peering_candidates(topo: &Topology, us: &Segment, ds: &Segment) -> Vec<Vec<PathHop>> {
     let mut out = Vec::new();
     for (i, uh) in us.hops.iter().enumerate() {
-        let Some(x_idx) = topo.index_of(uh.ia) else { continue };
+        let Some(x_idx) = topo.index_of(uh.ia) else {
+            continue;
+        };
         for (j, dh) in ds.hops.iter().enumerate() {
-            let Some(y_idx) = topo.index_of(dh.ia) else { continue };
+            let Some(y_idx) = topo.index_of(dh.ia) else {
+                continue;
+            };
             for (_, link) in topo.links_of(x_idx) {
                 if link.kind != LinkKind::Peering || link.peer_of(x_idx) != Some(y_idx) {
                     continue;

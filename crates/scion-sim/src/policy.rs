@@ -37,7 +37,10 @@ pub struct HopPattern {
 
 impl HopPattern {
     /// The match-anything pattern.
-    pub const ANY: HopPattern = HopPattern { isd: None, asn: None };
+    pub const ANY: HopPattern = HopPattern {
+        isd: None,
+        asn: None,
+    };
 
     pub fn matches(&self, ia: IsdAsn) -> bool {
         self.isd.is_none_or(|isd| isd == ia.isd.0) && self.asn.is_none_or(|asn| asn == ia.asn)
@@ -173,7 +176,7 @@ impl FromStr for Acl {
     type Err = PolicyParseError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut rules = Vec::new();
-        for raw in s.split(|c| c == '\n' || c == ',') {
+        for raw in s.split(['\n', ',']) {
             let raw = raw.trim();
             if raw.is_empty() || raw.starts_with('#') {
                 continue;
@@ -242,7 +245,9 @@ mod tests {
 
     #[test]
     fn comma_separated_and_comments() {
-        let acl: Acl = "# drop Singapore detours\n- 16-ffaa:0:1004, +".parse().unwrap();
+        let acl: Acl = "# drop Singapore detours\n- 16-ffaa:0:1004, +"
+            .parse()
+            .unwrap();
         assert_eq!(acl.rules.len(), 2);
     }
 
@@ -274,7 +279,10 @@ mod tests {
         assert!(!kept.is_empty());
         assert!(kept.len() < all.len());
         for p in &kept {
-            assert!(!p.hops.iter().any(|h| h.ia == AWS_SINGAPORE || h.ia == AWS_OHIO));
+            assert!(!p
+                .hops
+                .iter()
+                .any(|h| h.ia == AWS_SINGAPORE || h.ia == AWS_OHIO));
         }
     }
 

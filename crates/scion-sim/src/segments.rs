@@ -227,7 +227,14 @@ mod tests {
             ia: evil,
             in_if: IfaceId(1),
             out_if: IfaceId(2),
-            mac: hop_mac(&key(evil), seg.info, evil, IfaceId(1), IfaceId(2), MacTag(0)),
+            mac: hop_mac(
+                &key(evil),
+                seg.info,
+                evil,
+                IfaceId(1),
+                IfaceId(2),
+                MacTag(0),
+            ),
         };
         assert!(!seg.verify(key));
     }

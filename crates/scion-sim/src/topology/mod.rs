@@ -71,7 +71,9 @@ pub struct AsNode {
 impl AsNode {
     /// Full SCION addresses of all servers housed in this AS.
     pub fn server_addrs(&self) -> impl Iterator<Item = ScionAddr> + '_ {
-        self.servers.iter().map(move |s| ScionAddr::new(self.ia, s.host))
+        self.servers
+            .iter()
+            .map(move |s| ScionAddr::new(self.ia, s.host))
     }
 }
 
@@ -344,8 +346,8 @@ impl Topology {
     /// Load a topology from its JSON form, rebuilding derived indexes
     /// and re-running full validation.
     pub fn from_json_str(s: &str) -> Result<Topology, TopologyError> {
-        let mut topo: Topology = serde_json::from_str(s)
-            .map_err(|e| TopologyError::Malformed(e.to_string()))?;
+        let mut topo: Topology =
+            serde_json::from_str(s).map_err(|e| TopologyError::Malformed(e.to_string()))?;
         topo.reindex();
         topo.validate()?;
         Ok(topo)
@@ -617,8 +619,10 @@ mod tests {
 
     fn two_as_builder() -> TopologyBuilder {
         let mut b = TopologyBuilder::new();
-        b.add_as(ia(17, 1), AsKind::Core, "core", "ETH", geo()).unwrap();
-        b.add_as(ia(17, 2), AsKind::NonCore, "leaf", "ETH", geo()).unwrap();
+        b.add_as(ia(17, 1), AsKind::Core, "core", "ETH", geo())
+            .unwrap();
+        b.add_as(ia(17, 2), AsKind::NonCore, "leaf", "ETH", geo())
+            .unwrap();
         b
     }
 
@@ -662,7 +666,8 @@ mod tests {
     #[test]
     fn parent_link_must_stay_in_isd() {
         let mut b = two_as_builder();
-        b.add_as(ia(19, 9), AsKind::NonCore, "other", "x", geo()).unwrap();
+        b.add_as(ia(19, 9), AsKind::NonCore, "other", "x", geo())
+            .unwrap();
         let e = b.add_link(
             ia(17, 1),
             ia(19, 9),
@@ -692,13 +697,17 @@ mod tests {
     fn orphan_leaf_fails_validation() {
         let b = two_as_builder();
         // leaf has no parent link at all.
-        assert_eq!(b.build().unwrap_err(), TopologyError::NoUpwardPath(ia(17, 2)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::NoUpwardPath(ia(17, 2))
+        );
     }
 
     #[test]
     fn isd_without_core_fails() {
         let mut b = TopologyBuilder::new();
-        b.add_as(ia(99, 1), AsKind::NonCore, "lonely", "x", geo()).unwrap();
+        b.add_as(ia(99, 1), AsKind::NonCore, "lonely", "x", geo())
+            .unwrap();
         assert_eq!(b.build().unwrap_err(), TopologyError::IsdWithoutCore(99));
     }
 
@@ -714,7 +723,8 @@ mod tests {
             DirAttrs::new(500.0),
         )
         .unwrap();
-        b.add_server(ia(17, 2), HostAddr::new(10, 0, 0, 1), "leaf-server").unwrap();
+        b.add_server(ia(17, 2), HostAddr::new(10, 0, 0, 1), "leaf-server")
+            .unwrap();
         let t = b.build().unwrap();
         assert_eq!(t.num_ases(), 2);
         assert_eq!(t.num_links(), 1);
@@ -738,7 +748,8 @@ mod tests {
     #[test]
     fn duplicate_server_rejected() {
         let mut b = two_as_builder();
-        b.add_server(ia(17, 2), HostAddr::new(10, 0, 0, 1), "s1").unwrap();
+        b.add_server(ia(17, 2), HostAddr::new(10, 0, 0, 1), "s1")
+            .unwrap();
         assert!(matches!(
             b.add_server(ia(17, 2), HostAddr::new(10, 0, 0, 1), "s2"),
             Err(TopologyError::DuplicateServer(_))

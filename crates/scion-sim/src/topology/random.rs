@@ -71,15 +71,25 @@ pub fn random_topology(seed: u64, cfg: &RandomTopologyConfig) -> (Topology, IsdA
         let mut isd_leaves = Vec::new();
         for a in 0..n_ases {
             let ia = IsdAsn::new(isd_num, Asn::from_groups(0xffaa, isd as u16, a as u16 + 1));
-            let kind = if a < n_cores { AsKind::Core } else { AsKind::NonCore };
+            let kind = if a < n_cores {
+                AsKind::Core
+            } else {
+                AsKind::NonCore
+            };
             let geo = GeoLocation::new(
                 rng.gen_range(-60.0..70.0),
                 rng.gen_range(-180.0..180.0),
                 &format!("city-{isd_num}-{a}"),
                 &format!("country-{}", rng.gen_range(0..8)),
             );
-            b.add_as(ia, kind, &format!("as-{ia}"), &format!("op-{}", rng.gen_range(0..5)), geo)
-                .expect("unique ids by construction");
+            b.add_as(
+                ia,
+                kind,
+                &format!("as-{ia}"),
+                &format!("op-{}", rng.gen_range(0..5)),
+                geo,
+            )
+            .expect("unique ids by construction");
             if kind == AsKind::Core {
                 isd_cores.push(ia);
             } else {
@@ -95,8 +105,15 @@ pub fn random_topology(seed: u64, cfg: &RandomTopologyConfig) -> (Topology, IsdA
         // Intra-ISD core mesh (when multiple cores).
         for i in 0..isd_cores.len() {
             for j in i + 1..isd_cores.len() {
-                b.add_link(isd_cores[i], isd_cores[j], LinkKind::Core, 1472, attrs(&mut rng), attrs(&mut rng))
-                    .expect("valid core link");
+                b.add_link(
+                    isd_cores[i],
+                    isd_cores[j],
+                    LinkKind::Core,
+                    1472,
+                    attrs(&mut rng),
+                    attrs(&mut rng),
+                )
+                .expect("valid core link");
             }
         }
         // Parent DAG: each leaf gets a parent among cores and earlier
@@ -107,15 +124,29 @@ pub fn random_topology(seed: u64, cfg: &RandomTopologyConfig) -> (Topology, IsdA
             } else {
                 isd_leaves[rng.gen_range(0..li)]
             };
-            b.add_link(parent, *leaf, LinkKind::Parent, 1472, attrs(&mut rng), attrs(&mut rng))
-                .expect("valid parent link");
+            b.add_link(
+                parent,
+                *leaf,
+                LinkKind::Parent,
+                1472,
+                attrs(&mut rng),
+                attrs(&mut rng),
+            )
+            .expect("valid parent link");
             if rng.gen_bool(cfg.extra_parent_prob) {
                 let extra = isd_cores[rng.gen_range(0..isd_cores.len())];
                 // A second link to the same parent is fine (parallel
                 // links are allowed); a distinct parent adds diversity.
                 if extra != parent {
-                    b.add_link(extra, *leaf, LinkKind::Parent, 1472, attrs(&mut rng), attrs(&mut rng))
-                        .expect("valid parent link");
+                    b.add_link(
+                        extra,
+                        *leaf,
+                        LinkKind::Parent,
+                        1472,
+                        attrs(&mut rng),
+                        attrs(&mut rng),
+                    )
+                    .expect("valid parent link");
                 }
             }
         }
@@ -159,8 +190,15 @@ pub fn random_topology(seed: u64, cfg: &RandomTopologyConfig) -> (Topology, IsdA
             if rng.gen_bool(cfg.peering_prob) {
                 let x = leaves[i][rng.gen_range(0..leaves[i].len())];
                 let y = leaves[j][rng.gen_range(0..leaves[j].len())];
-                b.add_link(x, y, LinkKind::Peering, 1472, attrs(&mut rng), attrs(&mut rng))
-                    .expect("valid peering link");
+                b.add_link(
+                    x,
+                    y,
+                    LinkKind::Peering,
+                    1472,
+                    attrs(&mut rng),
+                    attrs(&mut rng),
+                )
+                .expect("valid peering link");
             }
         }
     }

@@ -31,7 +31,11 @@ pub fn render(topo: &Topology) -> String {
             let servers = if node.servers.is_empty() {
                 String::new()
             } else {
-                format!("  ({} server{})", node.servers.len(), if node.servers.len() > 1 { "s" } else { "" })
+                format!(
+                    "  ({} server{})",
+                    node.servers.len(),
+                    if node.servers.len() > 1 { "s" } else { "" }
+                )
             };
             let _ = writeln!(
                 out,

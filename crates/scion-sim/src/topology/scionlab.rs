@@ -110,67 +110,375 @@ fn add_ases(b: &mut TopologyBuilder) {
     };
 
     // ISD 16 — AWS.
-    add(AWS_FRANKFURT, Core, "AWS Frankfurt", "AWS", 50.11, 8.68, "Frankfurt", "Germany");
-    add(AWS_IRELAND, AttachmentPoint, "AWS Ireland", "AWS", 53.35, -6.26, "Dublin", "Ireland");
-    add(AWS_N_VIRGINIA, NonCore, "AWS US N. Virginia", "AWS", 38.95, -77.45, "Ashburn", "United States");
-    add(AWS_SINGAPORE, NonCore, "AWS Singapore", "AWS", 1.35, 103.82, "Singapore", "Singapore");
-    add(AWS_TOKYO, NonCore, "AWS Tokyo", "AWS", 35.68, 139.69, "Tokyo", "Japan");
-    add(AWS_OREGON, NonCore, "AWS Oregon", "AWS", 45.84, -119.70, "Boardman", "United States");
-    add(AWS_OHIO, NonCore, "AWS Ohio", "AWS", 39.96, -83.00, "Columbus", "United States");
+    add(
+        AWS_FRANKFURT,
+        Core,
+        "AWS Frankfurt",
+        "AWS",
+        50.11,
+        8.68,
+        "Frankfurt",
+        "Germany",
+    );
+    add(
+        AWS_IRELAND,
+        AttachmentPoint,
+        "AWS Ireland",
+        "AWS",
+        53.35,
+        -6.26,
+        "Dublin",
+        "Ireland",
+    );
+    add(
+        AWS_N_VIRGINIA,
+        NonCore,
+        "AWS US N. Virginia",
+        "AWS",
+        38.95,
+        -77.45,
+        "Ashburn",
+        "United States",
+    );
+    add(
+        AWS_SINGAPORE,
+        NonCore,
+        "AWS Singapore",
+        "AWS",
+        1.35,
+        103.82,
+        "Singapore",
+        "Singapore",
+    );
+    add(
+        AWS_TOKYO,
+        NonCore,
+        "AWS Tokyo",
+        "AWS",
+        35.68,
+        139.69,
+        "Tokyo",
+        "Japan",
+    );
+    add(
+        AWS_OREGON,
+        NonCore,
+        "AWS Oregon",
+        "AWS",
+        45.84,
+        -119.70,
+        "Boardman",
+        "United States",
+    );
+    add(
+        AWS_OHIO,
+        NonCore,
+        "AWS Ohio",
+        "AWS",
+        39.96,
+        -83.00,
+        "Columbus",
+        "United States",
+    );
 
     // ISD 17 — Switzerland.
-    add(ETHZ_CORE, Core, "ETHZ Core", "ETH Zurich", 47.38, 8.54, "Zurich", "Switzerland");
-    add(SWISSCOM_CORE, Core, "Swisscom", "Swisscom", 46.95, 7.45, "Bern", "Switzerland");
-    add(SCION_ASSOC, NonCore, "SCION Association", "SCION Association", 47.39, 8.51, "Zurich", "Switzerland");
-    add(ETHZ_AP, AttachmentPoint, "ETHZ-AP", "ETH Zurich", 47.38, 8.55, "Zurich", "Switzerland");
-    add(ETH_CAB, NonCore, "ETH-CAB", "ETH Zurich", 47.37, 8.55, "Zurich", "Switzerland");
+    add(
+        ETHZ_CORE,
+        Core,
+        "ETHZ Core",
+        "ETH Zurich",
+        47.38,
+        8.54,
+        "Zurich",
+        "Switzerland",
+    );
+    add(
+        SWISSCOM_CORE,
+        Core,
+        "Swisscom",
+        "Swisscom",
+        46.95,
+        7.45,
+        "Bern",
+        "Switzerland",
+    );
+    add(
+        SCION_ASSOC,
+        NonCore,
+        "SCION Association",
+        "SCION Association",
+        47.39,
+        8.51,
+        "Zurich",
+        "Switzerland",
+    );
+    add(
+        ETHZ_AP,
+        AttachmentPoint,
+        "ETHZ-AP",
+        "ETH Zurich",
+        47.38,
+        8.55,
+        "Zurich",
+        "Switzerland",
+    );
+    add(
+        ETH_CAB,
+        NonCore,
+        "ETH-CAB",
+        "ETH Zurich",
+        47.37,
+        8.55,
+        "Zurich",
+        "Switzerland",
+    );
 
     // ISD 18 — North America.
-    add(CMU_CORE, Core, "CMU Core", "CMU", 40.44, -79.94, "Pittsburgh", "United States");
-    add(CMU_AP, AttachmentPoint, "CMU AP", "CMU", 40.44, -79.95, "Pittsburgh", "United States");
-    add(COLUMBIA, NonCore, "Columbia", "Columbia University", 40.81, -73.96, "New York", "United States");
-    add(TORONTO, NonCore, "Toronto", "University of Toronto", 43.66, -79.40, "Toronto", "Canada");
+    add(
+        CMU_CORE,
+        Core,
+        "CMU Core",
+        "CMU",
+        40.44,
+        -79.94,
+        "Pittsburgh",
+        "United States",
+    );
+    add(
+        CMU_AP,
+        AttachmentPoint,
+        "CMU AP",
+        "CMU",
+        40.44,
+        -79.95,
+        "Pittsburgh",
+        "United States",
+    );
+    add(
+        COLUMBIA,
+        NonCore,
+        "Columbia",
+        "Columbia University",
+        40.81,
+        -73.96,
+        "New York",
+        "United States",
+    );
+    add(
+        TORONTO,
+        NonCore,
+        "Toronto",
+        "University of Toronto",
+        43.66,
+        -79.40,
+        "Toronto",
+        "Canada",
+    );
 
     // ISD 19 — Europe.
-    add(OVGU_CORE, Core, "OVGU Core", "OVGU Magdeburg", 52.14, 11.65, "Magdeburg", "Germany");
-    add(GEANT_AP, AttachmentPoint, "GEANT", "GEANT", 52.37, 4.90, "Amsterdam", "Netherlands");
-    add(MAGDEBURG_AP, AttachmentPoint, "Magdeburg AP", "OVGU Magdeburg", 52.14, 11.64, "Magdeburg", "Germany");
-    add(TU_DELFT, NonCore, "TU Delft", "TU Delft", 52.01, 4.36, "Delft", "Netherlands");
-    add(AALTO, NonCore, "Aalto", "Aalto University", 60.19, 24.83, "Espoo", "Finland");
-    add(CENTRIA, NonCore, "Centria", "Centria UAS", 63.84, 23.13, "Kokkola", "Finland");
-    add(DARMSTADT, NonCore, "TU Darmstadt", "TU Darmstadt", 49.87, 8.65, "Darmstadt", "Germany");
+    add(
+        OVGU_CORE,
+        Core,
+        "OVGU Core",
+        "OVGU Magdeburg",
+        52.14,
+        11.65,
+        "Magdeburg",
+        "Germany",
+    );
+    add(
+        GEANT_AP,
+        AttachmentPoint,
+        "GEANT",
+        "GEANT",
+        52.37,
+        4.90,
+        "Amsterdam",
+        "Netherlands",
+    );
+    add(
+        MAGDEBURG_AP,
+        AttachmentPoint,
+        "Magdeburg AP",
+        "OVGU Magdeburg",
+        52.14,
+        11.64,
+        "Magdeburg",
+        "Germany",
+    );
+    add(
+        TU_DELFT,
+        NonCore,
+        "TU Delft",
+        "TU Delft",
+        52.01,
+        4.36,
+        "Delft",
+        "Netherlands",
+    );
+    add(
+        AALTO,
+        NonCore,
+        "Aalto",
+        "Aalto University",
+        60.19,
+        24.83,
+        "Espoo",
+        "Finland",
+    );
+    add(
+        CENTRIA,
+        NonCore,
+        "Centria",
+        "Centria UAS",
+        63.84,
+        23.13,
+        "Kokkola",
+        "Finland",
+    );
+    add(
+        DARMSTADT,
+        NonCore,
+        "TU Darmstadt",
+        "TU Darmstadt",
+        49.87,
+        8.65,
+        "Darmstadt",
+        "Germany",
+    );
 
     // ISD 20 — South Korea.
-    add(KISTI_CORE, Core, "KISTI Core", "KISTI", 36.35, 127.38, "Daejeon", "South Korea");
-    add(KISTI_AP, AttachmentPoint, "KISTI AP", "KISTI", 36.35, 127.37, "Daejeon", "South Korea");
-    add(KU, NonCore, "Korea University", "Korea University", 37.59, 127.03, "Seoul", "South Korea");
-    add(ETRI, NonCore, "ETRI", "ETRI", 36.38, 127.37, "Daejeon", "South Korea");
+    add(
+        KISTI_CORE,
+        Core,
+        "KISTI Core",
+        "KISTI",
+        36.35,
+        127.38,
+        "Daejeon",
+        "South Korea",
+    );
+    add(
+        KISTI_AP,
+        AttachmentPoint,
+        "KISTI AP",
+        "KISTI",
+        36.35,
+        127.37,
+        "Daejeon",
+        "South Korea",
+    );
+    add(
+        KU,
+        NonCore,
+        "Korea University",
+        "Korea University",
+        37.59,
+        127.03,
+        "Seoul",
+        "South Korea",
+    );
+    add(
+        ETRI,
+        NonCore,
+        "ETRI",
+        "ETRI",
+        36.38,
+        127.37,
+        "Daejeon",
+        "South Korea",
+    );
 
     // ISD 21 — Japan.
-    add(KDDI_CORE, Core, "KDDI Core", "KDDI", 35.68, 139.75, "Tokyo", "Japan");
-    add(TOKYO_AP, AttachmentPoint, "Tokyo AP", "KDDI", 35.69, 139.70, "Tokyo", "Japan");
-    add(OSAKA, NonCore, "Osaka", "NICT", 34.69, 135.50, "Osaka", "Japan");
+    add(
+        KDDI_CORE,
+        Core,
+        "KDDI Core",
+        "KDDI",
+        35.68,
+        139.75,
+        "Tokyo",
+        "Japan",
+    );
+    add(
+        TOKYO_AP,
+        AttachmentPoint,
+        "Tokyo AP",
+        "KDDI",
+        35.69,
+        139.70,
+        "Tokyo",
+        "Japan",
+    );
+    add(
+        OSAKA, NonCore, "Osaka", "NICT", 34.69, 135.50, "Osaka", "Japan",
+    );
 
     // ISD 22 — Taiwan.
-    add(NTU_CORE, Core, "NTU Core", "NTU", 25.03, 121.56, "Taipei", "Taiwan");
-    add(NCTU, NonCore, "NCTU", "NCTU", 24.79, 120.99, "Hsinchu", "Taiwan");
-    add(TWAREN_AP, AttachmentPoint, "TWAREN", "NARLabs", 25.04, 121.61, "Taipei", "Taiwan");
+    add(
+        NTU_CORE, Core, "NTU Core", "NTU", 25.03, 121.56, "Taipei", "Taiwan",
+    );
+    add(
+        NCTU, NonCore, "NCTU", "NCTU", 24.79, 120.99, "Hsinchu", "Taiwan",
+    );
+    add(
+        TWAREN_AP,
+        AttachmentPoint,
+        "TWAREN",
+        "NARLabs",
+        25.04,
+        121.61,
+        "Taipei",
+        "Taiwan",
+    );
 
     // ISD 25 — Australia.
-    add(SYDNEY_CORE, Core, "Sydney Core", "AARNet", -33.87, 151.21, "Sydney", "Australia");
-    add(MELBOURNE_AP, AttachmentPoint, "Melbourne AP", "AARNet", -37.81, 144.96, "Melbourne", "Australia");
+    add(
+        SYDNEY_CORE,
+        Core,
+        "Sydney Core",
+        "AARNet",
+        -33.87,
+        151.21,
+        "Sydney",
+        "Australia",
+    );
+    add(
+        MELBOURNE_AP,
+        AttachmentPoint,
+        "Melbourne AP",
+        "AARNet",
+        -37.81,
+        144.96,
+        "Melbourne",
+        "Australia",
+    );
 
     // The experimenter's AS, a VM colocated with ETHZ-AP.
-    add(MY_AS, User, "MY_AS#1", "UvA (experimenter)", 47.38, 8.55, "Zurich", "Switzerland");
+    add(
+        MY_AS,
+        User,
+        "MY_AS#1",
+        "UvA (experimenter)",
+        47.38,
+        8.55,
+        "Zurich",
+        "Switzerland",
+    );
 }
 
 fn add_servers(b: &mut TopologyBuilder) {
     let mut add = |ia, host: [u8; 4], name: &str| {
-        b.add_server(ia, HostAddr(host), name).expect("unique server");
+        b.add_server(ia, HostAddr(host), name)
+            .expect("unique server");
     };
     // 21 testable destinations (the paper's availableServers set).
     add(ETHZ_AP, [192, 33, 93, 177], "ETHZ-AP server");
-    add(SCION_ASSOC, [129, 132, 121, 164], "SCION Association server");
+    add(
+        SCION_ASSOC,
+        [129, 132, 121, 164],
+        "SCION Association server",
+    );
     add(ETH_CAB, [129, 132, 55, 7], "ETH-CAB server");
     add(GEANT_AP, [62, 40, 111, 66], "GEANT server");
     add(MAGDEBURG_AP, [141, 44, 25, 144], "Magdeburg server A");
@@ -225,36 +533,218 @@ fn add_links(b: &mut TopologyBuilder) {
     use LinkKind::{Core, Parent};
 
     // ---- Core mesh -------------------------------------------------
-    link(ETHZ_CORE, SWISSCOM_CORE, Core, 1472, backbone(10_000.0), backbone(10_000.0));
-    link(ETHZ_CORE, OVGU_CORE, Core, 1472, backbone(10_000.0), backbone(10_000.0));
-    link(SWISSCOM_CORE, OVGU_CORE, Core, 1472, backbone(10_000.0), backbone(10_000.0));
-    link(OVGU_CORE, AWS_FRANKFURT, Core, 1472, backbone(10_000.0), backbone(10_000.0));
-    link(OVGU_CORE, CMU_CORE, Core, 1460, longhaul(5_000.0), longhaul(5_000.0));
-    link(CMU_CORE, AWS_FRANKFURT, Core, 1460, longhaul(5_000.0), longhaul(5_000.0));
-    link(CMU_CORE, KISTI_CORE, Core, 1460, longhaul(4_000.0), longhaul(4_000.0));
-    link(CMU_CORE, KDDI_CORE, Core, 1460, longhaul(4_000.0), longhaul(4_000.0));
-    link(KISTI_CORE, KDDI_CORE, Core, 1472, backbone(5_000.0), backbone(5_000.0));
-    link(KDDI_CORE, NTU_CORE, Core, 1472, backbone(4_000.0), backbone(4_000.0));
-    link(KDDI_CORE, SYDNEY_CORE, Core, 1460, longhaul(3_000.0), longhaul(3_000.0));
-    link(NTU_CORE, SYDNEY_CORE, Core, 1460, longhaul(3_000.0), longhaul(3_000.0));
+    link(
+        ETHZ_CORE,
+        SWISSCOM_CORE,
+        Core,
+        1472,
+        backbone(10_000.0),
+        backbone(10_000.0),
+    );
+    link(
+        ETHZ_CORE,
+        OVGU_CORE,
+        Core,
+        1472,
+        backbone(10_000.0),
+        backbone(10_000.0),
+    );
+    link(
+        SWISSCOM_CORE,
+        OVGU_CORE,
+        Core,
+        1472,
+        backbone(10_000.0),
+        backbone(10_000.0),
+    );
+    link(
+        OVGU_CORE,
+        AWS_FRANKFURT,
+        Core,
+        1472,
+        backbone(10_000.0),
+        backbone(10_000.0),
+    );
+    link(
+        OVGU_CORE,
+        CMU_CORE,
+        Core,
+        1460,
+        longhaul(5_000.0),
+        longhaul(5_000.0),
+    );
+    link(
+        CMU_CORE,
+        AWS_FRANKFURT,
+        Core,
+        1460,
+        longhaul(5_000.0),
+        longhaul(5_000.0),
+    );
+    link(
+        CMU_CORE,
+        KISTI_CORE,
+        Core,
+        1460,
+        longhaul(4_000.0),
+        longhaul(4_000.0),
+    );
+    link(
+        CMU_CORE,
+        KDDI_CORE,
+        Core,
+        1460,
+        longhaul(4_000.0),
+        longhaul(4_000.0),
+    );
+    link(
+        KISTI_CORE,
+        KDDI_CORE,
+        Core,
+        1472,
+        backbone(5_000.0),
+        backbone(5_000.0),
+    );
+    link(
+        KDDI_CORE,
+        NTU_CORE,
+        Core,
+        1472,
+        backbone(4_000.0),
+        backbone(4_000.0),
+    );
+    link(
+        KDDI_CORE,
+        SYDNEY_CORE,
+        Core,
+        1460,
+        longhaul(3_000.0),
+        longhaul(3_000.0),
+    );
+    link(
+        NTU_CORE,
+        SYDNEY_CORE,
+        Core,
+        1460,
+        longhaul(3_000.0),
+        longhaul(3_000.0),
+    );
 
     // ---- ISD 16 (AWS) ----------------------------------------------
-    link(AWS_FRANKFURT, AWS_IRELAND, Parent, 1472, backbone(2_000.0), backbone(2_000.0));
-    link(AWS_FRANKFURT, AWS_N_VIRGINIA, Parent, 1472, longhaul(2_000.0), longhaul(2_000.0));
-    link(AWS_FRANKFURT, AWS_SINGAPORE, Parent, 1472, jittery(1_000.0), jittery(1_000.0));
-    link(AWS_FRANKFURT, AWS_OREGON, Parent, 1472, longhaul(1_500.0), longhaul(1_500.0));
-    link(AWS_FRANKFURT, AWS_OHIO, Parent, 1472, jittery(1_500.0), jittery(1_500.0));
-    link(AWS_SINGAPORE, AWS_TOKYO, Parent, 1472, jittery(1_000.0), jittery(1_000.0));
-    link(AWS_OHIO, AWS_IRELAND, Parent, 1472, jittery(1_000.0), jittery(1_000.0));
-    link(AWS_SINGAPORE, AWS_IRELAND, Parent, 1472, jittery(1_000.0), jittery(1_000.0));
-    link(AWS_OHIO, AWS_N_VIRGINIA, Parent, 1472, jittery(1_500.0), jittery(1_500.0));
-    link(AWS_OREGON, AWS_N_VIRGINIA, Parent, 1472, longhaul(1_500.0), longhaul(1_500.0));
+    link(
+        AWS_FRANKFURT,
+        AWS_IRELAND,
+        Parent,
+        1472,
+        backbone(2_000.0),
+        backbone(2_000.0),
+    );
+    link(
+        AWS_FRANKFURT,
+        AWS_N_VIRGINIA,
+        Parent,
+        1472,
+        longhaul(2_000.0),
+        longhaul(2_000.0),
+    );
+    link(
+        AWS_FRANKFURT,
+        AWS_SINGAPORE,
+        Parent,
+        1472,
+        jittery(1_000.0),
+        jittery(1_000.0),
+    );
+    link(
+        AWS_FRANKFURT,
+        AWS_OREGON,
+        Parent,
+        1472,
+        longhaul(1_500.0),
+        longhaul(1_500.0),
+    );
+    link(
+        AWS_FRANKFURT,
+        AWS_OHIO,
+        Parent,
+        1472,
+        jittery(1_500.0),
+        jittery(1_500.0),
+    );
+    link(
+        AWS_SINGAPORE,
+        AWS_TOKYO,
+        Parent,
+        1472,
+        jittery(1_000.0),
+        jittery(1_000.0),
+    );
+    link(
+        AWS_OHIO,
+        AWS_IRELAND,
+        Parent,
+        1472,
+        jittery(1_000.0),
+        jittery(1_000.0),
+    );
+    link(
+        AWS_SINGAPORE,
+        AWS_IRELAND,
+        Parent,
+        1472,
+        jittery(1_000.0),
+        jittery(1_000.0),
+    );
+    link(
+        AWS_OHIO,
+        AWS_N_VIRGINIA,
+        Parent,
+        1472,
+        jittery(1_500.0),
+        jittery(1_500.0),
+    );
+    link(
+        AWS_OREGON,
+        AWS_N_VIRGINIA,
+        Parent,
+        1472,
+        longhaul(1_500.0),
+        longhaul(1_500.0),
+    );
 
     // ---- ISD 17 (Switzerland) --------------------------------------
-    link(ETHZ_CORE, ETHZ_AP, Parent, 1472, backbone(2_000.0), backbone(2_000.0));
-    link(SWISSCOM_CORE, ETHZ_AP, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
-    link(ETHZ_CORE, SCION_ASSOC, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
-    link(ETHZ_CORE, ETH_CAB, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
+    link(
+        ETHZ_CORE,
+        ETHZ_AP,
+        Parent,
+        1472,
+        backbone(2_000.0),
+        backbone(2_000.0),
+    );
+    link(
+        SWISSCOM_CORE,
+        ETHZ_AP,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
+    link(
+        ETHZ_CORE,
+        SCION_ASSOC,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
+    link(
+        ETHZ_CORE,
+        ETH_CAB,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
 
     // The experimenter's access link: the bandwidth bottleneck of every
     // measurement. Asymmetric (upstream 30 Mbps, downstream 120 Mbps)
@@ -293,34 +783,160 @@ fn add_links(b: &mut TopologyBuilder) {
     );
 
     // ---- ISD 18 (North America) ------------------------------------
-    link(CMU_CORE, CMU_AP, Parent, 1472, backbone(2_000.0), backbone(2_000.0));
-    link(CMU_CORE, COLUMBIA, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
-    link(CMU_AP, TORONTO, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
+    link(
+        CMU_CORE,
+        CMU_AP,
+        Parent,
+        1472,
+        backbone(2_000.0),
+        backbone(2_000.0),
+    );
+    link(
+        CMU_CORE,
+        COLUMBIA,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
+    link(
+        CMU_AP,
+        TORONTO,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
 
     // ---- ISD 19 (Europe) -------------------------------------------
-    link(OVGU_CORE, GEANT_AP, Parent, 1472, backbone(5_000.0), backbone(5_000.0));
-    link(OVGU_CORE, MAGDEBURG_AP, Parent, 1472, backbone(2_000.0), backbone(2_000.0));
-    link(OVGU_CORE, TU_DELFT, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
-    link(GEANT_AP, TU_DELFT, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
-    link(OVGU_CORE, AALTO, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
-    link(AALTO, CENTRIA, Parent, 1472, backbone(500.0), backbone(500.0));
-    link(OVGU_CORE, DARMSTADT, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
+    link(
+        OVGU_CORE,
+        GEANT_AP,
+        Parent,
+        1472,
+        backbone(5_000.0),
+        backbone(5_000.0),
+    );
+    link(
+        OVGU_CORE,
+        MAGDEBURG_AP,
+        Parent,
+        1472,
+        backbone(2_000.0),
+        backbone(2_000.0),
+    );
+    link(
+        OVGU_CORE,
+        TU_DELFT,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
+    link(
+        GEANT_AP,
+        TU_DELFT,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
+    link(
+        OVGU_CORE,
+        AALTO,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
+    link(
+        AALTO,
+        CENTRIA,
+        Parent,
+        1472,
+        backbone(500.0),
+        backbone(500.0),
+    );
+    link(
+        OVGU_CORE,
+        DARMSTADT,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
 
     // ---- ISD 20 (South Korea) --------------------------------------
-    link(KISTI_CORE, KISTI_AP, Parent, 1472, backbone(2_000.0), backbone(2_000.0));
-    link(KISTI_CORE, KU, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
-    link(KISTI_CORE, ETRI, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
+    link(
+        KISTI_CORE,
+        KISTI_AP,
+        Parent,
+        1472,
+        backbone(2_000.0),
+        backbone(2_000.0),
+    );
+    link(
+        KISTI_CORE,
+        KU,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
+    link(
+        KISTI_CORE,
+        ETRI,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
 
     // ---- ISD 21 (Japan) --------------------------------------------
-    link(KDDI_CORE, TOKYO_AP, Parent, 1472, backbone(2_000.0), backbone(2_000.0));
-    link(TOKYO_AP, OSAKA, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
+    link(
+        KDDI_CORE,
+        TOKYO_AP,
+        Parent,
+        1472,
+        backbone(2_000.0),
+        backbone(2_000.0),
+    );
+    link(
+        TOKYO_AP,
+        OSAKA,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
 
     // ---- ISD 22 (Taiwan) -------------------------------------------
-    link(NTU_CORE, NCTU, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
-    link(NTU_CORE, TWAREN_AP, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
+    link(
+        NTU_CORE,
+        NCTU,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
+    link(
+        NTU_CORE,
+        TWAREN_AP,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
 
     // ---- ISD 25 (Australia) ----------------------------------------
-    link(SYDNEY_CORE, MELBOURNE_AP, Parent, 1472, backbone(1_000.0), backbone(1_000.0));
+    link(
+        SYDNEY_CORE,
+        MELBOURNE_AP,
+        Parent,
+        1472,
+        backbone(1_000.0),
+        backbone(1_000.0),
+    );
 }
 
 #[cfg(test)]

@@ -20,7 +20,11 @@ impl AddressInfo {
 }
 
 /// Run `scion address` for a host in `local_ia`.
-pub fn address(net: &ScionNetwork, local_ia: IsdAsn, host: HostAddr) -> Result<AddressInfo, ToolError> {
+pub fn address(
+    net: &ScionNetwork,
+    local_ia: IsdAsn,
+    host: HostAddr,
+) -> Result<AddressInfo, ToolError> {
     let idx = net
         .topology()
         .index_of(local_ia)

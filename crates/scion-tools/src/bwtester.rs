@@ -117,7 +117,11 @@ impl BwParams {
     /// Substitute `MTU` placeholders before parsing: the paper's suite
     /// issues `3,MTU,?,12Mbps` with the path MTU patched in. Accounts
     /// for SCION/UDP headers so the wire packet fits the link MTU.
-    pub fn parse_with_mtu(s: &str, path_mtu: u32, header_bytes: u32) -> Result<BwParams, ToolError> {
+    pub fn parse_with_mtu(
+        s: &str,
+        path_mtu: u32,
+        header_bytes: u32,
+    ) -> Result<BwParams, ToolError> {
         let payload = path_mtu.saturating_sub(header_bytes).max(MIN_PACKET_BYTES);
         let substituted = s.replace("MTU", &payload.to_string());
         BwParams::parse(&substituted)
@@ -215,8 +219,8 @@ pub fn bwtest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scion_sim::net::NetError;
     use scion_sim::fault::ServerBehavior;
+    use scion_sim::net::NetError;
     use scion_sim::topology::scionlab::{paper_destinations, MY_AS};
 
     #[test]
@@ -260,15 +264,30 @@ mod tests {
     #[test]
     fn enforces_bwtester_limits() {
         // Duration cap: 10 s.
-        assert!(matches!(BwParams::parse("11,1000,?,12Mbps"), Err(ToolError::Usage(_))));
+        assert!(matches!(
+            BwParams::parse("11,1000,?,12Mbps"),
+            Err(ToolError::Usage(_))
+        ));
         // Packet size floor: 4 bytes.
-        assert!(matches!(BwParams::parse("3,2,?,12Mbps"), Err(ToolError::Usage(_))));
+        assert!(matches!(
+            BwParams::parse("3,2,?,12Mbps"),
+            Err(ToolError::Usage(_))
+        ));
         // Two wildcards.
-        assert!(matches!(BwParams::parse("3,?,?,12Mbps"), Err(ToolError::Usage(_))));
+        assert!(matches!(
+            BwParams::parse("3,?,?,12Mbps"),
+            Err(ToolError::Usage(_))
+        ));
         // Wrong arity.
-        assert!(matches!(BwParams::parse("3,64,12Mbps"), Err(ToolError::Usage(_))));
+        assert!(matches!(
+            BwParams::parse("3,64,12Mbps"),
+            Err(ToolError::Usage(_))
+        ));
         // Garbage field.
-        assert!(matches!(BwParams::parse("3,64,x,12Mbps"), Err(ToolError::Usage(_))));
+        assert!(matches!(
+            BwParams::parse("3,64,x,12Mbps"),
+            Err(ToolError::Usage(_))
+        ));
     }
 
     #[test]
@@ -281,7 +300,15 @@ mod tests {
     fn end_to_end_12mbps_mtu_test() {
         let net = ScionNetwork::scionlab(31);
         let dst = paper_destinations()[0]; // Magdeburg (Germany)
-        let r = bwtest(&net, MY_AS, dst, "3,MTU,?,12Mbps", None, &PathSelection::Default).unwrap();
+        let r = bwtest(
+            &net,
+            MY_AS,
+            dst,
+            "3,MTU,?,12Mbps",
+            None,
+            &PathSelection::Default,
+        )
+        .unwrap();
         // Downstream comfortably reaches the target; upstream is the
         // constrained direction (Fig. 7's asymmetry).
         assert!(r.sc.achieved_mbps > 9.0, "sc {}", r.sc.achieved_mbps);
@@ -300,7 +327,14 @@ mod tests {
         let net = ScionNetwork::scionlab(32);
         let dst = paper_destinations()[0];
         net.set_server_behavior(dst, ServerBehavior::Down);
-        let err = bwtest(&net, MY_AS, dst, "3,1000,?,12Mbps", None, &PathSelection::Default);
+        let err = bwtest(
+            &net,
+            MY_AS,
+            dst,
+            "3,1000,?,12Mbps",
+            None,
+            &PathSelection::Default,
+        );
         assert_eq!(err, Err(ToolError::Net(NetError::Timeout)));
     }
 

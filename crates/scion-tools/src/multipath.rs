@@ -99,7 +99,10 @@ pub fn ping_with_failover(
     for _ in 0..policy.total_probes {
         let outcome = net.ping(&paths[active], dst, &single)?;
         let rtt = outcome.rtts_ms.first().copied().flatten();
-        probes.push(ProbeRecord { path: active, rtt_ms: rtt });
+        probes.push(ProbeRecord {
+            path: active,
+            rtt_ms: rtt,
+        });
         match rtt {
             Some(_) => consecutive_losses = 0,
             None => {
@@ -169,7 +172,10 @@ mod tests {
         };
         let report = ping_with_failover(&n, MY_AS, paper_destinations()[1], 40, &policy).unwrap();
         assert!(report.switches > 0, "must fail over");
-        assert!(report.received() > 0, "an ETHZ-core-free path eventually answers");
+        assert!(
+            report.received() > 0,
+            "an ETHZ-core-free path eventually answers"
+        );
         // The path in use at the end avoids the congested core.
         let final_path = &report.paths[report.final_path];
         assert!(
@@ -184,7 +190,10 @@ mod tests {
     #[test]
     fn no_path_is_an_error() {
         let n = net();
-        let bogus = ScionAddr::new("99-ffaa:0:9999".parse().unwrap(), scion_sim::addr::HostAddr::new(1, 1, 1, 1));
+        let bogus = ScionAddr::new(
+            "99-ffaa:0:9999".parse().unwrap(),
+            scion_sim::addr::HostAddr::new(1, 1, 1, 1),
+        );
         assert!(matches!(
             ping_with_failover(&n, MY_AS, bogus, 5, &quick_policy()),
             Err(ToolError::NoPath(_))

@@ -123,10 +123,9 @@ pub fn resolve_path(
             .ok_or_else(|| ToolError::NoPath(format!("no path to {dst}"))),
         PathSelection::Interactive(choice) => {
             let paths = net.paths(local, dst, usize::MAX);
-            paths
-                .into_iter()
-                .nth(*choice)
-                .ok_or_else(|| ToolError::NoPath(format!("interactive choice {choice} out of range")))
+            paths.into_iter().nth(*choice).ok_or_else(|| {
+                ToolError::NoPath(format!("interactive choice {choice} out of range"))
+            })
         }
         PathSelection::Sequence(seq) => {
             let bare = ScionPath::from_sequence(seq)?;
@@ -139,13 +138,14 @@ pub fn resolve_path(
                 .map_err(|_| ToolError::NoPath(format!("no path matching sequence '{seq}'")))
         }
         PathSelection::Policy(spec) => {
-            let acl: scion_sim::policy::Acl = spec
-                .parse()
-                .map_err(|e| ToolError::Usage(format!("{e}")))?;
+            let acl: scion_sim::policy::Acl =
+                spec.parse().map_err(|e| ToolError::Usage(format!("{e}")))?;
             acl.filter(net.paths(local, dst, usize::MAX))
                 .into_iter()
                 .next()
-                .ok_or_else(|| ToolError::NoPath(format!("policy {spec:?} allows no path to {dst}")))
+                .ok_or_else(|| {
+                    ToolError::NoPath(format!("policy {spec:?} allows no path to {dst}"))
+                })
         }
     }
 }
@@ -244,7 +244,10 @@ mod tests {
             selection: PathSelection::Sequence("not a sequence".into()),
             ..PingOptions::default()
         };
-        assert!(matches!(ping(&n, MY_AS, ireland(), &opts), Err(ToolError::Usage(_))));
+        assert!(matches!(
+            ping(&n, MY_AS, ireland(), &opts),
+            Err(ToolError::Usage(_))
+        ));
     }
 
     #[test]
@@ -291,14 +294,20 @@ mod tests {
             selection: PathSelection::Policy("- 0".into()),
             ..PingOptions::default()
         };
-        assert!(matches!(ping(&n, MY_AS, ireland(), &deny_all), Err(ToolError::NoPath(_))));
+        assert!(matches!(
+            ping(&n, MY_AS, ireland(), &deny_all),
+            Err(ToolError::NoPath(_))
+        ));
 
         // A malformed policy is a usage error.
         let bad = PingOptions {
             selection: PathSelection::Policy("nope".into()),
             ..PingOptions::default()
         };
-        assert!(matches!(ping(&n, MY_AS, ireland(), &bad), Err(ToolError::Usage(_))));
+        assert!(matches!(
+            ping(&n, MY_AS, ireland(), &bad),
+            Err(ToolError::Usage(_))
+        ));
     }
 
     #[test]

@@ -90,7 +90,9 @@ pub fn execute(
                 "showpaths" => exec_showpaths(net, local, args),
                 "ping" => exec_ping(net, local, args),
                 "traceroute" => exec_traceroute(net, local, args),
-                other => Err(ToolError::Usage(format!("scion: unknown subcommand {other:?}"))),
+                other => Err(ToolError::Usage(format!(
+                    "scion: unknown subcommand {other:?}"
+                ))),
             }
         }
         "scion-bwtestclient" => exec_bwtest(net, local, &rest),
@@ -98,7 +100,10 @@ pub fn execute(
     }
 }
 
-fn want_value<'a>(args: &mut std::slice::Iter<'a, &'a str>, flag: &str) -> Result<&'a str, ToolError> {
+fn want_value<'a>(
+    args: &mut std::slice::Iter<'a, &'a str>,
+    flag: &str,
+) -> Result<&'a str, ToolError> {
     args.next()
         .copied()
         .ok_or_else(|| ToolError::Usage(format!("{flag} expects a value")))
@@ -188,7 +193,11 @@ fn exec_traceroute(net: &ScionNetwork, local: IsdAsn, args: &[&str]) -> Result<S
                     Err(_) => a.parse()?,
                 });
             }
-            other => return Err(ToolError::Usage(format!("traceroute: unexpected {other:?}"))),
+            other => {
+                return Err(ToolError::Usage(format!(
+                    "traceroute: unexpected {other:?}"
+                )))
+            }
         }
     }
     let dst = dst.ok_or_else(|| ToolError::Usage("traceroute: missing destination".into()))?;
@@ -211,10 +220,15 @@ fn exec_bwtest(net: &ScionNetwork, local: IsdAsn, args: &[&str]) -> Result<Strin
             "--sequence" | "-sequence" => {
                 selection = PathSelection::Sequence(want_value(&mut it, arg)?.to_string());
             }
-            other => return Err(ToolError::Usage(format!("bwtestclient: unexpected {other:?}"))),
+            other => {
+                return Err(ToolError::Usage(format!(
+                    "bwtestclient: unexpected {other:?}"
+                )))
+            }
         }
     }
-    let server = server.ok_or_else(|| ToolError::Usage("bwtestclient: missing -s server".into()))?;
+    let server =
+        server.ok_or_else(|| ToolError::Usage("bwtestclient: missing -s server".into()))?;
     let cs = cs.unwrap_or_else(|| "3,1000,30,?".to_string());
     Ok(bwtest(net, local, server, &cs, sc.as_deref(), &selection)?.render())
 }

@@ -85,7 +85,9 @@ pub fn showpaths(
     options: ShowpathsOptions,
 ) -> Result<ShowpathsResult, ToolError> {
     if net.topology().index_of(destination).is_none() {
-        return Err(ToolError::Usage(format!("unknown destination {destination}")));
+        return Err(ToolError::Usage(format!(
+            "unknown destination {destination}"
+        )));
     }
     if local == destination {
         return Err(ToolError::Usage("destination equals the local AS".into()));

@@ -108,7 +108,13 @@ mod tests {
             .iter()
             .find(|p| p.hops.iter().any(|h| h.ia == AWS_SINGAPORE))
             .unwrap();
-        let r = traceroute(&n, MY_AS, AWS_IRELAND, &PathSelection::Sequence(sg.sequence())).unwrap();
+        let r = traceroute(
+            &n,
+            MY_AS,
+            AWS_IRELAND,
+            &PathSelection::Sequence(sg.sequence()),
+        )
+        .unwrap();
         let (worst_ia, delta) = r.max_hop_delta_ms().unwrap();
         // The biggest jump is entering or leaving Singapore.
         assert!(

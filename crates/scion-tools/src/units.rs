@@ -28,10 +28,7 @@ pub fn parse_duration_ms(s: &str) -> Result<f64, UnitError> {
     } else {
         (s, 1000.0)
     };
-    let v: f64 = num
-        .trim()
-        .parse()
-        .map_err(|_| UnitError(s.to_string()))?;
+    let v: f64 = num.trim().parse().map_err(|_| UnitError(s.to_string()))?;
     if !v.is_finite() || v < 0.0 {
         return Err(UnitError(s.to_string()));
     }
@@ -54,10 +51,7 @@ pub fn parse_bandwidth_mbps(s: &str) -> Result<f64, UnitError> {
     } else {
         (lower.clone(), 1e-6)
     };
-    let v: f64 = num
-        .trim()
-        .parse()
-        .map_err(|_| UnitError(s.to_string()))?;
+    let v: f64 = num.trim().parse().map_err(|_| UnitError(s.to_string()))?;
     if !v.is_finite() || v < 0.0 {
         return Err(UnitError(s.to_string()));
     }

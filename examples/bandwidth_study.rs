@@ -20,13 +20,31 @@ fn main() {
 
     // The crossover, quantified.
     let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
-    let up64_12 = mean(fig7.iter().filter_map(|p| p.up_64.as_ref().map(|w| w.mean)).collect());
-    let upmtu_12 = mean(fig7.iter().filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean)).collect());
-    let up64_150 = mean(fig8.iter().filter_map(|p| p.up_64.as_ref().map(|w| w.mean)).collect());
-    let upmtu_150 = mean(fig8.iter().filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean)).collect());
+    let up64_12 = mean(
+        fig7.iter()
+            .filter_map(|p| p.up_64.as_ref().map(|w| w.mean))
+            .collect(),
+    );
+    let upmtu_12 = mean(
+        fig7.iter()
+            .filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean))
+            .collect(),
+    );
+    let up64_150 = mean(
+        fig8.iter()
+            .filter_map(|p| p.up_64.as_ref().map(|w| w.mean))
+            .collect(),
+    );
+    let upmtu_150 = mean(
+        fig8.iter()
+            .filter_map(|p| p.up_mtu.as_ref().map(|w| w.mean))
+            .collect(),
+    );
 
     println!("upstream means across paths:");
-    println!("  target  12 Mbps:  MTU {upmtu_12:6.2} Mbps  vs  64B {up64_12:6.2} Mbps   (MTU wins)");
+    println!(
+        "  target  12 Mbps:  MTU {upmtu_12:6.2} Mbps  vs  64B {up64_12:6.2} Mbps   (MTU wins)"
+    );
     println!("  target 150 Mbps:  MTU {upmtu_150:6.2} Mbps  vs  64B {up64_150:6.2} Mbps   (64B wins — the reversal)");
     println!();
     println!(

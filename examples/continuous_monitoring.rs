@@ -94,10 +94,17 @@ fn main() {
     for f in &findings {
         let what = match &f.anomaly {
             Anomaly::Blackout => "BLACKOUT".to_string(),
-            Anomaly::LossOnset { baseline_pct, recent_pct } => {
+            Anomaly::LossOnset {
+                baseline_pct,
+                recent_pct,
+            } => {
                 format!("loss onset {baseline_pct:.1}% -> {recent_pct:.1}%")
             }
-            Anomaly::LatencyShift { baseline_ms, recent_ms, sigmas } => {
+            Anomaly::LatencyShift {
+                baseline_ms,
+                recent_ms,
+                sigmas,
+            } => {
                 format!("latency shift {baseline_ms:.1} -> {recent_ms:.1} ms ({sigmas:.1} sigma)")
             }
         };

@@ -1,6 +1,7 @@
 //! Fault tolerance in action (§4.1.2): servers go down, answer garbage,
 //! or flap; a congested node blacks out a window of measurements — and
-//! the campaign records it all instead of crashing.
+//! the campaign retries what is transient, trips the circuit breaker on
+//! what is not, and records it all instead of crashing.
 //!
 //! ```text
 //! cargo run --release --example fault_injection
@@ -11,6 +12,7 @@ use upin::scion_sim::fault::{CongestionEpisode, CongestionTarget, ServerBehavior
 use upin::scion_sim::net::ScionNetwork;
 use upin::scion_sim::topology::scionlab::{paper_destinations, AWS_FRANKFURT};
 use upin::upin_core::collect::{collect_paths, destinations, register_available_servers};
+use upin::upin_core::health::summarize_events;
 use upin::upin_core::measure::run_tests;
 use upin::upin_core::schema::PATHS_STATS;
 use upin::upin_core::SuiteConfig;
@@ -23,14 +25,15 @@ fn main() {
         iterations: 1,
         ping_count: 10,
         run_bwtests: true,
+        retry_attempts: 3,
+        breaker_threshold: 3,
         ..SuiteConfig::default()
     };
     collect_paths(&db, &net, &cfg).unwrap();
 
     // Break things: Ireland down, N. Virginia answering garbage, the
     // Singapore server flapping, and Frankfurt congested for 2 minutes.
-    let [_, ireland, virginia, singapore, _] =
-        <[_; 5]>::try_from(paper_destinations()).unwrap();
+    let [_, ireland, virginia, singapore, _] = <[_; 5]>::try_from(paper_destinations()).unwrap();
     net.set_server_behavior(ireland, ServerBehavior::Down);
     net.set_server_behavior(virginia, ServerBehavior::BadResponse);
     net.set_server_behavior(singapore, ServerBehavior::Flaky(0.5));
@@ -45,14 +48,31 @@ fn main() {
 
     let report = run_tests(&db, &net, &cfg).unwrap();
     println!(
-        "campaign survived: {} destinations, {} samples stored, {} with recorded errors\n",
+        "campaign survived: {} destinations, {} samples stored, {} with recorded errors",
         report.destinations, report.inserted, report.errors
     );
+    println!(
+        "runner: {} retries, {} path measurements skipped, breaker tripped on {:?}\n",
+        report.retries, report.skipped, report.tripped
+    );
+
+    // The event stream tells the self-healing story per destination.
+    for (server_id, (retries, exhausted, trips)) in summarize_events(&report.events) {
+        println!(
+            "server {server_id}: {retries} retries ({exhausted} exhausted), {trips} breaker trips"
+        );
+    }
+    if !report.events.is_empty() {
+        println!();
+    }
 
     // Show what the database recorded for the broken destinations.
     let handle = db.collection(PATHS_STATS);
     let coll = handle.read();
-    for (label, addr) in [("Ireland (down)", ireland), ("N. Virginia (bad response)", virginia)] {
+    for (label, addr) in [
+        ("Ireland (down)", ireland),
+        ("N. Virginia (bad response)", virginia),
+    ] {
         let id = destinations(&db)
             .unwrap()
             .into_iter()
@@ -65,9 +85,8 @@ fn main() {
                 .and(Filter::exists("error"))
                 .and(Filter::ne("error", Value::Null)),
         );
-        let blackout = coll.count(
-            &Filter::eq("server_id", id as i64).and(Filter::gte("loss_pct", 100.0)),
-        );
+        let blackout =
+            coll.count(&Filter::eq("server_id", id as i64).and(Filter::gte("loss_pct", 100.0)));
         println!("{label}: {total} samples, {errored} errored, {blackout} at 100% loss");
     }
     println!("\nevery failure is a document, not a crash — the §4.1.2 requirement.");

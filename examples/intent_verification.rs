@@ -53,7 +53,10 @@ fn main() {
     )
     .unwrap();
     let chosen = &recs[0];
-    println!("controller chose {} ({})", chosen.aggregate.path_id, chosen.aggregate.sequence);
+    println!(
+        "controller chose {} ({})",
+        chosen.aggregate.path_id, chosen.aggregate.sequence
+    );
 
     // Tracer + Verifier: re-trace the delivered path, check the intent.
     let report = verify_recommendation(
@@ -75,7 +78,11 @@ fn main() {
     }
     println!(
         "verdict: {}\n",
-        if report.satisfied() { "intent satisfied" } else { "VIOLATED" }
+        if report.satisfied() {
+            "intent satisfied"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // Now the negative case: take a path that *does* transit Singapore

@@ -25,7 +25,9 @@ fn main() {
     let cfg = match SuiteConfig::from_args(&args) {
         Ok(cfg) => cfg,
         Err(e) => {
-            eprintln!("usage: measurement_campaign <iterations> [--skip] [--some_only] [--parallel]");
+            eprintln!(
+                "usage: measurement_campaign <iterations> [--skip] [--some_only] [--parallel]"
+            );
             eprintln!("error: {e}");
             std::process::exit(2);
         }
@@ -40,7 +42,10 @@ fn main() {
     let started = std::time::Instant::now();
     let report = suite.run().unwrap();
     println!("{}", report.render());
-    println!("campaign took {:.1}s wall clock", started.elapsed().as_secs_f64());
+    println!(
+        "campaign took {:.1}s wall clock",
+        started.elapsed().as_secs_f64()
+    );
     println!(
         "network clock advanced to {:.0}s (simulated testbed time)\n",
         net.now_ms() / 1000.0

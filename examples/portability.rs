@@ -48,7 +48,10 @@ fn main() {
         collected.retained, collected.discovered, collected.destinations
     );
     let measured = run_tests(&db, &net, &suite_cfg).unwrap();
-    println!("stored {} samples with {} errors\n", measured.inserted, measured.errors);
+    println!(
+        "stored {} samples with {} errors\n",
+        measured.inserted, measured.errors
+    );
 
     for (server_id, addr) in destinations(&db).unwrap() {
         if addr.ia == user {

@@ -24,7 +24,14 @@ fn quick_cfg() -> SuiteConfig {
 fn campaign_then_recommendation() {
     let (net, db, _) = upin::standard_setup(101);
     let cfg = quick_cfg();
-    let suite = TestSuite::new(&net, &db, SuiteConfig { skip_collection: true, ..cfg });
+    let suite = TestSuite::new(
+        &net,
+        &db,
+        SuiteConfig {
+            skip_collection: true,
+            ..cfg
+        },
+    );
     let report = suite.run().unwrap();
     assert_eq!(report.measurement.destinations, 21);
     assert_eq!(report.measurement.errors, 0);
@@ -49,7 +56,10 @@ fn campaign_then_recommendation() {
         let raw = analysis::measurements_by_path(&db, server_id).unwrap();
         let samples = &raw[&best.path_id];
         let mean: f64 = samples.iter().filter_map(|m| m.avg_latency_ms).sum::<f64>()
-            / samples.iter().filter(|m| m.avg_latency_ms.is_some()).count() as f64;
+            / samples
+                .iter()
+                .filter(|m| m.avg_latency_ms.is_some())
+                .count() as f64;
         let agg_mean = best.latency.as_ref().unwrap().mean;
         assert!(
             (mean - agg_mean).abs() < 1e-9,
@@ -74,9 +84,16 @@ fn campaign_then_recommendation() {
 fn stats_volume_and_schema_consistency() {
     let (net, db, _) = upin::standard_setup(102);
     let cfg = quick_cfg();
-    TestSuite::new(&net, &db, SuiteConfig { skip_collection: true, ..cfg })
-        .run()
-        .unwrap();
+    TestSuite::new(
+        &net,
+        &db,
+        SuiteConfig {
+            skip_collection: true,
+            ..cfg
+        },
+    )
+    .run()
+    .unwrap();
 
     let paths = db.collection(PATHS);
     let stats = db.collection(PATHS_STATS);
@@ -147,8 +164,8 @@ fn network_and_db_agree_on_destination_inventory() {
 
 #[test]
 fn signed_write_path_guards_the_stats_collection() {
-    use upin::upin_core::security::{SecureWriter, WriterIdentity};
     use upin::scion_sim::topology::scionlab::ETHZ_CORE;
+    use upin::upin_core::security::{SecureWriter, WriterIdentity};
 
     let db = Database::new();
     let master = 0xbeef;

@@ -42,9 +42,7 @@ fn failed_link_flows_through_status_collection_and_selection() {
         .filter(|p| p.status == PathStatus::Timeout)
         .collect();
     assert_eq!(dead.len(), via_ohio, "exactly the Ohio paths time out");
-    assert!(dead
-        .iter()
-        .all(|p| p.hops.iter().any(|h| h.ia == AWS_OHIO)));
+    assert!(dead.iter().all(|p| p.hops.iter().any(|h| h.ia == AWS_OHIO)));
 
     // 3. Re-collection refreshes the stored status column.
     collect_paths(&db, &net, &cfg).unwrap();
@@ -104,9 +102,9 @@ fn failed_link_flows_through_status_collection_and_selection() {
     collect_paths(&db, &net, &cfg).unwrap();
     let handle = db.collection(PATHS);
     assert_eq!(
-        handle
-            .read()
-            .count(&Filter::eq("server_id", ireland_id as i64).and(Filter::eq("status", "timeout"))),
+        handle.read().count(
+            &Filter::eq("server_id", ireland_id as i64).and(Filter::eq("status", "timeout"))
+        ),
         0,
         "statuses healed after re-collection"
     );

@@ -89,5 +89,9 @@ fn scheduled_rounds_plus_health_detection() {
         .iter()
         .filter(|d| d.get("sequence").unwrap().as_str().unwrap().contains(&ohio))
         .count();
-    assert_eq!(flagged.len(), ohio_paths, "all Ohio paths flagged: {flagged:?}");
+    assert_eq!(
+        flagged.len(),
+        ohio_paths,
+        "all Ohio paths flagged: {flagged:?}"
+    );
 }

@@ -21,7 +21,13 @@ fn chosen_path_is_the_forwarded_path() {
         .iter()
         .find(|p| p.hops.iter().any(|h| h.ia == AWS_SINGAPORE))
         .expect("Singapore detour available");
-    let trace = traceroute(&net, MY_AS, AWS_IRELAND, &PathSelection::Sequence(sg.sequence())).unwrap();
+    let trace = traceroute(
+        &net,
+        MY_AS,
+        AWS_IRELAND,
+        &PathSelection::Sequence(sg.sequence()),
+    )
+    .unwrap();
     // The traceroute visits exactly the chosen ASes in order.
     let visited: Vec<_> = trace.hops.iter().map(|h| h.ia).collect();
     let chosen: Vec<_> = sg.hops.iter().map(|h| h.ia).collect();
@@ -44,8 +50,14 @@ fn latency_follows_the_user_choice_not_the_default() {
         timeout_ms: 1000.0,
         selection: PathSelection::Sequence(p.sequence()),
     };
-    let eu_rtt = ping(&net, MY_AS, ireland, &opts(eu)).unwrap().avg_ms.unwrap();
-    let ohio_rtt = ping(&net, MY_AS, ireland, &opts(ohio)).unwrap().avg_ms.unwrap();
+    let eu_rtt = ping(&net, MY_AS, ireland, &opts(eu))
+        .unwrap()
+        .avg_ms
+        .unwrap();
+    let ohio_rtt = ping(&net, MY_AS, ireland, &opts(ohio))
+        .unwrap()
+        .avg_ms
+        .unwrap();
     assert!(
         ohio_rtt > eu_rtt + 80.0,
         "user-selected detour must show its geography: {ohio_rtt} vs {eu_rtt}"
@@ -104,7 +116,7 @@ fn interactive_choice_matches_showpaths_ordering() {
 fn congestion_windows_blind_exactly_the_covered_interval() {
     let net = ScionNetwork::scionlab(59);
     let ireland = paper_destinations()[1];
-    let paths = net.paths(MY_AS, AWS_IRELAND, 1);
+    let _warmup = net.paths(MY_AS, AWS_IRELAND, 1);
     // 30 probes at 100 ms: black out the middle second only.
     let t0 = net.now_ms();
     net.add_congestion(CongestionEpisode {
@@ -114,6 +126,10 @@ fn congestion_windows_blind_exactly_the_covered_interval() {
         severity: 1.0,
     });
     let report = ping(&net, MY_AS, ireland, &PingOptions::paper()).unwrap();
-    assert!(report.received >= 18 && report.received <= 22, "{}", report.received);
+    assert!(
+        report.received >= 18 && report.received <= 22,
+        "{}",
+        report.received
+    );
     assert!((report.loss_pct - 33.3).abs() < 8.0, "{}", report.loss_pct);
 }

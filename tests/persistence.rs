@@ -38,8 +38,18 @@ fn save_load_preserves_campaign() {
         let b = loaded.collection(&name);
         assert_eq!(a.read().len(), b.read().len(), "{name}");
         // Documents identical, field for field.
-        let av: Vec<String> = a.read().find(&Filter::True).iter().map(|d| d.to_string()).collect();
-        let bv: Vec<String> = b.read().find(&Filter::True).iter().map(|d| d.to_string()).collect();
+        let av: Vec<String> = a
+            .read()
+            .find(&Filter::True)
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        let bv: Vec<String> = b
+            .read()
+            .find(&Filter::True)
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
         assert_eq!(av, bv, "{name}");
     }
     // Analyses run identically on the reloaded database.
@@ -65,14 +75,22 @@ fn resumed_campaign_appends_without_clashes() {
     net.advance_ms(60_000.0);
     TestSuite::new(&net, &db, quick_cfg()).run().unwrap();
     let after = db.collection(PATHS_STATS).read().len();
-    assert_eq!(after, 2 * first_stats, "second round appends the same volume");
+    assert_eq!(
+        after,
+        2 * first_stats,
+        "second round appends the same volume"
+    );
     // Ids remain unique (timestamps moved on).
     let coll = db.collection(PATHS_STATS);
     assert_eq!(coll.read().count(&Filter::True), after);
     // Paths were reused, not duplicated.
     assert_eq!(
         db.collection(PATHS).read().len(),
-        Database::load_dir(&dir).unwrap().collection(PATHS).read().len()
+        Database::load_dir(&dir)
+            .unwrap()
+            .collection(PATHS)
+            .read()
+            .len()
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,0 +1,50 @@
+//! `any::<T>()` for the types this workspace asks for.
+
+use std::marker::PhantomData;
+
+use rand::Rng;
+
+use crate::sample::Index;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub trait Arbitrary: Sized {
+    fn arb_with(rng: &mut TestRng) -> Self;
+}
+
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arb_with(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arb_with(rng: &mut TestRng) -> bool {
+        rng.inner().gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arb_with(rng: &mut TestRng) -> $t {
+                rng.inner().gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for Index {
+    fn arb_with(rng: &mut TestRng) -> Index {
+        Index::from_raw(rng.inner().gen::<u64>())
+    }
+}

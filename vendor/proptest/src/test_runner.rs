@@ -1,0 +1,74 @@
+//! Per-test configuration and the deterministic RNG behind every case.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Subset of the real config: only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real default (256) is overkill for a shrink-free stand-in;
+        // 32 keeps property coverage while keeping the suite fast.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Why one test case failed. Bodies inside `proptest!` run as closures
+/// returning `Result<(), TestCaseError>`, so `return Ok(())` and
+/// `Err(TestCaseError::fail(..))` both work as they do upstream.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+pub type TestCaseResult = std::result::Result<(), TestCaseError>;
+
+/// Deterministic per-test RNG: seeded from the test's module path + name,
+/// so every run of the suite sees the same inputs.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the fully qualified test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    pub(crate) fn inner(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based data model, both traits are defined
+//! directly over an order-preserving JSON value tree ([`json::Value`]):
+//! `Serialize` renders into it, `Deserialize` parses out of it. The
+//! companion `serde_json` stand-in re-exports the tree and adds the
+//! text codec. The derive macros (`serde_derive`) generate impls that
+//! follow serde's externally-tagged conventions, so the JSON shapes
+//! match what real serde would emit for the types in this workspace.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Map, Number, Value};
+
+/// Render `self` into the JSON value tree.
+pub trait Serialize {
+    fn to_jval(&self) -> Value;
+}
+
+/// Rebuild `Self` from the JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_jval(v: &Value) -> Result<Self, String>;
+}
+
+// `de::DeserializeOwned` appears in some generic bounds in the wild;
+// alias it for source compatibility.
+pub mod de {
+    pub use crate::Deserialize;
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---- primitive impls -----------------------------------------------------
+
+impl Serialize for bool {
+    fn to_jval(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_jval(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_jval(&self) -> Value {
+                Value::Number(Number::from(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_jval(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .map(|i| i as $t)
+                        .ok_or_else(|| format!("expected integer, got {v:?}")),
+                    other => Err(format!("expected integer, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_jval(&self) -> Value {
+                Number::from_f64(*self as f64)
+                    .map(Value::Number)
+                    .unwrap_or(Value::Null)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_jval(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64().unwrap_or(f64::NAN) as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_jval(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_jval(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_jval(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_jval(&self) -> Value {
+        (**self).to_jval()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_jval(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_jval).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_jval(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_jval).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_jval(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_jval).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_jval(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(a) if a.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(a) {
+                    *slot = T::from_jval(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(format!("expected array of length {N}, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_jval(&self) -> Value {
+        match self {
+            Some(x) => x.to_jval(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_jval(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_jval(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_jval(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_jval()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_jval(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Array(a) => Ok(($($t::from_jval(
+                        a.get($n).ok_or_else(|| "tuple too short".to_string())?
+                    )?,)+)),
+                    other => Err(format!("expected array, got {other:?}")),
+                }
+            }
+        }
+    )+};
+}
+impl_serde_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl<K: ToString + std::str::FromStr + std::hash::Hash + Eq, V: Serialize> Serialize
+    for std::collections::HashMap<K, V>
+{
+    fn to_jval(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_string(), v.to_jval());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Serialize for Value {
+    fn to_jval(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_jval(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}

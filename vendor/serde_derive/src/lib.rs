@@ -1,0 +1,404 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` available
+//! offline) for the shapes this workspace uses: structs with named
+//! fields, tuple/newtype structs, and enums with unit / tuple variants.
+//! Honoured attributes: `#[serde(skip)]`, `#[serde(default)]`.
+//! Generated JSON shapes follow serde's externally-tagged conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ---- model ---------------------------------------------------------------
+
+struct Field {
+    name: String, // empty for tuple fields
+    skip: bool,
+    default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// Arity of the payload: 0 = unit, 1 = newtype, n = tuple.
+    arity: usize,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip leading attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            },
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind {other}"),
+    }
+}
+
+/// Advance past `#[...]` attributes and `pub` / `pub(...)` visibility,
+/// collecting serde attribute payloads (e.g. "skip", "default").
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut serde_attrs = Vec::new();
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                serde_attrs.push(args.stream().to_string());
+                            }
+                        }
+                    }
+                    *i += 2;
+                    continue;
+                }
+                panic!("serde_derive: malformed attribute");
+            }
+            _ => break,
+        }
+    }
+    serde_attrs
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    take_attrs(tokens, i);
+    skip_vis(tokens, i);
+}
+
+/// Skip a type (or any token run) up to the next top-level comma.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            if p.as_char() == ',' {
+                *i += 1;
+                return;
+            }
+            if p.as_char() == '<' {
+                // Generic arguments: track nesting depth.
+                let mut depth = 1;
+                *i += 1;
+                while depth > 0 {
+                    match tokens.get(*i) {
+                        Some(TokenTree::Punct(q)) if q.as_char() == '<' => depth += 1,
+                        Some(TokenTree::Punct(q)) if q.as_char() == '>' => depth -= 1,
+                        None => return,
+                        _ => {}
+                    }
+                    *i += 1;
+                }
+                continue;
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        // ':'
+        i += 1;
+        skip_to_comma(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            skip: attrs.iter().any(|a| a.contains("skip")),
+            default: attrs.iter().any(|a| a.contains("default")),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_to_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_tuple_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive: struct enum variants are not supported offline");
+                }
+                _ => {}
+            }
+        }
+        // Skip discriminant (`= expr`) and the trailing comma.
+        skip_to_comma(&tokens, &mut i);
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+// ---- codegen -------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut __m = ::serde::json::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__m.insert(\"{0}\".to_string(), ::serde::Serialize::to_jval(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::json::Value::Object(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_jval(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_jval(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v.arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{0} => ::serde::json::Value::String(\"{0}\".to_string()),\n",
+                        v.name
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{0}(__x0) => {{ let mut __m = ::serde::json::Map::new(); \
+                         __m.insert(\"{0}\".to_string(), ::serde::Serialize::to_jval(__x0)); \
+                         ::serde::json::Value::Object(__m) }}\n",
+                        v.name
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_jval({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{0}({1}) => {{ let mut __m = ::serde::json::Map::new(); \
+                             __m.insert(\"{0}\".to_string(), ::serde::json::Value::Array(vec![{2}])); \
+                             ::serde::json::Value::Object(__m) }}\n",
+                            v.name,
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_jval(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s = "let __obj = __v.as_object().ok_or_else(|| \
+                 format!(\"expected object for NAME, got {:?}\", __v))?;\n"
+                .replace("NAME", name);
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    s.push_str(&format!(
+                        "{0}: match __obj.get(\"{0}\") {{ \
+                         Some(__fv) => ::serde::Deserialize::from_jval(__fv)?, \
+                         None => ::std::default::Default::default() }},\n",
+                        f.name
+                    ));
+                } else {
+                    s.push_str(
+                        &format!(
+                            "{0}: ::serde::Deserialize::from_jval(__obj.get(\"{0}\")\
+                         .ok_or_else(|| \"missing field {0} in NAME\".to_string())?)?,\n",
+                            f.name
+                        )
+                        .replace("NAME", name),
+                    );
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_jval(__v)?))"),
+        Shape::Tuple(n) => {
+            let mut s = "let __a = __v.as_array().ok_or_else(|| \
+                 format!(\"expected array for NAME, got {:?}\", __v))?;\n"
+                .replace("NAME", name);
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_jval(__a.get({i})\
+                         .ok_or_else(|| \"tuple too short\".to_string())?)?"
+                    )
+                })
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", items.join(", ")));
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("match __v {\n");
+            // Unit variants arrive as plain strings.
+            s.push_str("::serde::json::Value::String(__s) => match __s.as_str() {\n");
+            for v in variants.iter().filter(|v| v.arity == 0) {
+                s.push_str(&format!("\"{0}\" => Ok({name}::{0}),\n", v.name));
+            }
+            s.push_str(&format!(
+                "__other => Err(format!(\"unknown {name} variant {{__other}}\")),\n}},\n"
+            ));
+            // Payload variants arrive as single-key objects.
+            s.push_str("::serde::json::Value::Object(__m) => {\n");
+            s.push_str(
+                "let (__k, __payload) = __m.iter().next()\
+                 .ok_or_else(|| \"empty enum object\".to_string())?;\n\
+                 let _ = __payload;\n",
+            );
+            s.push_str("match __k.as_str() {\n");
+            for v in variants.iter().filter(|v| v.arity > 0) {
+                if v.arity == 1 {
+                    s.push_str(&format!(
+                        "\"{0}\" => Ok({name}::{0}(::serde::Deserialize::from_jval(__payload)?)),\n",
+                        v.name
+                    ));
+                } else {
+                    let items: Vec<String> = (0..v.arity)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_jval(__pa.get({i})\
+                                 .ok_or_else(|| \"variant tuple too short\".to_string())?)?"
+                            )
+                        })
+                        .collect();
+                    s.push_str(&format!(
+                        "\"{0}\" => {{ let __pa = __payload.as_array()\
+                         .ok_or_else(|| \"expected array payload\".to_string())?; \
+                         Ok({name}::{0}({1})) }}\n",
+                        v.name,
+                        items.join(", ")
+                    ));
+                }
+            }
+            s.push_str(&format!(
+                "__other => Err(format!(\"unknown {name} variant {{__other}}\")),\n}}\n}},\n"
+            ));
+            s.push_str(&format!(
+                "__other => Err(format!(\"cannot deserialize {name} from {{__other:?}}\")),\n}}"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_jval(__v: &::serde::json::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n{body}\n}}\n}}\n"
+    )
+}
