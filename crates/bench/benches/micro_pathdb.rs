@@ -9,6 +9,7 @@ fn populated(n: usize, indexed: bool) -> Collection {
     let mut coll = Collection::new("paths_stats");
     if indexed {
         coll.create_index("server_id");
+        coll.create_index("avg_latency_ms");
     }
     let docs = (0..n)
         .map(|i| {
@@ -63,6 +64,29 @@ fn bench(c: &mut Criterion) {
             .sorted_by("avg_latency_ms", Order::Asc)
             .limited(10);
         b.iter(|| idx.find_with(black_box(&filter), &opts))
+    });
+    // Ordered-index range scan vs the same predicate as a full scan:
+    // [200, 205) selects ~200 of the 10k documents.
+    let range = Filter::gte("avg_latency_ms", 200.0).and(Filter::lt("avg_latency_ms", 205.0));
+    g.bench_function("range/scan_10k", |b| {
+        b.iter(|| scan.find(black_box(&range)))
+    });
+    g.bench_function("range/indexed_10k", |b| {
+        b.iter(|| idx.find(black_box(&range)))
+    });
+    // Index-served sort with limit pushdown: top-10 by latency without
+    // materializing and sorting all 10k documents.
+    g.bench_function("top10_by_latency/scan_10k", |b| {
+        let opts = FindOptions::default()
+            .sorted_by("avg_latency_ms", Order::Asc)
+            .limited(10);
+        b.iter(|| scan.find_with(black_box(&Filter::True), &opts))
+    });
+    g.bench_function("top10_by_latency/indexed_10k", |b| {
+        let opts = FindOptions::default()
+            .sorted_by("avg_latency_ms", Order::Asc)
+            .limited(10);
+        b.iter(|| idx.find_with(black_box(&Filter::True), &opts))
     });
     g.bench_function("count_array_contains/10k", |b| {
         b.iter(|| scan.count(black_box(&Filter::eq("isds", 17i64))))

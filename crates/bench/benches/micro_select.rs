@@ -8,7 +8,7 @@
 //! multi-criteria rankers over wide candidate sets.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pathdb::{doc, Database, Value};
+use pathdb::{doc, Database, Filter, Update, Value};
 use upin_core::multi::{pareto_front, weighted_rank, Weights};
 use upin_core::schema::{PATHS, PATHS_STATS};
 use upin_core::select::{aggregate_paths, recommend, Constraints, Objective, UserRequest};
@@ -17,6 +17,9 @@ use upin_core::select::{aggregate_paths, recommend, Constraints, Objective, User
 /// stats documents plus the path metadata.
 fn synthetic_db(servers: u32, paths_per: u32, rounds: u32, index: bool) -> Database {
     let db = Database::new();
+    if index {
+        upin_core::schema::ensure_indexes(&db);
+    }
     {
         let handle = db.collection(PATHS);
         let mut coll = handle.write();
@@ -40,9 +43,6 @@ fn synthetic_db(servers: u32, paths_per: u32, rounds: u32, index: bool) -> Datab
     {
         let handle = db.collection(PATHS_STATS);
         let mut coll = handle.write();
-        if index {
-            coll.create_index("server_id");
-        }
         let mut batch = Vec::new();
         for s in 1..=servers {
             for p in 0..paths_per {
@@ -92,6 +92,57 @@ fn bench(c: &mut Criterion) {
             b.iter(|| recommend(&indexed, black_box(&request), 3).unwrap())
         });
     }
+
+    // Stats-cache regimes on the large campaign. Repeated
+    // recommendations against an unchanged database hit the memoized
+    // per-path grouping; an append-only campaign pays only for the new
+    // rows; an in-place update (reshape) forces the full recompute that
+    // every query used to pay.
+    let warm = synthetic_db(21, 24, 60, true);
+    let cached_req = UserRequest {
+        server_id: 7,
+        objective: Objective::MinLatency,
+        constraints: Constraints::default(),
+    };
+    recommend(&warm, &cached_req, 3).unwrap(); // prime the cache
+    g.bench_function("recommend/cached_repeat_30240_docs", |b| {
+        b.iter(|| recommend(&warm, black_box(&cached_req), 3).unwrap())
+    });
+    g.bench_function("recommend/append_merge_30240_docs", |b| {
+        let handle = warm.collection(PATHS_STATS);
+        let mut n = 0u32;
+        b.iter(|| {
+            n += 1;
+            handle
+                .write()
+                .insert_one(doc! {
+                    "_id" => format!("7_0_{}", 200_000 + n),
+                    "path_id" => "7_0",
+                    "server_id" => 7i64,
+                    "timestamp_ms" => (200_000 + n) as i64,
+                    "isds" => vec![16i64, 17],
+                    "hops" => 5i64,
+                    "avg_latency_ms" => 33.0,
+                    "jitter_ms" => 0.4,
+                    "loss_pct" => 0.0,
+                    "bw_up_mtu_mbps" => 9.0,
+                    "bw_down_mtu_mbps" => 11.0,
+                    "target_mbps" => 12.0,
+                })
+                .unwrap();
+            recommend(&warm, black_box(&cached_req), 3).unwrap()
+        })
+    });
+    g.bench_function("recommend/full_recompute_30240_docs", |b| {
+        let handle = warm.collection(PATHS_STATS);
+        b.iter(|| {
+            handle.write().update_many(
+                &Filter::eq("_id", "7_0_0"),
+                &Update::new().set("jitter_ms", 0.4),
+            );
+            recommend(&warm, black_box(&cached_req), 3).unwrap()
+        })
+    });
 
     // Multi-criteria rankers over a wide candidate set.
     let db = synthetic_db(1, 200, 20, true);

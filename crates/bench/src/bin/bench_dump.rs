@@ -1,0 +1,245 @@
+//! Dump machine-readable baselines for the query planner and the
+//! selection engine: `BENCH_pathdb.json` and `BENCH_select.json` at the
+//! repository root. CI and PR reviews diff these numbers instead of
+//! eyeballing criterion output.
+//!
+//! Timing is deliberately simple — warmup then mean wall-clock over a
+//! fixed iteration count — because the quantities of interest here are
+//! order-of-magnitude plan changes (full scan vs range scan, recompute
+//! vs cache hit), not single-digit percentages.
+
+use pathdb::{doc, Collection, Database, Filter, FindOptions, Order, Update};
+use std::path::PathBuf;
+use std::time::Instant;
+use upin_core::schema::{PATHS, PATHS_STATS};
+use upin_core::select::{recommend, Constraints, Objective, UserRequest};
+
+fn time_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    for _ in 0..2 {
+        f(); // warmup
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn populated(n: usize, indexed: bool) -> Collection {
+    let mut coll = Collection::new("paths_stats");
+    if indexed {
+        coll.create_index("server_id");
+        coll.create_index("avg_latency_ms");
+    }
+    let docs = (0..n)
+        .map(|i| {
+            doc! {
+                "_id" => format!("{}_{}_{}", i % 21 + 1, i % 24, i),
+                "server_id" => (i % 21 + 1) as i64,
+                "hops" => (5 + i % 3) as i64,
+                "avg_latency_ms" => 20.0 + (i % 250) as f64,
+                "loss_pct" => (i % 11) as f64,
+                "isds" => vec![16i64, 17, 19],
+            }
+        })
+        .collect();
+    coll.insert_many(docs).unwrap();
+    coll
+}
+
+/// Same synthetic campaign the `micro_select` bench builds.
+fn synthetic_db(servers: u32, paths_per: u32, rounds: u32, index: bool) -> Database {
+    let db = Database::new();
+    if index {
+        upin_core::schema::ensure_indexes(&db);
+    }
+    {
+        let handle = db.collection(PATHS);
+        let mut coll = handle.write();
+        for s in 1..=servers {
+            for p in 0..paths_per {
+                coll.insert_one(doc! {
+                    "_id" => format!("{s}_{p}"),
+                    "server_id" => s as i64,
+                    "path_index" => p as i64,
+                    "sequence" => format!("17-ffaa:1:eaf#0,1 17-ffaa:0:1107#{p},0"),
+                    "hops" => (5 + p % 3) as i64,
+                    "isds" => vec![16i64, 17, (17 + p % 4) as i64],
+                    "ases" => vec![format!("17-ffaa:0:{p}")],
+                    "countries" => vec!["Switzerland".to_string()],
+                    "operators" => vec!["op".to_string()],
+                })
+                .unwrap();
+            }
+        }
+    }
+    {
+        let handle = db.collection(PATHS_STATS);
+        let mut coll = handle.write();
+        let mut batch = Vec::new();
+        for s in 1..=servers {
+            for p in 0..paths_per {
+                for r in 0..rounds {
+                    batch.push(doc! {
+                        "_id" => format!("{s}_{p}_{r}"),
+                        "path_id" => format!("{s}_{p}"),
+                        "server_id" => s as i64,
+                        "timestamp_ms" => (r * 3300) as i64,
+                        "isds" => vec![16i64, 17],
+                        "hops" => (5 + p % 3) as i64,
+                        "avg_latency_ms" => 20.0 + (p * 13 % 250) as f64 + (r % 7) as f64,
+                        "jitter_ms" => 0.3 + (p % 5) as f64,
+                        "loss_pct" => (p % 9) as f64,
+                        "bw_up_mtu_mbps" => 8.0 + (p % 4) as f64,
+                        "bw_down_mtu_mbps" => 10.0 + (p % 3) as f64,
+                        "target_mbps" => 12.0,
+                    });
+                }
+            }
+        }
+        coll.insert_many(batch).unwrap();
+    }
+    db
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repository root resolves")
+}
+
+fn dump(name: &str, rows: &[(&str, f64)]) {
+    use serde_json::{Map, Number, Value};
+    let mut map = Map::new();
+    for (label, ns) in rows {
+        let mut row = Map::new();
+        row.insert("ns_per_iter".into(), Value::Number(Number::Float(*ns)));
+        row.insert("ms_per_iter".into(), Value::Number(Number::Float(ns / 1e6)));
+        map.insert((*label).to_string(), Value::Object(row));
+    }
+    let path = repo_root().join(name);
+    let body = serde_json::to_string_pretty(&Value::Object(map)).unwrap();
+    std::fs::write(&path, body + "\n").unwrap();
+    println!("wrote {}", path.display());
+    for (label, ns) in rows {
+        println!("  {label:<40} {:>12.1} us/iter", ns / 1e3);
+    }
+}
+
+fn bench_pathdb() {
+    let scan = populated(10_000, false);
+    let idx = populated(10_000, true);
+    let point = Filter::eq("server_id", 7i64).and(Filter::lt("avg_latency_ms", 100.0));
+    let range = Filter::gte("avg_latency_ms", 200.0).and(Filter::lt("avg_latency_ms", 205.0));
+    let top10 = FindOptions::default()
+        .sorted_by("avg_latency_ms", Order::Asc)
+        .limited(10);
+
+    let rows = [
+        (
+            "find/point_scan_10k",
+            time_ns(50, || {
+                std::hint::black_box(scan.find(&point));
+            }),
+        ),
+        (
+            "find/point_indexed_10k",
+            time_ns(200, || {
+                std::hint::black_box(idx.find(&point));
+            }),
+        ),
+        (
+            "find/range_scan_10k",
+            time_ns(50, || {
+                std::hint::black_box(scan.find(&range));
+            }),
+        ),
+        (
+            "find/range_indexed_10k",
+            time_ns(200, || {
+                std::hint::black_box(idx.find(&range));
+            }),
+        ),
+        (
+            "find/top10_by_latency_scan_10k",
+            time_ns(50, || {
+                std::hint::black_box(scan.find_with(&Filter::True, &top10));
+            }),
+        ),
+        (
+            "find/top10_by_latency_indexed_10k",
+            time_ns(200, || {
+                std::hint::black_box(idx.find_with(&Filter::True, &top10));
+            }),
+        ),
+    ];
+    dump("BENCH_pathdb.json", &rows);
+
+    let range_speedup = rows[2].1 / rows[3].1;
+    println!("  range-scan speedup (indexed vs scan): {range_speedup:.1}x");
+}
+
+fn bench_select() {
+    let db = synthetic_db(21, 24, 60, true);
+    let request = UserRequest {
+        server_id: 7,
+        objective: Objective::MinLatency,
+        constraints: Constraints::default(),
+    };
+    let stats = db.collection(PATHS_STATS);
+
+    // Every query pays the grouping recompute when the campaign is
+    // reshaped between queries — the pre-cache cost.
+    let full_recompute = time_ns(20, || {
+        stats.write().update_many(
+            &Filter::eq("_id", "7_0_0"),
+            &Update::new().set("jitter_ms", 0.4),
+        );
+        std::hint::black_box(recommend(&db, &request, 3).unwrap());
+    });
+    // Unchanged database: version-equal cache hits.
+    recommend(&db, &request, 3).unwrap();
+    let cached = time_ns(200, || {
+        std::hint::black_box(recommend(&db, &request, 3).unwrap());
+    });
+    // Append-only campaign: merge just the new rows.
+    let mut n = 0u32;
+    let append = time_ns(50, || {
+        n += 1;
+        stats
+            .write()
+            .insert_one(doc! {
+                "_id" => format!("7_0_{}", 200_000 + n),
+                "path_id" => "7_0",
+                "server_id" => 7i64,
+                "timestamp_ms" => (200_000 + n) as i64,
+                "isds" => vec![16i64, 17],
+                "hops" => 5i64,
+                "avg_latency_ms" => 33.0,
+                "jitter_ms" => 0.4,
+                "loss_pct" => 0.0,
+                "bw_up_mtu_mbps" => 9.0,
+                "bw_down_mtu_mbps" => 11.0,
+                "target_mbps" => 12.0,
+            })
+            .unwrap();
+        std::hint::black_box(recommend(&db, &request, 3).unwrap());
+    });
+
+    let rows = [
+        ("recommend/full_recompute_30240_docs", full_recompute),
+        ("recommend/cached_repeat_30240_docs", cached),
+        ("recommend/append_merge_30240_docs", append),
+    ];
+    dump("BENCH_select.json", &rows);
+    println!(
+        "  cached-recommend speedup (vs recompute): {:.1}x",
+        full_recompute / cached
+    );
+}
+
+fn main() {
+    bench_pathdb();
+    bench_select();
+}

@@ -9,6 +9,7 @@ use crate::error::{SuiteError, SuiteResult};
 use crate::schema::{self, PathId, PathMeasurement, PATHS, PATHS_STATS};
 use pathdb::{Database, Filter, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Five-number summary plus mean/std — one whisker of a box plot.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,7 +142,7 @@ pub struct PathLatency {
 pub fn latency_by_path(db: &Database, server_id: u32) -> SuiteResult<Vec<PathLatency>> {
     let grouped = measurements_by_path(db, server_id)?;
     let mut out = Vec::new();
-    for (path_id, ms) in grouped {
+    for (&path_id, ms) in grouped.iter() {
         let samples: Vec<f64> = ms.iter().filter_map(|m| m.avg_latency_ms).collect();
         let hops = ms.first().map(|m| m.hops).unwrap_or(0);
         if let Some(whisker) = Whisker::from_samples(&samples) {
@@ -199,8 +200,8 @@ pub fn latency_by_isd_set(
     let ases_of = path_ases(db, server_id)?;
     let grouped = measurements_by_path(db, server_id)?;
     let mut columns: BTreeMap<(Vec<u16>, usize), (Vec<f64>, usize)> = BTreeMap::new();
-    for (path_id, ms) in grouped {
-        if let Some(ases) = ases_of.get(&path_id) {
+    for (path_id, ms) in grouped.iter() {
+        if let Some(ases) = ases_of.get(path_id) {
             if exclude_ases.iter().any(|x| ases.iter().any(|a| a == x)) {
                 continue;
             }
@@ -248,7 +249,7 @@ pub fn bandwidth_by_path(
 ) -> SuiteResult<Vec<PathBandwidth>> {
     let grouped = measurements_by_path(db, server_id)?;
     let mut out = Vec::new();
-    for (path_id, ms) in grouped {
+    for (&path_id, ms) in grouped.iter() {
         let at_target: Vec<&PathMeasurement> = ms
             .iter()
             .filter(|m| (m.target_mbps - target_mbps).abs() < 1e-9)
@@ -302,9 +303,9 @@ impl PathLoss {
 pub fn loss_by_path(db: &Database, server_id: u32) -> SuiteResult<Vec<PathLoss>> {
     let grouped = measurements_by_path(db, server_id)?;
     let mut out = Vec::new();
-    for (path_id, ms) in grouped {
+    for (&path_id, ms) in grouped.iter() {
         let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
-        for m in &ms {
+        for m in ms {
             // Dots are grouped at 0.1 % resolution, like the figure.
             let key = (m.loss_pct * 10.0).round() as i64;
             *counts.entry(key).or_insert(0) += 1;
@@ -433,22 +434,15 @@ pub fn summary(db: &Database) -> SuiteResult<CampaignSummary> {
 
 /// All measurements of one destination, grouped by path and ordered by
 /// path index then timestamp.
+///
+/// Served from [`crate::statcache`]: repeated calls on an unchanged
+/// database share one `Arc`, and append-only campaigns pay only for the
+/// rows added since the previous call.
 pub fn measurements_by_path(
     db: &Database,
     server_id: u32,
-) -> SuiteResult<BTreeMap<PathId, Vec<PathMeasurement>>> {
-    let handle = db.collection(PATHS_STATS);
-    let coll = handle.read();
-    let docs = coll.find(&Filter::eq("server_id", server_id as i64));
-    let mut grouped: BTreeMap<PathId, Vec<PathMeasurement>> = BTreeMap::new();
-    for d in docs {
-        let m = PathMeasurement::from_doc(&d)?;
-        grouped.entry(m.stat_id.path).or_default().push(m);
-    }
-    for ms in grouped.values_mut() {
-        ms.sort_by_key(|m| m.stat_id.timestamp_ms);
-    }
-    Ok(grouped)
+) -> SuiteResult<Arc<BTreeMap<PathId, Vec<PathMeasurement>>>> {
+    crate::statcache::grouped_measurements(db, server_id)
 }
 
 /// The AS strings of each stored path of a destination.

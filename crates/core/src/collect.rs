@@ -22,6 +22,7 @@ use std::collections::HashMap;
 /// assigning the progressive integer ids (1..=N) of the paper's schema.
 /// Idempotent: wipes and rewrites the collection.
 pub fn register_available_servers(db: &Database, net: &ScionNetwork) -> SuiteResult<usize> {
+    schema::ensure_indexes(db);
     let handle = db.collection(AVAILABLE_SERVERS);
     let mut coll = handle.write();
     coll.delete_many(&Filter::True);

@@ -144,7 +144,7 @@ pub fn detect(
 ) -> SuiteResult<Vec<HealthFinding>> {
     let grouped = measurements_by_path(db, server_id)?;
     let mut findings = Vec::new();
-    for (path_id, ms) in grouped {
+    for (&path_id, ms) in grouped.iter() {
         if ms.len() < cfg.min_baseline + cfg.recent_window {
             continue;
         }

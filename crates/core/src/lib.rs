@@ -21,6 +21,11 @@
 //! * [`select`] — the selection engine: performance objectives and
 //!   geographic/sovereignty/operator exclusion constraints over the
 //!   collected statistics.
+//! * [`statcache`] — incremental memoization of per-destination
+//!   measurement groupings and per-path aggregates, keyed on the
+//!   collections' mutation versions: unchanged databases answer
+//!   `recommend` from cache and append-only campaigns merge only the
+//!   new rows.
 //! * [`analysis`] / [`report`] — the statistics behind every figure of
 //!   the paper's §6 and their text renderings.
 //! * [`security`] — PKC-gated, signature-verified database writes
@@ -59,6 +64,7 @@ pub mod schedule;
 pub mod schema;
 pub mod security;
 pub mod select;
+pub mod statcache;
 pub mod suite;
 pub mod verify;
 

@@ -2,7 +2,7 @@
 //! composite-id codecs (`"2_15"`, `"2_15_<timestamp>"`).
 
 use crate::error::{SuiteError, SuiteResult};
-use pathdb::{doc, Document, Value};
+use pathdb::{doc, Database, Document, Value};
 use scion_sim::addr::ScionAddr;
 use scion_sim::path::ScionPath;
 use std::fmt;
@@ -73,6 +73,26 @@ impl FromStr for StatId {
             .parse::<u64>()
             .map_err(|_| SuiteError::Schema(format!("bad stat id {s:?}")))?;
         Ok(StatId { path, timestamp_ms })
+    }
+}
+
+/// Create the secondary indexes every deployment of the suite wants:
+/// the fields the selection engine ([`crate::select`]), the figure
+/// analyses ([`crate::analysis`]) and the health detector
+/// ([`crate::health`]) filter, range-scan or sort on. Idempotent —
+/// pathdb's `create_index` is a no-op for an existing index.
+pub fn ensure_indexes(db: &Database) {
+    let stats = db.collection(PATHS_STATS);
+    {
+        let mut coll = stats.write();
+        for field in ["server_id", "path_id", "avg_latency_ms", "loss_pct"] {
+            coll.create_index(field);
+        }
+    }
+    let paths = db.collection(PATHS);
+    let mut coll = paths.write();
+    for field in ["server_id", "hops", "status"] {
+        coll.create_index(field);
     }
 }
 

@@ -8,9 +8,9 @@
 //! engine aggregates the stored measurements per path, filters, ranks
 //! and returns recommendations with their supporting statistics.
 
-use crate::analysis::{measurements_by_path, Whisker};
+use crate::analysis::Whisker;
 use crate::error::{SuiteError, SuiteResult};
-use crate::schema::{self, PathId, PATHS};
+use crate::schema::{self, PathId, PathMeasurement, PATHS};
 use pathdb::{Database, Document, Filter, Value};
 
 /// What the user optimizes for.
@@ -115,8 +115,46 @@ pub struct Recommendation {
     pub aggregate: PathAggregate,
 }
 
+/// Fold one path's measurements into its aggregate. Shared between the
+/// direct query path and the [`crate::statcache`] memoization layer.
+pub(crate) fn build_aggregate(
+    path_id: PathId,
+    sequence: String,
+    hops: usize,
+    ms: &[PathMeasurement],
+) -> PathAggregate {
+    let lat: Vec<f64> = ms.iter().filter_map(|m| m.avg_latency_ms).collect();
+    let jit: Vec<f64> = ms.iter().filter_map(|m| m.jitter_ms).collect();
+    let up: Vec<f64> = ms.iter().filter_map(|m| m.bw_up_mtu).collect();
+    let down: Vec<f64> = ms.iter().filter_map(|m| m.bw_down_mtu).collect();
+    let loss = if ms.is_empty() {
+        100.0
+    } else {
+        ms.iter().map(|m| m.loss_pct).sum::<f64>() / ms.len() as f64
+    };
+    PathAggregate {
+        path_id,
+        sequence,
+        hops,
+        samples: ms.len(),
+        latency: Whisker::from_samples(&lat),
+        jitter_ms: if jit.is_empty() {
+            None
+        } else {
+            Some(jit.iter().sum::<f64>() / jit.len() as f64)
+        },
+        mean_loss_pct: loss,
+        bw_up_mtu: Whisker::from_samples(&up),
+        bw_down_mtu: Whisker::from_samples(&down),
+    }
+}
+
 /// Aggregate stored measurements for every path of a destination that
 /// passes the metadata constraints.
+///
+/// The per-path aggregates come from [`crate::statcache::aggregated_paths`],
+/// so repeated queries against an unchanged database only pay for the
+/// constraint scan plus clones of the matching aggregates.
 pub fn aggregate_paths(
     db: &Database,
     server_id: u32,
@@ -124,34 +162,15 @@ pub fn aggregate_paths(
 ) -> SuiteResult<Vec<PathAggregate>> {
     let handle = db.collection(PATHS);
     let candidates: Vec<Document> = handle.read().find(&constraints.to_filter(server_id));
-    let mut stats = measurements_by_path(db, server_id)?;
+    let aggs = crate::statcache::aggregated_paths(db, server_id)?;
     let mut out = Vec::with_capacity(candidates.len());
     for doc in &candidates {
         let (path_id, sequence, hops) = schema::parse_path_doc(doc)?;
-        let ms = stats.remove(&path_id).unwrap_or_default();
-        let lat: Vec<f64> = ms.iter().filter_map(|m| m.avg_latency_ms).collect();
-        let jit: Vec<f64> = ms.iter().filter_map(|m| m.jitter_ms).collect();
-        let up: Vec<f64> = ms.iter().filter_map(|m| m.bw_up_mtu).collect();
-        let down: Vec<f64> = ms.iter().filter_map(|m| m.bw_down_mtu).collect();
-        let loss = if ms.is_empty() {
-            100.0
-        } else {
-            ms.iter().map(|m| m.loss_pct).sum::<f64>() / ms.len() as f64
-        };
-        out.push(PathAggregate {
-            path_id,
-            sequence,
-            hops,
-            samples: ms.len(),
-            latency: Whisker::from_samples(&lat),
-            jitter_ms: if jit.is_empty() {
-                None
-            } else {
-                Some(jit.iter().sum::<f64>() / jit.len() as f64)
-            },
-            mean_loss_pct: loss,
-            bw_up_mtu: Whisker::from_samples(&up),
-            bw_down_mtu: Whisker::from_samples(&down),
+        out.push(match aggs.get(&path_id) {
+            Some(a) => a.clone(),
+            // Raced with an insert between the candidate scan and the
+            // cache read: aggregate with no statistics yet.
+            None => build_aggregate(path_id, sequence, hops, &[]),
         });
     }
     Ok(out)

@@ -1,0 +1,411 @@
+//! Incremental cache for per-destination measurement groupings.
+//!
+//! Every figure analysis, the health detector and the selection engine
+//! start from the same expensive step: fetch a destination's
+//! `paths_stats` rows, decode them into [`PathMeasurement`]s and group
+//! them by path. On an interactively queried deployment those requests
+//! repeat against a database that changes rarely — and when a campaign
+//! *is* running, it only appends rows. The cache exploits pathdb's
+//! mutation-version / append-watermark protocol:
+//!
+//! * equal [`Collection::mutation_version`] → return the memoized
+//!   grouping (an `Arc` clone; no document is touched),
+//! * append-only delta ([`Collection::is_append_only_since`]) → decode
+//!   only the rows past the remembered watermark and merge them in,
+//! * anything else (updates, deletes) → recompute through the planner.
+//!
+//! Entries are keyed by collection identity (the `Arc` the database
+//! hands out) plus destination id, and hold only a [`Weak`] reference,
+//! so dropping a [`Database`] releases its cached groupings.
+
+use crate::error::SuiteResult;
+use crate::schema::{PathId, PathMeasurement, PATHS, PATHS_STATS};
+use crate::select::PathAggregate;
+use parking_lot::{Mutex, RwLock};
+use pathdb::{Collection, Database, Filter};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock, Weak};
+
+/// The grouping shape every consumer works from: measurements per path,
+/// ordered by timestamp within each path.
+pub type GroupedMeasurements = BTreeMap<PathId, Vec<PathMeasurement>>;
+
+struct Entry {
+    /// The collection this grouping was computed from. `Weak`, so the
+    /// cache never keeps a dropped database alive, and `upgrade` +
+    /// pointer equality guards against an address being reused by a
+    /// different collection.
+    coll: Weak<RwLock<Collection>>,
+    version: u64,
+    watermark: u64,
+    grouped: Arc<GroupedMeasurements>,
+}
+
+type CacheMap = HashMap<(usize, u32), Entry>;
+
+fn cache() -> &'static Mutex<CacheMap> {
+    static CACHE: OnceLock<Mutex<CacheMap>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// All measurements of `server_id`, grouped by path and sorted by
+/// timestamp — memoized against the `paths_stats` mutation version.
+///
+/// The returned map is shared: repeated calls on an unchanged database
+/// clone an `Arc`, and an append-only campaign pays only for the rows
+/// it added since the previous call.
+pub fn grouped_measurements(
+    db: &Database,
+    server_id: u32,
+) -> SuiteResult<Arc<GroupedMeasurements>> {
+    let handle = db.collection(PATHS_STATS);
+    let coll = handle.read();
+    let version = coll.mutation_version();
+    let watermark = coll.append_watermark();
+    let key = (Arc::as_ptr(&handle) as usize, server_id);
+
+    let mut map = cache().lock();
+    if let Some(entry) = map.get_mut(&key) {
+        let same_collection = entry
+            .coll
+            .upgrade()
+            .is_some_and(|live| Arc::ptr_eq(&live, &handle));
+        if same_collection && entry.version == version {
+            return Ok(entry.grouped.clone());
+        }
+        if same_collection && coll.is_append_only_since(entry.version) {
+            // Decode the appended rows before touching the entry, so a
+            // malformed document leaves the cache consistent.
+            let filter = Filter::eq("server_id", server_id as i64);
+            let mut fresh: Vec<PathMeasurement> = Vec::new();
+            for d in coll.iter_from(entry.watermark) {
+                if filter.matches(d) {
+                    fresh.push(PathMeasurement::from_doc(d)?);
+                }
+            }
+            if !fresh.is_empty() {
+                let grouped = Arc::make_mut(&mut entry.grouped);
+                let mut touched: BTreeSet<PathId> = BTreeSet::new();
+                for m in fresh {
+                    touched.insert(m.stat_id.path);
+                    grouped.entry(m.stat_id.path).or_default().push(m);
+                }
+                // Stable sort: earlier rows of a path stay ahead of the
+                // appended ones on timestamp ties, exactly as a full
+                // recompute in insertion order would place them.
+                for path in touched {
+                    if let Some(ms) = grouped.get_mut(&path) {
+                        ms.sort_by_key(|m| m.stat_id.timestamp_ms);
+                    }
+                }
+            }
+            entry.version = version;
+            entry.watermark = watermark;
+            return Ok(entry.grouped.clone());
+        }
+    }
+
+    let grouped = Arc::new(compute(&coll, server_id)?);
+    map.retain(|_, e| e.coll.upgrade().is_some());
+    map.insert(
+        key,
+        Entry {
+            coll: Arc::downgrade(&handle),
+            version,
+            watermark,
+            grouped: grouped.clone(),
+        },
+    );
+    Ok(grouped)
+}
+
+struct AggEntry {
+    paths: Weak<RwLock<Collection>>,
+    stats: Weak<RwLock<Collection>>,
+    paths_version: u64,
+    stats_version: u64,
+    aggs: Arc<BTreeMap<PathId, PathAggregate>>,
+}
+
+type AggMap = HashMap<(usize, u32), AggEntry>;
+
+fn agg_cache() -> &'static Mutex<AggMap> {
+    static CACHE: OnceLock<Mutex<AggMap>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Per-path aggregates (whiskers, mean jitter, mean loss) for every
+/// path of `server_id` — the second cache layer, sitting on top of
+/// [`grouped_measurements`]. Keyed on *both* the `paths` and the
+/// `paths_stats` mutation versions: path metadata (hops, sequence,
+/// status) feeds the aggregate just like the measurements do, so a
+/// change to either collection invalidates the entry.
+///
+/// The selection engine intersects this constraint-independent map with
+/// whatever candidate set the user's constraints produce, which keeps
+/// one cache entry serving every `Constraints` variation.
+pub fn aggregated_paths(
+    db: &Database,
+    server_id: u32,
+) -> SuiteResult<Arc<BTreeMap<PathId, PathAggregate>>> {
+    let paths_handle = db.collection(PATHS);
+    let stats_handle = db.collection(PATHS_STATS);
+    let paths = paths_handle.read();
+    let paths_version = paths.mutation_version();
+    let stats_version = stats_handle.read().mutation_version();
+    let key = (Arc::as_ptr(&paths_handle) as usize, server_id);
+
+    {
+        let map = agg_cache().lock();
+        if let Some(entry) = map.get(&key) {
+            let same_paths = entry
+                .paths
+                .upgrade()
+                .is_some_and(|live| Arc::ptr_eq(&live, &paths_handle));
+            let same_stats = entry
+                .stats
+                .upgrade()
+                .is_some_and(|live| Arc::ptr_eq(&live, &stats_handle));
+            if same_paths
+                && same_stats
+                && entry.paths_version == paths_version
+                && entry.stats_version == stats_version
+            {
+                return Ok(entry.aggs.clone());
+            }
+        }
+    }
+
+    // `grouped_measurements` takes the stats lock and the grouping
+    // cache's own mutex; keep the aggregate cache unlocked meanwhile.
+    let grouped = grouped_measurements(db, server_id)?;
+    let mut aggs = BTreeMap::new();
+    for d in paths.find_refs(&Filter::eq("server_id", server_id as i64)) {
+        let (path_id, sequence, hops) = crate::schema::parse_path_doc(d)?;
+        let ms = grouped.get(&path_id).map(Vec::as_slice).unwrap_or(&[]);
+        aggs.insert(
+            path_id,
+            crate::select::build_aggregate(path_id, sequence, hops, ms),
+        );
+    }
+    let aggs = Arc::new(aggs);
+    let mut map = agg_cache().lock();
+    map.retain(|_, e| e.paths.upgrade().is_some());
+    map.insert(
+        key,
+        AggEntry {
+            paths: Arc::downgrade(&paths_handle),
+            stats: Arc::downgrade(&stats_handle),
+            paths_version,
+            stats_version,
+            aggs: aggs.clone(),
+        },
+    );
+    Ok(aggs)
+}
+
+/// Full grouping through the query planner (`server_id` is indexed by
+/// [`crate::schema::ensure_indexes`], so this is a point lookup, not a
+/// collection scan).
+fn compute(coll: &Collection, server_id: u32) -> SuiteResult<GroupedMeasurements> {
+    let mut grouped: GroupedMeasurements = BTreeMap::new();
+    for d in coll.find_refs(&Filter::eq("server_id", server_id as i64)) {
+        let m = PathMeasurement::from_doc(d)?;
+        grouped.entry(m.stat_id.path).or_default().push(m);
+    }
+    for ms in grouped.values_mut() {
+        ms.sort_by_key(|m| m.stat_id.timestamp_ms);
+    }
+    Ok(grouped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::StatId;
+    use pathdb::Update;
+
+    fn measurement(server_id: u32, path_index: u32, ts: u64, lat: f64) -> PathMeasurement {
+        PathMeasurement {
+            stat_id: StatId {
+                path: PathId {
+                    server_id,
+                    path_index,
+                },
+                timestamp_ms: ts,
+            },
+            isds: vec![16, 17],
+            hops: 6,
+            avg_latency_ms: Some(lat),
+            jitter_ms: Some(0.5),
+            loss_pct: 0.0,
+            bw_up_64: None,
+            bw_down_64: None,
+            bw_up_mtu: None,
+            bw_down_mtu: None,
+            target_mbps: 12.0,
+            error: None,
+        }
+    }
+
+    fn insert(db: &Database, m: &PathMeasurement) {
+        let handle = db.collection(PATHS_STATS);
+        handle.write().insert_one(m.to_doc()).unwrap();
+    }
+
+    #[test]
+    fn unchanged_database_returns_the_shared_grouping() {
+        let db = Database::new();
+        insert(&db, &measurement(1, 0, 1000, 20.0));
+        insert(&db, &measurement(1, 1, 1000, 30.0));
+        let first = grouped_measurements(&db, 1).unwrap();
+        let second = grouped_measurements(&db, 1).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "version-equal hit must share");
+        assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn appends_merge_incrementally_and_match_a_recompute() {
+        let db = Database::new();
+        insert(&db, &measurement(1, 0, 2000, 20.0));
+        let warm = grouped_measurements(&db, 1).unwrap();
+        assert_eq!(
+            warm[&PathId {
+                server_id: 1,
+                path_index: 0
+            }]
+                .len(),
+            1
+        );
+
+        // Appends, including an out-of-order timestamp and a new path.
+        insert(&db, &measurement(1, 0, 1000, 21.0));
+        insert(&db, &measurement(1, 2, 3000, 90.0));
+        insert(&db, &measurement(2, 0, 3000, 50.0)); // other destination
+
+        let merged = grouped_measurements(&db, 1).unwrap();
+        let handle = db.collection(PATHS_STATS);
+        let recomputed = compute(&handle.read(), 1).unwrap();
+        assert_eq!(*merged, recomputed, "merge must equal full recompute");
+        let p0 = &merged[&PathId {
+            server_id: 1,
+            path_index: 0,
+        }];
+        assert_eq!(
+            p0.iter()
+                .map(|m| m.stat_id.timestamp_ms)
+                .collect::<Vec<_>>(),
+            vec![1000, 2000],
+            "appended rows are re-sorted by timestamp"
+        );
+        assert!(!merged.contains_key(&PathId {
+            server_id: 2,
+            path_index: 0
+        }));
+    }
+
+    #[test]
+    fn updates_and_deletes_invalidate_the_grouping() {
+        let db = Database::new();
+        let m = measurement(1, 0, 1000, 20.0);
+        insert(&db, &m);
+        insert(&db, &measurement(1, 1, 1000, 40.0));
+        let before = grouped_measurements(&db, 1).unwrap();
+        assert_eq!(before.len(), 2);
+
+        let handle = db.collection(PATHS_STATS);
+        handle.write().update_many(
+            &Filter::eq("_id", m.stat_id.to_string()),
+            &Update::new().set("avg_latency_ms", 99.0),
+        );
+        let after_update = grouped_measurements(&db, 1).unwrap();
+        let p0 = &after_update[&PathId {
+            server_id: 1,
+            path_index: 0,
+        }];
+        assert_eq!(p0[0].avg_latency_ms, Some(99.0));
+
+        handle
+            .write()
+            .delete_many(&Filter::eq("_id", m.stat_id.to_string()));
+        let after_delete = grouped_measurements(&db, 1).unwrap();
+        assert!(!after_delete.contains_key(&PathId {
+            server_id: 1,
+            path_index: 0
+        }));
+        assert_eq!(after_delete.len(), 1);
+    }
+
+    fn insert_path(db: &Database, server_id: u32, path_index: u32, hops: i64) {
+        let handle = db.collection(PATHS);
+        handle
+            .write()
+            .insert_one(pathdb::doc! {
+                "_id" => format!("{server_id}_{path_index}"),
+                "server_id" => server_id as i64,
+                "path_index" => path_index as i64,
+                "sequence" => format!("seq-{path_index}"),
+                "hops" => hops,
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn unchanged_database_shares_the_aggregates() {
+        let db = Database::new();
+        insert_path(&db, 1, 0, 5);
+        insert(&db, &measurement(1, 0, 1000, 20.0));
+        let first = aggregated_paths(&db, 1).unwrap();
+        let second = aggregated_paths(&db, 1).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "version-equal hit must share");
+        let pid = PathId {
+            server_id: 1,
+            path_index: 0,
+        };
+        assert_eq!(first[&pid].samples, 1);
+        assert_eq!(first[&pid].latency.as_ref().unwrap().mean, 20.0);
+    }
+
+    #[test]
+    fn either_collection_changing_invalidates_the_aggregates() {
+        let db = Database::new();
+        insert_path(&db, 1, 0, 5);
+        insert(&db, &measurement(1, 0, 1000, 20.0));
+        let before = aggregated_paths(&db, 1).unwrap();
+        let pid = PathId {
+            server_id: 1,
+            path_index: 0,
+        };
+
+        // Stats append: the sample count grows.
+        insert(&db, &measurement(1, 0, 2000, 40.0));
+        let after_stats = aggregated_paths(&db, 1).unwrap();
+        assert!(!Arc::ptr_eq(&before, &after_stats));
+        assert_eq!(after_stats[&pid].samples, 2);
+        assert_eq!(after_stats[&pid].latency.as_ref().unwrap().mean, 30.0);
+
+        // Path metadata update: the cached hops must refresh too.
+        let handle = db.collection(PATHS);
+        handle
+            .write()
+            .update_many(&Filter::eq("_id", "1_0"), &Update::new().set("hops", 9i64));
+        let after_paths = aggregated_paths(&db, 1).unwrap();
+        assert_eq!(after_paths[&pid].hops, 9);
+    }
+
+    #[test]
+    fn distinct_databases_do_not_share_entries() {
+        let a = Database::new();
+        let b = Database::new();
+        insert(&a, &measurement(1, 0, 1000, 20.0));
+        insert(&b, &measurement(1, 0, 1000, 80.0));
+        let ga = grouped_measurements(&a, 1).unwrap();
+        let gb = grouped_measurements(&b, 1).unwrap();
+        let pid = PathId {
+            server_id: 1,
+            path_index: 0,
+        };
+        assert_eq!(ga[&pid][0].avg_latency_ms, Some(20.0));
+        assert_eq!(gb[&pid][0].avg_latency_ms, Some(80.0));
+    }
+}

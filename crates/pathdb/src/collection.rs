@@ -1,13 +1,97 @@
 //! Collections: insertion-ordered document stores with a unique `_id`
-//! index, optional secondary indexes, filtered queries, updates and
-//! bulk insertion.
+//! index, optional secondary indexes (hash + ordered), planner-served
+//! queries, updates and bulk insertion.
 
 use crate::document::Document;
 use crate::error::{DbError, DbResult};
+use crate::plan::{self, QueryPlan};
 use crate::query::{Filter, FindOptions};
 use crate::update::Update;
 use crate::value::Value;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::ops::Bound;
+
+/// A secondary index over one field: hash buckets for O(1) point
+/// lookups plus an ordered mirror (over the order-preserving
+/// [`Value::index_key`] encoding) for range scans and key-order reads.
+/// Seqs within one key are a `BTreeSet`, so ties stream in ascending
+/// insertion order — the same tie order a stable sort produces.
+#[derive(Debug, Default)]
+pub(crate) struct FieldIndex {
+    hash: HashMap<String, HashSet<u64>>,
+    pub(crate) ordered: BTreeMap<String, BTreeSet<u64>>,
+    /// Documents contributing at least one key (field present).
+    pub(crate) indexed_docs: usize,
+    /// Documents contributing more than one key (multikey arrays) —
+    /// such documents appear under several keys, which rules the index
+    /// out for serving sorts.
+    pub(crate) multikey_docs: usize,
+}
+
+impl FieldIndex {
+    fn insert(&mut self, seq: u64, keys: &[String]) {
+        if keys.is_empty() {
+            return;
+        }
+        self.indexed_docs += 1;
+        if keys.len() > 1 {
+            self.multikey_docs += 1;
+        }
+        for key in keys {
+            self.hash.entry(key.clone()).or_default().insert(seq);
+            self.ordered.entry(key.clone()).or_default().insert(seq);
+        }
+    }
+
+    fn remove(&mut self, seq: u64, keys: &[String]) {
+        if keys.is_empty() {
+            return;
+        }
+        self.indexed_docs -= 1;
+        if keys.len() > 1 {
+            self.multikey_docs -= 1;
+        }
+        for key in keys {
+            if let Some(set) = self.hash.get_mut(key) {
+                set.remove(&seq);
+                if set.is_empty() {
+                    self.hash.remove(key);
+                }
+            }
+            if let Some(set) = self.ordered.get_mut(key) {
+                set.remove(&seq);
+                if set.is_empty() {
+                    self.ordered.remove(key);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn point_count(&self, key: &str) -> usize {
+        self.hash.get(key).map_or(0, HashSet::len)
+    }
+
+    pub(crate) fn point_seqs(&self, key: &str) -> impl Iterator<Item = u64> + '_ {
+        self.hash.get(key).into_iter().flatten().copied()
+    }
+
+    pub(crate) fn range_count(&self, lo: &Bound<String>, hi: &Bound<String>) -> usize {
+        self.ordered
+            .range((lo.clone(), hi.clone()))
+            .map(|(_, seqs)| seqs.len())
+            .sum()
+    }
+
+    pub(crate) fn range_seqs<'a>(
+        &'a self,
+        lo: &Bound<String>,
+        hi: &Bound<String>,
+    ) -> impl Iterator<Item = u64> + 'a {
+        self.ordered
+            .range((lo.clone(), hi.clone()))
+            .flat_map(|(_, seqs)| seqs.iter().copied())
+    }
+}
 
 /// A single collection (a "table" of documents).
 #[derive(Debug, Default)]
@@ -15,14 +99,22 @@ pub struct Collection {
     name: String,
     /// Documents keyed by insertion sequence (preserves order under
     /// deletion without shifting).
-    docs: BTreeMap<u64, Document>,
+    pub(crate) docs: BTreeMap<u64, Document>,
     next_seq: u64,
     /// Unique `_id` index: canonical id key → sequence.
-    primary: HashMap<String, u64>,
-    /// Secondary indexes: field → (canonical value key → sequences).
-    indexes: HashMap<String, HashMap<String, HashSet<u64>>>,
+    pub(crate) primary: HashMap<String, u64>,
+    /// Secondary indexes by field.
+    pub(crate) indexes: HashMap<String, FieldIndex>,
     /// Counter for generated ids.
     next_auto_id: u64,
+    /// Monotonically increasing mutation counter: bumps on every
+    /// successful write. Lets callers memoize derived state and
+    /// invalidate it precisely (see `upin-core`'s stats cache).
+    version: u64,
+    /// The `version` value of the last mutation that was *not* a pure
+    /// append (an update or delete). If unchanged since a snapshot,
+    /// every document the snapshot saw is still intact.
+    last_reshape_version: u64,
 }
 
 impl Collection {
@@ -52,38 +144,61 @@ impl Collection {
         if self.indexes.contains_key(field) {
             return;
         }
-        let mut map: HashMap<String, HashSet<u64>> = HashMap::new();
+        let mut idx = FieldIndex::default();
         for (&seq, doc) in &self.docs {
-            for key in index_keys_of(doc, field) {
-                map.entry(key).or_default().insert(seq);
-            }
+            idx.insert(seq, &index_keys_of(doc, field));
         }
-        self.indexes.insert(field.to_string(), map);
+        self.indexes.insert(field.to_string(), idx);
     }
 
     pub fn indexed_fields(&self) -> Vec<&str> {
         self.indexes.keys().map(String::as_str).collect()
     }
 
+    /// Whether the field has a secondary index.
+    pub fn has_index(&self, field: &str) -> bool {
+        self.indexes.contains_key(field)
+    }
+
     fn index_insert(&mut self, seq: u64, doc: &Document) {
-        for (field, map) in &mut self.indexes {
-            for key in index_keys_of(doc, field) {
-                map.entry(key).or_default().insert(seq);
-            }
+        for (field, idx) in &mut self.indexes {
+            idx.insert(seq, &index_keys_of(doc, field));
         }
     }
 
     fn index_remove(&mut self, seq: u64, doc: &Document) {
-        for (field, map) in &mut self.indexes {
-            for key in index_keys_of(doc, field) {
-                if let Some(set) = map.get_mut(&key) {
-                    set.remove(&seq);
-                    if set.is_empty() {
-                        map.remove(&key);
-                    }
-                }
-            }
+        for (field, idx) in &mut self.indexes {
+            idx.remove(seq, &index_keys_of(doc, field));
         }
+    }
+
+    // ---- versioning -----------------------------------------------------
+
+    /// Monotonically increasing counter, bumped by every successful
+    /// mutation (insert, update, delete). Equal versions mean the
+    /// collection is unchanged.
+    pub fn mutation_version(&self) -> u64 {
+        self.version
+    }
+
+    /// A watermark for [`Collection::iter_from`]: documents inserted
+    /// after this call get sequence numbers `>=` the returned value.
+    pub fn append_watermark(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Whether every mutation since the snapshot `version` was a pure
+    /// append — no document the snapshot saw was updated or deleted,
+    /// so incremental consumers only need the documents past their
+    /// watermark.
+    pub fn is_append_only_since(&self, version: u64) -> bool {
+        self.last_reshape_version <= version
+    }
+
+    /// Iterate documents whose insertion sequence is `>= watermark`,
+    /// in insertion order.
+    pub fn iter_from(&self, watermark: u64) -> impl Iterator<Item = &Document> {
+        self.docs.range(watermark..).map(|(_, d)| d)
     }
 
     // ---- writes ---------------------------------------------------------
@@ -97,6 +212,7 @@ impl Collection {
         self.primary.insert(id_key.clone(), seq);
         self.index_insert(seq, &doc);
         self.docs.insert(seq, doc);
+        self.version += 1;
         Ok(id_key)
     }
 
@@ -123,6 +239,9 @@ impl Collection {
             self.index_insert(seq, &doc);
             self.docs.insert(seq, doc);
             ids.push(id_key);
+        }
+        if !ids.is_empty() {
+            self.version += 1;
         }
         Ok(ids)
     }
@@ -154,7 +273,7 @@ impl Collection {
 
     /// Update all documents matching `filter`; returns how many changed.
     pub fn update_many(&mut self, filter: &Filter, update: &Update) -> usize {
-        let seqs: Vec<u64> = self.matching_seqs(filter);
+        let seqs: Vec<u64> = plan::matching_seqs(self, filter);
         let mut count = 0;
         for seq in seqs {
             let Some(mut doc) = self.docs.remove(&seq) else {
@@ -166,13 +285,17 @@ impl Collection {
             self.docs.insert(seq, doc);
             count += 1;
         }
+        if count > 0 {
+            self.version += 1;
+            self.last_reshape_version = self.version;
+        }
         count
     }
 
     /// Delete all documents matching `filter`; returns how many were
     /// actually removed (not merely matched).
     pub fn delete_many(&mut self, filter: &Filter) -> usize {
-        let seqs: Vec<u64> = self.matching_seqs(filter);
+        let seqs: Vec<u64> = plan::matching_seqs(self, filter);
         let mut removed = 0;
         for &seq in &seqs {
             if let Some(doc) = self.docs.remove(&seq) {
@@ -182,6 +305,10 @@ impl Collection {
                 }
                 removed += 1;
             }
+        }
+        if removed > 0 {
+            self.version += 1;
+            self.last_reshape_version = self.version;
         }
         removed
     }
@@ -202,40 +329,37 @@ impl Collection {
     /// First match, in insertion order. Unlike [`Collection::find`],
     /// this stops at the first hit instead of materializing every match.
     pub fn find_one(&self, filter: &Filter) -> Option<Document> {
-        if let Some((field, _)) = filter.index_candidates() {
-            if field == "_id" || self.indexes.contains_key(field) {
-                // Index-narrowed candidate sets are already cheap.
-                let seqs = self.matching_seqs(filter);
-                return seqs.first().and_then(|s| self.docs.get(s)).cloned();
-            }
-        }
-        self.docs.values().find(|d| filter.matches(d)).cloned()
+        plan::find_with(self, filter, &FindOptions::default().limited(1)).pop()
     }
 
-    /// Filtered, sorted, paginated, projected query.
+    /// Filtered, sorted, paginated, projected query — served by the
+    /// cost-based planner (see [`Collection::explain_with`]).
     pub fn find_with(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
-        let seqs = self.matching_seqs(filter);
-        let mut out: Vec<&Document> = seqs.iter().filter_map(|s| self.docs.get(s)).collect();
-        if !opts.sort.is_empty() {
-            out.sort_by(|a, b| opts.doc_cmp(a, b));
-        }
-        out.into_iter()
-            .skip(opts.skip)
-            .take(opts.limit.unwrap_or(usize::MAX))
-            .map(|d| opts.apply_projection(d))
+        plan::find_with(self, filter, opts)
+    }
+
+    /// Borrowed matches in insertion order — the clone-free read path
+    /// for aggregation and grouping.
+    pub fn find_refs(&self, filter: &Filter) -> Vec<&Document> {
+        plan::matching_seqs(self, filter)
+            .into_iter()
+            .filter_map(|s| self.docs.get(&s))
             .collect()
     }
 
     pub fn count(&self, filter: &Filter) -> usize {
-        self.matching_seqs(filter).len()
+        plan::matching_seqs(self, filter).len()
     }
 
     /// Distinct values of a (dotted) field among matching documents.
     /// Array fields contribute their elements, like Mongo's `distinct`.
+    /// Dedup is by the canonical [`Value::index_key`], which is exact:
+    /// floats differing in any bit and i64 values beyond 2^53 stay
+    /// distinct, while `Int(3)` and `Float(3.0)` still unify.
     pub fn distinct(&self, field: &str, filter: &Filter) -> Vec<Value> {
         let mut seen: HashSet<String> = HashSet::new();
         let mut out = Vec::new();
-        for seq in self.matching_seqs(filter) {
+        for seq in plan::matching_seqs(self, filter) {
             let Some(doc) = self.docs.get(&seq) else {
                 continue;
             };
@@ -258,84 +382,33 @@ impl Collection {
         self.docs.values()
     }
 
-    /// How a filter would be executed — the query planner's decision,
-    /// exposed for diagnostics (Mongo's `explain`).
+    /// How a filter would be executed — the planner's decision, exposed
+    /// for diagnostics (Mongo's `explain`). Sort/pagination-dependent
+    /// choices are reported by [`Collection::explain_with`].
     pub fn explain(&self, filter: &Filter) -> QueryPlan {
-        if let Some((field, values)) = filter.index_candidates() {
-            if field == "_id" || self.indexes.contains_key(field) {
-                return QueryPlan::IndexLookup {
-                    field: field.to_string(),
-                    candidate_keys: values.len(),
-                };
-            }
-        }
-        QueryPlan::FullScan {
-            documents: self.docs.len(),
-        }
+        self.explain_with(filter, &FindOptions::default())
     }
 
-    /// Matching sequence numbers in insertion order, using the primary
-    /// `_id` index or a secondary index when the filter pins one.
-    fn matching_seqs(&self, filter: &Filter) -> Vec<u64> {
-        if let Some((field, values)) = filter.index_candidates() {
-            // `_id` equality goes through the unique primary index — the
-            // hot path of the per-path `update_many` refresh during
-            // collection, previously a full scan.
-            if field == "_id" {
-                let mut seqs: Vec<u64> = values
-                    .iter()
-                    .filter_map(|v| self.primary.get(&v.index_key()))
-                    .copied()
-                    .collect();
-                seqs.sort_unstable();
-                seqs.dedup();
-                return seqs
-                    .into_iter()
-                    .filter(|s| self.docs.get(s).is_some_and(|d| filter.matches(d)))
-                    .collect();
-            }
-            if let Some(index) = self.indexes.get(field) {
-                let mut seqs: Vec<u64> = values
-                    .iter()
-                    .filter_map(|v| index.get(&v.index_key()))
-                    .flatten()
-                    .copied()
-                    .collect();
-                seqs.sort_unstable();
-                seqs.dedup();
-                // The index narrows candidates; the full filter still runs.
-                return seqs
-                    .into_iter()
-                    .filter(|s| self.docs.get(s).is_some_and(|d| filter.matches(d)))
-                    .collect();
-            }
-        }
-        self.docs
-            .iter()
-            .filter(|(_, d)| filter.matches(d))
-            .map(|(&s, _)| s)
-            .collect()
+    /// The planner's full decision for a query: access path, whether
+    /// the sort is served by an ordered index, and whether skip/limit
+    /// stop the scan early.
+    pub fn explain_with(&self, filter: &Filter, opts: &FindOptions) -> QueryPlan {
+        plan::explain(self, filter, opts)
     }
 }
 
-/// The query planner's verdict for a filter (see [`Collection::explain`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum QueryPlan {
-    /// A secondary index narrows the candidates before the filter runs.
-    IndexLookup {
-        field: String,
-        /// Number of index keys probed (`$eq` = 1, `$in` = list length).
-        candidate_keys: usize,
-    },
-    /// Every document is tested.
-    FullScan { documents: usize },
-}
-
-/// Index keys a document contributes for `field` (array fields index
-/// each element, like Mongo multikey indexes).
+/// Index keys a document contributes for `field`. Array fields index
+/// each element (Mongo multikey semantics) *and* the whole array, so
+/// both `Eq(field, element)` and `Eq(field, whole_array)` are served.
 fn index_keys_of(doc: &Document, field: &str) -> Vec<String> {
     match doc.get_path(field) {
-        Some(Value::Array(a)) => a.iter().map(Value::index_key).collect(),
+        Some(v @ Value::Array(a)) => {
+            let mut keys: Vec<String> = a.iter().map(Value::index_key).collect();
+            keys.push(v.index_key());
+            keys.sort_unstable();
+            keys.dedup();
+            keys
+        }
         Some(v) => vec![v.index_key()],
         None => Vec::new(),
     }
@@ -345,6 +418,7 @@ fn index_keys_of(doc: &Document, field: &str) -> Vec<String> {
 mod tests {
     use super::*;
     use crate::doc;
+    use crate::plan::Access;
     use crate::query::Order;
 
     fn stats_collection() -> Collection {
@@ -415,11 +489,8 @@ mod tests {
         let c = stats_collection();
         // The plan says index, and the results agree with a scan.
         assert_eq!(
-            c.explain(&Filter::eq("_id", "2_1_100")),
-            QueryPlan::IndexLookup {
-                field: "_id".into(),
-                candidate_keys: 1
-            }
+            c.explain(&Filter::eq("_id", "2_1_100")).access,
+            Access::Primary { keys: 1 }
         );
         let by_index = c.find(&Filter::eq("_id", "2_1_100"));
         assert_eq!(by_index.len(), 1);
@@ -547,28 +618,242 @@ mod tests {
     fn explain_reports_the_plan() {
         let mut c = stats_collection();
         let f = Filter::eq("server_id", 2i64).and(Filter::gt("hops", 5i64));
-        assert_eq!(c.explain(&f), QueryPlan::FullScan { documents: 5 });
+        assert_eq!(c.explain(&f).access, Access::FullScan { documents: 5 });
         c.create_index("server_id");
         assert_eq!(
-            c.explain(&f),
-            QueryPlan::IndexLookup {
+            c.explain(&f).access,
+            Access::IndexPoint {
                 field: "server_id".into(),
-                candidate_keys: 1
+                keys: 1,
+                candidates: 3
             }
         );
-        // A range-only filter cannot use the index.
+        // A range on the indexed field becomes an ordered-index scan.
         assert_eq!(
-            c.explain(&Filter::gt("server_id", 1i64)),
-            QueryPlan::FullScan { documents: 5 }
-        );
-        // $in probes one key per listed value.
-        assert_eq!(
-            c.explain(&Filter::is_in("server_id", vec![1i64, 2])),
-            QueryPlan::IndexLookup {
+            c.explain(&Filter::gt("server_id", 1i64)).access,
+            Access::IndexRange {
                 field: "server_id".into(),
-                candidate_keys: 2
+                candidates: 3
             }
         );
+        // $in probes one key per listed value — but here every document
+        // qualifies, so the planner correctly prefers the scan.
+        assert_eq!(
+            c.explain(&Filter::is_in("server_id", vec![1i64, 2])).access,
+            Access::FullScan { documents: 5 }
+        );
+        assert_eq!(
+            c.explain(&Filter::is_in("server_id", vec![2i64, 9])).access,
+            Access::IndexPoint {
+                field: "server_id".into(),
+                keys: 2,
+                candidates: 3
+            }
+        );
+    }
+
+    #[test]
+    fn range_filters_on_indexed_fields_do_not_full_scan() {
+        let mut c = stats_collection();
+        c.create_index("avg_latency_ms");
+        // The selection engine's canonical shapes: open and between.
+        let open = Filter::lt("avg_latency_ms", 100.0);
+        assert_eq!(
+            c.explain(&open).access,
+            Access::IndexRange {
+                field: "avg_latency_ms".into(),
+                candidates: 3
+            }
+        );
+        assert_eq!(c.find(&open).len(), 3);
+        let between = Filter::gte("avg_latency_ms", 25.0).and(Filter::lt("avg_latency_ms", 155.0));
+        assert_eq!(
+            c.explain(&between).access,
+            Access::IndexRange {
+                field: "avg_latency_ms".into(),
+                candidates: 2
+            }
+        );
+        let ids: Vec<_> = c
+            .find(&between)
+            .iter()
+            .map(|d| d.id().unwrap().to_string())
+            .collect();
+        assert_eq!(ids, vec!["1_1_100", "2_0_100"]);
+        // Bounds are exact: Gt excludes the boundary, Gte includes it.
+        assert_eq!(c.count(&Filter::gt("avg_latency_ms", 155.0)), 1);
+        assert_eq!(c.count(&Filter::gte("avg_latency_ms", 155.0)), 2);
+    }
+
+    #[test]
+    fn or_of_indexable_branches_unions_indexes() {
+        let mut c = stats_collection();
+        c.create_index("server_id");
+        c.create_index("avg_latency_ms");
+        let f = Filter::eq("server_id", 1i64).or(Filter::gt("avg_latency_ms", 150.0));
+        assert_eq!(
+            c.explain(&f).access,
+            Access::IndexUnion {
+                branches: 2,
+                candidates: 4
+            }
+        );
+        let ids: Vec<_> = c
+            .find(&f)
+            .iter()
+            .map(|d| d.id().unwrap().to_string())
+            .collect();
+        assert_eq!(ids, vec!["1_0_100", "1_1_100", "2_1_100", "2_1_200"]);
+        // One unindexable branch poisons the union: full scan.
+        let g = Filter::eq("server_id", 1i64).or(Filter::contains("_id", "2_1"));
+        assert!(c.explain(&g).access.is_full_scan());
+        assert_eq!(c.find(&g).len(), 4);
+    }
+
+    #[test]
+    fn sorted_queries_stream_the_ordered_index() {
+        let mut c = stats_collection();
+        c.create_index("avg_latency_ms");
+        let opts = FindOptions::default()
+            .sorted_by("avg_latency_ms", Order::Desc)
+            .limited(2);
+        let plan = c.explain_with(&Filter::True, &opts);
+        assert_eq!(plan.index_sort.as_deref(), Some("avg_latency_ms"));
+        assert!(plan.limit_pushdown);
+        let out = c.find_with(&Filter::True, &opts);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id(), Some("2_1_200"));
+        assert_eq!(out[1].id(), Some("2_1_100"));
+        // A multikey (array) index cannot serve sorts.
+        c.create_index("isds");
+        let opts = FindOptions::default()
+            .sorted_by("isds", Order::Asc)
+            .limited(2);
+        assert_eq!(c.explain_with(&Filter::True, &opts).index_sort, None);
+    }
+
+    #[test]
+    fn unsorted_limit_is_pushed_down() {
+        let c = stats_collection();
+        let opts = FindOptions::default().limited(2).skipping(1);
+        let plan = c.explain_with(&Filter::eq("server_id", 2i64), &opts);
+        assert!(plan.limit_pushdown);
+        let out = c.find_with(&Filter::eq("server_id", 2i64), &opts);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id(), Some("2_1_100"));
+        assert_eq!(out[1].id(), Some("2_1_200"));
+        // Sorted without an eligible index: no pushdown.
+        let opts = FindOptions::default()
+            .sorted_by("hops", Order::Asc)
+            .limited(1);
+        assert!(!c.explain_with(&Filter::True, &opts).limit_pushdown);
+    }
+
+    #[test]
+    fn whole_array_equality_is_index_served() {
+        let mut c = stats_collection();
+        c.insert_one(doc! { "_id" => "3_0_100", "isds" => vec![19i64] })
+            .unwrap();
+        c.create_index("isds");
+        let f = Filter::eq("isds", vec![16i64, 17]);
+        assert!(!c.explain(&f).access.is_full_scan());
+        assert_eq!(c.count(&f), 5);
+        // Element order matters for whole-array equality.
+        assert_eq!(c.count(&Filter::eq("isds", vec![17i64, 16])), 0);
+        assert_eq!(c.count(&Filter::eq("isds", vec![19i64])), 1);
+    }
+
+    #[test]
+    fn null_equality_never_trusts_an_index() {
+        let mut c = Collection::new("t");
+        c.insert_one(doc! { "_id" => "a", "x" => Value::Null })
+            .unwrap();
+        c.insert_one(doc! { "_id" => "b" }).unwrap(); // x missing
+        c.insert_one(doc! { "_id" => "c", "x" => 1i64 }).unwrap();
+        c.create_index("x");
+        // Eq(x, Null) matches explicit nulls AND missing fields; the
+        // latter are absent from the index, so the planner must scan.
+        let f = Filter::eq("x", Value::Null);
+        assert!(c.explain(&f).access.is_full_scan());
+        assert_eq!(c.count(&f), 2);
+    }
+
+    #[test]
+    fn intersection_of_selective_indexes() {
+        let mut c = Collection::new("t");
+        for i in 0..100i64 {
+            c.insert_one(doc! { "a" => i % 10, "b" => i % 7 }).unwrap();
+        }
+        c.create_index("a");
+        c.create_index("b");
+        let f = Filter::eq("a", 3i64).and(Filter::eq("b", 2i64));
+        let plan = c.explain(&f);
+        if let Access::IndexIntersect { fields, candidates } = &plan.access {
+            assert_eq!(fields.len(), 2);
+            assert!(*candidates <= 10);
+        } else {
+            panic!("expected intersection, got {:?}", plan.access);
+        }
+        let scan: Vec<_> = c.iter().filter(|d| f.matches(d)).cloned().collect();
+        assert_eq!(c.find(&f), scan);
+    }
+
+    #[test]
+    fn mutation_version_and_append_watermark() {
+        let mut c = Collection::new("t");
+        let v0 = c.mutation_version();
+        c.insert_one(doc! { "x" => 1i64 }).unwrap();
+        let v1 = c.mutation_version();
+        assert!(v1 > v0);
+        // Appends keep the append-only invariant.
+        let w = c.append_watermark();
+        c.insert_many(vec![doc! { "x" => 2i64 }, doc! { "x" => 3i64 }])
+            .unwrap();
+        assert!(c.is_append_only_since(v1));
+        let appended: Vec<i64> = c
+            .iter_from(w)
+            .map(|d| d.get("x").and_then(Value::as_int).unwrap())
+            .collect();
+        assert_eq!(appended, vec![2, 3]);
+        // An update is a reshape: append-only no longer holds.
+        let v2 = c.mutation_version();
+        c.update_many(&Filter::eq("x", 1i64), &Update::new().set("x", 9i64));
+        assert!(!c.is_append_only_since(v2));
+        assert!(c.is_append_only_since(c.mutation_version()));
+        // No-op mutations do not bump the version.
+        let v3 = c.mutation_version();
+        c.delete_many(&Filter::eq("x", 999i64));
+        c.update_many(&Filter::eq("x", 999i64), &Update::new().set("y", 1i64));
+        assert_eq!(c.mutation_version(), v3);
+    }
+
+    #[test]
+    fn find_refs_matches_find() {
+        let c = stats_collection();
+        let f = Filter::eq("server_id", 2i64);
+        let refs = c.find_refs(&f);
+        let owned = c.find(&f);
+        assert_eq!(refs.len(), owned.len());
+        for (r, o) in refs.iter().zip(&owned) {
+            assert_eq!(**r, *o);
+        }
+    }
+
+    #[test]
+    fn distinct_does_not_collapse_close_floats_or_big_ints() {
+        let mut c = Collection::new("t");
+        c.insert_one(doc! { "f" => 1e-9f64, "i" => 1i64 << 53 })
+            .unwrap();
+        c.insert_one(doc! { "f" => 2e-9f64, "i" => (1i64 << 53) + 1 })
+            .unwrap();
+        c.insert_one(doc! { "f" => 2e-9f64, "i" => (1i64 << 53) + 1 })
+            .unwrap();
+        assert_eq!(c.distinct("f", &Filter::True).len(), 2);
+        assert_eq!(c.distinct("i", &Filter::True).len(), 2);
+        // Int/Float unification is preserved.
+        c.insert_one(doc! { "f" => 3i64 }).unwrap();
+        c.insert_one(doc! { "f" => 3.0f64 }).unwrap();
+        assert_eq!(c.distinct("f", &Filter::True).len(), 3);
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!   (`$eq/$ne/$gt/$in/$nin/$exists/$all/$size`, `$and/$or/$not`,
 //!   array-contains equality, numeric widening),
 //! * [`update::Update`] (`$set/$unset/$inc/$push/$setOnInsert`),
-//! * unique `_id` plus secondary (multikey) indexes,
+//! * unique `_id` plus secondary (multikey) indexes, kept both as hash
+//!   maps and as ordered maps over an order-preserving key encoding,
+//! * a cost-based query planner ([`plan`]): range scans for comparison
+//!   filters, index intersection/union over `$and`/`$or` conjuncts,
+//!   index-served sorting with skip/limit pushdown, and a
+//!   [`Collection::explain`] API exposing the chosen access path,
 //! * atomic bulk insertion — the batched write path whose
 //!   fault-tolerance/scalability trade-off the paper discusses,
 //! * JSON-lines persistence ([`database::Database::save_dir`]).
@@ -32,14 +37,16 @@ pub mod collection;
 pub mod database;
 pub mod document;
 pub mod error;
+pub mod plan;
 pub mod query;
 pub mod update;
 pub mod value;
 
-pub use collection::{Collection, QueryPlan};
+pub use collection::Collection;
 pub use database::{CollectionHandle, Database};
 pub use document::Document;
 pub use error::{DbError, DbResult};
+pub use plan::{Access, QueryPlan};
 pub use query::{Filter, FindOptions, Order};
 pub use update::{Update, UpdateOp};
 pub use value::Value;

@@ -158,19 +158,6 @@ impl Filter {
             Filter::Not(f) => !f.matches(doc),
         }
     }
-
-    /// If this filter pins a field to a finite value set (an `Eq` or `In`
-    /// at the top level or inside a conjunction), report it so
-    /// collections can consult a secondary index. Returns
-    /// `(field, candidate values)`.
-    pub fn index_candidates(&self) -> Option<(&str, Vec<&Value>)> {
-        match self {
-            Filter::Eq(k, v) => Some((k, vec![v])),
-            Filter::In(k, vs) if !vs.is_empty() => Some((k, vs.iter().collect())),
-            Filter::And(fs) => fs.iter().find_map(Filter::index_candidates),
-            _ => None,
-        }
-    }
 }
 
 fn field_eq(doc: &Document, key: &str, v: &Value) -> bool {
@@ -203,7 +190,8 @@ pub enum Order {
 /// Find options: sort keys, pagination, projection.
 #[derive(Debug, Clone, Default)]
 pub struct FindOptions {
-    /// Sort by these fields in order; unordered comparisons sort last.
+    /// Sort by these fields in order, under [`Value::sort_cmp`]'s total
+    /// order; missing fields sort after present ones (ascending).
     pub sort: Vec<(String, Order)>,
     pub skip: usize,
     pub limit: Option<usize>,
@@ -233,12 +221,15 @@ impl FindOptions {
     }
 
     /// Comparison between documents under the configured sort keys.
+    /// Uses [`Value::sort_cmp`]'s total order (type-ranked across
+    /// types), so results are deterministic and an ordered index scan
+    /// reproduces the same order.
     pub fn doc_cmp(&self, a: &Document, b: &Document) -> Ordering {
         for (key, order) in &self.sort {
             let av = a.get_path(key);
             let bv = b.get_path(key);
             let ord = match (av, bv) {
-                (Some(x), Some(y)) => x.query_cmp(y).unwrap_or(Ordering::Equal),
+                (Some(x), Some(y)) => x.sort_cmp(y),
                 (Some(_), None) => Ordering::Less,
                 (None, Some(_)) => Ordering::Greater,
                 (None, None) => Ordering::Equal,
@@ -379,17 +370,6 @@ mod tests {
     fn nested_dotted_queries() {
         assert!(Filter::lt("nested.loss", 0.1f64).matches(&sample()));
         assert!(!Filter::gt("nested.loss", 0.1f64).matches(&sample()));
-    }
-
-    #[test]
-    fn index_candidates_extraction() {
-        let f = Filter::eq("server_id", 2i64).and(Filter::lt("hops", 8i64));
-        let (field, vals) = f.index_candidates().unwrap();
-        assert_eq!(field, "server_id");
-        assert_eq!(vals.len(), 1);
-        assert!(Filter::gt("hops", 1i64).index_candidates().is_none());
-        let inn = Filter::is_in("status", vec!["alive", "timeout"]);
-        assert_eq!(inn.index_candidates().unwrap().1.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Property-based oracle for the query planner: whatever access path
+//! `plan::find_with` picks (hash point lookup, ordered range scan,
+//! seq-set intersection, indexed union, index-served sort, limit
+//! pushdown), the observable results must be byte-identical — same
+//! documents, same order — to a naive full scan over the live documents
+//! in insertion order.
+//!
+//! The generators deliberately produce colliding values (small ints,
+//! int-valued floats, shared strings, nulls, arrays) and interleave
+//! index creation with inserts, updates and deletes, so the planner's
+//! incremental index maintenance and its append/reshape bookkeeping are
+//! exercised alongside plan selection.
+
+use pathdb::{Collection, Document, Filter, FindOptions, Order, Update, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+// ---- generators -----------------------------------------------------------
+
+/// A small field pool so filters, sorts and indexes actually collide.
+fn arb_field() -> impl Strategy<Value = String> {
+    prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(String::from)
+}
+
+/// Values chosen to collide across types: `Int(2)` vs `Float(2.0)`
+/// unify under the canonical index key, `0.5` exercises the float
+/// residual, arrays exercise multikey indexing.
+fn arb_val() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-3i64..6).prop_map(Value::Int),
+        prop_oneof![
+            Just(Value::Float(-1.5)),
+            Just(Value::Float(0.5)),
+            Just(Value::Float(2.0)),
+            Just(Value::Float(2.5)),
+            Just(Value::Float(4.0)),
+        ],
+        prop_oneof![Just("x"), Just("y"), Just("zed")].prop_map(|s| Value::Str(s.into())),
+        prop::collection::vec((-2i64..3).prop_map(Value::Int), 0..3).prop_map(Value::Array),
+    ]
+}
+
+/// One indexable (or not) comparison — the planner's atoms plus the
+/// operators it must treat as residual-only.
+fn arb_leaf() -> impl Strategy<Value = Filter> {
+    (
+        arb_field(),
+        arb_val(),
+        prop::collection::vec(arb_val(), 0..3),
+    )
+        .prop_flat_map(|(k, v, vs)| {
+            prop_oneof![
+                Just(Filter::eq(k.clone(), v.clone())),
+                Just(Filter::ne(k.clone(), v.clone())),
+                Just(Filter::gt(k.clone(), v.clone())),
+                Just(Filter::gte(k.clone(), v.clone())),
+                Just(Filter::lt(k.clone(), v.clone())),
+                Just(Filter::lte(k.clone(), v.clone())),
+                Just(Filter::is_in(k.clone(), vs.clone())),
+                Just(Filter::not_in(k.clone(), vs.clone())),
+                Just(Filter::exists(k.clone())),
+            ]
+        })
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    arb_leaf().prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|f| f.negate()),
+        ]
+    })
+}
+
+fn arb_opts() -> impl Strategy<Value = FindOptions> {
+    (
+        prop::option::of((arb_field(), any::<bool>())),
+        0usize..5,
+        prop::option::of(0usize..8),
+        prop::collection::vec(arb_field(), 0..3),
+    )
+        .prop_map(|(sort, skip, limit, projection)| {
+            let mut opts = FindOptions::default();
+            if let Some((key, asc)) = sort {
+                opts = opts.sorted_by(key, if asc { Order::Asc } else { Order::Desc });
+            }
+            opts.skip = skip;
+            opts.limit = limit;
+            opts.projection = projection;
+            opts
+        })
+}
+
+/// Rows as field lists; `_id` is assigned positionally by the test.
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<(String, Value)>>> {
+    prop::collection::vec(prop::collection::vec((arb_field(), arb_val()), 0..4), 0..40)
+}
+
+// ---- the oracle -----------------------------------------------------------
+
+/// The naive semantics `find_with` must reproduce exactly: filter the
+/// live documents in insertion order, stable-sort, paginate, project.
+fn naive_find(mirror: &[Document], filter: &Filter, opts: &FindOptions) -> Vec<Document> {
+    let mut out: Vec<Document> = mirror
+        .iter()
+        .filter(|d| filter.matches(d))
+        .cloned()
+        .collect();
+    if !opts.sort.is_empty() {
+        out.sort_by(|a, b| opts.doc_cmp(a, b));
+    }
+    out.into_iter()
+        .skip(opts.skip)
+        .take(opts.limit.unwrap_or(usize::MAX))
+        .map(|d| opts.apply_projection(&d))
+        .collect()
+}
+
+fn naive_distinct(mirror: &[Document], field: &str, filter: &Filter) -> Vec<Value> {
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out = Vec::new();
+    for d in mirror.iter().filter(|d| filter.matches(d)) {
+        let candidates: Vec<Value> = match d.get_path(field) {
+            Some(Value::Array(a)) => a.clone(),
+            Some(v) => vec![v.clone()],
+            None => continue,
+        };
+        for v in candidates {
+            if seen.insert(v.index_key()) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn planner_results_equal_full_scan(
+        rows in arb_rows(),
+        index_fields in prop::collection::hash_set(arb_field(), 0..3),
+        index_first in any::<bool>(),
+        update in prop::option::of((arb_leaf(), arb_field(), arb_val())),
+        delete in prop::option::of(arb_leaf()),
+        filter in arb_filter(),
+        opts in arb_opts(),
+    ) {
+        let mut coll = Collection::new("t");
+        if index_first {
+            for f in &index_fields {
+                coll.create_index(f);
+            }
+        }
+        // `mirror` tracks the live documents in insertion order — the
+        // ground truth the planner must reproduce.
+        let mut mirror: Vec<Document> = Vec::new();
+        for (i, fields) in rows.iter().enumerate() {
+            let mut d = Document::new();
+            d.set("_id", i.to_string());
+            for (k, v) in fields {
+                d.set(k.clone(), v.clone());
+            }
+            coll.insert_one(d.clone()).unwrap();
+            mirror.push(d);
+        }
+        if !index_first {
+            for f in &index_fields {
+                coll.create_index(f);
+            }
+        }
+        if let Some((sel, key, val)) = &update {
+            coll.update_many(sel, &Update::new().set(key.clone(), val.clone()));
+            for d in &mut mirror {
+                if sel.matches(d) {
+                    d.set(key.clone(), val.clone());
+                }
+            }
+        }
+        if let Some(sel) = &delete {
+            coll.delete_many(sel);
+            mirror.retain(|d| !sel.matches(d));
+        }
+
+        // find_with: same documents, same order, under every plan.
+        let got = coll.find_with(&filter, &opts);
+        let expect = naive_find(&mirror, &filter, &opts);
+        prop_assert_eq!(
+            &got, &expect,
+            "plan diverged from full scan: {:?}", coll.explain_with(&filter, &opts)
+        );
+
+        // count / find_one / distinct ride the same matching_seqs path.
+        prop_assert_eq!(
+            coll.count(&filter),
+            mirror.iter().filter(|d| filter.matches(d)).count()
+        );
+        prop_assert_eq!(
+            coll.find_one(&filter),
+            mirror.iter().find(|d| filter.matches(d)).cloned()
+        );
+        for field in ["a", "b", "c"] {
+            prop_assert_eq!(
+                coll.distinct(field, &filter),
+                naive_distinct(&mirror, field, &filter)
+            );
+        }
+    }
+
+    /// Focused variant: single-field range conjunctions with an ordered
+    /// index and an index-served sort on the same field — the planner's
+    /// hot path for the selection engine's canonical queries.
+    #[test]
+    fn indexed_range_and_sort_equal_full_scan(
+        vals in prop::collection::vec(prop_oneof![
+            (-50i64..50).prop_map(Value::Int),
+            (-50i64..50).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        ], 1..60),
+        lo in -30i64..30,
+        width in 0i64..40,
+        desc in any::<bool>(),
+        skip in 0usize..4,
+        limit in prop::option::of(1usize..10),
+    ) {
+        let mut coll = Collection::new("t");
+        coll.create_index("v");
+        let mut mirror = Vec::new();
+        for (i, v) in vals.iter().enumerate() {
+            let mut d = Document::new();
+            d.set("_id", i.to_string());
+            d.set("v", v.clone());
+            coll.insert_one(d.clone()).unwrap();
+            mirror.push(d);
+        }
+        let filter = Filter::gte("v", lo).and(Filter::lt("v", lo + width));
+        let mut opts = FindOptions::default()
+            .sorted_by("v", if desc { Order::Desc } else { Order::Asc });
+        opts.skip = skip;
+        opts.limit = limit;
+
+        let got = coll.find_with(&filter, &opts);
+        let expect = naive_find(&mirror, &filter, &opts);
+        prop_assert_eq!(
+            &got, &expect,
+            "plan diverged: {:?}", coll.explain_with(&filter, &opts)
+        );
+        // A *selective* between-conjunction on an indexed field must not
+        // degrade to a full collection scan. (When the range covers every
+        // document the planner rightly refuses the index.)
+        let matched = mirror.iter().filter(|d| filter.matches(d)).count();
+        if matched < mirror.len() {
+            prop_assert!(
+                !coll.explain(&filter).access.is_full_scan(),
+                "range conjunction on an indexed field fell back to a scan"
+            );
+        }
+    }
+}

@@ -66,7 +66,7 @@ fn campaign_then_recommendation() {
             "aggregate {agg_mean} vs raw {mean}"
         );
         // No other candidate path has a lower aggregate mean.
-        for (other_id, ms) in &raw {
+        for (other_id, ms) in raw.iter() {
             let v: Vec<f64> = ms.iter().filter_map(|m| m.avg_latency_ms).collect();
             if v.is_empty() {
                 continue;

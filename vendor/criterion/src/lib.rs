@@ -19,6 +19,12 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Smoke mode, mirroring real criterion's `cargo bench -- --test`: run
+/// every benchmark exactly once to prove it executes, skip timing.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
@@ -91,12 +97,17 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let smoke = test_mode();
     let mut b = Bencher {
-        iters: samples as u64,
+        iters: if smoke { 1 } else { samples as u64 },
         elapsed: Duration::ZERO,
         timed_iters: 0,
     };
     f(&mut b);
+    if smoke {
+        println!("bench {label:<50} ok (smoke)");
+        return;
+    }
     let per_iter = if b.timed_iters == 0 {
         Duration::ZERO
     } else {
