@@ -7,8 +7,11 @@
 //! samples lost when a crash interrupts each strategy mid-destination.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use pathdb::{doc, Collection, Document, Value};
+use pathdb::database::OpenOptions;
+use pathdb::{doc, Collection, Database, Document, Durability, FaultyStorage, Value};
 use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 fn sample_docs(n: usize) -> Vec<Document> {
     (0..n)
@@ -76,6 +79,48 @@ fn bench(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
+    }
+
+    // Durability-level ablation on the real engine: the same batched
+    // insertion against `none` (pure in-memory), `snapshot` (writes
+    // deferred to checkpoint — insertion itself is in-memory), and
+    // `wal` (CRC-framed group commit per batch). Storage is the
+    // in-memory test backend, so the delta is the WAL's framing and
+    // group-commit bookkeeping, not disk latency.
+    for &batch in &[24usize, 240, 2400] {
+        for (label, mode) in [
+            ("none", Durability::None),
+            ("snapshot", Durability::Snapshot),
+            ("wal", Durability::Wal),
+        ] {
+            g.bench_function(format!("insert_many_durability_{label}/{batch}"), |b| {
+                b.iter_batched(
+                    || {
+                        let db = match mode {
+                            Durability::None => Database::new(),
+                            _ => {
+                                Database::open_durable_with(
+                                    PathBuf::from("/bench"),
+                                    OpenOptions::new(mode)
+                                        .with_storage(Arc::new(FaultyStorage::new())),
+                                )
+                                .unwrap()
+                                .0
+                            }
+                        };
+                        (db, sample_docs(batch))
+                    },
+                    |(db, docs)| {
+                        db.collection("paths_stats")
+                            .write()
+                            .insert_many(black_box(docs))
+                            .unwrap();
+                        db
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
     }
 
     for &batch in &[24usize, 240, 2400] {

@@ -16,7 +16,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let (command, rest) = argv.split_first().ok_or_else(|| CliError::Usage(usage()))?;
 
     // Global options are valid on every command.
-    let with_globals = |spec: Spec| spec.value("seed").value("db");
+    let with_globals = |spec: Spec| spec.value("seed").value("db").value("durability");
 
     match command.as_str() {
         "destinations" => {
@@ -125,7 +125,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                     suite_args.push(format!("--{flag}"));
                 }
             }
-            for opt in ["workers", "retries"] {
+            for opt in ["workers", "retries", "durability"] {
                 if let Some(v) = p.opt(opt) {
                     suite_args.push(format!("--{opt}"));
                     suite_args.push(v.to_string());
@@ -135,7 +135,17 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             cfg.run_bwtests = !p.flag("no-bwtests");
             let report = upin_core::TestSuite::new(&s.net, &s.db, cfg).run()?;
             s.persist()?;
-            Ok(report.render())
+            // Lead with what crash recovery had to repair, if anything:
+            // the operator should know samples were dropped or replayed.
+            let mut out = String::new();
+            if let Some(rec) = &s.recovery {
+                if !rec.clean() {
+                    out.push_str(&rec.render());
+                    out.push('\n');
+                }
+            }
+            out.push_str(&report.render());
+            Ok(out)
         }
         "topology" => {
             let p = parse(with_globals(Spec::new(0, 0)), rest)?;
@@ -394,7 +404,7 @@ fn usage() -> String {
      \x20 traceroute <ia> [--sequence S]\n\
      \x20 bwtest <addr> [-cs SPEC] [-sc SPEC] [--sequence S]\n\
      \x20 campaign <iterations> [--skip] [--some_only] [--parallel] [--workers N]\n\
-     \x20          [--retries N] [--no-bwtests]\n\
+     \x20          [--retries N] [--no-bwtests] [--durability LEVEL]\n\
      \x20 recommend <server|addr> [--objective latency|jitter|loss|bw-up|bw-down]\n\
      \x20           [--exclude-country C]* [--exclude-isd N]* [--exclude-as IA]*\n\
      \x20           [--exclude-operator O]* [--max-hops N] [-k N]\n\
@@ -406,7 +416,9 @@ fn usage() -> String {
      \x20 exec \"scion ping ... \"                executes a literal tool command line\n\
      \x20 summary                              campaign scalars + Fig 4\n\
      \n\
-     global: --seed N (default 42), --db DIR (persistent database)\n"
+     global: --seed N (default 42), --db DIR (persistent database),\n\
+     \x20       --durability LEVEL (none|snapshot|wal; default snapshot —\n\
+     \x20       wal group-commits every write and recovers torn state on open)\n"
         .to_string()
 }
 
@@ -462,7 +474,7 @@ fn open(p: &crate::args::Parsed) -> Result<Session, CliError> {
         .opt_parse::<u64>("seed")
         .map_err(CliError::Usage)?
         .unwrap_or(42);
-    Session::open(seed, p.opt("db"))
+    Session::open(seed, p.opt("db"), p.opt("durability"))
 }
 
 fn parse_ia(s: &str) -> Result<IsdAsn, CliError> {
@@ -651,6 +663,86 @@ mod tests {
 
         let out = run_cli(&["summary", "--db", dbflag]).unwrap();
         assert!(out.contains("Campaign summary"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn campaign_with_wal_durability_survives_and_reports_torn_state() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+
+        let out = run_cli(&[
+            "campaign",
+            "1",
+            "--some_only",
+            "--no-bwtests",
+            "--db",
+            dbflag,
+            "--durability",
+            "wal",
+        ])
+        .unwrap();
+        assert!(out.contains("measurement:"), "{out}");
+        assert!(dir.join("MANIFEST.json").exists());
+
+        // Simulate a crash mid-write: a WAL tail that never committed.
+        std::fs::write(dir.join("wal.999.log"), b"torn-mid-frame").unwrap();
+        let out = run_cli(&[
+            "campaign",
+            "1",
+            "--skip",
+            "--some_only",
+            "--no-bwtests",
+            "--db",
+            dbflag,
+            "--durability",
+            "wal",
+        ])
+        .unwrap();
+        assert!(out.contains("truncated 14 torn WAL byte(s)"), "{out}");
+        assert!(out.contains("measurement:"), "{out}");
+
+        // Third run: the torn tail was repaired, the banner is gone and
+        // both campaigns' data is there.
+        let out = run_cli(&["summary", "--db", dbflag, "--durability", "wal"]).unwrap();
+        assert!(out.contains("Campaign summary"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durability_none_is_read_only() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+        run_cli(&[
+            "campaign",
+            "1",
+            "--some_only",
+            "--no-bwtests",
+            "--db",
+            dbflag,
+        ])
+        .unwrap();
+        let before = std::fs::read_dir(&dir).unwrap().count();
+
+        // A campaign under `--durability none` must not write back.
+        run_cli(&[
+            "campaign",
+            "1",
+            "--skip",
+            "--some_only",
+            "--no-bwtests",
+            "--db",
+            dbflag,
+            "--durability",
+            "none",
+        ])
+        .unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), before);
+
+        let err = run_cli(&["campaign", "1", "--db", dbflag, "--durability", "lots"]);
+        assert!(err.is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,7 +1,7 @@
 //! CLI session state: the simulated network plus the persistent
 //! database.
 
-use pathdb::Database;
+use pathdb::{Database, Durability, RecoveryReport};
 use scion_sim::addr::IsdAsn;
 use scion_sim::net::ScionNetwork;
 use scion_sim::topology::scionlab::MY_AS;
@@ -53,24 +53,47 @@ pub struct Session {
     pub net: ScionNetwork,
     pub db: Database,
     pub local: IsdAsn,
+    /// What recovery found when opening a durable database — commands
+    /// surface it to the user when it is not [`RecoveryReport::clean`].
+    pub recovery: Option<RecoveryReport>,
     db_dir: Option<PathBuf>,
+    durability: Durability,
 }
 
 impl Session {
-    /// Open a session: bring up the simulated SCIONLab network and load
-    /// the database directory when it exists.
-    pub fn open(seed: u64, db_dir: Option<&str>) -> Result<Session, CliError> {
+    /// Open a session: bring up the simulated SCIONLab network and open
+    /// the database directory at the requested durability level
+    /// (`--durability {none,snapshot,wal}`, default `snapshot`).
+    ///
+    /// `none` keeps the legacy behavior — load the directory if it
+    /// exists, never write back implicitly; `snapshot` and `wal` run
+    /// crash recovery on open and persist on [`Session::persist`].
+    pub fn open(
+        seed: u64,
+        db_dir: Option<&str>,
+        durability: Option<&str>,
+    ) -> Result<Session, CliError> {
         let net = ScionNetwork::scionlab(seed);
         let db_dir = db_dir.map(PathBuf::from);
-        let db = match &db_dir {
-            Some(dir) if Path::exists(dir) => Database::load_dir(dir)?,
-            _ => Database::new(),
+        let durability = match durability {
+            Some(level) => level.parse::<Durability>().map_err(CliError::Usage)?,
+            None => Durability::Snapshot,
+        };
+        let (db, recovery) = match &db_dir {
+            Some(dir) if durability != Durability::None => {
+                let (db, report) = Database::open_durable(dir, durability)?;
+                (db, Some(report))
+            }
+            Some(dir) if Path::exists(dir) => (Database::load_dir(dir)?, None),
+            _ => (Database::new(), None),
         };
         Ok(Session {
             net,
             db,
             local: MY_AS,
+            recovery,
             db_dir,
+            durability,
         })
     }
 
@@ -89,11 +112,14 @@ impl Session {
         Ok(())
     }
 
-    /// Persist the database if a directory was configured.
+    /// Persist the database if a directory was configured: a full
+    /// atomic snapshot under `snapshot` durability, a checkpoint (which
+    /// also truncates the WAL) under `wal`, nothing under `none`.
     pub fn persist(&self) -> Result<(), CliError> {
-        if let Some(dir) = &self.db_dir {
-            self.db.save_dir(dir)?;
+        match (&self.db_dir, self.durability) {
+            (None, _) | (_, Durability::None) => Ok(()),
+            (Some(_), Durability::Wal) => Ok(self.db.checkpoint()?),
+            (Some(dir), Durability::Snapshot) => Ok(self.db.save_dir(dir)?),
         }
-        Ok(())
     }
 }

@@ -1,6 +1,7 @@
 //! Configuration of the test-suite, mirroring the CLI of the paper's
 //! `test_suite.sh` wrapper plus the knobs its Python scripts hard-code.
 
+use pathdb::Durability;
 use scion_sim::addr::IsdAsn;
 use scion_sim::topology::scionlab::MY_AS;
 
@@ -56,6 +57,12 @@ pub struct SuiteConfig {
     /// on one destination, its remaining paths are skipped for the
     /// iteration and the destination is recorded in the report.
     pub breaker_threshold: usize,
+    /// Crash-safety level of the database the campaign writes to
+    /// (`--durability {none,snapshot,wal}`). With `wal`, every
+    /// per-destination bulk insertion is one WAL commit group, making
+    /// §4.2.2's loss bound hold across process crashes; the suite and
+    /// the scheduler additionally checkpoint after each campaign/round.
+    pub durability: Durability,
 }
 
 impl Default for SuiteConfig {
@@ -79,6 +86,7 @@ impl Default for SuiteConfig {
             retry_base_ms: 200.0,
             retry_multiplier: 2.0,
             breaker_threshold: 3,
+            durability: Durability::None,
         }
     }
 }
@@ -86,7 +94,7 @@ impl Default for SuiteConfig {
 impl SuiteConfig {
     /// Parse the wrapper-script argument vector:
     /// `test_suite.sh <iterations> [--skip] [--some_only] [--parallel]
-    /// [--workers <n>] [--retries <n>]`.
+    /// [--workers <n>] [--retries <n>] [--durability <level>]`.
     pub fn from_args<I, S>(args: I) -> Result<SuiteConfig, String>
     where
         I: IntoIterator<Item = S>,
@@ -110,6 +118,9 @@ impl SuiteConfig {
                             .parse()
                             .map_err(|_| format!("--retries must be an integer, got {arg:?}"))?;
                     }
+                    "--durability" => {
+                        cfg.durability = arg.parse().map_err(|e| format!("--durability: {e}"))?;
+                    }
                     _ => unreachable!(),
                 }
                 continue;
@@ -120,6 +131,7 @@ impl SuiteConfig {
                 "--parallel" => cfg.parallel = true,
                 "--workers" => expecting = Some("--workers"),
                 "--retries" => expecting = Some("--retries"),
+                "--durability" => expecting = Some("--durability"),
                 other if !saw_iterations => {
                     cfg.iterations = other
                         .parse()
@@ -196,6 +208,21 @@ mod tests {
         assert!(SuiteConfig::from_args(["3", "--workers"]).is_err());
         assert!(SuiteConfig::from_args(["3", "--workers", "0"]).is_err());
         assert!(SuiteConfig::from_args(["3", "--retries", "x"]).is_err());
+        assert!(SuiteConfig::from_args(["3", "--durability"]).is_err());
+        assert!(SuiteConfig::from_args(["3", "--durability", "everything"]).is_err());
+    }
+
+    #[test]
+    fn parses_durability_levels() {
+        assert_eq!(SuiteConfig::default().durability, Durability::None);
+        for (arg, level) in [
+            ("none", Durability::None),
+            ("snapshot", Durability::Snapshot),
+            ("wal", Durability::Wal),
+        ] {
+            let c = SuiteConfig::from_args(["2", "--durability", arg]).unwrap();
+            assert_eq!(c.durability, level, "{arg}");
+        }
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! Results (plus the ISD set traversed) are buffered and inserted with
 //! **one bulk write per destination** — the fault-tolerance/overhead
 //! trade-off of §4.2.2: a crash costs at most one in-flight sample per
-//! path of one destination, never the balance of the dataset.
+//! path of one destination, never the balance of the dataset. On a
+//! WAL-durable database ([`pathdb::Durability::Wal`]) each such bulk
+//! insertion is one atomic WAL commit group, so the bound holds across
+//! real process crashes, not just in memory: recovery replays every
+//! committed destination batch and drops at most the torn one
+//! (demonstrated end-to-end by `tests/crash_recovery.rs`).
 //!
 //! Execution (worker pool, retry/backoff, circuit breaker, deterministic
 //! batching) lives in [`crate::runner`]; this module defines what a

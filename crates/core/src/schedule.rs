@@ -69,6 +69,10 @@ pub fn run_scheduled(
         if let Some(retention) = cfg.retention_ms {
             report.pruned += prune_stale(db, net.now_ms() - retention);
         }
+        // Continuous operation (§4.1.2) is exactly where crash safety
+        // matters: checkpoint each round so the WAL stays short and a
+        // crash costs at most the round in flight.
+        db.checkpoint_if_durable()?;
         // Sleep out the remainder of the period (if any).
         let next = start + cfg.period_ms * (1.0);
         let _ = round;

@@ -74,6 +74,8 @@ impl<'a> TestSuite<'a> {
     }
 
     /// Run the whole suite: collect (unless skipped), then measure.
+    /// On a durable database the campaign's results are checkpointed
+    /// before returning, truncating the WAL the measurements landed in.
     pub fn run(&self) -> SuiteResult<SuiteReport> {
         let collection = if self.cfg.skip_collection {
             None
@@ -81,6 +83,7 @@ impl<'a> TestSuite<'a> {
             Some(collect_paths(self.db, self.net, &self.cfg)?)
         };
         let measurement = run_tests(self.db, self.net, &self.cfg)?;
+        self.db.checkpoint_if_durable()?;
         Ok(SuiteReport {
             collection,
             measurement,

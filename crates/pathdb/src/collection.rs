@@ -8,8 +8,10 @@ use crate::plan::{self, QueryPlan};
 use crate::query::{Filter, FindOptions};
 use crate::update::Update;
 use crate::value::Value;
+use crate::wal::{Wal, WalOpRef};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// A secondary index over one field: hash buckets for O(1) point
 /// lookups plus an ordered mirror (over the order-preserving
@@ -115,6 +117,11 @@ pub struct Collection {
     /// append (an update or delete). If unchanged since a snapshot,
     /// every document the snapshot saw is still intact.
     last_reshape_version: u64,
+    /// Write-ahead log shared with the owning [`crate::Database`], when
+    /// it was opened durably. Mutations log their *effects* (post-image
+    /// documents, deleted ids) after applying in memory, so a rejected
+    /// write (e.g. a duplicate `_id`) never reaches the log.
+    wal: Option<Arc<Wal>>,
 }
 
 impl Collection {
@@ -207,6 +214,14 @@ impl Collection {
     /// Returns the document's id key.
     pub fn insert_one(&mut self, mut doc: Document) -> DbResult<String> {
         let id_key = self.prepare_id(&mut doc)?;
+        // Log before applying: a write the log could not make durable
+        // is refused outright, leaving the collection untouched.
+        if let Some(wal) = self.wal.clone() {
+            wal.commit_ref(&[WalOpRef::Insert {
+                coll: &self.name,
+                doc: &doc,
+            }])?;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.primary.insert(id_key.clone(), seq);
@@ -230,6 +245,17 @@ impl Collection {
                 return Err(DbError::DuplicateId(id_key));
             }
             staged.push((id_key, doc));
+        }
+        // Validation passed: the batch is one WAL commit group, so the
+        // log preserves insert_many's all-or-nothing contract across
+        // crashes too (§4.2.2 — one group per destination batch).
+        if let Some(wal) = self.wal.clone() {
+            if !staged.is_empty() {
+                wal.commit_ref(&[WalOpRef::InsertMany {
+                    coll: &self.name,
+                    docs: staged.iter().map(|(_, d)| d).collect(),
+                }])?;
+            }
         }
         let mut ids = Vec::with_capacity(staged.len());
         for (id_key, doc) in staged {
@@ -275,6 +301,7 @@ impl Collection {
     pub fn update_many(&mut self, filter: &Filter, update: &Update) -> usize {
         let seqs: Vec<u64> = plan::matching_seqs(self, filter);
         let mut count = 0;
+        let mut post_images = Vec::new();
         for seq in seqs {
             let Some(mut doc) = self.docs.remove(&seq) else {
                 continue;
@@ -282,12 +309,26 @@ impl Collection {
             self.index_remove(seq, &doc);
             update.apply(&mut doc);
             self.index_insert(seq, &doc);
+            if self.wal.is_some() {
+                post_images.push(doc.clone());
+            }
             self.docs.insert(seq, doc);
             count += 1;
         }
         if count > 0 {
             self.version += 1;
             self.last_reshape_version = self.version;
+            if let Some(wal) = self.wal.clone() {
+                // Filters are not serialized; the log carries the
+                // updated documents themselves, replayed as upserts.
+                // Already applied, so a log failure cannot be refused:
+                // it poisons the WAL (surfaced by `Database::wal_health`)
+                // and the next checkpoint restores durability.
+                let _ = wal.commit_ref(&[WalOpRef::Update {
+                    coll: &self.name,
+                    docs: &post_images,
+                }]);
+            }
         }
         count
     }
@@ -297,11 +338,15 @@ impl Collection {
     pub fn delete_many(&mut self, filter: &Filter) -> usize {
         let seqs: Vec<u64> = plan::matching_seqs(self, filter);
         let mut removed = 0;
+        let mut removed_ids = Vec::new();
         for &seq in &seqs {
             if let Some(doc) = self.docs.remove(&seq) {
                 self.index_remove(seq, &doc);
                 if let Some(id) = doc.get("_id") {
                     self.primary.remove(&id.index_key());
+                    if self.wal.is_some() {
+                        removed_ids.push(id.clone());
+                    }
                 }
                 removed += 1;
             }
@@ -309,8 +354,92 @@ impl Collection {
         if removed > 0 {
             self.version += 1;
             self.last_reshape_version = self.version;
+            if let Some(wal) = self.wal.clone() {
+                // Apply-then-log, as for updates: failure poisons.
+                let _ = wal.commit_ref(&[WalOpRef::Delete {
+                    coll: &self.name,
+                    ids: &removed_ids,
+                }]);
+            }
         }
         removed
+    }
+
+    // ---- durability (see `crate::wal`) ----------------------------------
+
+    /// Attach (or detach) the database's write-ahead log. Subsequent
+    /// mutations commit their effects through it.
+    pub(crate) fn set_wal(&mut self, wal: Option<Arc<Wal>>) {
+        self.wal = wal;
+    }
+
+    /// Apply a logged post-image: replace the live document with the
+    /// same `_id` in place (keeping its insertion sequence), or append
+    /// it. Idempotent — replaying an effect twice converges — which is
+    /// what lets recovery replay a WAL whose prefix a snapshot already
+    /// contains. Never logs; only the replay path calls this.
+    pub(crate) fn apply_upsert(&mut self, doc: Document) {
+        let Some(id) = doc.get("_id") else {
+            // Logged documents always carry an id (prepare_id assigns
+            // one before the effect is committed); tolerate anyway.
+            let _ = self.insert_unlogged(doc);
+            return;
+        };
+        let key = id.index_key();
+        match self.primary.get(&key).copied() {
+            Some(seq) => {
+                let Some(old) = self.docs.remove(&seq) else {
+                    return;
+                };
+                if old == doc {
+                    self.docs.insert(seq, old);
+                    return;
+                }
+                self.index_remove(seq, &old);
+                self.index_insert(seq, &doc);
+                self.docs.insert(seq, doc);
+                self.version += 1;
+                self.last_reshape_version = self.version;
+            }
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.primary.insert(key, seq);
+                self.index_insert(seq, &doc);
+                self.docs.insert(seq, doc);
+                self.version += 1;
+            }
+        }
+    }
+
+    fn insert_unlogged(&mut self, mut doc: Document) -> DbResult<String> {
+        let id_key = self.prepare_id(&mut doc)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.primary.insert(id_key.clone(), seq);
+        self.index_insert(seq, &doc);
+        self.docs.insert(seq, doc);
+        self.version += 1;
+        Ok(id_key)
+    }
+
+    /// Apply a logged delete: drop documents by `_id`, silently
+    /// skipping ids that are already gone (idempotent replay).
+    pub(crate) fn apply_delete_ids(&mut self, ids: &[Value]) {
+        let mut removed = 0;
+        for id in ids {
+            let key = id.index_key();
+            if let Some(seq) = self.primary.remove(&key) {
+                if let Some(doc) = self.docs.remove(&seq) {
+                    self.index_remove(seq, &doc);
+                    removed += 1;
+                }
+            }
+        }
+        if removed > 0 {
+            self.version += 1;
+            self.last_reshape_version = self.version;
+        }
     }
 
     // ---- reads ----------------------------------------------------------

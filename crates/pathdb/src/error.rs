@@ -13,6 +13,9 @@ pub enum DbError {
     Io(std::io::Error),
     /// A persisted file could not be parsed back into documents.
     Parse(String),
+    /// The durability subsystem lost a write or was misused (e.g.
+    /// checkpointing a database that was not opened durably).
+    Durability(String),
 }
 
 impl fmt::Display for DbError {
@@ -22,6 +25,7 @@ impl fmt::Display for DbError {
             DbError::BadDocument(msg) => write!(f, "bad document: {msg}"),
             DbError::Io(e) => write!(f, "io error: {e}"),
             DbError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DbError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }

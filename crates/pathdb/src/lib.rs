@@ -17,7 +17,14 @@
 //!   [`Collection::explain`] API exposing the chosen access path,
 //! * atomic bulk insertion — the batched write path whose
 //!   fault-tolerance/scalability trade-off the paper discusses,
-//! * JSON-lines persistence ([`database::Database::save_dir`]).
+//! * crash-safe persistence: atomic JSON-lines snapshots with a
+//!   collection manifest ([`database::Database::save_dir`]), an
+//!   optional CRC32-framed write-ahead log with group commit
+//!   ([`wal`]), and a recovery path
+//!   ([`database::Database::open_durable`]) that replays the intact
+//!   WAL prefix and truncates torn tails — all over an injectable
+//!   [`storage::Storage`] backend so crashes are testable
+//!   ([`storage::FaultyStorage`]).
 //!
 //! ```
 //! use pathdb::{doc, Database, Filter};
@@ -39,14 +46,19 @@ pub mod document;
 pub mod error;
 pub mod plan;
 pub mod query;
+pub mod snapshot;
+pub mod storage;
 pub mod update;
 pub mod value;
+pub mod wal;
 
 pub use collection::Collection;
-pub use database::{CollectionHandle, Database};
+pub use database::{CollectionHandle, Database, Durability, OpenOptions, RecoveryReport};
 pub use document::Document;
 pub use error::{DbError, DbResult};
 pub use plan::{Access, QueryPlan};
 pub use query::{Filter, FindOptions, Order};
+pub use snapshot::{LoadOptions, SkippedLines};
+pub use storage::{DiskStorage, FaultyStorage, Storage};
 pub use update::{Update, UpdateOp};
 pub use value::Value;

@@ -1,0 +1,253 @@
+//! Atomic snapshots and the collection manifest.
+//!
+//! A snapshot writes each collection to `<name>.jsonl` via the
+//! [`Storage::atomic_write`] temp-file/rename protocol, then lands
+//! `MANIFEST.json` (also atomically) recording the snapshot
+//! *generation* and the live collection names. The manifest is the
+//! commit point of the whole snapshot: until it renames into place,
+//! recovery still sees the previous generation's files and WAL.
+//!
+//! The generation number links snapshots to WAL files (`wal.<gen>.log`,
+//! see [`crate::wal`]): recovery replays every log with generation
+//! `>= ` the manifest's. Because replay is idempotent, a crash in any
+//! window of the checkpoint protocol — after some `.jsonl` renames,
+//! after the manifest, before the old log's deletion — converges to
+//! the same state.
+//!
+//! Loading supports a lenient mode ([`LoadOptions::skip_corrupt_tail`])
+//! that keeps the intact prefix of a torn JSONL file and reports the
+//! skipped lines instead of failing the whole database.
+
+use crate::document::Document;
+use crate::error::{DbError, DbResult};
+use crate::storage::Storage;
+use crate::value::Value;
+use std::path::Path;
+
+/// The manifest file name inside a database directory.
+pub const MANIFEST: &str = "MANIFEST.json";
+
+/// Manifest format version (bumped on incompatible layout changes).
+pub const MANIFEST_FORMAT: i64 = 1;
+
+/// Loader behavior for persisted JSONL files.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadOptions {
+    /// Keep the intact prefix of a file whose tail is torn or corrupt
+    /// (reporting the skipped lines) instead of failing the load.
+    pub skip_corrupt_tail: bool,
+}
+
+/// Lines dropped from one file by a lenient load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedLines {
+    pub file: String,
+    /// 1-based line number of the first undecodable line.
+    pub first_bad_line: usize,
+    /// How many lines (from there to EOF) were dropped.
+    pub skipped: usize,
+}
+
+/// The durable collection roster plus the snapshot generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    pub generation: u64,
+    pub collections: Vec<String>,
+}
+
+impl Manifest {
+    fn to_json(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert("format".into(), serde_json::Value::from(MANIFEST_FORMAT));
+        m.insert(
+            "generation".into(),
+            serde_json::Value::from(self.generation as i64),
+        );
+        m.insert(
+            "collections".into(),
+            serde_json::Value::Array(
+                self.collections
+                    .iter()
+                    .map(|n| serde_json::Value::String(n.clone()))
+                    .collect(),
+            ),
+        );
+        serde_json::Value::Object(m)
+    }
+
+    fn from_json(v: &serde_json::Value) -> Option<Manifest> {
+        let generation = v.get("generation")?.as_i64()?;
+        let collections = v
+            .get("collections")?
+            .as_array()?
+            .iter()
+            .map(|n| n.as_str().map(String::from))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Manifest {
+            generation: generation.max(0) as u64,
+            collections,
+        })
+    }
+}
+
+/// Write the manifest atomically — this is the snapshot's commit point.
+pub fn write_manifest(storage: &dyn Storage, dir: &Path, manifest: &Manifest) -> DbResult<()> {
+    let text = format!("{}\n", manifest.to_json());
+    storage.atomic_write(&dir.join(MANIFEST), text.as_bytes())?;
+    Ok(())
+}
+
+/// Read the manifest; `Ok(None)` when the directory has none (a legacy
+/// plain-JSONL directory or a brand-new database).
+pub fn read_manifest(storage: &dyn Storage, dir: &Path) -> DbResult<Option<Manifest>> {
+    let path = dir.join(MANIFEST);
+    if !storage.exists(&path) {
+        return Ok(None);
+    }
+    let bytes = storage.read(&path)?;
+    let text = String::from_utf8_lossy(&bytes);
+    let json: serde_json::Value = serde_json::from_str(text.trim())
+        .map_err(|e| DbError::Parse(format!("{}: {e}", path.display())))?;
+    Manifest::from_json(&json)
+        .map(Some)
+        .ok_or_else(|| DbError::Parse(format!("{}: malformed manifest", path.display())))
+}
+
+/// Serialize a collection's documents as JSONL bytes.
+pub fn encode_jsonl<'a>(docs: impl Iterator<Item = &'a Document>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for doc in docs {
+        buf.extend_from_slice(Value::Doc(doc.clone()).to_json().to_string().as_bytes());
+        buf.push(b'\n');
+    }
+    buf
+}
+
+/// Decode JSONL bytes into documents.
+///
+/// Strict mode fails on the first bad line; lenient mode keeps the
+/// intact prefix and reports what was dropped. A torn write corrupts
+/// only the tail, so "first bad line to EOF" is the exact damage a
+/// crash can do — mid-file garbage in lenient mode likewise drops from
+/// the first bad line onward (we cannot trust anything after it).
+pub fn decode_jsonl(
+    bytes: &[u8],
+    file: &str,
+    opts: &LoadOptions,
+) -> DbResult<(Vec<Document>, Option<SkippedLines>)> {
+    let text = String::from_utf8_lossy(bytes);
+    let mut docs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = serde_json::from_str::<serde_json::Value>(line)
+            .ok()
+            .map(|j| Value::from_json(&j));
+        match parsed {
+            Some(Value::Doc(doc)) => docs.push(doc),
+            Some(_) | None => {
+                let reason = if parsed.is_none() {
+                    "not valid JSON"
+                } else {
+                    "top-level value is not an object"
+                };
+                if !opts.skip_corrupt_tail {
+                    return Err(DbError::Parse(format!("{file}:{}: {reason}", lineno + 1)));
+                }
+                let total = text.lines().count();
+                return Ok((
+                    docs,
+                    Some(SkippedLines {
+                        file: file.to_string(),
+                        first_bad_line: lineno + 1,
+                        skipped: total - lineno,
+                    }),
+                ));
+            }
+        }
+    }
+    Ok((docs, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+    use crate::storage::FaultyStorage;
+    use std::path::PathBuf;
+
+    #[test]
+    fn manifest_roundtrip() {
+        let storage = FaultyStorage::new();
+        let dir = PathBuf::from("/db");
+        assert_eq!(read_manifest(&storage, &dir).unwrap(), None);
+        let m = Manifest {
+            generation: 7,
+            collections: vec!["paths".into(), "paths_stats".into()],
+        };
+        write_manifest(&storage, &dir, &m).unwrap();
+        assert_eq!(read_manifest(&storage, &dir).unwrap(), Some(m));
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_parse_error() {
+        let storage = FaultyStorage::new();
+        let dir = PathBuf::from("/db");
+        storage.append(&dir.join(MANIFEST), b"{oops").unwrap();
+        assert!(matches!(
+            read_manifest(&storage, &dir),
+            Err(DbError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_lenient_tail() {
+        let docs = vec![
+            doc! { "_id" => "1", "v" => 1i64 },
+            doc! { "_id" => "2", "v" => 2.5f64 },
+        ];
+        let mut bytes = encode_jsonl(docs.iter());
+        let (back, skipped) = decode_jsonl(&bytes, "c.jsonl", &LoadOptions::default()).unwrap();
+        assert_eq!(back, docs);
+        assert_eq!(skipped, None);
+
+        // Tear the last line: strict fails, lenient keeps the prefix.
+        bytes.truncate(bytes.len() - 5);
+        assert!(decode_jsonl(&bytes, "c.jsonl", &LoadOptions::default()).is_err());
+        let (back, skipped) = decode_jsonl(
+            &bytes,
+            "c.jsonl",
+            &LoadOptions {
+                skip_corrupt_tail: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(back, docs[..1]);
+        assert_eq!(
+            skipped,
+            Some(SkippedLines {
+                file: "c.jsonl".into(),
+                first_bad_line: 2,
+                skipped: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn lenient_mode_drops_from_first_bad_line() {
+        let bytes = b"{\"_id\":\"1\"}\ngarbage\n{\"_id\":\"3\"}\n";
+        let (docs, skipped) = decode_jsonl(
+            bytes,
+            "c.jsonl",
+            &LoadOptions {
+                skip_corrupt_tail: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(docs.len(), 1);
+        let skipped = skipped.unwrap();
+        assert_eq!(skipped.first_bad_line, 2);
+        assert_eq!(skipped.skipped, 2);
+    }
+}

@@ -215,6 +215,52 @@ impl Value {
         }
     }
 
+    /// Render compact JSON straight into `out`, byte-identical to
+    /// `self.to_json().to_string()` but without building the
+    /// intermediate `serde_json::Value` tree — the WAL encodes every
+    /// committed batch through here, so the write path must not pay
+    /// for a full deep copy per document.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => push_i64(out, *i),
+            Value::Float(f) => {
+                let f = *f;
+                if !f.is_finite() {
+                    // Non-finite floats have no JSON form; `to_json`
+                    // maps them to null via `Number::from_f64`.
+                    out.push_str("null");
+                } else if f == f.trunc() && f.abs() < 1e15 && (f != 0.0 || f.is_sign_positive()) {
+                    // `{:?}` keeps the `.0` on integral floats so the
+                    // int/float distinction survives a round trip; for
+                    // integral values in the positional-notation range
+                    // that is exactly "<digits>.0", which skips the
+                    // shortest-round-trip float machinery. Measurement
+                    // timestamps and counters are all integral, so
+                    // this is most floats the WAL ever renders.
+                    push_i64(out, f as i64);
+                    out.push_str(".0");
+                } else {
+                    let _ = write!(out, "{f:?}");
+                }
+            }
+            Value::Str(s) => write_json_str(out, s),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Doc(d) => write_json_doc(out, d),
+        }
+    }
+
     /// Convert to a `serde_json::Value` for persistence.
     pub fn to_json(&self) -> serde_json::Value {
         match self {
@@ -257,6 +303,81 @@ impl Value {
             }
         }
     }
+}
+
+/// Render a document as a compact JSON object without cloning it into
+/// a `Value` first — the borrowed counterpart of
+/// `Value::Doc(d.clone()).to_json().to_string()`.
+pub fn write_json_doc(out: &mut String, d: &Document) {
+    if d.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in d.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_str(out, k);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+/// Decimal rendering without the `fmt::Formatter` machinery — the WAL
+/// renders tens of thousands of integers per committed campaign batch.
+fn push_i64(out: &mut String, v: i64) {
+    let mut buf = [0u8; 20];
+    let mut n = v.unsigned_abs();
+    let mut pos = buf.len();
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    if v < 0 {
+        pos -= 1;
+        buf[pos] = b'-';
+    }
+    // The buffer holds only ASCII digits and '-'.
+    out.push_str(std::str::from_utf8(&buf[pos..]).unwrap());
+}
+
+/// JSON string escaping, mirroring the vendored serde renderer: the
+/// two structural characters, the common control escapes, and `\uXXXX`
+/// for the rest of C0.
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    out.push('"');
+    // Copy maximal clean runs wholesale; every byte that needs an
+    // escape is ASCII, so byte-wise scanning never splits a UTF-8
+    // scalar. Most strings contain no escapes and take one push_str.
+    let mut start = 0;
+    for (i, b) in s.bytes().enumerate() {
+        let esc: &str = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            b if b < 0x20 => {
+                out.push_str(&s[start..i]);
+                let _ = write!(out, "\\u{:04x}", b);
+                start = i + 1;
+                continue;
+            }
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        out.push_str(esc);
+        start = i + 1;
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
 }
 
 /// Exact comparison of an i64 against an f64, without widening the int
@@ -349,7 +470,9 @@ fn num_key_parts(v: &Value) -> (u64, u16) {
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.to_json())
+        let mut out = String::new();
+        self.write_json(&mut out);
+        f.write_str(&out)
     }
 }
 
@@ -456,6 +579,48 @@ mod tests {
         let v = Value::Doc(d);
         let back = Value::from_json(&v.to_json());
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn write_json_matches_the_tree_renderer() {
+        // The direct renderer must stay byte-identical to the
+        // tree-building path — the WAL and the snapshot format both
+        // feed the same parser.
+        let mut inner = Document::new();
+        inner.set("q\"uote", "line\nbreak\ttab\\slash");
+        inner.set("ctl", Value::Str("\u{1}\u{1f}".into()));
+        let mut d = Document::new();
+        d.set("i", 42i64);
+        d.set("neg", -7i64);
+        d.set("f", 2.5f64);
+        d.set("whole", 3.0f64);
+        d.set("neg_whole", -2424.0f64);
+        d.set("neg_zero", -0.0f64);
+        d.set("big_whole", 999_999_999_999_999.0f64);
+        d.set("past_fast_path", 1e15f64);
+        d.set("exp_form", 1e16f64);
+        d.set("tiny", 1e-7f64);
+        d.set("imin", i64::MIN);
+        d.set("imax", i64::MAX);
+        d.set("nan", f64::NAN);
+        d.set("inf", f64::INFINITY);
+        d.set("b", false);
+        d.set("n", Value::Null);
+        d.set("s", "héllo ✓");
+        d.set(
+            "a",
+            Value::Array(vec![Value::Int(1), Value::Doc(inner.clone())]),
+        );
+        d.set("o", inner.clone());
+        d.set("empty", Document::new());
+        d.set("empty_a", Value::Array(vec![]));
+        let v = Value::Doc(d);
+        let mut direct = String::new();
+        v.write_json(&mut direct);
+        assert_eq!(direct, v.to_json().to_string());
+        let mut doc_direct = String::new();
+        write_json_doc(&mut doc_direct, &inner);
+        assert_eq!(doc_direct, Value::Doc(inner).to_json().to_string());
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! End-to-end crash injection: a measurement campaign killed
+//! mid-destination loses at most the one in-flight destination batch —
+//! the §4.2.2 fault-tolerance bound that motivates one bulk insertion
+//! per destination ("a crash costs at most one in-flight sample per
+//! path of one destination, never the balance of the dataset").
+//!
+//! The campaign runs on a WAL-durable database over a [`FaultyStorage`]
+//! rigged to die at a chosen byte offset. Because the simulator and the
+//! runner are deterministic for a fixed seed, the crashed run writes
+//! byte-for-byte the same prefix as a fault-free reference run, so the
+//! recovered state can be checked against the reference's
+//! per-destination batch structure exactly.
+
+use pathdb::database::OpenOptions;
+use pathdb::{Database, Durability, FaultyStorage};
+use std::path::PathBuf;
+use std::sync::Arc;
+use upin::scion_sim::net::ScionNetwork;
+use upin::upin_core::collect::{collect_paths, register_available_servers};
+use upin::upin_core::measure::run_tests;
+use upin::upin_core::schema::{AVAILABLE_SERVERS, PATHS, PATHS_STATS};
+use upin::upin_core::SuiteConfig;
+
+const SEED: u64 = 4711;
+
+fn cfg() -> SuiteConfig {
+    SuiteConfig {
+        iterations: 2,
+        ping_count: 2,
+        run_bwtests: false,
+        ..SuiteConfig::default()
+    }
+}
+
+fn open(storage: &FaultyStorage) -> (Database, pathdb::RecoveryReport) {
+    Database::open_durable_with(
+        PathBuf::from("/campaign"),
+        OpenOptions::new(Durability::Wal).with_storage(Arc::new(storage.clone())),
+    )
+    .expect("recovery from a torn store must not fail")
+}
+
+/// `paths_stats` ids in insertion order, paired with their server id.
+fn stats_rows(db: &Database) -> Vec<(String, i64)> {
+    let handle = db.collection(PATHS_STATS);
+    let coll = handle.read();
+    coll.iter()
+        .map(|d| {
+            (
+                d.id().expect("stats docs carry _id").to_string(),
+                d.get("server_id").and_then(|v| v.as_int()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// One full campaign script against `storage`. Returns the unit counter
+/// after the post-collection checkpoint, plus the measurement outcome
+/// (an `Err` when the storage died mid-campaign) and the database as it
+/// stood in memory at that moment.
+fn campaign(storage: &FaultyStorage) -> (u64, Result<(), String>, Database) {
+    let net = ScionNetwork::scionlab(SEED);
+    let (db, _) = open(storage);
+    let config = cfg();
+    let setup = register_available_servers(&db, &net)
+        .map_err(|e| e.to_string())
+        .and_then(|_| collect_paths(&db, &net, &config).map_err(|e| e.to_string()))
+        .and_then(|_| db.checkpoint().map_err(|e| e.to_string()));
+    if let Err(e) = setup {
+        return (storage.units_written(), Err(e), db);
+    }
+    let after_checkpoint = storage.units_written();
+    let outcome = run_tests(&db, &net, &config)
+        .map(|_| ())
+        .map_err(|e| e.to_string());
+    (after_checkpoint, outcome, db)
+}
+
+/// Cumulative batch boundaries of the reference run: a new destination
+/// batch starts whenever the server id changes (the runner commits one
+/// `insert_many` per destination, in sorted destination order).
+fn batch_boundaries(rows: &[(String, i64)]) -> Vec<usize> {
+    let mut cuts = vec![0usize];
+    for i in 1..rows.len() {
+        if rows[i].1 != rows[i - 1].1 {
+            cuts.push(i);
+        }
+    }
+    cuts.push(rows.len());
+    cuts
+}
+
+#[test]
+fn killed_campaign_loses_at_most_one_destination_batch() {
+    // Reference run, no faults.
+    let reference = FaultyStorage::new();
+    let (after_checkpoint, outcome, ref_db) = campaign(&reference);
+    outcome.expect("fault-free campaign succeeds");
+    let total = reference.units_written();
+    assert!(after_checkpoint < total, "measurement writes WAL bytes");
+    let ref_rows = stats_rows(&ref_db);
+    let boundaries = batch_boundaries(&ref_rows);
+    assert!(
+        boundaries.len() > 4,
+        "need several destination batches to make the bound meaningful"
+    );
+    let ref_paths = ref_db.collection(PATHS).read().len();
+    let ref_servers = ref_db.collection(AVAILABLE_SERVERS).read().len();
+
+    // The reference store itself recovers to the full dataset (WAL tail
+    // after the checkpoint replays).
+    let (full, report) = open(&reference.surviving());
+    assert_eq!(stats_rows(&full), ref_rows);
+    assert!(report.wal_groups > 0, "measurement batches live in the WAL");
+
+    // Kill the campaign at offsets spread across the measurement phase.
+    let span = total - after_checkpoint;
+    let mut partial_recoveries = 0usize;
+    for i in 1..=6u64 {
+        let kill = after_checkpoint + i * span / 7;
+        let storage = FaultyStorage::new();
+        storage.kill_at(kill);
+        let (_, outcome, crashed_db) = campaign(&storage);
+        assert!(outcome.is_err(), "kill at {kill} must abort the campaign");
+        let in_memory = stats_rows(&crashed_db);
+        drop(crashed_db); // the process is gone; only bytes survive
+
+        let (recovered, report) = open(&storage.surviving());
+        let rows = stats_rows(&recovered);
+
+        // Atomicity: the recovered stats are an exact batch-boundary
+        // prefix of the reference run — never a torn destination batch.
+        let n = rows.len();
+        assert_eq!(rows, ref_rows[..n], "kill at {kill}: not a prefix");
+        assert!(
+            boundaries.contains(&n),
+            "kill at {kill}: {n} docs is not a destination-batch boundary\nreport: {report:?}"
+        );
+
+        // Prefix durability (the §4.2.2 bound): every batch the crashed
+        // process had successfully committed is recovered; only the
+        // single in-flight batch (which never reached the database
+        // either) is lost.
+        assert_eq!(
+            rows, in_memory,
+            "kill at {kill}: recovery lost a committed batch"
+        );
+
+        // The checkpointed collection phase is never touched.
+        assert_eq!(recovered.collection(PATHS).read().len(), ref_paths);
+        assert_eq!(
+            recovered.collection(AVAILABLE_SERVERS).read().len(),
+            ref_servers
+        );
+
+        if n > 0 && n < ref_rows.len() {
+            partial_recoveries += 1;
+        }
+    }
+    assert!(
+        partial_recoveries > 0,
+        "sampled offsets never hit a mid-campaign state; widen the grid"
+    );
+}
+
+#[test]
+fn campaign_killed_during_collection_recovers_cleanly() {
+    // Learn the collection phase's extent, then kill inside it.
+    let reference = FaultyStorage::new();
+    let (after_checkpoint, _, _) = campaign(&reference);
+
+    let storage = FaultyStorage::new();
+    storage.kill_at(after_checkpoint / 2);
+    let (_, outcome, _) = campaign(&storage);
+    assert!(outcome.is_err());
+
+    // Whatever survived opens without error and is internally
+    // consistent: stats can only exist for destinations that exist.
+    let (db, _) = open(&storage.surviving());
+    assert!(db.collection(PATHS_STATS).read().is_empty());
+    let paths = db.collection(PATHS).read().len();
+    let servers = db.collection(AVAILABLE_SERVERS).read().len();
+    if paths > 0 {
+        assert!(servers > 0, "paths without their servers");
+    }
+}

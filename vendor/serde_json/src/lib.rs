@@ -241,13 +241,38 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error("invalid UTF-8".into()))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(b) if b < 0x80 => {
+                    // Copy a whole run of plain ASCII in one step —
+                    // validating from `pos` to EOF per character would
+                    // make large documents quadratic to parse.
+                    let start = self.pos;
+                    while let Some(&c) = self.bytes.get(self.pos) {
+                        if c == b'"' || c == b'\\' || c >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| Error("invalid UTF-8".into()))?,
+                    );
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error("invalid UTF-8".into())),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| Error("invalid UTF-8".into()))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| Error("invalid UTF-8".into()))?,
+                    );
+                    self.pos += len;
                 }
             }
         }
