@@ -3,7 +3,7 @@
 //! scalability claims of §4.1.1/§4.2.1.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use pathdb::{doc, Collection, Filter, FindOptions, Order, Update};
+use pathdb::{doc, Collection, Filter, Update};
 
 fn populated(n: usize, indexed: bool) -> Collection {
     let mut coll = Collection::new("paths_stats");
@@ -51,45 +51,41 @@ fn bench(c: &mut Criterion) {
     let filter = Filter::eq("server_id", 7i64).and(Filter::lt("avg_latency_ms", 100.0));
 
     g.bench_function("find/scan_10k", |b| {
-        b.iter(|| scan.find(black_box(&filter)))
+        b.iter(|| scan.query(black_box(&filter)).run())
     });
     g.bench_function("find/indexed_10k", |b| {
-        b.iter(|| idx.find(black_box(&filter)))
+        b.iter(|| idx.query(black_box(&filter)).run())
     });
     g.bench_function("find_by_id/10k", |b| {
         b.iter(|| idx.find_by_id(black_box("7_6_2000")))
     });
     g.bench_function("find_sorted_limited/10k", |b| {
-        let opts = FindOptions::default()
-            .sorted_by("avg_latency_ms", Order::Asc)
-            .limited(10);
-        b.iter(|| idx.find_with(black_box(&filter), &opts))
+        b.iter(|| {
+            idx.query(black_box(&filter))
+                .sort("avg_latency_ms")
+                .limit(10)
+                .run()
+        })
     });
     // Ordered-index range scan vs the same predicate as a full scan:
     // [200, 205) selects ~200 of the 10k documents.
     let range = Filter::gte("avg_latency_ms", 200.0).and(Filter::lt("avg_latency_ms", 205.0));
     g.bench_function("range/scan_10k", |b| {
-        b.iter(|| scan.find(black_box(&range)))
+        b.iter(|| scan.query(black_box(&range)).run())
     });
     g.bench_function("range/indexed_10k", |b| {
-        b.iter(|| idx.find(black_box(&range)))
+        b.iter(|| idx.query(black_box(&range)).run())
     });
     // Index-served sort with limit pushdown: top-10 by latency without
     // materializing and sorting all 10k documents.
     g.bench_function("top10_by_latency/scan_10k", |b| {
-        let opts = FindOptions::default()
-            .sorted_by("avg_latency_ms", Order::Asc)
-            .limited(10);
-        b.iter(|| scan.find_with(black_box(&Filter::True), &opts))
+        b.iter(|| scan.query_all().sort("avg_latency_ms").limit(10).run())
     });
     g.bench_function("top10_by_latency/indexed_10k", |b| {
-        let opts = FindOptions::default()
-            .sorted_by("avg_latency_ms", Order::Asc)
-            .limited(10);
-        b.iter(|| idx.find_with(black_box(&Filter::True), &opts))
+        b.iter(|| idx.query_all().sort("avg_latency_ms").limit(10).run())
     });
     g.bench_function("count_array_contains/10k", |b| {
-        b.iter(|| scan.count(black_box(&Filter::eq("isds", 17i64))))
+        b.iter(|| scan.query(black_box(&Filter::eq("isds", 17i64))).count())
     });
     g.bench_function("update_many/10k", |b| {
         b.iter_batched(

@@ -11,10 +11,7 @@
 //! overhead ratios, not single-digit percentages.
 
 use pathdb::database::OpenOptions;
-use pathdb::{
-    doc, Collection, Database, Document, Durability, FaultyStorage, Filter, FindOptions, Order,
-    Update,
-};
+use pathdb::{doc, Collection, Database, Document, Durability, FaultyStorage, Filter, Update};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -157,45 +154,42 @@ fn bench_pathdb() {
     let idx = populated(10_000, true);
     let point = Filter::eq("server_id", 7i64).and(Filter::lt("avg_latency_ms", 100.0));
     let range = Filter::gte("avg_latency_ms", 200.0).and(Filter::lt("avg_latency_ms", 205.0));
-    let top10 = FindOptions::default()
-        .sorted_by("avg_latency_ms", Order::Asc)
-        .limited(10);
 
     let rows = [
         (
             "find/point_scan_10k",
             time_ns(50, || {
-                std::hint::black_box(scan.find(&point));
+                std::hint::black_box(scan.query(&point).run());
             }),
         ),
         (
             "find/point_indexed_10k",
             time_ns(200, || {
-                std::hint::black_box(idx.find(&point));
+                std::hint::black_box(idx.query(&point).run());
             }),
         ),
         (
             "find/range_scan_10k",
             time_ns(50, || {
-                std::hint::black_box(scan.find(&range));
+                std::hint::black_box(scan.query(&range).run());
             }),
         ),
         (
             "find/range_indexed_10k",
             time_ns(200, || {
-                std::hint::black_box(idx.find(&range));
+                std::hint::black_box(idx.query(&range).run());
             }),
         ),
         (
             "find/top10_by_latency_scan_10k",
             time_ns(50, || {
-                std::hint::black_box(scan.find_with(&Filter::True, &top10));
+                std::hint::black_box(scan.query_all().sort("avg_latency_ms").limit(10).run());
             }),
         ),
         (
             "find/top10_by_latency_indexed_10k",
             time_ns(200, || {
-                std::hint::black_box(idx.find_with(&Filter::True, &top10));
+                std::hint::black_box(idx.query_all().sort("avg_latency_ms").limit(10).run());
             }),
         ),
     ];

@@ -3,7 +3,7 @@
 //! process spawning.
 
 use crate::args::Spec;
-use crate::session::{CliError, Session};
+use crate::session::{CliError, Session, SessionOptions};
 use scion_sim::addr::{IsdAsn, ScionAddr};
 use scion_tools::ping::{PathSelection, PingOptions};
 use scion_tools::showpaths::ShowpathsOptions;
@@ -16,13 +16,21 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let (command, rest) = argv.split_first().ok_or_else(|| CliError::Usage(usage()))?;
 
     // Global options are valid on every command.
-    let with_globals = |spec: Spec| spec.value("seed").value("db").value("durability");
+    let with_globals = |spec: Spec| {
+        spec.value("seed")
+            .value("db")
+            .value("durability")
+            .value("trace-out")
+            .value("metrics-out")
+            .flag("quiet")
+    };
 
     match command.as_str() {
         "destinations" => {
             let p = parse(with_globals(Spec::new(0, 0)), rest)?;
             let s = open(&p)?;
-            cmd_destinations(&s)
+            let out = cmd_destinations(&s)?;
+            finish(&s, out)
         }
         "showpaths" => {
             let p = parse(
@@ -39,7 +47,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 extended: p.flag("extended"),
             };
             let r = scion_tools::showpaths::showpaths(&s.net, s.local, dst, opts)?;
-            Ok(r.render())
+            finish(&s, r.render())
         }
         "ping" => {
             let p = parse(
@@ -67,7 +75,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 opts = opts.with_interval_str(iv)?;
             }
             let r = scion_tools::ping::ping(&s.net, s.local, dst, &opts)?;
-            Ok(format!("using path: {}\n{}", r.path, r.render()))
+            finish(&s, format!("using path: {}\n{}", r.path, r.render()))
         }
         "traceroute" => {
             let p = parse(
@@ -78,7 +86,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             let dst: IsdAsn = parse_ia(&p.positional[0])?;
             let r =
                 scion_tools::traceroute::traceroute(&s.net, s.local, dst, &selection_from(&p)?)?;
-            Ok(r.render())
+            finish(&s, r.render())
         }
         "bwtest" => {
             let p = parse(
@@ -102,13 +110,15 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 p.opt("sc"),
                 &selection_from(&p)?,
             )?;
-            Ok(format!("using path: {}\n{}", r.path, r.render()))
+            finish(&s, format!("using path: {}\n{}", r.path, r.render()))
         }
         "campaign" => {
             let p = parse(
                 with_globals(
                     Spec::new(1, 1)
                         .flag("skip")
+                        .flag("some-only")
+                        // Hidden legacy spelling of --some-only.
                         .flag("some_only")
                         .flag("parallel")
                         .flag("no-bwtests")
@@ -120,10 +130,13 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             let s = open(&p)?;
             s.ensure_servers()?;
             let mut suite_args: Vec<String> = vec![p.positional[0].clone()];
-            for flag in ["skip", "some_only", "parallel"] {
+            for flag in ["skip", "parallel"] {
                 if p.flag(flag) {
                     suite_args.push(format!("--{flag}"));
                 }
+            }
+            if p.flag("some-only") || p.flag("some_only") {
+                suite_args.push("--some-only".to_string());
             }
             for opt in ["workers", "retries", "durability"] {
                 if let Some(v) = p.opt(opt) {
@@ -137,20 +150,24 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             s.persist()?;
             // Lead with what crash recovery had to repair, if anything:
             // the operator should know samples were dropped or replayed.
+            // `--quiet` suppresses the banner (the report itself stays).
             let mut out = String::new();
-            if let Some(rec) = &s.recovery {
-                if !rec.clean() {
-                    out.push_str(&rec.render());
-                    out.push('\n');
+            if !s.quiet {
+                if let Some(rec) = &s.recovery {
+                    if !rec.clean() {
+                        out.push_str(&rec.render());
+                        out.push('\n');
+                    }
                 }
             }
             out.push_str(&report.render());
-            Ok(out)
+            finish(&s, out)
         }
         "topology" => {
             let p = parse(with_globals(Spec::new(0, 0)), rest)?;
             let s = open(&p)?;
-            Ok(scion_sim::topology::render::render(s.net.topology()))
+            let out = scion_sim::topology::render::render(s.net.topology());
+            finish(&s, out)
         }
         "failover" => {
             let p = parse(
@@ -191,7 +208,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 r.switches
             );
             out.push_str(&format!("final path: {}\n", r.paths[r.final_path]));
-            Ok(out)
+            finish(&s, out)
         }
         "recommend" => {
             let p = parse(with_globals(recommend_spec()), rest)?;
@@ -256,7 +273,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                         "no candidates with complete statistics".into(),
                     ));
                 }
-                return Ok(out);
+                return finish(&s, out);
             }
 
             let request = UserRequest {
@@ -269,7 +286,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             for r in &recs {
                 out.push_str(&render_agg(&format!("#{}", r.rank), &r.aggregate));
             }
-            Ok(out)
+            finish(&s, out)
         }
         "verify" => {
             let p = parse(with_globals(recommend_spec().value("tolerance")), rest)?;
@@ -310,11 +327,13 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             }
             if report.satisfied() {
                 out.push_str("intent satisfied: no violations\n");
-                Ok(out)
+                finish(&s, out)
             } else {
                 for v in &report.violations {
                     out.push_str(&format!("  VIOLATION: {v}\n"));
                 }
+                // Telemetry still exports on a failed verification.
+                s.export_telemetry()?;
                 Err(CliError::Verification(out))
             }
         }
@@ -335,7 +354,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             }
             let findings = upin_core::health::detect(&s.db, server_id, &cfg)?;
             if findings.is_empty() {
-                return Ok("all paths healthy\n".to_string());
+                return finish(&s, "all paths healthy\n".to_string());
             }
             let mut out = String::new();
             for f in findings {
@@ -357,7 +376,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 };
                 out.push_str(&format!("{}: {what}\n", f.path_id));
             }
-            Ok(out)
+            finish(&s, out)
         }
         "summary" => {
             let p = parse(with_globals(Spec::new(0, 0)), rest)?;
@@ -365,11 +384,14 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             s.ensure_servers()?;
             let summary = upin_core::analysis::summary(&s.db)?;
             let hist = upin_core::analysis::reachability(&s.db)?;
-            Ok(format!(
-                "{}\n{}",
-                upin_core::report::render_summary(&summary),
-                upin_core::report::render_fig4(&hist)
-            ))
+            finish(
+                &s,
+                format!(
+                    "{}\n{}",
+                    upin_core::report::render_summary(&summary),
+                    upin_core::report::render_fig4(&hist)
+                ),
+            )
         }
         "exec" => {
             // Execute a literal SCION tool command line, exactly as the
@@ -377,13 +399,32 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             //   upin exec "scion ping 16-ffaa:0:1002,[172.31.43.7] -c 30 --interval 0.1s"
             let p = parse(with_globals(Spec::new(1, 1)), rest)?;
             let s = open(&p)?;
-            scion_tools::shell::execute(
+            let out = scion_tools::shell::execute(
                 &s.net,
                 s.local,
                 scion_sim::addr::HostAddr::new(10, 0, 2, 15),
                 &p.positional[0],
             )
-            .map_err(CliError::Tool)
+            .map_err(CliError::Tool)?;
+            finish(&s, out)
+        }
+        "report" => {
+            // `upin report telemetry <metrics.json>`: summarize a
+            // metrics export produced with `--metrics-out`.
+            let p = parse(Spec::new(2, 2), rest)?;
+            match p.positional[0].as_str() {
+                "telemetry" => {
+                    let path = &p.positional[1];
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+                    let doc = upin_telemetry::MetricsDoc::parse(&text)
+                        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+                    Ok(doc.render_table())
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown report {other:?} (expected: telemetry)"
+                ))),
+            }
         }
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!(
@@ -403,7 +444,7 @@ fn usage() -> String {
      \x20      --policy ACL]\n\
      \x20 traceroute <ia> [--sequence S]\n\
      \x20 bwtest <addr> [-cs SPEC] [-sc SPEC] [--sequence S]\n\
-     \x20 campaign <iterations> [--skip] [--some_only] [--parallel] [--workers N]\n\
+     \x20 campaign <iterations> [--skip] [--some-only] [--parallel] [--workers N]\n\
      \x20          [--retries N] [--no-bwtests] [--durability LEVEL]\n\
      \x20 recommend <server|addr> [--objective latency|jitter|loss|bw-up|bw-down]\n\
      \x20           [--exclude-country C]* [--exclude-isd N]* [--exclude-as IA]*\n\
@@ -415,10 +456,13 @@ fn usage() -> String {
      \x20 health <server|addr> [--window N] [--sigmas K]   anomaly scan\n\
      \x20 exec \"scion ping ... \"                executes a literal tool command line\n\
      \x20 summary                              campaign scalars + Fig 4\n\
+     \x20 report telemetry <metrics.json>      summarize a --metrics-out export\n\
      \n\
      global: --seed N (default 42), --db DIR (persistent database),\n\
      \x20       --durability LEVEL (none|snapshot|wal; default snapshot —\n\
-     \x20       wal group-commits every write and recovers torn state on open)\n"
+     \x20       wal group-commits every write and recovers torn state on open),\n\
+     \x20       --trace-out FILE (span tree as JSON), --metrics-out FILE\n\
+     \x20       (counters/histograms as JSON), --quiet (suppress banners)\n"
         .to_string()
 }
 
@@ -474,7 +518,25 @@ fn open(p: &crate::args::Parsed) -> Result<Session, CliError> {
         .opt_parse::<u64>("seed")
         .map_err(CliError::Usage)?
         .unwrap_or(42);
-    Session::open(seed, p.opt("db"), p.opt("durability"))
+    Session::open_with(SessionOptions {
+        seed,
+        db_dir: p.opt("db").map(String::from),
+        durability: p.opt("durability").map(String::from),
+        trace_out: p.opt("trace-out").map(std::path::PathBuf::from),
+        metrics_out: p.opt("metrics-out").map(std::path::PathBuf::from),
+        quiet: p.flag("quiet"),
+    })
+}
+
+/// Finish a command: write the requested telemetry exports and append
+/// their banner (suppressed by `--quiet`) to the command output.
+fn finish(s: &Session, out: String) -> Result<String, CliError> {
+    let banner = s.export_telemetry()?;
+    if banner.is_empty() {
+        Ok(out)
+    } else {
+        Ok(format!("{out}{banner}"))
+    }
 }
 
 fn parse_ia(s: &str) -> Result<IsdAsn, CliError> {
@@ -858,6 +920,67 @@ mod tests {
         let err = run_cli(&["recommend", "1", "--weight", "vibes=1", "--db", dbflag]);
         assert!(matches!(err, Err(CliError::Usage(_))));
         let err = run_cli(&["recommend", "1", "--weight", "latency", "--db", dbflag]);
+        assert!(matches!(err, Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn some_only_kebab_and_legacy_spellings_agree() {
+        let a = run_cli(&["campaign", "1", "--some-only", "--no-bwtests"]).unwrap();
+        let b = run_cli(&["campaign", "1", "--some_only", "--no-bwtests"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_out_is_deterministic_and_reportable() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-tel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m1 = dir.join("m1.json");
+        let m2 = dir.join("m2.json");
+        let trace = dir.join("trace.json");
+
+        let out = run_cli(&[
+            "campaign",
+            "1",
+            "--some-only",
+            "--no-bwtests",
+            "--metrics-out",
+            m1.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("telemetry: metrics written to"), "{out}");
+        assert!(out.contains("telemetry: trace written to"), "{out}");
+
+        // Same seed, same command → byte-identical metrics export; the
+        // banner disappears under --quiet.
+        let out = run_cli(&[
+            "campaign",
+            "1",
+            "--some-only",
+            "--no-bwtests",
+            "--metrics-out",
+            m2.to_str().unwrap(),
+            "--quiet",
+        ])
+        .unwrap();
+        assert!(!out.contains("telemetry:"), "{out}");
+        let j1 = std::fs::read_to_string(&m1).unwrap();
+        let j2 = std::fs::read_to_string(&m2).unwrap();
+        assert_eq!(j1, j2, "same seed must export identical metrics");
+        assert!(j1.contains("campaign.destination_ms"), "{j1}");
+
+        // The trace export carries the span tree.
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"campaign\""), "{t}");
+        assert!(t.contains("campaign.attempt"), "{t}");
+
+        // `report telemetry` renders a human summary of the export.
+        let table = run_cli(&["report", "telemetry", m1.to_str().unwrap()]).unwrap();
+        assert!(table.contains("campaign.docs_inserted"), "{table}");
+        let err = run_cli(&["report", "vibes", m1.to_str().unwrap()]);
         assert!(matches!(err, Err(CliError::Usage(_))));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -7,6 +7,8 @@ use scion_sim::net::ScionNetwork;
 use scion_sim::topology::scionlab::MY_AS;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use upin_telemetry::Telemetry;
 
 /// CLI-level errors, rendered to stderr by `main`.
 #[derive(Debug)]
@@ -16,6 +18,7 @@ pub enum CliError {
     Tool(scion_tools::ToolError),
     Db(pathdb::DbError),
     Verification(String),
+    Io(String),
 }
 
 impl fmt::Display for CliError {
@@ -26,6 +29,7 @@ impl fmt::Display for CliError {
             CliError::Tool(e) => write!(f, "{e}"),
             CliError::Db(e) => write!(f, "{e}"),
             CliError::Verification(m) => write!(f, "verification failed: {m}"),
+            CliError::Io(m) => write!(f, "{m}"),
         }
     }
 }
@@ -48,6 +52,20 @@ impl From<pathdb::DbError> for CliError {
     }
 }
 
+/// Everything the global CLI options decide about a session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    pub seed: u64,
+    pub db_dir: Option<String>,
+    pub durability: Option<String>,
+    /// `--trace-out FILE`: write the span tree as JSON on completion.
+    pub trace_out: Option<PathBuf>,
+    /// `--metrics-out FILE`: write the metrics registry as JSON.
+    pub metrics_out: Option<PathBuf>,
+    /// `--quiet`: suppress recovery and telemetry banners.
+    pub quiet: bool,
+}
+
 /// One CLI invocation's environment.
 pub struct Session {
     pub net: ScionNetwork,
@@ -56,6 +74,13 @@ pub struct Session {
     /// What recovery found when opening a durable database — commands
     /// surface it to the user when it is not [`RecoveryReport::clean`].
     pub recovery: Option<RecoveryReport>,
+    /// Collecting recorder, present when `--trace-out` or
+    /// `--metrics-out` was given; attached to the database (before
+    /// recovery) and the network.
+    pub telemetry: Option<Arc<Telemetry>>,
+    pub quiet: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     db_dir: Option<PathBuf>,
     durability: Durability,
 }
@@ -73,28 +98,95 @@ impl Session {
         db_dir: Option<&str>,
         durability: Option<&str>,
     ) -> Result<Session, CliError> {
-        let net = ScionNetwork::scionlab(seed);
-        let db_dir = db_dir.map(PathBuf::from);
-        let durability = match durability {
+        Session::open_with(SessionOptions {
+            seed,
+            db_dir: db_dir.map(String::from),
+            durability: durability.map(String::from),
+            ..SessionOptions::default()
+        })
+    }
+
+    /// [`Session::open`] plus telemetry wiring: when `--trace-out` or
+    /// `--metrics-out` is requested, a collecting [`Telemetry`]
+    /// recorder is attached to both the database (from the first
+    /// moment of recovery, so WAL replay timings are captured) and the
+    /// simulated network.
+    pub fn open_with(opts: SessionOptions) -> Result<Session, CliError> {
+        let telemetry = if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+            Some(Arc::new(Telemetry::new()))
+        } else {
+            None
+        };
+        let recorder = telemetry
+            .clone()
+            .map(|t| t as Arc<dyn upin_telemetry::Recorder>);
+
+        let mut net = ScionNetwork::scionlab(opts.seed);
+        if let Some(rec) = &recorder {
+            net.set_recorder(rec.clone());
+        }
+        let db_dir = opts.db_dir.as_deref().map(PathBuf::from);
+        let durability = match opts.durability.as_deref() {
             Some(level) => level.parse::<Durability>().map_err(CliError::Usage)?,
             None => Durability::Snapshot,
         };
         let (db, recovery) = match &db_dir {
             Some(dir) if durability != Durability::None => {
-                let (db, report) = Database::open_durable(dir, durability)?;
+                let mut open = pathdb::OpenOptions::new(durability);
+                open.recorder = recorder.clone();
+                let (db, report) = Database::open_durable_with(dir, open)?;
                 (db, Some(report))
             }
-            Some(dir) if Path::exists(dir) => (Database::load_dir(dir)?, None),
-            _ => (Database::new(), None),
+            Some(dir) if Path::exists(dir) => {
+                let mut db = Database::load_dir(dir)?;
+                db.set_recorder(recorder.clone());
+                (db, None)
+            }
+            _ => {
+                let mut db = Database::new();
+                db.set_recorder(recorder.clone());
+                (db, None)
+            }
         };
         Ok(Session {
             net,
             db,
             local: MY_AS,
             recovery,
+            telemetry,
+            quiet: opts.quiet,
+            trace_out: opts.trace_out,
+            metrics_out: opts.metrics_out,
             db_dir,
             durability,
         })
+    }
+
+    /// Write the requested telemetry exports (`--trace-out`,
+    /// `--metrics-out`). Returns the banner lines to show the user —
+    /// empty under `--quiet` or when no export was requested.
+    pub fn export_telemetry(&self) -> Result<String, CliError> {
+        let Some(t) = &self.telemetry else {
+            return Ok(String::new());
+        };
+        let mut banner = String::new();
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, t.trace_json())
+                .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+            banner.push_str(&format!("telemetry: trace written to {}\n", path.display()));
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, t.metrics_json())
+                .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+            banner.push_str(&format!(
+                "telemetry: metrics written to {}\n",
+                path.display()
+            ));
+        }
+        if self.quiet {
+            banner.clear();
+        }
+        Ok(banner)
     }
 
     /// Ensure `availableServers` is populated (idempotent bootstrap for

@@ -105,7 +105,7 @@ pub fn reachability(db: &Database) -> SuiteResult<ReachabilityHistogram> {
     let mut sum = 0usize;
     let mut reachable = 0usize;
     for (server_id, _) in dests {
-        let docs = coll.find(&Filter::eq("server_id", server_id as i64));
+        let docs = coll.query(Filter::eq("server_id", server_id as i64)).run();
         let min = docs
             .iter()
             .filter_map(|d| d.get("hops").and_then(Value::as_int))
@@ -450,7 +450,7 @@ fn path_ases(db: &Database, server_id: u32) -> SuiteResult<BTreeMap<PathId, Vec<
     let handle = db.collection(PATHS);
     let coll = handle.read();
     let mut out = BTreeMap::new();
-    for d in coll.find(&Filter::eq("server_id", server_id as i64)) {
+    for d in coll.query(Filter::eq("server_id", server_id as i64)).run() {
         let (id, _, _) = schema::parse_path_doc(&d)?;
         let ases = match d.get("ases") {
             Some(Value::Array(a)) => a

@@ -11,7 +11,7 @@
 use crate::config::SuiteConfig;
 use crate::error::{SuiteError, SuiteResult};
 use crate::schema::{self, PathId, AVAILABLE_SERVERS, PATHS};
-use pathdb::{Database, Filter, FindOptions, Order, Update, Value};
+use pathdb::{Database, Filter, Update, Value};
 use scion_sim::addr::ScionAddr;
 use scion_sim::net::ScionNetwork;
 use scion_sim::path::ScionPath;
@@ -50,7 +50,7 @@ pub fn destinations(db: &Database) -> SuiteResult<Vec<(u32, ScionAddr)>> {
     let handle = db.collection(AVAILABLE_SERVERS);
     let coll = handle.read();
     let mut out = Vec::with_capacity(coll.len());
-    for d in coll.find(&Filter::True) {
+    for d in coll.query_all().run() {
         out.push(schema::parse_server_doc(&d)?);
     }
     out.sort_by_key(|(id, _)| *id);
@@ -138,10 +138,10 @@ fn collect_for_destination(
     // Existing paths for this destination: sequence → (id, index).
     let handle = db.collection(PATHS);
     let mut coll = handle.write();
-    let existing = coll.find_with(
-        &Filter::eq("server_id", server_id as i64),
-        &FindOptions::default().sorted_by("path_index", Order::Asc),
-    );
+    let existing = coll
+        .query(Filter::eq("server_id", server_id as i64))
+        .sort("path_index")
+        .run();
     let mut by_sequence: HashMap<String, PathId> = HashMap::new();
     let mut next_index = 0u32;
     for d in &existing {
@@ -249,7 +249,7 @@ mod tests {
 
         // Retention: per destination, hops ≤ min + 1.
         for (server_id, _) in destinations(&db).unwrap() {
-            let docs = coll.find(&Filter::eq("server_id", server_id as i64));
+            let docs = coll.query(Filter::eq("server_id", server_id as i64)).run();
             let hops: Vec<i64> = docs
                 .iter()
                 .map(|d| d.get("hops").unwrap().as_int().unwrap())

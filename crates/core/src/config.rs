@@ -92,9 +92,60 @@ impl Default for SuiteConfig {
 }
 
 impl SuiteConfig {
+    /// Start a validating builder over the paper defaults:
+    /// `SuiteConfig::builder().workers(8).durability(Durability::Wal).build()?`.
+    pub fn builder() -> SuiteConfigBuilder {
+        SuiteConfigBuilder {
+            cfg: SuiteConfig::default(),
+        }
+    }
+
+    /// Reject configurations no campaign can sensibly run with. Called
+    /// by [`SuiteConfigBuilder::build`] and [`SuiteConfig::from_args`];
+    /// hand-built struct literals can bypass it, at their own risk.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.iterations == 0 {
+            return Err("iterations must be at least 1".into());
+        }
+        if self.workers == 0 {
+            return Err("workers must be at least 1".into());
+        }
+        if self.retry_attempts > 0 && self.retry_base_ms <= 0.0 {
+            return Err(format!(
+                "retries ({}) with a non-positive backoff ({} ms) would hammer \
+                 failing destinations with no delay",
+                self.retry_attempts, self.retry_base_ms
+            ));
+        }
+        if self.retry_attempts > 0 && self.retry_multiplier < 1.0 {
+            return Err(format!(
+                "retry multiplier must be >= 1, got {}",
+                self.retry_multiplier
+            ));
+        }
+        if self.ping_count == 0 {
+            return Err("ping count must be at least 1".into());
+        }
+        if self.ping_interval_ms < 0.0 {
+            return Err("ping interval must not be negative".into());
+        }
+        if self.max_paths == 0 {
+            return Err("max_paths must be at least 1".into());
+        }
+        if self.run_bwtests && self.bw_duration_s <= 0.0 {
+            return Err("bandwidth tests need a positive duration".into());
+        }
+        if self.run_bwtests && self.bw_target_mbps <= 0.0 {
+            return Err("bandwidth tests need a positive target rate".into());
+        }
+        Ok(())
+    }
+
     /// Parse the wrapper-script argument vector:
-    /// `test_suite.sh <iterations> [--skip] [--some_only] [--parallel]
+    /// `test_suite.sh <iterations> [--skip] [--some-only] [--parallel]
     /// [--workers <n>] [--retries <n>] [--durability <level>]`.
+    /// Underscore spellings (`--some_only`) are accepted as deprecated
+    /// aliases of the kebab-case flags.
     pub fn from_args<I, S>(args: I) -> Result<SuiteConfig, String>
     where
         I: IntoIterator<Item = S>,
@@ -127,7 +178,7 @@ impl SuiteConfig {
             }
             match arg {
                 "--skip" => cfg.skip_collection = true,
-                "--some_only" => cfg.some_only = true,
+                "--some-only" | "--some_only" => cfg.some_only = true,
                 "--parallel" => cfg.parallel = true,
                 "--workers" => expecting = Some("--workers"),
                 "--retries" => expecting = Some("--retries"),
@@ -147,9 +198,7 @@ impl SuiteConfig {
         if !saw_iterations {
             return Err("missing <iterations> argument".into());
         }
-        if cfg.iterations == 0 {
-            return Err("iterations must be at least 1".into());
-        }
+        cfg.validate()?;
         Ok(cfg)
     }
 
@@ -164,6 +213,97 @@ impl SuiteConfig {
     /// The `-cs` parameter string for the MTU-sized test.
     pub fn mtu_spec(&self) -> String {
         format!("{},MTU,?,{}Mbps", self.bw_duration_s, self.bw_target_mbps)
+    }
+}
+
+/// Chainable, validating constructor for [`SuiteConfig`]. Starts from
+/// the paper defaults; [`SuiteConfigBuilder::build`] rejects nonsense
+/// combinations (zero workers, retries with no backoff, ...) instead of
+/// letting a campaign spin on them.
+#[derive(Debug, Clone)]
+pub struct SuiteConfigBuilder {
+    cfg: SuiteConfig,
+}
+
+impl SuiteConfigBuilder {
+    pub fn iterations(mut self, n: u32) -> Self {
+        self.cfg.iterations = n;
+        self
+    }
+
+    pub fn skip_collection(mut self, v: bool) -> Self {
+        self.cfg.skip_collection = v;
+        self
+    }
+
+    pub fn some_only(mut self, v: bool) -> Self {
+        self.cfg.some_only = v;
+        self
+    }
+
+    pub fn max_paths(mut self, n: usize) -> Self {
+        self.cfg.max_paths = n;
+        self
+    }
+
+    pub fn hop_slack(mut self, n: usize) -> Self {
+        self.cfg.hop_slack = n;
+        self
+    }
+
+    /// Ping probe count and inter-probe interval (`-c`, `--interval`).
+    pub fn ping(mut self, count: u32, interval_ms: f64) -> Self {
+        self.cfg.ping_count = count;
+        self.cfg.ping_interval_ms = interval_ms;
+        self
+    }
+
+    /// Bandwidth-test duration and target rate; pass `run = false` to
+    /// skip bandwidth testing entirely (latency-only campaigns).
+    pub fn bandwidth(mut self, run: bool, duration_s: f64, target_mbps: f64) -> Self {
+        self.cfg.run_bwtests = run;
+        self.cfg.bw_duration_s = duration_s;
+        self.cfg.bw_target_mbps = target_mbps;
+        self
+    }
+
+    pub fn parallel(mut self, v: bool) -> Self {
+        self.cfg.parallel = v;
+        self
+    }
+
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    pub fn retries(mut self, attempts: u32) -> Self {
+        self.cfg.retry_attempts = attempts;
+        self
+    }
+
+    /// Backoff before the first retry and the growth factor applied
+    /// after each failed attempt.
+    pub fn retry_backoff(mut self, base_ms: f64, multiplier: f64) -> Self {
+        self.cfg.retry_base_ms = base_ms;
+        self.cfg.retry_multiplier = multiplier;
+        self
+    }
+
+    pub fn breaker_threshold(mut self, n: usize) -> Self {
+        self.cfg.breaker_threshold = n;
+        self
+    }
+
+    pub fn durability(mut self, level: Durability) -> Self {
+        self.cfg.durability = level;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SuiteConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -194,8 +334,61 @@ mod tests {
 
     #[test]
     fn parses_some_only() {
+        let c = SuiteConfig::from_args(["5", "--some-only"]).unwrap();
+        assert!(c.some_only);
+        // Legacy underscore spelling still parses.
         let c = SuiteConfig::from_args(["5", "--some_only"]).unwrap();
         assert!(c.some_only);
+    }
+
+    #[test]
+    fn builder_builds_and_validates() {
+        let c = SuiteConfig::builder()
+            .iterations(10)
+            .workers(8)
+            .durability(Durability::Wal)
+            .parallel(true)
+            .ping(5, 50.0)
+            .bandwidth(false, 3.0, 12.0)
+            .build()
+            .unwrap();
+        assert_eq!(c.iterations, 10);
+        assert_eq!(c.workers, 8);
+        assert_eq!(c.durability, Durability::Wal);
+        assert!(c.parallel && !c.run_bwtests);
+        assert_eq!(c.ping_count, 5);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_combinations() {
+        assert!(SuiteConfig::builder().workers(0).build().is_err());
+        assert!(SuiteConfig::builder().iterations(0).build().is_err());
+        assert!(SuiteConfig::builder()
+            .retries(3)
+            .retry_backoff(0.0, 2.0)
+            .build()
+            .is_err());
+        assert!(SuiteConfig::builder()
+            .retries(3)
+            .retry_backoff(100.0, 0.5)
+            .build()
+            .is_err());
+        assert!(SuiteConfig::builder().ping(0, 100.0).build().is_err());
+        assert!(SuiteConfig::builder().max_paths(0).build().is_err());
+        assert!(SuiteConfig::builder()
+            .bandwidth(true, 0.0, 12.0)
+            .build()
+            .is_err());
+        // The same combos are fine when the offending feature is off.
+        assert!(SuiteConfig::builder()
+            .retries(0)
+            .retry_backoff(0.0, 2.0)
+            .build()
+            .is_ok());
+        assert!(SuiteConfig::builder()
+            .bandwidth(false, 0.0, 12.0)
+            .build()
+            .is_ok());
     }
 
     #[test]

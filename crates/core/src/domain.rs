@@ -91,7 +91,7 @@ pub fn enrich_from_traces(db: &Database) -> SuiteResult<usize> {
         let handle = db.collection(PATH_TRACES);
         let coll = handle.read();
         let mut obs: Vec<Document> = Vec::new();
-        for trace in coll.find(&Filter::True) {
+        for trace in coll.query_all().run() {
             let Some(Value::Array(hops)) = trace.get("hops") else {
                 continue;
             };
@@ -146,7 +146,7 @@ pub fn enrich_from_traces(db: &Database) -> SuiteResult<usize> {
 pub fn domains_matching(db: &Database, filter: &Filter) -> SuiteResult<Vec<DomainInfo>> {
     let handle = db.collection(DOMAINS);
     let coll = handle.read();
-    coll.find(filter).iter().map(decode).collect()
+    coll.query(filter).run().iter().map(decode).collect()
 }
 
 fn decode(d: &Document) -> SuiteResult<DomainInfo> {

@@ -22,7 +22,7 @@ use crate::error::SuiteResult;
 use crate::health::CampaignEvent;
 use crate::runner::{retry_tool, RetryPolicy};
 use crate::schema::{self, PathId, PathMeasurement, StatId, PATHS};
-use pathdb::{Database, Filter, FindOptions, Order};
+use pathdb::{Database, Filter};
 use scion_sim::addr::ScionAddr;
 use scion_sim::net::ScionNetwork;
 use scion_tools::bwtester::bwtest;
@@ -66,10 +66,10 @@ pub fn run_tests(
 pub fn paths_of(db: &Database, server_id: u32) -> SuiteResult<Vec<(PathId, String, usize)>> {
     let handle = db.collection(PATHS);
     let coll = handle.read();
-    let docs = coll.find_with(
-        &Filter::eq("server_id", server_id as i64),
-        &FindOptions::default().sorted_by("path_index", Order::Asc),
-    );
+    let docs = coll
+        .query(Filter::eq("server_id", server_id as i64))
+        .sort("path_index")
+        .run();
     docs.iter().map(schema::parse_path_doc).collect()
 }
 
@@ -209,7 +209,10 @@ mod tests {
         // Only server 1 appears in the stats.
         let handle = db.collection(PATHS_STATS);
         let coll = handle.read();
-        assert_eq!(coll.count(&Filter::eq("server_id", 1i64)), coll.len());
+        assert_eq!(
+            coll.query(Filter::eq("server_id", 1i64)).count(),
+            coll.len()
+        );
     }
 
     #[test]
@@ -231,7 +234,7 @@ mod tests {
         run_tests(&db, &net, &cfg).unwrap();
         let handle = db.collection(PATHS_STATS);
         let coll = handle.read();
-        for d in coll.find(&Filter::True) {
+        for d in coll.query_all().run() {
             let m = PathMeasurement::from_doc(&d).unwrap();
             assert!(m.avg_latency_ms.is_some(), "{d}");
             assert!(!m.isds.is_empty());
@@ -254,7 +257,9 @@ mod tests {
         assert_eq!(report.inserted, report.measured, "all samples stored");
         let handle = db.collection(PATHS_STATS);
         let coll = handle.read();
-        let errored = coll.count(&Filter::exists("error").and(Filter::ne("error", Value::Null)));
+        let errored = coll
+            .query(Filter::exists("error").and(Filter::ne("error", Value::Null)))
+            .count();
         assert!(errored > 0);
     }
 
@@ -272,7 +277,7 @@ mod tests {
         assert!(report.errors > 0);
         let handle = db.collection(PATHS_STATS);
         let coll = handle.read();
-        let d = coll.find(&Filter::True).remove(0);
+        let d = coll.query_all().run().remove(0);
         let m = PathMeasurement::from_doc(&d).unwrap();
         assert!(m.avg_latency_ms.is_some(), "latency survives");
         assert!(m.bw_up_64.is_none(), "bandwidth does not");
@@ -298,7 +303,7 @@ mod tests {
         let dests = crate::collect::destinations(&db).unwrap();
         for want in paper_destinations() {
             let id = dests.iter().find(|(_, a)| *a == want).unwrap().0;
-            assert!(coll.count(&Filter::eq("server_id", id as i64)) > 0);
+            assert!(coll.query(Filter::eq("server_id", id as i64)).count() > 0);
         }
     }
 

@@ -32,6 +32,7 @@ use scion_sim::net::ScionNetwork;
 use scion_tools::ToolError;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use upin_telemetry::{with_label, AttrValue, SpanId};
 
 /// Retry schedule for one tool invocation: up to `attempts` retries,
 /// the n-th delayed by `base_ms * multiplier^n`, scaled by a
@@ -126,6 +127,12 @@ struct DestBatch {
     tripped: bool,
     events: Vec<CampaignEvent>,
     elapsed_ms: f64,
+    /// Per-path attempt timings `(path, start_ms, end_ms, errored)` on
+    /// the fork's clock. Plain data: the coordinator replays these into
+    /// the telemetry recorder in destination order, so span ids and
+    /// histogram contents stay identical between sequential and pooled
+    /// runs of the same seed.
+    marks: Vec<(PathId, f64, f64, bool)>,
 }
 
 /// Run the full campaign over the stored paths. Both the sequential and
@@ -149,8 +156,26 @@ pub fn run_campaign(
         destinations: dests.len(),
         ..MeasureReport::default()
     };
+    let rec = db.recorder();
+    let campaign_span = rec.span_start(
+        "campaign",
+        SpanId::NONE,
+        net.now_ms(),
+        &[
+            ("iterations", AttrValue::I64(cfg.iterations as i64)),
+            ("destinations", AttrValue::I64(dests.len() as i64)),
+            ("parallel", AttrValue::I64(cfg.parallel as i64)),
+        ],
+    );
     let workers = cfg.workers.max(1);
     for iter in 0..cfg.iterations {
+        let iter_start = net.now_ms();
+        let iter_span = rec.span_start(
+            "campaign.iteration",
+            campaign_span,
+            iter_start,
+            &[("iteration", AttrValue::I64(iter as i64))],
+        );
         let jobs: Vec<DestJob> = dests
             .iter()
             .zip(&path_lists)
@@ -179,21 +204,77 @@ pub fn run_campaign(
             if batch.tripped && !report.tripped.contains(&batch.server_id) {
                 report.tripped.push(batch.server_id);
             }
-            report.retries += batch
+            let retries = batch
                 .events
                 .iter()
                 .filter(|e| matches!(e, CampaignEvent::Retry { .. }))
                 .count();
+            report.retries += retries;
             // §4.2.2: one bulk insertion per destination.
-            let handle = db.collection(PATHS_STATS);
-            report.inserted += handle.write().insert_many(batch.docs)?.len();
+            let inserted = db
+                .collection(PATHS_STATS)
+                .write()
+                .insert_many(batch.docs)?
+                .len();
+            report.inserted += inserted;
             report.events.extend(batch.events);
+
+            // Telemetry, replayed here on the coordinator thread so a
+            // pooled campaign exports byte-identical signals to a
+            // sequential one (fork clocks are deterministic; commit
+            // order is destination order).
+            let dest_span = rec.span_start(
+                "campaign.destination",
+                iter_span,
+                iter_start,
+                &[("server", AttrValue::I64(batch.server_id as i64))],
+            );
+            for &(path_id, t0, t1, errored) in &batch.marks {
+                let attempt = rec.span_start(
+                    "campaign.attempt",
+                    dest_span,
+                    t0,
+                    &[
+                        ("path_index", AttrValue::I64(path_id.path_index as i64)),
+                        ("error", AttrValue::I64(errored as i64)),
+                    ],
+                );
+                rec.span_end(attempt, t1);
+                rec.observe("campaign.attempt_ms", t1 - t0);
+            }
+            if batch.tripped {
+                rec.event(
+                    dest_span,
+                    "circuit_open",
+                    iter_start + batch.elapsed_ms,
+                    &[("skipped_paths", AttrValue::I64(batch.skipped as i64))],
+                );
+                rec.add("campaign.breaker_trips", 1);
+            }
+            rec.span_end(dest_span, iter_start + batch.elapsed_ms);
+            rec.observe("campaign.destination_ms", batch.elapsed_ms);
+            if rec.enabled() {
+                rec.observe(
+                    &with_label(
+                        "campaign.destination_ms",
+                        "server",
+                        &batch.server_id.to_string(),
+                    ),
+                    batch.elapsed_ms,
+                );
+            }
+            rec.add("campaign.docs_inserted", inserted as u64);
+            rec.add("campaign.errors", batch.errors as u64);
+            rec.add("campaign.skipped_paths", batch.skipped as u64);
+            rec.add("campaign.retries", retries as u64);
         }
         // The campaign's wall time is the slowest destination's; keep the
         // parent clock ahead of every fork so the next iteration's
         // timestamps are fresh.
         net.advance_ms(iter_elapsed);
+        rec.span_end(iter_span, net.now_ms());
     }
+    rec.span_end(campaign_span, net.now_ms());
     Ok(report)
 }
 
@@ -208,7 +289,9 @@ fn run_destination(cfg: &SuiteConfig, job: DestJob) -> DestBatch {
     let mut consecutive = 0usize;
     let mut skipped = 0usize;
     let mut tripped = false;
+    let mut marks = Vec::with_capacity(job.paths.len());
     for (i, (path_id, sequence, hops)) in job.paths.iter().enumerate() {
+        let t0 = job.net.now_ms();
         let m = measure_path(
             &job.net,
             cfg,
@@ -219,6 +302,7 @@ fn run_destination(cfg: &SuiteConfig, job: DestJob) -> DestBatch {
             *hops,
             &mut events,
         );
+        marks.push((*path_id, t0, job.net.now_ms(), m.error.is_some()));
         if m.error.is_some() {
             errors += 1;
             consecutive += 1;
@@ -246,6 +330,7 @@ fn run_destination(cfg: &SuiteConfig, job: DestJob) -> DestBatch {
         tripped,
         events,
         elapsed_ms: job.net.now_ms() - start_ms,
+        marks,
     }
 }
 

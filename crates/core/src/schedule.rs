@@ -147,7 +147,13 @@ mod tests {
         // Everything left is fresh.
         let cutoff = net.now_ms() - 700_000.0 - 600_000.0;
         let handle = db.collection(PATHS_STATS);
-        assert_eq!(handle.read().count(&Filter::lt("timestamp_ms", cutoff)), 0);
+        assert_eq!(
+            handle
+                .read()
+                .query(Filter::lt("timestamp_ms", cutoff))
+                .count(),
+            0
+        );
     }
 
     #[test]

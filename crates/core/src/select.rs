@@ -161,7 +161,10 @@ pub fn aggregate_paths(
     constraints: &Constraints,
 ) -> SuiteResult<Vec<PathAggregate>> {
     let handle = db.collection(PATHS);
-    let candidates: Vec<Document> = handle.read().find(&constraints.to_filter(server_id));
+    let candidates: Vec<Document> = handle.read().query(constraints.to_filter(server_id)).run();
+    let rec = db.recorder();
+    rec.add("select.queries", 1);
+    rec.add("select.candidates", candidates.len() as u64);
     let aggs = crate::statcache::aggregated_paths(db, server_id)?;
     let mut out = Vec::with_capacity(candidates.len());
     for doc in &candidates {
@@ -496,8 +499,8 @@ mod tests {
         };
         let handle = db.collection(PATHS);
         let coll = handle.read();
-        let all = coll.find(&Filter::eq("server_id", ireland as i64));
-        let filtered = coll.find(&c.to_filter(ireland));
+        let all = coll.query(Filter::eq("server_id", ireland as i64)).run();
+        let filtered = coll.query(c.to_filter(ireland)).run();
         for d in &all {
             let included = filtered.iter().any(|f| f.id() == d.id());
             assert_eq!(included, !doc_violates(d, &c), "doc {:?}", d.id());

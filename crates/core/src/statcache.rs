@@ -64,6 +64,7 @@ pub fn grouped_measurements(
     let watermark = coll.append_watermark();
     let key = (Arc::as_ptr(&handle) as usize, server_id);
 
+    let rec = db.recorder();
     let mut map = cache().lock();
     if let Some(entry) = map.get_mut(&key) {
         let same_collection = entry
@@ -71,6 +72,7 @@ pub fn grouped_measurements(
             .upgrade()
             .is_some_and(|live| Arc::ptr_eq(&live, &handle));
         if same_collection && entry.version == version {
+            rec.add("statcache.grouped.hit", 1);
             return Ok(entry.grouped.clone());
         }
         if same_collection && coll.is_append_only_since(entry.version) {
@@ -101,11 +103,17 @@ pub fn grouped_measurements(
             }
             entry.version = version;
             entry.watermark = watermark;
+            rec.add("statcache.grouped.merge", 1);
             return Ok(entry.grouped.clone());
         }
     }
 
     let grouped = Arc::new(compute(&coll, server_id)?);
+    rec.add("statcache.grouped.recompute", 1);
+    rec.add(
+        "statcache.recompute_docs",
+        grouped.values().map(|v| v.len() as u64).sum(),
+    );
     map.retain(|_, e| e.coll.upgrade().is_some());
     map.insert(
         key,
@@ -171,16 +179,21 @@ pub fn aggregated_paths(
                 && entry.paths_version == paths_version
                 && entry.stats_version == stats_version
             {
+                db.recorder().add("statcache.agg.hit", 1);
                 return Ok(entry.aggs.clone());
             }
         }
     }
+    db.recorder().add("statcache.agg.recompute", 1);
 
     // `grouped_measurements` takes the stats lock and the grouping
     // cache's own mutex; keep the aggregate cache unlocked meanwhile.
     let grouped = grouped_measurements(db, server_id)?;
     let mut aggs = BTreeMap::new();
-    for d in paths.find_refs(&Filter::eq("server_id", server_id as i64)) {
+    for d in paths
+        .query(Filter::eq("server_id", server_id as i64))
+        .refs()
+    {
         let (path_id, sequence, hops) = crate::schema::parse_path_doc(d)?;
         let ms = grouped.get(&path_id).map(Vec::as_slice).unwrap_or(&[]);
         aggs.insert(
@@ -209,7 +222,7 @@ pub fn aggregated_paths(
 /// collection scan).
 fn compute(coll: &Collection, server_id: u32) -> SuiteResult<GroupedMeasurements> {
     let mut grouped: GroupedMeasurements = BTreeMap::new();
-    for d in coll.find_refs(&Filter::eq("server_id", server_id as i64)) {
+    for d in coll.query(Filter::eq("server_id", server_id as i64)).refs() {
         let m = PathMeasurement::from_doc(d)?;
         grouped.entry(m.stat_id.path).or_default().push(m);
     }

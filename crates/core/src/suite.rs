@@ -95,7 +95,6 @@ impl<'a> TestSuite<'a> {
 mod tests {
     use super::*;
     use crate::schema::{PATHS, PATHS_STATS};
-    use pathdb::Filter;
 
     fn quick() -> SuiteConfig {
         SuiteConfig {
@@ -146,6 +145,6 @@ mod tests {
         // No duplicate-id clashes on append.
         let handle = db.collection(PATHS_STATS);
         let coll = handle.read();
-        assert_eq!(coll.count(&Filter::True), coll.len());
+        assert_eq!(coll.query_all().count(), coll.len());
     }
 }

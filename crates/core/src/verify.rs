@@ -192,7 +192,7 @@ pub fn verify_recommendation(
 pub fn traces_for(db: &Database, sequence: &str) -> Vec<Document> {
     let handle = db.collection(PATH_TRACES);
     let coll = handle.read();
-    coll.find(&pathdb::Filter::eq("sequence", sequence))
+    coll.query(pathdb::Filter::eq("sequence", sequence)).run()
 }
 
 #[cfg(test)]

@@ -196,7 +196,7 @@ impl GroupBy {
     pub fn run(&self, coll: &Collection, filter: &Filter) -> Vec<Document> {
         let mut order: Vec<String> = Vec::new();
         let mut groups: HashMap<String, (Value, Vec<AccState>)> = HashMap::new();
-        for doc in coll.find_refs(filter) {
+        for doc in coll.query(filter).refs() {
             let key_value = doc.get_path(&self.key).cloned().unwrap_or(Value::Null);
             let key = key_value.index_key();
             let entry = groups.entry(key.clone()).or_insert_with(|| {

@@ -12,6 +12,10 @@ use crate::wal::{Wal, WalOpRef};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::Arc;
+use std::time::Instant;
+use upin_telemetry::{NoopRecorder, Recorder};
+
+static NOOP: NoopRecorder = NoopRecorder;
 
 /// A secondary index over one field: hash buckets for O(1) point
 /// lookups plus an ordered mirror (over the order-preserving
@@ -122,6 +126,9 @@ pub struct Collection {
     /// documents, deleted ids) after applying in memory, so a rejected
     /// write (e.g. a duplicate `_id`) never reaches the log.
     wal: Option<Arc<Wal>>,
+    /// Telemetry sink shared with the owning [`crate::Database`]; `None`
+    /// means the static no-op recorder (no allocation, no signals).
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Collection {
@@ -217,10 +224,14 @@ impl Collection {
         // Log before applying: a write the log could not make durable
         // is refused outright, leaving the collection untouched.
         if let Some(wal) = self.wal.clone() {
-            wal.commit_ref(&[WalOpRef::Insert {
-                coll: &self.name,
-                doc: &doc,
-            }])?;
+            self.wal_commit(
+                &wal,
+                &[WalOpRef::Insert {
+                    coll: &self.name,
+                    doc: &doc,
+                }],
+                1,
+            )?;
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -251,10 +262,14 @@ impl Collection {
         // crashes too (§4.2.2 — one group per destination batch).
         if let Some(wal) = self.wal.clone() {
             if !staged.is_empty() {
-                wal.commit_ref(&[WalOpRef::InsertMany {
-                    coll: &self.name,
-                    docs: staged.iter().map(|(_, d)| d).collect(),
-                }])?;
+                self.wal_commit(
+                    &wal,
+                    &[WalOpRef::InsertMany {
+                        coll: &self.name,
+                        docs: staged.iter().map(|(_, d)| d).collect(),
+                    }],
+                    staged.len() as u64,
+                )?;
             }
         }
         let mut ids = Vec::with_capacity(staged.len());
@@ -324,10 +339,14 @@ impl Collection {
                 // Already applied, so a log failure cannot be refused:
                 // it poisons the WAL (surfaced by `Database::wal_health`)
                 // and the next checkpoint restores durability.
-                let _ = wal.commit_ref(&[WalOpRef::Update {
-                    coll: &self.name,
-                    docs: &post_images,
-                }]);
+                let _ = self.wal_commit(
+                    &wal,
+                    &[WalOpRef::Update {
+                        coll: &self.name,
+                        docs: &post_images,
+                    }],
+                    post_images.len() as u64,
+                );
             }
         }
         count
@@ -356,10 +375,14 @@ impl Collection {
             self.last_reshape_version = self.version;
             if let Some(wal) = self.wal.clone() {
                 // Apply-then-log, as for updates: failure poisons.
-                let _ = wal.commit_ref(&[WalOpRef::Delete {
-                    coll: &self.name,
-                    ids: &removed_ids,
-                }]);
+                let _ = self.wal_commit(
+                    &wal,
+                    &[WalOpRef::Delete {
+                        coll: &self.name,
+                        ids: &removed_ids,
+                    }],
+                    removed_ids.len() as u64,
+                );
             }
         }
         removed
@@ -371,6 +394,38 @@ impl Collection {
     /// mutations commit their effects through it.
     pub(crate) fn set_wal(&mut self, wal: Option<Arc<Wal>>) {
         self.wal = wal;
+    }
+
+    /// Attach (or detach) a telemetry recorder. Planner decisions and
+    /// WAL commits report through it; `None` restores the no-op sink.
+    pub(crate) fn set_recorder(&mut self, recorder: Option<Arc<dyn Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    /// The active telemetry sink (the shared no-op when none is set).
+    pub(crate) fn rec(&self) -> &dyn Recorder {
+        match &self.recorder {
+            Some(r) => r.as_ref(),
+            None => &NOOP,
+        }
+    }
+
+    /// Commit one WAL group, reporting op counts (deterministic) and
+    /// wall-clock latency (under the `wall.` prefix — real I/O time,
+    /// excluded from the determinism contract).
+    fn wal_commit(&self, wal: &Wal, ops: &[WalOpRef<'_>], docs: u64) -> DbResult<()> {
+        let started = Instant::now();
+        let out = wal.commit_ref(ops);
+        self.rec().observe(
+            "wall.pathdb.wal.commit_ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        self.rec().add("pathdb.wal.commit_groups", 1);
+        self.rec().add("pathdb.wal.ops", docs);
+        if out.is_err() {
+            self.rec().add("pathdb.wal.commit_errors", 1);
+        }
+        out
     }
 
     /// Apply a logged post-image: replace the live document with the
@@ -450,33 +505,23 @@ impl Collection {
         self.primary.get(&key).and_then(|seq| self.docs.get(seq))
     }
 
-    /// All documents matching `filter`, in insertion order.
-    pub fn find(&self, filter: &Filter) -> Vec<Document> {
-        self.find_with(filter, &FindOptions::default())
-    }
-
-    /// First match, in insertion order. Unlike [`Collection::find`],
-    /// this stops at the first hit instead of materializing every match.
-    pub fn find_one(&self, filter: &Filter) -> Option<Document> {
-        plan::find_with(self, filter, &FindOptions::default().limited(1)).pop()
-    }
-
-    /// Filtered, sorted, paginated, projected query — served by the
-    /// cost-based planner (see [`Collection::explain_with`]).
-    pub fn find_with(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
+    /// Execute a filtered/sorted/paginated/projected read through the
+    /// cost-based planner. The [`crate::Query`] builder's `run`/`first`
+    /// terminals land here.
+    pub(crate) fn run_find(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
         plan::find_with(self, filter, opts)
     }
 
     /// Borrowed matches in insertion order — the clone-free read path
-    /// for aggregation and grouping.
-    pub fn find_refs(&self, filter: &Filter) -> Vec<&Document> {
+    /// for aggregation and grouping ([`crate::Query::refs`]).
+    pub(crate) fn run_refs(&self, filter: &Filter) -> Vec<&Document> {
         plan::matching_seqs(self, filter)
             .into_iter()
             .filter_map(|s| self.docs.get(&s))
             .collect()
     }
 
-    pub fn count(&self, filter: &Filter) -> usize {
+    pub(crate) fn run_count(&self, filter: &Filter) -> usize {
         plan::matching_seqs(self, filter).len()
     }
 
@@ -485,7 +530,7 @@ impl Collection {
     /// Dedup is by the canonical [`Value::index_key`], which is exact:
     /// floats differing in any bit and i64 values beyond 2^53 stay
     /// distinct, while `Int(3)` and `Float(3.0)` still unify.
-    pub fn distinct(&self, field: &str, filter: &Filter) -> Vec<Value> {
+    pub(crate) fn run_distinct(&self, field: &str, filter: &Filter) -> Vec<Value> {
         let mut seen: HashSet<String> = HashSet::new();
         let mut out = Vec::new();
         for seq in plan::matching_seqs(self, filter) {
@@ -506,23 +551,74 @@ impl Collection {
         out
     }
 
+    pub(crate) fn run_explain(&self, filter: &Filter, opts: &FindOptions) -> QueryPlan {
+        plan::explain(self, filter, opts)
+    }
+
+    // ---- deprecated read surface (use `Collection::query`) --------------
+
+    /// All documents matching `filter`, in insertion order.
+    #[deprecated(since = "0.1.0", note = "use `col.query(filter).run()`")]
+    pub fn find(&self, filter: &Filter) -> Vec<Document> {
+        self.run_find(filter, &FindOptions::default())
+    }
+
+    /// First match, in insertion order; stops at the first hit instead
+    /// of materializing every match.
+    #[deprecated(since = "0.1.0", note = "use `col.query(filter).first()`")]
+    pub fn find_one(&self, filter: &Filter) -> Option<Document> {
+        self.run_find(filter, &FindOptions::default().limited(1))
+            .pop()
+    }
+
+    /// Filtered, sorted, paginated, projected query.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `col.query(filter).sort(..).limit(..).run()`"
+    )]
+    pub fn find_with(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
+        self.run_find(filter, opts)
+    }
+
+    /// Borrowed matches in insertion order.
+    #[deprecated(since = "0.1.0", note = "use `col.query(filter).refs()`")]
+    pub fn find_refs(&self, filter: &Filter) -> Vec<&Document> {
+        self.run_refs(filter)
+    }
+
+    /// How many documents match `filter`.
+    #[deprecated(since = "0.1.0", note = "use `col.query(filter).count()`")]
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.run_count(filter)
+    }
+
+    /// Distinct values of a (dotted) field among matching documents.
+    #[deprecated(since = "0.1.0", note = "use `col.query(filter).distinct(field)`")]
+    pub fn distinct(&self, field: &str, filter: &Filter) -> Vec<Value> {
+        self.run_distinct(field, filter)
+    }
+
     /// Iterate all documents in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Document> {
         self.docs.values()
     }
 
     /// How a filter would be executed — the planner's decision, exposed
-    /// for diagnostics (Mongo's `explain`). Sort/pagination-dependent
-    /// choices are reported by [`Collection::explain_with`].
+    /// for diagnostics (Mongo's `explain`).
+    #[deprecated(since = "0.1.0", note = "use `col.query(filter).explain()`")]
     pub fn explain(&self, filter: &Filter) -> QueryPlan {
-        self.explain_with(filter, &FindOptions::default())
+        self.run_explain(filter, &FindOptions::default())
     }
 
     /// The planner's full decision for a query: access path, whether
     /// the sort is served by an ordered index, and whether skip/limit
     /// stop the scan early.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `col.query(filter).sort(..).limit(..).explain()`"
+    )]
     pub fn explain_with(&self, filter: &Filter, opts: &FindOptions) -> QueryPlan {
-        plan::explain(self, filter, opts)
+        self.run_explain(filter, opts)
     }
 }
 
@@ -548,7 +644,6 @@ mod tests {
     use super::*;
     use crate::doc;
     use crate::plan::Access;
-    use crate::query::Order;
 
     fn stats_collection() -> Collection {
         let mut c = Collection::new("paths_stats");
@@ -618,24 +713,28 @@ mod tests {
         let c = stats_collection();
         // The plan says index, and the results agree with a scan.
         assert_eq!(
-            c.explain(&Filter::eq("_id", "2_1_100")).access,
+            c.query(Filter::eq("_id", "2_1_100")).explain().access,
             Access::Primary { keys: 1 }
         );
-        let by_index = c.find(&Filter::eq("_id", "2_1_100"));
+        let by_index = c.query(Filter::eq("_id", "2_1_100")).run();
         assert_eq!(by_index.len(), 1);
         assert_eq!(by_index[0].id(), Some("2_1_100"));
         // `$in` over ids probes one key per value, in insertion order.
-        let many = c.find(&Filter::is_in("_id", vec!["2_1_200", "1_0_100"]));
+        let many = c
+            .query(Filter::is_in("_id", vec!["2_1_200", "1_0_100"]))
+            .run();
         assert_eq!(many.len(), 2);
         assert_eq!(many[0].id(), Some("1_0_100"));
         // A conjunction keeps applying the residual filter.
-        let narrowed = c.find(&Filter::eq("_id", "2_1_100").and(Filter::gt("hops", 100i64)));
+        let narrowed = c
+            .query(Filter::eq("_id", "2_1_100").and(Filter::gt("hops", 100i64)))
+            .run();
         assert!(narrowed.is_empty());
         // Misses stay misses.
-        assert!(c.find(&Filter::eq("_id", "nope")).is_empty());
-        assert!(c.find_one(&Filter::eq("_id", "nope")).is_none());
+        assert!(c.query(Filter::eq("_id", "nope")).run().is_empty());
+        assert!(c.query(Filter::eq("_id", "nope")).first().is_none());
         assert_eq!(
-            c.find_one(&Filter::eq("_id", "2_0_100")).unwrap().id(),
+            c.query(Filter::eq("_id", "2_0_100")).first().unwrap().id(),
             Some("2_0_100")
         );
     }
@@ -659,10 +758,11 @@ mod tests {
     #[test]
     fn find_with_filter_sort_limit() {
         let c = stats_collection();
-        let opts = FindOptions::default()
-            .sorted_by("avg_latency_ms", Order::Asc)
-            .limited(2);
-        let out = c.find_with(&Filter::eq("server_id", 2i64), &opts);
+        let out = c
+            .query(Filter::eq("server_id", 2i64))
+            .sort("avg_latency_ms")
+            .limit(2)
+            .run();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].id(), Some("2_0_100"));
         assert_eq!(out[1].id(), Some("2_1_100"));
@@ -672,7 +772,8 @@ mod tests {
     fn find_preserves_insertion_order() {
         let c = stats_collection();
         let ids: Vec<String> = c
-            .find(&Filter::True)
+            .query_all()
+            .run()
             .iter()
             .map(|d| d.id().unwrap().to_string())
             .collect();
@@ -715,11 +816,11 @@ mod tests {
     #[test]
     fn count_and_distinct() {
         let c = stats_collection();
-        assert_eq!(c.count(&Filter::eq("hops", 7i64)), 2);
-        let servers = c.distinct("server_id", &Filter::True);
+        assert_eq!(c.query(Filter::eq("hops", 7i64)).count(), 2);
+        let servers = c.query_all().distinct("server_id");
         assert_eq!(servers.len(), 2);
         // distinct over array fields flattens elements.
-        let isds = c.distinct("isds", &Filter::True);
+        let isds = c.query_all().distinct("isds");
         assert_eq!(isds.len(), 2);
     }
 
@@ -727,30 +828,33 @@ mod tests {
     fn secondary_index_agrees_with_scan() {
         let mut c = stats_collection();
         let filter = Filter::eq("server_id", 2i64).and(Filter::gt("avg_latency_ms", 100.0));
-        let scan = c.find(&filter);
+        let scan = c.query(&filter).run();
         c.create_index("server_id");
         assert_eq!(c.indexed_fields(), vec!["server_id"]);
-        let indexed = c.find(&filter);
+        let indexed = c.query(&filter).run();
         assert_eq!(scan, indexed);
         // Index maintained across updates and deletes.
         c.update_many(
             &Filter::eq("_id", "2_1_200"),
             &Update::new().set("server_id", 3i64),
         );
-        assert_eq!(c.count(&Filter::eq("server_id", 3i64)), 1);
+        assert_eq!(c.query(Filter::eq("server_id", 3i64)).count(), 1);
         c.delete_many(&Filter::eq("server_id", 3i64));
-        assert_eq!(c.count(&Filter::eq("server_id", 3i64)), 0);
-        assert_eq!(c.count(&Filter::eq("server_id", 2i64)), 2);
+        assert_eq!(c.query(Filter::eq("server_id", 3i64)).count(), 0);
+        assert_eq!(c.query(Filter::eq("server_id", 2i64)).count(), 2);
     }
 
     #[test]
     fn explain_reports_the_plan() {
         let mut c = stats_collection();
         let f = Filter::eq("server_id", 2i64).and(Filter::gt("hops", 5i64));
-        assert_eq!(c.explain(&f).access, Access::FullScan { documents: 5 });
+        assert_eq!(
+            c.query(&f).explain().access,
+            Access::FullScan { documents: 5 }
+        );
         c.create_index("server_id");
         assert_eq!(
-            c.explain(&f).access,
+            c.query(&f).explain().access,
             Access::IndexPoint {
                 field: "server_id".into(),
                 keys: 1,
@@ -759,7 +863,7 @@ mod tests {
         );
         // A range on the indexed field becomes an ordered-index scan.
         assert_eq!(
-            c.explain(&Filter::gt("server_id", 1i64)).access,
+            c.query(Filter::gt("server_id", 1i64)).explain().access,
             Access::IndexRange {
                 field: "server_id".into(),
                 candidates: 3
@@ -768,11 +872,15 @@ mod tests {
         // $in probes one key per listed value — but here every document
         // qualifies, so the planner correctly prefers the scan.
         assert_eq!(
-            c.explain(&Filter::is_in("server_id", vec![1i64, 2])).access,
+            c.query(Filter::is_in("server_id", vec![1i64, 2]))
+                .explain()
+                .access,
             Access::FullScan { documents: 5 }
         );
         assert_eq!(
-            c.explain(&Filter::is_in("server_id", vec![2i64, 9])).access,
+            c.query(Filter::is_in("server_id", vec![2i64, 9]))
+                .explain()
+                .access,
             Access::IndexPoint {
                 field: "server_id".into(),
                 keys: 2,
@@ -788,30 +896,31 @@ mod tests {
         // The selection engine's canonical shapes: open and between.
         let open = Filter::lt("avg_latency_ms", 100.0);
         assert_eq!(
-            c.explain(&open).access,
+            c.query(&open).explain().access,
             Access::IndexRange {
                 field: "avg_latency_ms".into(),
                 candidates: 3
             }
         );
-        assert_eq!(c.find(&open).len(), 3);
+        assert_eq!(c.query(&open).run().len(), 3);
         let between = Filter::gte("avg_latency_ms", 25.0).and(Filter::lt("avg_latency_ms", 155.0));
         assert_eq!(
-            c.explain(&between).access,
+            c.query(&between).explain().access,
             Access::IndexRange {
                 field: "avg_latency_ms".into(),
                 candidates: 2
             }
         );
         let ids: Vec<_> = c
-            .find(&between)
+            .query(&between)
+            .run()
             .iter()
             .map(|d| d.id().unwrap().to_string())
             .collect();
         assert_eq!(ids, vec!["1_1_100", "2_0_100"]);
         // Bounds are exact: Gt excludes the boundary, Gte includes it.
-        assert_eq!(c.count(&Filter::gt("avg_latency_ms", 155.0)), 1);
-        assert_eq!(c.count(&Filter::gte("avg_latency_ms", 155.0)), 2);
+        assert_eq!(c.query(Filter::gt("avg_latency_ms", 155.0)).count(), 1);
+        assert_eq!(c.query(Filter::gte("avg_latency_ms", 155.0)).count(), 2);
     }
 
     #[test]
@@ -821,61 +930,55 @@ mod tests {
         c.create_index("avg_latency_ms");
         let f = Filter::eq("server_id", 1i64).or(Filter::gt("avg_latency_ms", 150.0));
         assert_eq!(
-            c.explain(&f).access,
+            c.query(&f).explain().access,
             Access::IndexUnion {
                 branches: 2,
                 candidates: 4
             }
         );
         let ids: Vec<_> = c
-            .find(&f)
+            .query(&f)
+            .run()
             .iter()
             .map(|d| d.id().unwrap().to_string())
             .collect();
         assert_eq!(ids, vec!["1_0_100", "1_1_100", "2_1_100", "2_1_200"]);
         // One unindexable branch poisons the union: full scan.
         let g = Filter::eq("server_id", 1i64).or(Filter::contains("_id", "2_1"));
-        assert!(c.explain(&g).access.is_full_scan());
-        assert_eq!(c.find(&g).len(), 4);
+        assert!(c.query(&g).explain().access.is_full_scan());
+        assert_eq!(c.query(&g).run().len(), 4);
     }
 
     #[test]
     fn sorted_queries_stream_the_ordered_index() {
         let mut c = stats_collection();
         c.create_index("avg_latency_ms");
-        let opts = FindOptions::default()
-            .sorted_by("avg_latency_ms", Order::Desc)
-            .limited(2);
-        let plan = c.explain_with(&Filter::True, &opts);
+        let plan = c.query_all().sort_desc("avg_latency_ms").limit(2).explain();
         assert_eq!(plan.index_sort.as_deref(), Some("avg_latency_ms"));
         assert!(plan.limit_pushdown);
-        let out = c.find_with(&Filter::True, &opts);
+        let out = c.query_all().sort_desc("avg_latency_ms").limit(2).run();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].id(), Some("2_1_200"));
         assert_eq!(out[1].id(), Some("2_1_100"));
         // A multikey (array) index cannot serve sorts.
         c.create_index("isds");
-        let opts = FindOptions::default()
-            .sorted_by("isds", Order::Asc)
-            .limited(2);
-        assert_eq!(c.explain_with(&Filter::True, &opts).index_sort, None);
+        assert_eq!(
+            c.query_all().sort("isds").limit(2).explain().index_sort,
+            None
+        );
     }
 
     #[test]
     fn unsorted_limit_is_pushed_down() {
         let c = stats_collection();
-        let opts = FindOptions::default().limited(2).skipping(1);
-        let plan = c.explain_with(&Filter::eq("server_id", 2i64), &opts);
-        assert!(plan.limit_pushdown);
-        let out = c.find_with(&Filter::eq("server_id", 2i64), &opts);
+        let q = || c.query(Filter::eq("server_id", 2i64)).limit(2).skip(1);
+        assert!(q().explain().limit_pushdown);
+        let out = q().run();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].id(), Some("2_1_100"));
         assert_eq!(out[1].id(), Some("2_1_200"));
         // Sorted without an eligible index: no pushdown.
-        let opts = FindOptions::default()
-            .sorted_by("hops", Order::Asc)
-            .limited(1);
-        assert!(!c.explain_with(&Filter::True, &opts).limit_pushdown);
+        assert!(!c.query_all().sort("hops").limit(1).explain().limit_pushdown);
     }
 
     #[test]
@@ -885,11 +988,11 @@ mod tests {
             .unwrap();
         c.create_index("isds");
         let f = Filter::eq("isds", vec![16i64, 17]);
-        assert!(!c.explain(&f).access.is_full_scan());
-        assert_eq!(c.count(&f), 5);
+        assert!(!c.query(&f).explain().access.is_full_scan());
+        assert_eq!(c.query(&f).count(), 5);
         // Element order matters for whole-array equality.
-        assert_eq!(c.count(&Filter::eq("isds", vec![17i64, 16])), 0);
-        assert_eq!(c.count(&Filter::eq("isds", vec![19i64])), 1);
+        assert_eq!(c.query(Filter::eq("isds", vec![17i64, 16])).count(), 0);
+        assert_eq!(c.query(Filter::eq("isds", vec![19i64])).count(), 1);
     }
 
     #[test]
@@ -903,8 +1006,8 @@ mod tests {
         // Eq(x, Null) matches explicit nulls AND missing fields; the
         // latter are absent from the index, so the planner must scan.
         let f = Filter::eq("x", Value::Null);
-        assert!(c.explain(&f).access.is_full_scan());
-        assert_eq!(c.count(&f), 2);
+        assert!(c.query(&f).explain().access.is_full_scan());
+        assert_eq!(c.query(&f).count(), 2);
     }
 
     #[test]
@@ -916,7 +1019,7 @@ mod tests {
         c.create_index("a");
         c.create_index("b");
         let f = Filter::eq("a", 3i64).and(Filter::eq("b", 2i64));
-        let plan = c.explain(&f);
+        let plan = c.query(&f).explain();
         if let Access::IndexIntersect { fields, candidates } = &plan.access {
             assert_eq!(fields.len(), 2);
             assert!(*candidates <= 10);
@@ -924,7 +1027,7 @@ mod tests {
             panic!("expected intersection, got {:?}", plan.access);
         }
         let scan: Vec<_> = c.iter().filter(|d| f.matches(d)).cloned().collect();
-        assert_eq!(c.find(&f), scan);
+        assert_eq!(c.query(&f).run(), scan);
     }
 
     #[test]
@@ -960,8 +1063,8 @@ mod tests {
     fn find_refs_matches_find() {
         let c = stats_collection();
         let f = Filter::eq("server_id", 2i64);
-        let refs = c.find_refs(&f);
-        let owned = c.find(&f);
+        let refs = c.query(&f).refs();
+        let owned = c.query(&f).run();
         assert_eq!(refs.len(), owned.len());
         for (r, o) in refs.iter().zip(&owned) {
             assert_eq!(**r, *o);
@@ -977,19 +1080,19 @@ mod tests {
             .unwrap();
         c.insert_one(doc! { "f" => 2e-9f64, "i" => (1i64 << 53) + 1 })
             .unwrap();
-        assert_eq!(c.distinct("f", &Filter::True).len(), 2);
-        assert_eq!(c.distinct("i", &Filter::True).len(), 2);
+        assert_eq!(c.query_all().distinct("f").len(), 2);
+        assert_eq!(c.query_all().distinct("i").len(), 2);
         // Int/Float unification is preserved.
         c.insert_one(doc! { "f" => 3i64 }).unwrap();
         c.insert_one(doc! { "f" => 3.0f64 }).unwrap();
-        assert_eq!(c.distinct("f", &Filter::True).len(), 3);
+        assert_eq!(c.query_all().distinct("f").len(), 3);
     }
 
     #[test]
     fn index_on_array_field_is_multikey() {
         let mut c = stats_collection();
         c.create_index("isds");
-        assert_eq!(c.count(&Filter::eq("isds", 16i64)), 5);
-        assert_eq!(c.count(&Filter::eq("isds", 99i64)), 0);
+        assert_eq!(c.query(Filter::eq("isds", 16i64)).count(), 5);
+        assert_eq!(c.query(Filter::eq("isds", 99i64)).count(), 0);
     }
 }

@@ -38,6 +38,8 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 use std::sync::Arc;
+use std::time::Instant;
+use upin_telemetry::Recorder;
 
 /// A handle to a collection, cloneable across threads.
 pub type CollectionHandle = Arc<RwLock<Collection>>;
@@ -90,6 +92,10 @@ pub struct OpenOptions {
     /// (`skip_corrupt_tail: true`): a torn file yields its intact
     /// prefix plus a report, never a failed open.
     pub load: LoadOptions,
+    /// Telemetry recorder attached to the database (and every
+    /// collection) from the first moment of recovery, so WAL replay
+    /// and recovery timings are captured too. `None` = no-op.
+    pub recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl OpenOptions {
@@ -100,11 +106,17 @@ impl OpenOptions {
             load: LoadOptions {
                 skip_corrupt_tail: true,
             },
+            recorder: None,
         }
     }
 
     pub fn with_storage(mut self, storage: Arc<dyn Storage>) -> OpenOptions {
         self.storage = storage;
+        self
+    }
+
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> OpenOptions {
+        self.recorder = Some(recorder);
         self
     }
 }
@@ -179,6 +191,7 @@ pub struct Database {
     dir: Option<PathBuf>,
     durability: Durability,
     wal: Option<Arc<Wal>>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Default for Database {
@@ -189,6 +202,7 @@ impl Default for Database {
             dir: None,
             durability: Durability::None,
             wal: None,
+            recorder: None,
         }
     }
 }
@@ -208,9 +222,26 @@ impl Database {
             .or_insert_with(|| {
                 let mut c = Collection::new(name);
                 c.set_wal(self.wal.clone());
+                c.set_recorder(self.recorder.clone());
                 Arc::new(RwLock::new(c))
             })
             .clone()
+    }
+
+    /// Attach a telemetry recorder to this database and every existing
+    /// collection; collections created later inherit it. Pass `None`
+    /// to detach (back to the no-op recorder).
+    pub fn set_recorder(&mut self, recorder: Option<Arc<dyn Recorder>>) {
+        for handle in self.collections.read().values() {
+            handle.write().set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+
+    /// The recorder attached to this database (the shared no-op
+    /// recorder when none is attached).
+    pub fn recorder(&self) -> Arc<dyn Recorder> {
+        self.recorder.clone().unwrap_or_else(upin_telemetry::noop)
     }
 
     /// Whether a collection exists (has been created).
@@ -280,6 +311,7 @@ impl Database {
         opts: OpenOptions,
     ) -> DbResult<(Database, RecoveryReport)> {
         let dir = dir.as_ref();
+        let started = Instant::now();
         let storage = opts.storage;
         storage.create_dir_all(dir)?;
         let mut report = RecoveryReport::default();
@@ -308,6 +340,7 @@ impl Database {
             storage: storage.clone(),
             dir: Some(dir.to_path_buf()),
             durability: opts.durability,
+            recorder: opts.recorder.clone(),
             ..Database::default()
         };
         for name in &names {
@@ -378,6 +411,17 @@ impl Database {
                 handle.write().set_wal(Some(wal.clone()));
             }
         }
+        let rec = db.recorder();
+        rec.observe(
+            "wall.pathdb.recovery_ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        rec.add("pathdb.recovery.opens", 1);
+        rec.add(
+            "pathdb.recovery.wal_groups_replayed",
+            report.wal_groups as u64,
+        );
+        rec.add("pathdb.recovery.snapshot_docs", report.snapshot_docs as u64);
         Ok((db, report))
     }
 
@@ -445,6 +489,7 @@ impl Database {
     }
 
     fn snapshot_to(&self, dir: &Path, rotate_wal: bool) -> DbResult<()> {
+        let started = Instant::now();
         self.storage.create_dir_all(dir)?;
         // Strictly above both the manifest and the live WAL: after a
         // crash between a rotate and its manifest the WAL generation
@@ -496,6 +541,12 @@ impl Database {
                 let _ = self.storage.remove(&path);
             }
         }
+        let rec = self.recorder();
+        rec.observe(
+            "wall.pathdb.checkpoint_ms",
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        rec.add("pathdb.checkpoints", 1);
         Ok(())
     }
 
@@ -632,7 +683,10 @@ mod tests {
         assert_eq!(loaded.collection("availableServers").read().len(), 2);
         let h = loaded.collection("paths_stats");
         let c = h.read();
-        let d = c.find_one(&Filter::eq("_id", "2_15_1699000000")).unwrap();
+        let d = c
+            .query(Filter::eq("_id", "2_15_1699000000"))
+            .first()
+            .unwrap();
         assert_eq!(d.get("avg_latency_ms"), Some(&Value::Float(155.25)));
         assert_eq!(
             d.get("isds"),

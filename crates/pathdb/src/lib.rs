@@ -35,11 +35,16 @@
 //!     "_id" => "2",
 //!     "address" => "16-ffaa:0:1003,[172.31.19.144]",
 //! }).unwrap();
-//! let hit = servers.read().find_one(&Filter::contains("address", "1003")).unwrap();
+//! let hit = servers
+//!     .read()
+//!     .query(Filter::contains("address", "1003"))
+//!     .first()
+//!     .unwrap();
 //! assert_eq!(hit.id(), Some("2"));
 //! ```
 
 pub mod aggregate;
+pub mod builder;
 pub mod collection;
 pub mod database;
 pub mod document;
@@ -52,6 +57,7 @@ pub mod update;
 pub mod value;
 pub mod wal;
 
+pub use builder::Query;
 pub use collection::Collection;
 pub use database::{CollectionHandle, Database, Durability, OpenOptions, RecoveryReport};
 pub use document::Document;

@@ -12,8 +12,9 @@
 //! streaming an ordered index in key order (with skip/limit pushdown)
 //! instead of materializing and sorting every match, and whether an
 //! unsorted query can stop early once `skip + limit` matches are found.
-//! [`Collection::explain_with`](crate::collection::Collection::explain_with)
-//! exposes the decision for tests and observability.
+//! [`Query::explain`](crate::builder::Query::explain) exposes the
+//! decision for tests and observability, and every planning decision
+//! bumps a `pathdb.plan.*` telemetry counter.
 
 use crate::collection::Collection;
 use crate::document::Document;
@@ -432,6 +433,29 @@ pub(crate) struct AccessChoice {
 /// are a superset of the matching documents; callers must still apply
 /// the filter as a residual.
 pub(crate) fn choose_access(coll: &Collection, filter: &Filter) -> AccessChoice {
+    let choice = choose_access_inner(coll, filter);
+    let rec = coll.rec();
+    let (variant, hit) = match &choice.access {
+        Access::FullScan { .. } => ("pathdb.plan.full_scan", false),
+        Access::Primary { .. } => ("pathdb.plan.primary", true),
+        Access::IndexPoint { .. } => ("pathdb.plan.index_point", true),
+        Access::IndexRange { .. } => ("pathdb.plan.index_range", true),
+        Access::IndexIntersect { .. } => ("pathdb.plan.index_intersect", true),
+        Access::IndexUnion { .. } => ("pathdb.plan.index_union", true),
+    };
+    rec.add(variant, 1);
+    rec.add(
+        if hit {
+            "pathdb.plan.index_hit"
+        } else {
+            "pathdb.plan.index_miss"
+        },
+        1,
+    );
+    choice
+}
+
+fn choose_access_inner(coll: &Collection, filter: &Filter) -> AccessChoice {
     let n = coll.docs.len();
     let full_scan = AccessChoice {
         access: Access::FullScan { documents: n },

@@ -1,0 +1,48 @@
+//! Smoke tests of the deprecated query surface. These are the only
+//! in-repo callers of `find`/`find_with`/`find_one`/`count(filter)`/
+//! `distinct`/`find_refs`/`explain` allowed to remain: they pin the
+//! compat shims to the builder until the methods are removed.
+#![allow(deprecated)]
+
+use pathdb::{doc, Collection, Filter, FindOptions, Order};
+
+fn sample() -> Collection {
+    let mut coll = Collection::new("servers");
+    coll.create_index("server_id");
+    coll.insert_many(vec![
+        doc! { "_id" => "1_0", "server_id" => 1i64, "rtt" => 20.0 },
+        doc! { "_id" => "1_1", "server_id" => 1i64, "rtt" => 35.0 },
+        doc! { "_id" => "2_0", "server_id" => 2i64, "rtt" => 10.0 },
+    ])
+    .unwrap();
+    coll
+}
+
+#[test]
+fn deprecated_wrappers_still_work() {
+    let coll = sample();
+    let f = Filter::eq("server_id", 1i64);
+
+    assert_eq!(coll.find(&f).len(), 2);
+    assert_eq!(coll.find_one(&f).unwrap().id(), Some("1_0"));
+    assert_eq!(coll.count(&f), 2);
+    assert_eq!(coll.find_refs(&f).len(), 2);
+    assert_eq!(coll.distinct("server_id", &Filter::True).len(), 2);
+    assert!(!coll.explain(&f).access.is_full_scan());
+
+    let opts = FindOptions::default()
+        .sorted_by("rtt", Order::Desc)
+        .limited(1);
+    let top = coll.find_with(&Filter::True, &opts);
+    assert_eq!(top.len(), 1);
+    assert_eq!(top[0].id(), Some("1_1"));
+}
+
+#[test]
+fn deprecated_wrappers_agree_with_builder() {
+    let coll = sample();
+    let f = Filter::gte("rtt", 15.0);
+    assert_eq!(coll.find(&f), coll.query(&f).run());
+    assert_eq!(coll.count(&f), coll.query(&f).count());
+    assert_eq!(coll.find_one(&f), coll.query(&f).first());
+}

@@ -1,0 +1,106 @@
+//! Property-based equivalence of the chainable [`Query`] builder and
+//! the deprecated `find*/count/distinct` surface it replaced: for any
+//! collection, filter and option combination the two APIs must return
+//! byte-identical results (the deprecated methods are thin wrappers,
+//! and this is the test that keeps them honest).
+#![allow(deprecated)]
+
+use pathdb::{doc, Collection, Filter, FindOptions, Order};
+use proptest::prelude::*;
+
+fn populated(rows: &[(i64, f64, bool)]) -> Collection {
+    let mut coll = Collection::new("t");
+    coll.create_index("server_id");
+    for (i, (server, rtt, with_err)) in rows.iter().enumerate() {
+        let mut d = doc! {
+            "_id" => format!("{server}_{i}"),
+            "server_id" => *server,
+            "rtt" => *rtt,
+        };
+        if *with_err {
+            d.set("error", "timeout");
+        }
+        coll.insert_one(d).unwrap();
+    }
+    coll
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, f64, bool)>> {
+    prop::collection::vec((0..6i64, -100.0..100.0f64, any::<bool>()), 0..40)
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    prop_oneof![
+        Just(Filter::True),
+        (0..6i64).prop_map(|s| Filter::eq("server_id", s)),
+        (-100.0..100.0f64).prop_map(|r| Filter::lt("rtt", r)),
+        (0..6i64, -100.0..100.0f64)
+            .prop_map(|(s, r)| Filter::eq("server_id", s).and(Filter::gte("rtt", r))),
+        Just(Filter::exists("error")),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn builder_matches_find(rows in arb_rows(), f in arb_filter()) {
+        let coll = populated(&rows);
+        prop_assert_eq!(coll.query(&f).run(), coll.find(&f));
+    }
+
+    #[test]
+    fn builder_matches_find_with(
+        rows in arb_rows(),
+        f in arb_filter(),
+        desc in any::<bool>(),
+        skip in 0..5usize,
+        limit in 1..8usize,
+    ) {
+        let coll = populated(&rows);
+        let order = if desc { Order::Desc } else { Order::Asc };
+        let opts = FindOptions::default()
+            .sorted_by("rtt", order)
+            .skipping(skip)
+            .limited(limit);
+        let via_builder = coll
+            .query(&f)
+            .sort_by("rtt", order)
+            .skip(skip)
+            .limit(limit)
+            .run();
+        prop_assert_eq!(&via_builder, &coll.find_with(&f, &opts));
+        // with_options is the third spelling of the same query.
+        prop_assert_eq!(&via_builder, &coll.query(&f).with_options(opts).run());
+    }
+
+    #[test]
+    fn builder_matches_count_first_distinct(rows in arb_rows(), f in arb_filter()) {
+        let coll = populated(&rows);
+        prop_assert_eq!(coll.query(&f).count(), coll.count(&f));
+        prop_assert_eq!(coll.query(&f).first(), coll.find_one(&f));
+        prop_assert_eq!(
+            coll.query(&f).distinct("server_id"),
+            coll.distinct("server_id", &f)
+        );
+        let refs_builder: Vec<String> = coll
+            .query(&f)
+            .refs()
+            .iter()
+            .filter_map(|d| d.id().map(String::from))
+            .collect();
+        let refs_old: Vec<String> = coll
+            .find_refs(&f)
+            .iter()
+            .filter_map(|d| d.id().map(String::from))
+            .collect();
+        prop_assert_eq!(refs_builder, refs_old);
+    }
+
+    #[test]
+    fn builder_explain_matches_deprecated_explain(rows in arb_rows(), f in arb_filter()) {
+        let coll = populated(&rows);
+        prop_assert_eq!(
+            format!("{:?}", coll.query(&f).explain()),
+            format!("{:?}", coll.explain(&f))
+        );
+    }
+}

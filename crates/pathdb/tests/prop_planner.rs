@@ -186,26 +186,27 @@ proptest! {
             mirror.retain(|d| !sel.matches(d));
         }
 
-        // find_with: same documents, same order, under every plan.
-        let got = coll.find_with(&filter, &opts);
+        // The builder: same documents, same order, under every plan.
+        let got = coll.query(&filter).with_options(opts.clone()).run();
         let expect = naive_find(&mirror, &filter, &opts);
         prop_assert_eq!(
             &got, &expect,
-            "plan diverged from full scan: {:?}", coll.explain_with(&filter, &opts)
+            "plan diverged from full scan: {:?}",
+            coll.query(&filter).with_options(opts.clone()).explain()
         );
 
-        // count / find_one / distinct ride the same matching_seqs path.
+        // count / first / distinct ride the same matching_seqs path.
         prop_assert_eq!(
-            coll.count(&filter),
+            coll.query(&filter).count(),
             mirror.iter().filter(|d| filter.matches(d)).count()
         );
         prop_assert_eq!(
-            coll.find_one(&filter),
+            coll.query(&filter).first(),
             mirror.iter().find(|d| filter.matches(d)).cloned()
         );
         for field in ["a", "b", "c"] {
             prop_assert_eq!(
-                coll.distinct(field, &filter),
+                coll.query(&filter).distinct(field),
                 naive_distinct(&mirror, field, &filter)
             );
         }
@@ -242,11 +243,12 @@ proptest! {
         opts.skip = skip;
         opts.limit = limit;
 
-        let got = coll.find_with(&filter, &opts);
+        let got = coll.query(&filter).with_options(opts.clone()).run();
         let expect = naive_find(&mirror, &filter, &opts);
         prop_assert_eq!(
             &got, &expect,
-            "plan diverged: {:?}", coll.explain_with(&filter, &opts)
+            "plan diverged: {:?}",
+            coll.query(&filter).with_options(opts.clone()).explain()
         );
         // A *selective* between-conjunction on an indexed field must not
         // degrade to a full collection scan. (When the range covers every
@@ -254,7 +256,7 @@ proptest! {
         let matched = mirror.iter().filter(|d| filter.matches(d)).count();
         if matched < mirror.len() {
             prop_assert!(
-                !coll.explain(&filter).access.is_full_scan(),
+                !coll.query(&filter).explain().access.is_full_scan(),
                 "range conjunction on an indexed field fell back to a scan"
             );
         }

@@ -1,7 +1,7 @@
 //! Property-based tests of the document store: value round-trips,
 //! filter algebra, update semantics and collection invariants.
 
-use pathdb::{doc, Collection, Document, Filter, FindOptions, Order, Update, Value};
+use pathdb::{doc, Collection, Document, Filter, Update, Value};
 use proptest::prelude::*;
 
 // ---- generators -----------------------------------------------------------
@@ -147,9 +147,9 @@ proptest! {
             idx.insert_one(d).unwrap();
         }
         let f = Filter::eq("k", probe);
-        prop_assert_eq!(scan.find(&f), idx.find(&f));
+        prop_assert_eq!(scan.query(&f).run(), idx.query(&f).run());
         let f_in = Filter::is_in("k", vec![probe, probe + 1]);
-        prop_assert_eq!(scan.find(&f_in), idx.find(&f_in));
+        prop_assert_eq!(scan.query(&f_in).run(), idx.query(&f_in).run());
     }
 
     #[test]
@@ -158,8 +158,7 @@ proptest! {
         for (i, v) in vals.iter().enumerate() {
             coll.insert_one(doc! { "_id" => i.to_string(), "v" => *v }).unwrap();
         }
-        let opts = FindOptions::default().sorted_by("v", Order::Asc);
-        let out = coll.find_with(&Filter::True, &opts);
+        let out = coll.query_all().sort("v").run();
         let sorted: Vec<i64> = out.iter().map(|d| d.get("v").unwrap().as_int().unwrap()).collect();
         let mut expect = vals.clone();
         expect.sort_unstable();

@@ -20,6 +20,8 @@ use crate::topology::{LinkIndex, Topology};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use upin_telemetry::Recorder;
 
 /// Errors surfaced to end-host applications.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +76,10 @@ pub struct ScionNetwork {
     clock_ms: Mutex<f64>,
     seed: u64,
     op_counter: Mutex<u64>,
+    /// Telemetry sink. Only commutative `u64` counters are recorded
+    /// here — forks run on worker threads, and counter addition is the
+    /// one signal whose aggregate is order-independent.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl ScionNetwork {
@@ -88,7 +94,19 @@ impl ScionNetwork {
             clock_ms: Mutex::new(0.0),
             seed,
             op_counter: Mutex::new(0),
+            recorder: upin_telemetry::noop(),
         }
+    }
+
+    /// Attach a telemetry recorder. Forks inherit it, so counters from
+    /// parallel campaign workers aggregate into the same sink.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The recorder this network reports into (no-op by default).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
     }
 
     /// The standard experimental network: SCIONLab with `MY_AS` attached
@@ -114,6 +132,7 @@ impl ScionNetwork {
             clock_ms: Mutex::new(self.now_ms()),
             seed: splitmix(self.seed ^ splitmix(salt)),
             op_counter: Mutex::new(0),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -178,6 +197,7 @@ impl ScionNetwork {
         // showpaths costs of the order of a second of wall time.
         drop(faults);
         self.advance_ms(800.0);
+        self.recorder.add("sim.showpaths_ops", 1);
         paths
     }
 
@@ -232,6 +252,23 @@ impl ScionNetwork {
         *ctr += 1;
         StdRng::seed_from_u64(self.seed ^ (*ctr).wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
+
+    /// Telemetry for one data-plane operation: the op counter, packets
+    /// forwarded (one count per hop a packet traverses) and per-AS hop
+    /// counters. Counters only — see the `recorder` field note.
+    fn record_op(&self, op: &str, path: &ScionPath, packets: u64) {
+        let rec = &self.recorder;
+        rec.add(op, 1);
+        rec.add(
+            "sim.packets_forwarded",
+            packets.saturating_mul(path.hop_count() as u64),
+        );
+        if rec.enabled() {
+            for hop in &path.hops {
+                rec.add(&format!("sim.hop.{}", hop.ia), packets);
+            }
+        }
+    }
 }
 
 /// SplitMix64 finalizer: decorrelates fork seeds even for adjacent salts.
@@ -258,6 +295,7 @@ impl ScionNetwork {
         let out = ping(&compiled, opts, start, self.op_rng());
         // The campaign occupies count × interval plus the last RTT.
         self.advance_ms(opts.count as f64 * opts.interval_ms + 300.0);
+        self.record_op("sim.ping_ops", path, opts.count as u64);
         Ok(out)
     }
 
@@ -284,6 +322,7 @@ impl ScionNetwork {
             });
         }
         self.advance_ms(1000.0);
+        self.record_op("sim.traceroute_ops", path, path.hops.len() as u64);
         Ok(out)
     }
 
@@ -304,6 +343,11 @@ impl ScionNetwork {
         let mut rng = self.op_rng();
         let result = bwtest(&compiled, cs, sc, header, start, &mut rng);
         self.advance_ms((cs.duration_s + sc.duration_s) * 1000.0 + 500.0);
+        // Offered load in packets, both directions.
+        let offered = |p: &FlowParams| {
+            (p.target_mbps * p.duration_s * 1e6 / (p.packet_bytes as f64 * 8.0)) as u64
+        };
+        self.record_op("sim.bwtest_ops", path, offered(cs) + offered(sc));
         match result {
             Some((cs_out, sc_out)) => Ok(BwtestOutcome {
                 cs: cs_out,

@@ -1,0 +1,119 @@
+//! The [`Recorder`] trait and its no-op default implementation.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Identifier of a span within one recorder. `SpanId::NONE` (0) means
+/// "no span" — it is both the parent of root spans and the id the no-op
+/// recorder hands back for everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const NONE: SpanId = SpanId(0);
+
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A borrowed attribute value. Attributes are only materialized (cloned
+/// to owned storage) by recorders that actually collect, so building the
+/// `&[(&str, AttrValue)]` slice on the caller's stack costs nothing when
+/// the no-op recorder is installed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrValue<'a> {
+    I64(i64),
+    F64(f64),
+    Str(&'a str),
+}
+
+/// Sink for telemetry signals. Every method has an empty default body,
+/// so `impl Recorder for NoopRecorder {}` is the entire disabled path:
+/// one dynamic dispatch per call site and no other work.
+///
+/// Callers supply all timestamps (`*_ms`) — the trait has no clock. On
+/// the measurement path they come from the simulated network clock,
+/// which is what makes same-seed exports byte-identical.
+///
+/// `Debug` is a supertrait so instrumented structs can keep deriving
+/// `Debug` while holding an `Arc<dyn Recorder>`.
+pub trait Recorder: Send + Sync + fmt::Debug {
+    /// `true` when signals are actually collected. Call sites may use
+    /// this to skip *building* expensive attributes; they should not
+    /// need it for plain counter bumps.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    fn add(&self, _counter: &str, _delta: u64) {}
+
+    /// Set the named gauge to `value` (last write wins).
+    fn gauge(&self, _name: &str, _value: f64) {}
+
+    /// Record one observation into the named log-bucketed histogram.
+    fn observe(&self, _hist: &str, _value: f64) {}
+
+    /// Open a span. `parent` is `SpanId::NONE` for roots.
+    fn span_start(
+        &self,
+        _name: &str,
+        _parent: SpanId,
+        _start_ms: f64,
+        _attrs: &[(&str, AttrValue<'_>)],
+    ) -> SpanId {
+        SpanId::NONE
+    }
+
+    /// Close a span opened by [`Recorder::span_start`].
+    fn span_end(&self, _id: SpanId, _end_ms: f64) {}
+
+    /// Record a point-in-time event, optionally attached to a span.
+    fn event(&self, _span: SpanId, _name: &str, _at_ms: f64, _attrs: &[(&str, AttrValue<'_>)]) {}
+}
+
+/// The disabled recorder: every method inherits the empty default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// The shared no-op recorder instance. Structs that hold an
+/// `Arc<dyn Recorder>` default to this, so "telemetry off" allocates
+/// nothing per object.
+pub fn noop() -> Arc<dyn Recorder> {
+    static NOOP: OnceLock<Arc<NoopRecorder>> = OnceLock::new();
+    NOOP.get_or_init(|| Arc::new(NoopRecorder)).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_inert() {
+        let r = noop();
+        assert!(!r.enabled());
+        let id = r.span_start("x", SpanId::NONE, 1.0, &[("k", AttrValue::I64(1))]);
+        assert!(id.is_none());
+        r.span_end(id, 2.0);
+        r.add("c", 1);
+        r.gauge("g", 0.5);
+        r.observe("h", 3.0);
+        r.event(SpanId::NONE, "e", 1.0, &[]);
+    }
+
+    #[test]
+    fn noop_is_shared() {
+        let a = noop();
+        let b = noop();
+        assert!(Arc::ptr_eq(&a, &b) || !a.enabled()); // same instance either way
+    }
+}

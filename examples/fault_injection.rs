@@ -85,14 +85,17 @@ fn main() {
             .find(|(_, a)| *a == addr)
             .unwrap()
             .0;
-        let total = coll.count(&Filter::eq("server_id", id as i64));
-        let errored = coll.count(
-            &Filter::eq("server_id", id as i64)
-                .and(Filter::exists("error"))
-                .and(Filter::ne("error", Value::Null)),
-        );
-        let blackout =
-            coll.count(&Filter::eq("server_id", id as i64).and(Filter::gte("loss_pct", 100.0)));
+        let total = coll.query(Filter::eq("server_id", id as i64)).count();
+        let errored = coll
+            .query(
+                Filter::eq("server_id", id as i64)
+                    .and(Filter::exists("error"))
+                    .and(Filter::ne("error", Value::Null)),
+            )
+            .count();
+        let blackout = coll
+            .query(Filter::eq("server_id", id as i64).and(Filter::gte("loss_pct", 100.0)))
+            .count();
         println!("{label}: {total} samples, {errored} errored, {blackout} at 100% loss");
     }
     println!("\nevery failure is a document, not a crash — the §4.1.2 requirement.");

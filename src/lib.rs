@@ -17,6 +17,7 @@ pub use pathdb;
 pub use scion_sim;
 pub use scion_tools;
 pub use upin_core;
+pub use upin_telemetry;
 
 /// One-call setup of the standard experimental environment: the
 /// SCIONLab network with `MY_AS` attached, a fresh database with the 21

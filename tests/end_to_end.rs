@@ -104,7 +104,7 @@ fn stats_volume_and_schema_consistency() {
     // Every stats document references an existing path and decodes.
     let coll = stats.read();
     let pcoll = paths.read();
-    for d in coll.find(&Filter::True) {
+    for d in coll.query_all().run() {
         let m = PathMeasurement::from_doc(&d).unwrap();
         assert!(
             pcoll.find_by_id(m.stat_id.path.to_string()).is_some(),
@@ -132,7 +132,8 @@ fn deterministic_across_identical_runs() {
         .unwrap();
         let stats = db.collection(PATHS_STATS);
         let coll = stats.read();
-        coll.find(&Filter::True)
+        coll.query_all()
+            .run()
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<String>>()
@@ -155,7 +156,7 @@ fn network_and_db_agree_on_destination_inventory() {
     let coll = paths.read();
     for (id, addr) in dests {
         assert!(
-            coll.count(&Filter::eq("server_id", id as i64)) > 0,
+            coll.query(Filter::eq("server_id", id as i64)).count() > 0,
             "no paths stored for {addr}"
         );
         assert!(!net.paths(MY_AS, addr.ia, 5).is_empty());

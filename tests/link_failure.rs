@@ -47,7 +47,7 @@ fn failed_link_flows_through_status_collection_and_selection() {
     // 3. Re-collection refreshes the stored status column.
     collect_paths(&db, &net, &cfg).unwrap();
     let handle = db.collection(PATHS);
-    let timeout_paths = handle.read().count(&Filter::eq("status", "timeout"));
+    let timeout_paths = handle.read().query(Filter::eq("status", "timeout")).count();
     assert!(timeout_paths >= via_ohio, "stored status refreshed");
 
     // 4. Measure and select: with `require_alive`, no recommendation
@@ -102,9 +102,10 @@ fn failed_link_flows_through_status_collection_and_selection() {
     collect_paths(&db, &net, &cfg).unwrap();
     let handle = db.collection(PATHS);
     assert_eq!(
-        handle.read().count(
-            &Filter::eq("server_id", ireland_id as i64).and(Filter::eq("status", "timeout"))
-        ),
+        handle
+            .read()
+            .query(Filter::eq("server_id", ireland_id as i64).and(Filter::eq("status", "timeout")))
+            .count(),
         0,
         "statuses healed after re-collection"
     );

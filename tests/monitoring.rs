@@ -85,7 +85,8 @@ fn scheduled_rounds_plus_health_detection() {
     }
     let flagged: Vec<String> = findings.iter().map(|f| f.path_id.to_string()).collect();
     let ohio_paths = coll
-        .find(&upin::pathdb::Filter::eq("server_id", server_id as i64))
+        .query(upin::pathdb::Filter::eq("server_id", server_id as i64))
+        .run()
         .iter()
         .filter(|d| d.get("sequence").unwrap().as_str().unwrap().contains(&ohio))
         .count();

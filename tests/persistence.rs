@@ -2,7 +2,7 @@
 //! and a resumed campaign appends cleanly (the crash-recovery story of
 //! §4.1.2).
 
-use upin::pathdb::{Database, Filter};
+use upin::pathdb::Database;
 use upin::upin_core::analysis;
 use upin::upin_core::schema::{PATHS, PATHS_STATS};
 use upin::upin_core::{SuiteConfig, TestSuite};
@@ -40,13 +40,15 @@ fn save_load_preserves_campaign() {
         // Documents identical, field for field.
         let av: Vec<String> = a
             .read()
-            .find(&Filter::True)
+            .query_all()
+            .run()
             .iter()
             .map(|d| d.to_string())
             .collect();
         let bv: Vec<String> = b
             .read()
-            .find(&Filter::True)
+            .query_all()
+            .run()
             .iter()
             .map(|d| d.to_string())
             .collect();
@@ -82,7 +84,7 @@ fn resumed_campaign_appends_without_clashes() {
     );
     // Ids remain unique (timestamps moved on).
     let coll = db.collection(PATHS_STATS);
-    assert_eq!(coll.read().count(&Filter::True), after);
+    assert_eq!(coll.read().query_all().count(), after);
     // Paths were reused, not duplicated.
     assert_eq!(
         db.collection(PATHS).read().len(),

@@ -25,7 +25,8 @@ fn stats_snapshot(db: &Database) -> Vec<(String, upin::pathdb::Document)> {
 fn error_rows(db: &Database) -> usize {
     let handle = db.collection(PATHS_STATS);
     let coll = handle.read();
-    coll.count(&Filter::exists("error").and(Filter::ne("error", Value::Null)))
+    coll.query(Filter::exists("error").and(Filter::ne("error", Value::Null)))
+        .count()
 }
 
 #[test]
