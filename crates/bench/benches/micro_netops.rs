@@ -1,0 +1,88 @@
+//! Microbenchmarks of the control-plane caching layer: repeated path
+//! lookups (cached vs the uncached reference), compiled-path reuse in
+//! the probe/flow tools, and the O(1) `fork` enabled by `Arc`-sharing
+//! the immutable control plane.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scion_sim::dataplane::flows::FlowParams;
+use scion_sim::dataplane::scmp::ProbeOptions;
+use scion_sim::net::ScionNetwork;
+use scion_sim::topology::random::{random_topology, RandomTopologyConfig};
+use scion_sim::topology::scionlab::{paper_destinations, AWS_IRELAND, MY_AS};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_netops");
+    g.sample_size(20);
+
+    let net = ScionNetwork::scionlab(42);
+    let mut cold = ScionNetwork::scionlab(42);
+    cold.set_caching(false);
+
+    // Repeated ranked lookups: the cached network serves a slice of the
+    // memoized full list; the reference re-enumerates and re-ranks.
+    g.bench_function("paths_repeated_cached", |b| {
+        b.iter(|| net.paths(MY_AS, black_box(AWS_IRELAND), 40))
+    });
+    g.bench_function("paths_repeated_uncached", |b| {
+        b.iter(|| cold.paths(MY_AS, black_box(AWS_IRELAND), 40))
+    });
+
+    // Sweep over every paper destination — the shape of one campaign
+    // pass over the path-collection stage.
+    let dests = paper_destinations();
+    g.bench_function("paths_all_destinations_cached", |b| {
+        b.iter(|| {
+            for d in &dests {
+                black_box(net.paths(MY_AS, d.ia, 40));
+            }
+        })
+    });
+
+    // Probe tools on the cached network: compile once per fault epoch,
+    // replay the wire path afterwards.
+    let paths = net.paths(MY_AS, AWS_IRELAND, 1);
+    let ireland = paper_destinations()[1];
+    g.bench_function("ping_30_probes_cached_compile", |b| {
+        b.iter(|| {
+            net.ping(black_box(&paths[0]), ireland, &ProbeOptions::default())
+                .unwrap()
+        })
+    });
+    g.bench_function("traceroute_cached_compile", |b| {
+        b.iter(|| net.traceroute(black_box(&paths[0])).unwrap())
+    });
+    let flow = FlowParams {
+        duration_s: 3.0,
+        packet_bytes: 1400,
+        target_mbps: 12.0,
+    };
+    g.bench_function("bwtest_cached_compile", |b| {
+        b.iter(|| {
+            net.bwtest(black_box(&paths[0]), ireland, &flow, &flow)
+                .unwrap()
+        })
+    });
+
+    // Fork cost must not scale with topology size: the control plane is
+    // shared by reference, only the mutable fault/clock state is copied.
+    let fork_probe = net.fork(1);
+    assert!(
+        net.shares_control_plane(&fork_probe),
+        "fork must share the control plane"
+    );
+    g.bench_function("fork_scionlab", |b| b.iter(|| net.fork(black_box(7))));
+
+    let big_cfg = RandomTopologyConfig {
+        isds: 6,
+        ases_per_isd: (6, 9),
+        ..RandomTopologyConfig::default()
+    };
+    let (big_topo, _) = random_topology(1, &big_cfg);
+    let big = ScionNetwork::new(big_topo, 42);
+    g.bench_function("fork_random_6isd", |b| b.iter(|| big.fork(black_box(7))));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,7 +1,9 @@
-//! Dump machine-readable baselines for the query planner and the
-//! selection engine: `BENCH_pathdb.json` and `BENCH_select.json` at the
-//! repository root. CI and PR reviews diff these numbers instead of
-//! eyeballing criterion output.
+//! Dump machine-readable baselines for the query planner, the selection
+//! engine, the durability ablation and the control-plane caching layer:
+//! `BENCH_pathdb.json`, `BENCH_select.json`, `BENCH_durability.json`,
+//! `BENCH_net.json` and `BENCH_campaign.json` at the repository root.
+//! CI and PR reviews diff these numbers instead of eyeballing criterion
+//! output.
 //!
 //! Timing is deliberately simple — warmup, then the best of a few
 //! mean-wall-clock samples (the minimum is the estimate least
@@ -367,8 +369,98 @@ fn bench_durability() {
     println!("  wal group-commit overhead vs in-memory: {overhead_240:.2}x (240), {overhead_2400:.2}x (2400)");
 }
 
+/// Control-plane caching (the `scion-sim` memoization layer): repeated
+/// ranked lookups against the uncached reference, and the `Arc`-shared
+/// fork against rebuilding a network from scratch (which is what a
+/// deep-copying fork amounts to — beaconing included).
+fn bench_net() {
+    use scion_sim::net::ScionNetwork;
+    use scion_sim::topology::scionlab::{AWS_IRELAND, MY_AS};
+
+    let net = ScionNetwork::scionlab(42);
+    let mut cold = ScionNetwork::scionlab(42);
+    cold.set_caching(false);
+    // Warm the ranked cache once so the measured loop is steady-state.
+    net.paths(MY_AS, AWS_IRELAND, 40);
+
+    let cached = time_ns(2_000, || {
+        std::hint::black_box(net.paths(MY_AS, AWS_IRELAND, 40));
+    });
+    let uncached = time_ns(50, || {
+        std::hint::black_box(cold.paths(MY_AS, AWS_IRELAND, 40));
+    });
+    let fork = time_ns(2_000, || {
+        std::hint::black_box(net.fork(7));
+    });
+    let rebuild = time_ns(20, || {
+        std::hint::black_box(ScionNetwork::scionlab(42));
+    });
+
+    let rows = [
+        ("paths/repeated_cached_40", cached),
+        ("paths/repeated_uncached_40", uncached),
+        ("fork/shared_control_plane", fork),
+        ("fork/rebuild_with_beaconing", rebuild),
+    ];
+    dump_with_ratios(
+        "BENCH_net.json",
+        &rows,
+        &[
+            ("paths_cached_speedup", uncached / cached),
+            ("fork_speedup_vs_rebuild", rebuild / fork),
+        ],
+    );
+    println!(
+        "  cached-paths speedup: {:.1}x, fork speedup: {:.1}x",
+        uncached / cached,
+        rebuild / fork
+    );
+}
+
+/// End-to-end campaign (collection + measurement over all 21
+/// destinations, sequential, ping-only) with the control-plane caches
+/// on vs off — both baselines from the same run of the same binary.
+fn bench_campaign() {
+    use scion_sim::net::ScionNetwork;
+    use upin_core::collect::{collect_paths, register_available_servers};
+    use upin_core::config::SuiteConfig;
+    use upin_core::measure::run_tests;
+
+    let cfg = SuiteConfig {
+        iterations: 1,
+        some_only: false,
+        ping_count: 3,
+        run_bwtests: false,
+        ..SuiteConfig::default()
+    };
+    let campaign = |caching: bool| {
+        let mut net = ScionNetwork::scionlab(42);
+        net.set_caching(caching);
+        let db = Database::new();
+        register_available_servers(&db, &net).unwrap();
+        collect_paths(&db, &net, &cfg).unwrap();
+        let report = run_tests(&db, &net, &cfg).unwrap();
+        std::hint::black_box(report.inserted);
+    };
+    let cached = time_ns(10, || campaign(true));
+    let uncached = time_ns(10, || campaign(false));
+
+    let rows = [
+        ("campaign/full_21dest_cached", cached),
+        ("campaign/full_21dest_uncached", uncached),
+    ];
+    dump_with_ratios(
+        "BENCH_campaign.json",
+        &rows,
+        &[("campaign_cached_speedup", uncached / cached)],
+    );
+    println!("  end-to-end campaign speedup: {:.2}x", uncached / cached);
+}
+
 fn main() {
     bench_pathdb();
     bench_select();
     bench_durability();
+    bench_net();
+    bench_campaign();
 }

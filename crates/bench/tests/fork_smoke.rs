@@ -1,0 +1,59 @@
+//! CI smoke assertion on fork cost: `ScionNetwork::fork` shares the
+//! control plane by reference, so its cost must not scale with the
+//! topology — forking a network several times larger than SCIONLab has
+//! to stay within noise of forking SCIONLab itself, and both must be
+//! far cheaper than rebuilding a network from scratch.
+
+use scion_sim::net::ScionNetwork;
+use scion_sim::topology::random::{random_topology, RandomTopologyConfig};
+use std::time::Instant;
+
+/// Median wall-clock of `f` over many iterations — the median is robust
+/// against scheduler noise on shared CI machines.
+fn median_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn fork_cost_is_independent_of_topology_size() {
+    let small = ScionNetwork::scionlab(42);
+    let big_cfg = RandomTopologyConfig {
+        isds: 10,
+        ases_per_isd: (8, 10),
+        ..RandomTopologyConfig::default()
+    };
+    let (big_topo, _) = random_topology(1, &big_cfg);
+    let big = ScionNetwork::new(big_topo, 42);
+    assert!(
+        big.topology().num_links() > 2 * small.topology().num_links(),
+        "the comparison topology must actually be larger"
+    );
+
+    // Warm up allocator and caches before timing.
+    median_ns(200, || small.fork(7));
+    median_ns(200, || big.fork(7));
+
+    let small_fork = median_ns(2_000, || small.fork(7));
+    let big_fork = median_ns(2_000, || big.fork(7));
+    let rebuild = median_ns(20, || ScionNetwork::scionlab(42));
+
+    // Generous bounds: a deep-copying fork would re-run beaconing (or at
+    // least clone the path store) and blow past both by orders of
+    // magnitude; O(1) sharing keeps them within noise of each other.
+    assert!(
+        big_fork <= 25.0 * small_fork + 50_000.0,
+        "fork cost scales with topology size: {small_fork:.0} ns (scionlab) vs {big_fork:.0} ns (6-ISD random)"
+    );
+    assert!(
+        10.0 * small_fork < rebuild,
+        "fork ({small_fork:.0} ns) should be far cheaper than rebuilding ({rebuild:.0} ns)"
+    );
+}

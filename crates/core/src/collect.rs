@@ -198,11 +198,12 @@ fn collect_for_destination(
 /// order-preserving) — the Domain-Explorer-style metadata stored with
 /// each path for sovereignty/operator exclusion queries.
 pub fn hop_metadata(net: &ScionNetwork, path: &ScionPath) -> (Vec<String>, Vec<String>) {
+    let topo = net.topology();
     let mut countries: Vec<String> = Vec::new();
     let mut operators: Vec<String> = Vec::new();
     for hop in &path.hops {
-        if let Some(idx) = net.topology().index_of(hop.ia) {
-            let node = net.topology().node(idx);
+        if let Some(idx) = topo.index_of(hop.ia) {
+            let node = topo.node(idx);
             if !countries.contains(&node.location.country) {
                 countries.push(node.location.country.clone());
             }

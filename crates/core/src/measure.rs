@@ -21,7 +21,7 @@ use crate::config::SuiteConfig;
 use crate::error::SuiteResult;
 use crate::health::CampaignEvent;
 use crate::runner::{retry_tool, RetryPolicy};
-use crate::schema::{self, PathId, PathMeasurement, StatId, PATHS};
+use crate::schema::{self, PathMeasurement, PathSpec, StatId, PATHS};
 use pathdb::{Database, Filter};
 use scion_sim::addr::ScionAddr;
 use scion_sim::net::ScionNetwork;
@@ -63,14 +63,14 @@ pub fn run_tests(
 }
 
 /// Paths of one destination, ordered by path index.
-pub fn paths_of(db: &Database, server_id: u32) -> SuiteResult<Vec<(PathId, String, usize)>> {
+pub fn paths_of(db: &Database, server_id: u32) -> SuiteResult<Vec<PathSpec>> {
     let handle = db.collection(PATHS);
     let coll = handle.read();
     let docs = coll
         .query(Filter::eq("server_id", server_id as i64))
         .sort("path_index")
         .run();
-    docs.iter().map(schema::parse_path_doc).collect()
+    docs.iter().map(schema::parse_path_spec).collect()
 }
 
 /// Measure a single path once, retrying transient tool failures under
@@ -78,29 +78,27 @@ pub fn paths_of(db: &Database, server_id: u32) -> SuiteResult<Vec<(PathId, Strin
 /// `events`). Never fails: tool-level errors that survive the retries
 /// become a recorded measurement with `error` set, keeping the campaign
 /// alive in the presence of down or misbehaving servers (§4.1.2).
-#[allow(clippy::too_many_arguments)]
 pub fn measure_path(
     net: &ScionNetwork,
     cfg: &SuiteConfig,
     policy: &RetryPolicy,
-    path_id: PathId,
+    spec: &PathSpec,
     addr: ScionAddr,
-    sequence: &str,
-    hops: usize,
     events: &mut Vec<CampaignEvent>,
 ) -> PathMeasurement {
+    let path_id = spec.id;
     let stat_id = StatId {
         path: path_id,
         timestamp_ms: net.now_ms() as u64,
     };
-    let selection = PathSelection::Sequence(sequence.to_string());
-    let isds = scion_sim::path::ScionPath::from_sequence(sequence)
-        .map(|p| p.isd_set())
-        .unwrap_or_default();
+    let selection = PathSelection::Sequence(spec.sequence.clone());
     let mut m = PathMeasurement {
         stat_id,
-        isds,
-        hops,
+        // The traversed ISD set was computed at collection time and
+        // stored on the path document; reuse it instead of re-parsing
+        // the sequence string on every measurement.
+        isds: spec.isds.clone(),
+        hops: spec.hops,
         avg_latency_ms: None,
         jitter_ms: None,
         loss_pct: 100.0,

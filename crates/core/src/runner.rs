@@ -25,13 +25,14 @@ use crate::config::SuiteConfig;
 use crate::error::{SuiteError, SuiteResult};
 use crate::health::CampaignEvent;
 use crate::measure::{measure_path, paths_of, MeasureReport};
-use crate::schema::{PathId, PATHS_STATS};
+use crate::schema::{PathId, PathSpec, PATHS_STATS};
 use pathdb::{Database, Document};
 use scion_sim::addr::ScionAddr;
 use scion_sim::net::ScionNetwork;
 use scion_tools::ToolError;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use upin_telemetry::{with_label, AttrValue, SpanId};
 
 /// Retry schedule for one tool invocation: up to `attempts` retries,
@@ -107,13 +108,15 @@ pub(crate) fn retry_tool<T>(
 }
 
 /// One destination's unit of work: everything a worker needs, with no
-/// database access (paths are pre-fetched, results are batched).
+/// database access (paths are pre-fetched, results are batched). The
+/// path list is shared with the coordinator — building a job costs a
+/// refcount bump, not a deep copy per iteration.
 struct DestJob {
     index: usize,
     server_id: u32,
     addr: ScionAddr,
     net: ScionNetwork,
-    paths: Vec<(PathId, String, usize)>,
+    paths: Arc<Vec<PathSpec>>,
 }
 
 /// What a worker hands back, committed by the coordinator in
@@ -149,7 +152,7 @@ pub fn run_campaign(
     }
     let mut path_lists = Vec::with_capacity(dests.len());
     for (server_id, _) in &dests {
-        path_lists.push(paths_of(db, *server_id)?);
+        path_lists.push(Arc::new(paths_of(db, *server_id)?));
     }
     let mut report = MeasureReport {
         iterations: cfg.iterations,
@@ -185,7 +188,7 @@ pub fn run_campaign(
                 server_id,
                 addr,
                 net: net.fork(((iter as u64) << 32) | index as u64),
-                paths: paths.clone(),
+                paths: Arc::clone(paths),
             })
             .collect();
         let mut batches = if cfg.parallel && workers > 1 && jobs.len() > 1 {
@@ -290,19 +293,10 @@ fn run_destination(cfg: &SuiteConfig, job: DestJob) -> DestBatch {
     let mut skipped = 0usize;
     let mut tripped = false;
     let mut marks = Vec::with_capacity(job.paths.len());
-    for (i, (path_id, sequence, hops)) in job.paths.iter().enumerate() {
+    for (i, spec) in job.paths.iter().enumerate() {
         let t0 = job.net.now_ms();
-        let m = measure_path(
-            &job.net,
-            cfg,
-            &policy,
-            *path_id,
-            job.addr,
-            sequence,
-            *hops,
-            &mut events,
-        );
-        marks.push((*path_id, t0, job.net.now_ms(), m.error.is_some()));
+        let m = measure_path(&job.net, cfg, &policy, spec, job.addr, &mut events);
+        marks.push((spec.id, t0, job.net.now_ms(), m.error.is_some()));
         if m.error.is_some() {
             errors += 1;
             consecutive += 1;

@@ -167,6 +167,37 @@ pub fn parse_path_doc(d: &Document) -> SuiteResult<(PathId, String, usize)> {
     Ok((id, seq, hops))
 }
 
+/// Everything the measurement loop needs about one stored path. The ISD
+/// set rides along from the `paths` document so per-measurement code
+/// never re-parses the sequence string to recover it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSpec {
+    pub id: PathId,
+    pub sequence: String,
+    pub hops: usize,
+    pub isds: Vec<u16>,
+}
+
+/// Decode a `paths` document into a [`PathSpec`]. A missing `isds` field
+/// decodes to an empty set, matching the old parse-failure fallback.
+pub fn parse_path_spec(d: &Document) -> SuiteResult<PathSpec> {
+    let (id, sequence, hops) = parse_path_doc(d)?;
+    let isds = match d.get("isds") {
+        Some(Value::Array(a)) => a
+            .iter()
+            .filter_map(Value::as_int)
+            .map(|i| i as u16)
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(PathSpec {
+        id,
+        sequence,
+        hops,
+        isds,
+    })
+}
+
 // ---- paths_stats -----------------------------------------------------------
 
 /// One measurement round over one path, ready for storage.

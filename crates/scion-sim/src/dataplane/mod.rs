@@ -124,6 +124,21 @@ pub fn compile_path(
     server: ServerBehavior,
 ) -> Result<CompiledPath, PathError> {
     validate_structure(topo, path)?;
+    compile_wire(topo, faults, path, server)
+}
+
+/// [`compile_path`] without the structural re-validation: the fast path
+/// for callers that already hold a cached validation verdict for this
+/// exact route (see the network's compile cache).
+pub fn compile_wire(
+    topo: &Topology,
+    faults: &FaultPlan,
+    path: &ScionPath,
+    server: ServerBehavior,
+) -> Result<CompiledPath, PathError> {
+    if path.hops.len() < 2 {
+        return Err(PathError::Malformed);
+    }
     let mut fwd = Vec::with_capacity(path.hops.len() - 1);
     let mut rev = Vec::with_capacity(path.hops.len() - 1);
     for i in 0..path.hops.len() - 1 {

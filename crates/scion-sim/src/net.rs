@@ -12,14 +12,16 @@ use crate::addr::{IsdAsn, ScionAddr};
 use crate::beacon::{BeaconConfig, KeyProvider};
 use crate::dataplane::flows::{bwtest, FlowOutcome, FlowParams};
 use crate::dataplane::scmp::{ping, probe_prefix, ProbeOptions, ProbeOutcome};
-use crate::dataplane::{compile_path, header_bytes, CompiledPath};
+use crate::dataplane::{compile_path, compile_wire, header_bytes, CompiledPath};
 use crate::fault::{CongestionEpisode, FaultPlan, ServerBehavior};
-use crate::path::{PathStatus, ScionPath};
+use crate::path::{PathDigest, PathHop, PathStatus, ScionPath};
 use crate::pathserver::{PathError, PathServer};
 use crate::topology::{LinkIndex, Topology};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use upin_telemetry::Recorder;
 
@@ -68,11 +70,110 @@ pub struct TraceHop {
     pub rtt_ms: Option<f64>,
 }
 
-/// The simulated SCION network.
-pub struct ScionNetwork {
+/// Per-route facts that depend only on the immutable control plane:
+/// the validation verdict (structure + MAC chain) and the resolved
+/// egress link of every non-terminal hop. Computed once per distinct
+/// route and shared by all forks.
+#[derive(Debug)]
+struct RouteInfo {
+    validated: Result<(), PathError>,
+    /// `links[i]` = egress link of `hops[i]`; `None` when any hop fails
+    /// to resolve (such a route is never up and never compiles).
+    links: Option<Vec<LinkIndex>>,
+}
+
+impl RouteInfo {
+    fn build(topo: &Topology, pathserver: &PathServer, path: &ScionPath) -> RouteInfo {
+        RouteInfo {
+            validated: pathserver.validate(topo, path),
+            links: resolve_links(topo, path),
+        }
+    }
+}
+
+/// Egress link of every non-terminal hop; `None` when any hop fails to
+/// resolve (such a route is never up and never compiles).
+fn resolve_links(topo: &Topology, path: &ScionPath) -> Option<Vec<LinkIndex>> {
+    path.hops
+        .iter()
+        .take(path.hops.len().saturating_sub(1))
+        .map(|h| {
+            let idx = topo.index_of(h.ia)?;
+            topo.link_at_iface(idx, h.egress).map(|(li, _)| li)
+        })
+        .collect()
+}
+
+/// Liveness verdict for a route with pre-resolved egress links: every
+/// link up and below blackout congestion, every transited AS likewise.
+fn links_up(
+    faults: &FaultPlan,
+    links: Option<&[LinkIndex]>,
+    hops: &[PathHop],
+    now_ms: f64,
+) -> bool {
+    let Some(links) = links else {
+        return false;
+    };
+    links
+        .iter()
+        .all(|&li| !faults.link_is_down(li) && faults.link_congestion(li, now_ms) < 1.0)
+        && hops
+            .iter()
+            .all(|h| faults.node_congestion(h.ia, now_ms) < 1.0)
+}
+
+/// Egress links of each ranked path, index-aligned with the memoized
+/// ranked list of the same `(src, dst)` key.
+type RankedLinks = Arc<Vec<Option<Vec<LinkIndex>>>>;
+
+/// A compile-cache entry: the compiled path plus the fault epoch it was
+/// built under (a hit is valid iff the tag matches the reader's epoch).
+type CompiledEntry = (u64, Arc<CompiledPath>);
+
+/// Control-plane state shared (via `Arc`) between a network and every
+/// fork taken from it. Everything in here is either immutable after
+/// construction or a cache whose entries are fork-agnostic, which is
+/// what makes [`ScionNetwork::fork`] O(1) in the topology size.
+struct NetShared {
     topo: Topology,
     pathserver: PathServer,
-    faults: Mutex<FaultPlan>,
+    /// Validation/link-resolution cache keyed by path digest.
+    routes: Mutex<HashMap<PathDigest, Arc<RouteInfo>>>,
+    /// Egress links of every ranked path — the liveness fill of a
+    /// repeated `paths()` call walks this instead of hashing each
+    /// path's digest again.
+    ranked_links: Mutex<HashMap<(IsdAsn, IsdAsn), RankedLinks>>,
+    /// Compiled-path cache keyed by (digest, destination), tagged with
+    /// the fault epoch the entry was compiled under.
+    compiled: Mutex<HashMap<(PathDigest, Option<ScionAddr>), CompiledEntry>>,
+    /// Source of globally unique fault-epoch tags: every fault mutation
+    /// on any network sharing this state takes a fresh value, so stale
+    /// compile-cache entries can never be mistaken for current ones —
+    /// even across diverging parent/fork fault plans.
+    epochs: AtomicU64,
+}
+
+impl NetShared {
+    fn next_epoch(&self) -> u64 {
+        self.epochs.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// A network's mutable fault state plus the epoch tag of its last
+/// mutation. Tag and plan live under one lock so a cache entry can
+/// never be stored under an epoch older than the data it was built
+/// from.
+#[derive(Clone)]
+struct FaultState {
+    plan: FaultPlan,
+    epoch: u64,
+}
+
+/// The simulated SCION network.
+pub struct ScionNetwork {
+    shared: Arc<NetShared>,
+    faults: Mutex<FaultState>,
     clock_ms: Mutex<f64>,
     seed: u64,
     op_counter: Mutex<u64>,
@@ -80,6 +181,9 @@ pub struct ScionNetwork {
     /// here — forks run on worker threads, and counter addition is the
     /// one signal whose aggregate is order-independent.
     recorder: Arc<dyn Recorder>,
+    /// `false` routes every lookup through the uncached reference
+    /// implementations (the determinism oracle and benchmark baseline).
+    caching: bool,
 }
 
 impl ScionNetwork {
@@ -88,14 +192,39 @@ impl ScionNetwork {
         let keys = KeyProvider::new(seed ^ 0x5c10_ab5e_c2e7_5eed);
         let pathserver = PathServer::new(&topo, keys, &BeaconConfig::default());
         ScionNetwork {
-            topo,
-            pathserver,
-            faults: Mutex::new(FaultPlan::new()),
+            shared: Arc::new(NetShared {
+                topo,
+                pathserver,
+                routes: Mutex::new(HashMap::new()),
+                ranked_links: Mutex::new(HashMap::new()),
+                compiled: Mutex::new(HashMap::new()),
+                epochs: AtomicU64::new(0),
+            }),
+            faults: Mutex::new(FaultState {
+                plan: FaultPlan::new(),
+                epoch: 0,
+            }),
             clock_ms: Mutex::new(0.0),
             seed,
             op_counter: Mutex::new(0),
             recorder: upin_telemetry::noop(),
+            caching: true,
         }
+    }
+
+    /// Enable or disable the control-plane caches for this network
+    /// (forks inherit the setting). With caching off every `paths`,
+    /// `authorize` and compile goes through the uncached reference
+    /// path — observable results are identical by construction, which
+    /// the property suite pins.
+    pub fn set_caching(&mut self, on: bool) {
+        self.caching = on;
+    }
+
+    /// Whether this network and `other` share one control plane
+    /// (topology, beacon store, caches) — true exactly for forks.
+    pub fn shares_control_plane(&self, other: &ScionNetwork) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
     }
 
     /// Attach a telemetry recorder. Forks inherit it, so counters from
@@ -126,13 +255,16 @@ impl ScionNetwork {
     /// campaign bit-identical to a sequential one.
     pub fn fork(&self, salt: u64) -> ScionNetwork {
         ScionNetwork {
-            topo: self.topo.clone(),
-            pathserver: self.pathserver.clone(),
+            // The control plane is shared, not cloned: forking costs a
+            // refcount bump plus a snapshot of the (small) fault plan
+            // and clock, independent of topology size.
+            shared: Arc::clone(&self.shared),
             faults: Mutex::new(self.faults.lock().clone()),
             clock_ms: Mutex::new(self.now_ms()),
             seed: splitmix(self.seed ^ splitmix(salt)),
             op_counter: Mutex::new(0),
             recorder: self.recorder.clone(),
+            caching: self.caching,
         }
     }
 
@@ -143,11 +275,11 @@ impl ScionNetwork {
     }
 
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        &self.shared.topo
     }
 
     pub fn path_server(&self) -> &PathServer {
-        &self.pathserver
+        &self.shared.pathserver
     }
 
     /// Current network clock in milliseconds.
@@ -161,21 +293,33 @@ impl ScionNetwork {
     }
 
     // ---- fault injection -------------------------------------------
+    //
+    // Every mutation stamps this network's fault state with a fresh
+    // globally unique epoch, invalidating any compile-cache entry built
+    // under the previous state. Plan and epoch change under one lock.
 
     pub fn set_server_behavior(&self, addr: ScionAddr, behavior: ServerBehavior) {
-        self.faults.lock().set_server(addr, behavior);
+        let mut f = self.faults.lock();
+        f.plan.set_server(addr, behavior);
+        f.epoch = self.shared.next_epoch();
     }
 
     pub fn add_congestion(&self, episode: CongestionEpisode) {
-        self.faults.lock().add_episode(episode);
+        let mut f = self.faults.lock();
+        f.plan.add_episode(episode);
+        f.epoch = self.shared.next_epoch();
     }
 
     pub fn clear_congestion(&self) {
-        self.faults.lock().clear_episodes();
+        let mut f = self.faults.lock();
+        f.plan.clear_episodes();
+        f.epoch = self.shared.next_epoch();
     }
 
     pub fn set_link_down(&self, link: LinkIndex, down: bool) {
-        self.faults.lock().set_link_down(link, down);
+        let mut f = self.faults.lock();
+        f.plan.set_link_down(link, down);
+        f.epoch = self.shared.next_epoch();
     }
 
     // ---- control plane ----------------------------------------------
@@ -183,41 +327,140 @@ impl ScionNetwork {
     /// Paths from `src` to `dst`, ranked by hop count, capped at `max`,
     /// with liveness status filled in from the current fault state
     /// (mirrors `scion showpaths -m <max>`).
+    ///
+    /// The ranked list is memoized per `(src, dst)`; a capped request is
+    /// a slice of the full list, and only the liveness statuses are
+    /// recomputed per call — they are the one fault-dependent part.
     pub fn paths(&self, src: IsdAsn, dst: IsdAsn, max: usize) -> Vec<ScionPath> {
-        let mut paths = self.pathserver.query(&self.topo, src, dst, max);
-        let faults = self.faults.lock();
-        let now = self.now_ms();
-        for p in &mut paths {
-            p.status = if self.route_is_up(&faults, p, now) {
-                PathStatus::Alive
-            } else {
-                PathStatus::Timeout
-            };
+        let mut paths;
+        if self.caching && max > 0 && src != dst {
+            let (full, hit) = self.shared.pathserver.ranked(&self.shared.topo, src, dst);
+            self.recorder.add(
+                if hit {
+                    "sim.pathcache.hit"
+                } else {
+                    "sim.pathcache.miss"
+                },
+                1,
+            );
+            let links = self.ranked_links(src, dst, &full);
+            paths = full.iter().take(max).cloned().collect::<Vec<ScionPath>>();
+            let faults = self.faults.lock();
+            let now = self.now_ms();
+            for (p, ls) in paths.iter_mut().zip(links.iter()) {
+                p.status = if links_up(&faults.plan, ls.as_deref(), &p.hops, now) {
+                    PathStatus::Alive
+                } else {
+                    PathStatus::Timeout
+                };
+            }
+        } else {
+            paths = self
+                .shared
+                .pathserver
+                .query_uncached(&self.shared.topo, src, dst, max);
+            let faults = self.faults.lock();
+            let now = self.now_ms();
+            for p in &mut paths {
+                p.status = if self.route_is_up(&faults.plan, p, now) {
+                    PathStatus::Alive
+                } else {
+                    PathStatus::Timeout
+                };
+            }
         }
         // showpaths costs of the order of a second of wall time.
-        drop(faults);
         self.advance_ms(800.0);
         self.recorder.add("sim.showpaths_ops", 1);
         paths
     }
 
+    /// Egress links of the ranked `(src, dst)` list, memoized aligned
+    /// with it. Compute-under-lock, like every shared cache here.
+    fn ranked_links(&self, src: IsdAsn, dst: IsdAsn, full: &[ScionPath]) -> RankedLinks {
+        let mut cache = self.shared.ranked_links.lock();
+        if let Some(ls) = cache.get(&(src, dst)) {
+            return ls.clone();
+        }
+        let ls = Arc::new(
+            full.iter()
+                .map(|p| resolve_links(&self.shared.topo, p))
+                .collect::<Vec<_>>(),
+        );
+        cache.insert((src, dst), ls.clone());
+        ls
+    }
+
     /// Re-attach metadata/MACs to a bare route (`--sequence` handling).
     pub fn authorize(&self, route: &ScionPath) -> Result<ScionPath, NetError> {
-        self.pathserver
-            .authorize(&self.topo, route)
-            .ok_or(NetError::InvalidPath(PathError::BadMac))
+        let topo = &self.shared.topo;
+        let found = if self.caching {
+            match (route.src(), route.dst()) {
+                (Some(src), Some(dst)) => {
+                    let (full, hit) = self.shared.pathserver.ranked(topo, src, dst);
+                    self.recorder.add(
+                        if hit {
+                            "sim.pathcache.hit"
+                        } else {
+                            "sim.pathcache.miss"
+                        },
+                        1,
+                    );
+                    full.iter().find(|p| p.same_route(route)).cloned()
+                }
+                _ => None,
+            }
+        } else {
+            match (route.src(), route.dst()) {
+                (Some(src), Some(dst)) => self
+                    .shared
+                    .pathserver
+                    .query_uncached(topo, src, dst, usize::MAX)
+                    .into_iter()
+                    .find(|p| p.same_route(route)),
+                _ => None,
+            }
+        };
+        found.ok_or(NetError::InvalidPath(PathError::BadMac))
+    }
+
+    /// Fault-independent facts about a route (validation verdict, egress
+    /// links), computed once per distinct route and memoized in the
+    /// shared control plane. Compute-under-lock: concurrent callers for
+    /// the same digest observe exactly one build between them.
+    fn route_info(&self, path: &ScionPath) -> Arc<RouteInfo> {
+        let digest = path.digest();
+        let mut routes = self.shared.routes.lock();
+        if let Some(info) = routes.get(&digest) {
+            return info.clone();
+        }
+        let info = Arc::new(RouteInfo::build(
+            &self.shared.topo,
+            &self.shared.pathserver,
+            path,
+        ));
+        routes.insert(digest, info.clone());
+        info
     }
 
     fn route_is_up(&self, faults: &FaultPlan, path: &ScionPath, now_ms: f64) -> bool {
-        for i in 0..path.hops.len().saturating_sub(1) {
-            let Some(idx) = self.topo.index_of(path.hops[i].ia) else {
-                return false;
-            };
-            let Some((li, _)) = self.topo.link_at_iface(idx, path.hops[i].egress) else {
-                return false;
-            };
-            if faults.link_is_down(li) || faults.link_congestion(li, now_ms) >= 1.0 {
-                return false;
+        if self.caching {
+            // Egress links resolve identically every call; only their
+            // down/congested state varies with the fault plan.
+            let info = self.route_info(path);
+            return links_up(faults, info.links.as_deref(), &path.hops, now_ms);
+        } else {
+            let topo = &self.shared.topo;
+            for i in 0..path.hops.len().saturating_sub(1) {
+                let Some(idx) = topo.index_of(path.hops[i].ia) else {
+                    return false;
+                };
+                let Some((li, _)) = topo.link_at_iface(idx, path.hops[i].egress) else {
+                    return false;
+                };
+                if faults.link_is_down(li) || faults.link_congestion(li, now_ms) >= 1.0 {
+                    return false;
+                }
             }
         }
         path.hops
@@ -228,23 +471,66 @@ impl ScionNetwork {
     // ---- data plane --------------------------------------------------
 
     /// Validate + compile a path against the current fault state.
-    fn compile(&self, path: &ScionPath, dst: Option<ScionAddr>) -> Result<CompiledPath, NetError> {
-        self.pathserver
-            .validate(&self.topo, path)
-            .map_err(NetError::InvalidPath)?;
+    ///
+    /// Cached flavour: the validation verdict comes from the route-info
+    /// cache (skipping the MAC chain recomputation), and the compiled
+    /// wire hops are memoized per `(digest, destination)` tagged with
+    /// the fault epoch they were built under — a cache hit is valid iff
+    /// the tag matches this network's current epoch.
+    fn compile(
+        &self,
+        path: &ScionPath,
+        dst: Option<ScionAddr>,
+    ) -> Result<Arc<CompiledPath>, NetError> {
+        let topo = &self.shared.topo;
+        if !self.caching {
+            self.shared
+                .pathserver
+                .validate(topo, path)
+                .map_err(NetError::InvalidPath)?;
+            let faults = self.faults.lock();
+            let server = match dst {
+                Some(addr) => {
+                    if topo.server_as(addr).is_none() {
+                        return Err(NetError::UnknownDestination(addr));
+                    }
+                    faults.plan.server(addr)
+                }
+                None => ServerBehavior::Up,
+            };
+            return compile_path(topo, &faults.plan, path, server)
+                .map(Arc::new)
+                .map_err(NetError::InvalidPath);
+        }
+        let info = self.route_info(path);
+        info.validated.clone().map_err(NetError::InvalidPath)?;
+        let digest = path.digest();
         let faults = self.faults.lock();
         let server = match dst {
             Some(addr) => {
-                if self.topo.server_as(addr) != self.topo.index_of(addr.ia)
-                    || self.topo.server_as(addr).is_none()
-                {
+                if topo.server_as(addr).is_none() {
                     return Err(NetError::UnknownDestination(addr));
                 }
-                faults.server(addr)
+                faults.plan.server(addr)
             }
             None => ServerBehavior::Up,
         };
-        compile_path(&self.topo, &faults, path, server).map_err(NetError::InvalidPath)
+        // Compute under the compiled lock (fault lock still held, so the
+        // epoch cannot move underneath us): each (digest, dst, epoch)
+        // misses exactly once globally, sequential or parallel.
+        let mut compiled = self.shared.compiled.lock();
+        if let Some((tag, c)) = compiled.get(&(digest, dst)) {
+            if *tag == faults.epoch {
+                self.recorder.add("sim.compile_cache.hit", 1);
+                return Ok(c.clone());
+            }
+        }
+        let c = compile_wire(topo, &faults.plan, path, server)
+            .map(Arc::new)
+            .map_err(NetError::InvalidPath)?;
+        compiled.insert((digest, dst), (faults.epoch, c.clone()));
+        self.recorder.add("sim.compile_cache.miss", 1);
+        Ok(c)
     }
 
     fn op_rng(&self) -> StdRng {

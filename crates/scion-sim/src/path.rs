@@ -4,7 +4,9 @@
 use crate::addr::{AddrParseError, IfaceId, IsdAsn};
 use crate::crypto::MacTag;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
 
 /// One transited AS on a path, with the ingress interface the packet
@@ -176,6 +178,100 @@ impl ScionPath {
     pub fn same_route(&self, other: &ScionPath) -> bool {
         self.hops == other.hops
     }
+
+    /// Cheap 128-bit digest over the hop sequence and the MAC chain —
+    /// the cache key for validation/compile caches. Two differently
+    /// seeded passes of the (deterministic, zero-keyed) std hasher make
+    /// accidental collisions over realistic path sets negligible.
+    pub fn digest(&self) -> PathDigest {
+        let pass = |seed: u64| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            h.write_u64(seed);
+            self.hops.hash(&mut h);
+            for m in &self.macs {
+                h.write_u64(m.0);
+            }
+            h.finish()
+        };
+        (pass(0x7061_7468), pass(0xd19e_57ed))
+    }
+}
+
+/// Digest of a path's identity (hops + MACs); see [`ScionPath::digest`].
+pub type PathDigest = (u64, u64);
+
+/// Deterministic 64-bit key of a hop tuple — the dedup key the path
+/// server uses instead of building sequence strings per candidate.
+pub fn route_key(hops: &[PathHop]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    hops.hash(&mut h);
+    h.finish()
+}
+
+/// Fixed-capacity `fmt::Write` sink; errors instead of spilling.
+struct StackBuf<const N: usize> {
+    buf: [u8; N],
+    len: usize,
+}
+
+impl<const N: usize> StackBuf<N> {
+    fn new() -> StackBuf<N> {
+        StackBuf {
+            buf: [0; N],
+            len: 0,
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
+impl<const N: usize> fmt::Write for StackBuf<N> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let b = s.as_bytes();
+        if self.len + b.len() > N {
+            return Err(fmt::Error);
+        }
+        self.buf[self.len..self.len + b.len()].copy_from_slice(b);
+        self.len += b.len();
+        Ok(())
+    }
+}
+
+/// Compare two hops by their rendered hop-predicate strings without
+/// allocating. Falls back to heap strings in the (sizing-impossible)
+/// event a rendering overflows the stack buffer.
+fn hop_display_cmp(a: &PathHop, b: &PathHop) -> Ordering {
+    use fmt::Write;
+    let mut ba = StackBuf::<48>::new();
+    let mut bb = StackBuf::<48>::new();
+    match (write!(ba, "{a}"), write!(bb, "{b}")) {
+        (Ok(()), Ok(())) => ba.bytes().cmp(bb.bytes()),
+        _ => a.to_string().cmp(&b.to_string()),
+    }
+}
+
+/// Order two paths exactly as comparing their [`ScionPath::sequence`]
+/// strings would, hop by hop and allocation-free.
+///
+/// Equivalence holds because the separator `' '` (0x20) sorts below
+/// every byte a rendered hop can contain (`#` 0x23, `,` 0x2c, `-` 0x2d,
+/// `:` 0x3a, digits, hex letters): whenever one side's next hop string
+/// is a strict prefix of the other's, or one path is a strict hop
+/// prefix of the other, the joined-string comparison also resolves in
+/// favour of the shorter side.
+pub fn sequence_cmp(a: &ScionPath, b: &ScionPath) -> Ordering {
+    for (ha, hb) in a.hops.iter().zip(&b.hops) {
+        if ha == hb {
+            continue;
+        }
+        let ord = hop_display_cmp(ha, hb);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a.hops.len().cmp(&b.hops.len())
 }
 
 impl fmt::Display for ScionPath {
@@ -268,6 +364,47 @@ mod tests {
         let s = sample_path().to_string();
         assert!(s.starts_with("17-ffaa:0:eaf 1>5 17-ffaa:0:1107"), "{s}");
         assert!(s.ends_with(">9 16-ffaa:0:1002"), "{s}");
+    }
+
+    #[test]
+    fn sequence_cmp_matches_string_comparison() {
+        let base = sample_path();
+        let mut shorter = base.clone();
+        shorter.hops.pop();
+        let mut other_iface = base.clone();
+        other_iface.hops[1].egress = IfaceId(23); // "2" vs "23": prefix case
+        let mut other_as = base.clone();
+        other_as.hops[2].ia = ia(17, 0x1102);
+        let paths = [base, shorter, other_iface, other_as];
+        for a in &paths {
+            for b in &paths {
+                assert_eq!(
+                    sequence_cmp(a, b),
+                    a.sequence().cmp(&b.sequence()),
+                    "{} vs {}",
+                    a.sequence(),
+                    b.sequence()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn digest_tracks_hops_and_macs() {
+        let p = sample_path();
+        assert_eq!(p.digest(), p.digest());
+        let mut moved = p.clone();
+        moved.hops[1].egress = IfaceId(9);
+        assert_ne!(p.digest(), moved.digest());
+        let mut tagged = p.clone();
+        tagged.macs = vec![MacTag(1); tagged.hops.len()];
+        assert_ne!(p.digest(), tagged.digest());
+        // Metadata does not participate: same route, same digest.
+        let mut remeta = p.clone();
+        remeta.mtu = 9000;
+        remeta.expected_latency_ms = 1.0;
+        remeta.status = PathStatus::Timeout;
+        assert_eq!(p.digest(), remeta.digest());
     }
 
     #[test]

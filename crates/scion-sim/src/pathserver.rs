@@ -11,10 +11,12 @@
 use crate::addr::{IfaceId, IsdAsn};
 use crate::beacon::{run_beaconing, BeaconConfig, BeaconStore, KeyProvider};
 use crate::crypto::MacTag;
-use crate::path::{PathHop, PathStatus, ScionPath};
+use crate::path::{route_key, sequence_cmp, PathHop, PathStatus, ScionPath};
 use crate::segments::{hop_mac, Segment};
 use crate::topology::{LinkKind, Topology};
-use std::collections::HashSet;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Info-field constant binding data-plane path MACs (distinct from
 /// beacon-time segment MACs).
@@ -53,19 +55,39 @@ impl std::fmt::Display for PathError {
 impl std::error::Error for PathError {}
 
 /// The path server for one simulated network.
-#[derive(Debug, Clone)]
+///
+/// In real SCION the path server *is* a cache over beaconed segments;
+/// this one additionally memoizes the full ranked path list per
+/// `(src, dst)` pair. Segments are immutable after beaconing, so cached
+/// entries never need invalidation — liveness against the mutable fault
+/// state is the network's per-call concern, not the path server's.
+/// A memoized ranked path list, shared across network forks.
+type RankedList = Arc<Vec<ScionPath>>;
+
+#[derive(Debug)]
 pub struct PathServer {
-    store: BeaconStore,
+    store: Arc<BeaconStore>,
     keys: KeyProvider,
+    /// Memoized ranked path lists, shared across network forks. Lookups
+    /// compute under the lock so each pair is enumerated exactly once
+    /// globally, keeping cache-counter totals identical between
+    /// sequential and parallel campaigns.
+    ranked_cache: Mutex<HashMap<(IsdAsn, IsdAsn), RankedList>>,
 }
 
 impl PathServer {
     /// Run beaconing over `topo` and index the resulting segments.
     pub fn new(topo: &Topology, keys: KeyProvider, cfg: &BeaconConfig) -> PathServer {
         PathServer {
-            store: run_beaconing(topo, &keys, cfg),
+            store: Arc::new(run_beaconing(topo, &keys, cfg)),
             keys,
+            ranked_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The immutable segment store (shared by every fork of a network).
+    pub fn beacon_store(&self) -> &Arc<BeaconStore> {
+        &self.store
     }
 
     /// Segment statistics (diagnostics).
@@ -76,12 +98,55 @@ impl PathServer {
         )
     }
 
+    /// The full ranked path list for `(src, dst)` plus whether it was
+    /// served from the memoization cache. Any `max` cap is a slice of
+    /// this list ([`PathServer::query`]), so the expensive enumeration
+    /// runs once per pair for the lifetime of the control plane.
+    pub fn ranked(&self, topo: &Topology, src: IsdAsn, dst: IsdAsn) -> (Arc<Vec<ScionPath>>, bool) {
+        if src == dst {
+            return (Arc::new(Vec::new()), true);
+        }
+        let mut cache = self.ranked_cache.lock();
+        if let Some(full) = cache.get(&(src, dst)) {
+            return (full.clone(), true);
+        }
+        // Compute under the lock: concurrent callers for the same pair
+        // must observe exactly one miss between them.
+        let full = Arc::new(self.enumerate(topo, src, dst));
+        cache.insert((src, dst), full.clone());
+        (full, false)
+    }
+
     /// All end-to-end paths from `src` to `dst`, ranked by hop count then
     /// expected latency, capped at `max`. Mirrors `scion showpaths -m`.
     pub fn query(&self, topo: &Topology, src: IsdAsn, dst: IsdAsn, max: usize) -> Vec<ScionPath> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let (full, _) = self.ranked(topo, src, dst);
+        full.iter().take(max).cloned().collect()
+    }
+
+    /// Reference implementation of [`PathServer::query`] that bypasses
+    /// the memoization cache entirely — the oracle cached lookups are
+    /// tested against, and the baseline the benchmarks compare to.
+    pub fn query_uncached(
+        &self,
+        topo: &Topology,
+        src: IsdAsn,
+        dst: IsdAsn,
+        max: usize,
+    ) -> Vec<ScionPath> {
         if src == dst || max == 0 {
             return Vec::new();
         }
+        let mut out = self.enumerate(topo, src, dst);
+        out.truncate(max);
+        out
+    }
+
+    /// Enumerate and rank every path from `src` to `dst` (uncapped).
+    fn enumerate(&self, topo: &Topology, src: IsdAsn, dst: IsdAsn) -> Vec<ScionPath> {
         let src_core = is_core(topo, src);
         let dst_core = is_core(topo, dst);
 
@@ -102,7 +167,7 @@ impl PathServer {
             }
         };
 
-        let mut seen: HashSet<String> = HashSet::new();
+        let mut seen: HashSet<u64> = HashSet::new();
         let mut out: Vec<ScionPath> = Vec::new();
         for up in &ups {
             let cs = up.map_or(src, |s| s.first_ia());
@@ -139,20 +204,20 @@ impl PathServer {
                         .partial_cmp(&b.expected_latency_ms)
                         .expect("latency is finite")
                 })
-                .then_with(|| a.sequence().cmp(&b.sequence()))
+                .then_with(|| sequence_cmp(a, b))
         });
-        out.truncate(max);
         out
     }
 
     /// Re-attach metadata and MACs to a bare route (e.g. parsed from a
     /// `--sequence` string). Returns `None` if the route is not one the
-    /// control plane would construct.
+    /// control plane would construct. Serves from the ranked cache and
+    /// stops at the first matching route instead of materializing the
+    /// full enumeration per call.
     pub fn authorize(&self, topo: &Topology, route: &ScionPath) -> Option<ScionPath> {
         let (src, dst) = (route.src()?, route.dst()?);
-        self.query(topo, src, dst, usize::MAX)
-            .into_iter()
-            .find(|p| p.same_route(route))
+        let (full, _) = self.ranked(topo, src, dst);
+        full.iter().find(|p| p.same_route(route)).cloned()
     }
 
     /// Validate a path exactly as a chain of border routers would:
@@ -186,7 +251,7 @@ impl PathServer {
         up: Option<&Segment>,
         core: Option<&Segment>,
         down: Option<&Segment>,
-        seen: &mut HashSet<String>,
+        seen: &mut HashSet<u64>,
         out: &mut Vec<ScionPath>,
     ) {
         if let Some(hops) = join_segments(up, core, down) {
@@ -198,7 +263,7 @@ impl PathServer {
         &self,
         topo: &Topology,
         hops: Vec<PathHop>,
-        seen: &mut HashSet<String>,
+        seen: &mut HashSet<u64>,
         out: &mut Vec<ScionPath>,
     ) {
         let mut path = ScionPath {
@@ -214,7 +279,7 @@ impl PathServer {
         if attach_metadata(topo, &mut path).is_err() {
             return;
         }
-        if !seen.insert(path.sequence()) {
+        if !seen.insert(route_key(&path.hops)) {
             return;
         }
         path.macs = self.mac_chain(&path);

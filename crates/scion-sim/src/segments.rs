@@ -90,7 +90,15 @@ impl Segment {
         next_in_if: IfaceId,
         next_key: &SymmetricKey,
     ) -> Segment {
-        let mut seg = self.clone();
+        // One exact-sized allocation: the clone-then-push alternative
+        // copies the hop vector and then reallocates it to grow.
+        let mut hops = Vec::with_capacity(self.hops.len() + 1);
+        hops.extend_from_slice(&self.hops);
+        let mut seg = Segment {
+            kind: self.kind,
+            info: self.info,
+            hops,
+        };
         let last_idx = seg.hops.len() - 1;
         let prev_mac = if last_idx == 0 {
             MacTag(0)

@@ -253,6 +253,11 @@ pub struct Topology {
     /// links_of[as] = link indices incident to that AS.
     #[serde(skip)]
     adjacency: Vec<Vec<LinkIndex>>,
+    /// iface_map[as][iface] = the link attached there; O(1) egress
+    /// resolution on the per-hop hot paths (validation, compilation,
+    /// liveness probing).
+    #[serde(skip)]
+    iface_map: Vec<HashMap<IfaceId, LinkIndex>>,
 }
 
 impl Topology {
@@ -299,8 +304,8 @@ impl Topology {
 
     /// Resolve the link attached to interface `iface` of AS `idx`.
     pub fn link_at_iface(&self, idx: AsIndex, iface: IfaceId) -> Option<(LinkIndex, &Link)> {
-        self.links_of(idx)
-            .find(|(_, l)| l.iface_of(idx) == Some(iface))
+        let li = *self.iface_map.get(idx.0 as usize)?.get(&iface)?;
+        Some((li, self.link(li)))
     }
 
     /// All ISD numbers present.
@@ -421,9 +426,12 @@ impl Topology {
             .map(|(i, n)| (n.ia, AsIndex(i as u32)))
             .collect();
         self.adjacency = vec![Vec::new(); self.ases.len()];
+        self.iface_map = vec![HashMap::new(); self.ases.len()];
         for (i, l) in self.links.iter().enumerate() {
             self.adjacency[l.a.0 as usize].push(LinkIndex(i as u32));
             self.adjacency[l.b.0 as usize].push(LinkIndex(i as u32));
+            self.iface_map[l.a.0 as usize].insert(l.a_if, LinkIndex(i as u32));
+            self.iface_map[l.b.0 as usize].insert(l.b_if, LinkIndex(i as u32));
         }
     }
 }
@@ -565,6 +573,7 @@ impl TopologyBuilder {
             links: self.links,
             by_ia: HashMap::new(),
             adjacency: Vec::new(),
+            iface_map: Vec::new(),
         };
         topo.reindex();
         // Every non-core AS reaches a core of its ISD walking child→parent.
