@@ -1,7 +1,8 @@
 //! Dump machine-readable baselines for the query planner, the selection
-//! engine, the durability ablation and the control-plane caching layer:
-//! `BENCH_pathdb.json`, `BENCH_select.json`, `BENCH_durability.json`,
-//! `BENCH_net.json` and `BENCH_campaign.json` at the repository root.
+//! engine, the durability ablation, the control-plane caching layer and
+//! the strategy registry: `BENCH_pathdb.json`, `BENCH_select.json`,
+//! `BENCH_durability.json`, `BENCH_net.json`, `BENCH_campaign.json`
+//! and `BENCH_strategies.json` at the repository root.
 //! CI and PR reviews diff these numbers instead of eyeballing criterion
 //! output.
 //!
@@ -457,10 +458,95 @@ fn bench_campaign() {
     println!("  end-to-end campaign speedup: {:.2}x", uncached / cached);
 }
 
+/// Strategy matrix: every registered selection strategy ranking the
+/// same synthetic campaign, plus the axiomatic evaluation harness over
+/// a measured scionlab campaign — the per-strategy overhead relative
+/// to the paper's ranking and the parallel-fold speedup, on record.
+fn bench_strategies() {
+    use scion_sim::net::ScionNetwork;
+    use upin_core::axioms::{evaluate_strategies, EvalConfig};
+    use upin_core::config::SuiteConfig;
+    use upin_core::strategy::{registry, StrategyContext};
+    use upin_core::suite::TestSuite;
+
+    let db = synthetic_db(21, 24, 60, true);
+    let ctx = StrategyContext { db: &db, seed: 42 };
+    let request = UserRequest {
+        server_id: 7,
+        objective: Objective::MinLatency,
+        constraints: Constraints::default(),
+    };
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for strategy in registry() {
+        strategy.rank(&ctx, &request, 3).unwrap(); // warm the aggregate cache
+        let ns = time_ns(200, || {
+            std::hint::black_box(strategy.rank(&ctx, &request, 3).unwrap());
+        });
+        rows.push((format!("rank/{}", strategy.name()), ns));
+    }
+
+    let net = ScionNetwork::scionlab(42);
+    let campaign_db = Database::new();
+    upin_core::schema::ensure_indexes(&campaign_db);
+    let cfg = SuiteConfig {
+        iterations: 1,
+        ping_count: 3,
+        run_bwtests: true,
+        some_only: true,
+        ..SuiteConfig::default()
+    };
+    let suite = TestSuite::new(&net, &campaign_db, cfg);
+    suite.bootstrap().unwrap();
+    suite.run().unwrap();
+    let local = scion_sim::topology::scionlab::MY_AS;
+    let eval = |parallel: bool| EvalConfig {
+        epochs: 4,
+        seed: 42,
+        parallel,
+        ..EvalConfig::default()
+    };
+    let sequential = time_ns(10, || {
+        std::hint::black_box(evaluate_strategies(&campaign_db, &net, local, &eval(false)).unwrap());
+    });
+    let parallel = time_ns(10, || {
+        std::hint::black_box(evaluate_strategies(&campaign_db, &net, local, &eval(true)).unwrap());
+    });
+    rows.push(("evaluate/sequential".into(), sequential));
+    rows.push(("evaluate/parallel".into(), parallel));
+
+    let paper = rows
+        .iter()
+        .find(|(l, _)| l == "rank/paper")
+        .map(|(_, ns)| *ns)
+        .unwrap();
+    let worst_baseline = rows
+        .iter()
+        .filter(|(l, _)| l.starts_with("rank/") && l != "rank/paper")
+        .map(|(_, ns)| *ns)
+        .fold(0.0f64, f64::max);
+
+    let borrowed: Vec<(&str, f64)> = rows.iter().map(|(l, ns)| (l.as_str(), *ns)).collect();
+    dump_with_ratios(
+        "BENCH_strategies.json",
+        &borrowed,
+        &[
+            ("worst_baseline_vs_paper", worst_baseline / paper),
+            ("evaluate_parallel_speedup", sequential / parallel),
+        ],
+    );
+    println!(
+        "  worst baseline vs paper: {:.2}x, parallel evaluation speedup: {:.2}x",
+        worst_baseline / paper,
+        sequential / parallel
+    );
+}
+
 fn main() {
     bench_pathdb();
     bench_select();
     bench_durability();
     bench_net();
     bench_campaign();
+    bench_strategies();
 }

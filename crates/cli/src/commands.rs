@@ -232,9 +232,13 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                     .as_ref()
                     .map(|w| format!("{:.1} Mbps", w.mean))
                     .unwrap_or_else(|| "-".into());
+                let loss = a
+                    .mean_loss_pct
+                    .map(|l| format!("{l:.1}%"))
+                    .unwrap_or_else(|| "-".into());
                 format!(
-                    "{tag} {}  hops={} samples={} latency={} loss={:.1}% down={}\n    via {}\n",
-                    a.path_id, a.hops, a.samples, lat, a.mean_loss_pct, down, a.sequence
+                    "{tag} {}  hops={} samples={} latency={} loss={} down={}\n    via {}\n",
+                    a.path_id, a.hops, a.samples, lat, loss, down, a.sequence
                 )
             };
 
@@ -408,21 +412,62 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             .map_err(CliError::Tool)?;
             finish(&s, out)
         }
+        "evaluate-strategies" => {
+            let p = parse(
+                with_globals(
+                    Spec::new(0, 0)
+                        .value("epochs")
+                        .value("objective")
+                        .value("strategy")
+                        .flag("parallel"),
+                ),
+                rest,
+            )?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let cfg = upin_core::axioms::EvalConfig {
+                epochs: p
+                    .opt_parse::<u32>("epochs")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(4),
+                objective: objective_from(&p)?,
+                constraints: Constraints::default(),
+                seed: p
+                    .opt_parse::<u64>("seed")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(42),
+                parallel: p.flag("parallel"),
+                only: p.opt("strategy").map(String::from),
+            };
+            let cards = upin_core::axioms::evaluate_strategies(&s.db, &s.net, s.local, &cfg)?;
+            upin_core::axioms::store_scorecards(&s.db, &cards, &cfg)?;
+            s.persist()?;
+            finish(&s, upin_core::report::render_strategies(&cards))
+        }
         "report" => {
             // `upin report telemetry <metrics.json>`: summarize a
             // metrics export produced with `--metrics-out`.
-            let p = parse(Spec::new(2, 2), rest)?;
+            // `upin report strategies [--db DIR]`: render the stored
+            // strategy scorecards from the last `evaluate-strategies`.
+            let p = parse(with_globals(Spec::new(1, 2)), rest)?;
             match p.positional[0].as_str() {
                 "telemetry" => {
-                    let path = &p.positional[1];
+                    let path = p.positional.get(1).ok_or_else(|| {
+                        CliError::Usage("report telemetry expects a metrics.json path".into())
+                    })?;
                     let text = std::fs::read_to_string(path)
                         .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
                     let doc = upin_telemetry::MetricsDoc::parse(&text)
                         .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
                     Ok(doc.render_table())
                 }
+                "strategies" => {
+                    let s = open(&p)?;
+                    let cards = upin_core::axioms::load_scorecards(&s.db)?;
+                    finish(&s, upin_core::report::render_strategies(&cards))
+                }
                 other => Err(CliError::Usage(format!(
-                    "unknown report {other:?} (expected: telemetry)"
+                    "unknown report {other:?} (expected: telemetry, strategies)"
                 ))),
             }
         }
@@ -456,7 +501,11 @@ fn usage() -> String {
      \x20 health <server|addr> [--window N] [--sigmas K]   anomaly scan\n\
      \x20 exec \"scion ping ... \"                executes a literal tool command line\n\
      \x20 summary                              campaign scalars + Fig 4\n\
+     \x20 evaluate-strategies [--epochs N] [--objective X] [--strategy NAME]\n\
+     \x20           [--parallel]               score all selection strategies on the\n\
+     \x20                                      Pareto/stability/fairness axioms\n\
      \x20 report telemetry <metrics.json>      summarize a --metrics-out export\n\
+     \x20 report strategies                    render the stored strategy scorecard\n\
      \n\
      global: --seed N (default 42), --db DIR (persistent database),\n\
      \x20       --durability LEVEL (none|snapshot|wal; default snapshot —\n\
@@ -843,7 +892,49 @@ mod tests {
             "--db",
             dbflag,
         ]);
-        assert!(err.is_err());
+        // The classified failure names the stage: nothing matched the
+        // metadata constraints at all.
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("matches the constraints"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evaluate_strategies_scores_the_full_registry() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-strat-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+        // Bandwidth stats included so widest-path has data to rank on.
+        run_cli(&["campaign", "1", "--some_only", "--db", dbflag]).unwrap();
+
+        let out = run_cli(&["evaluate-strategies", "--db", dbflag, "--epochs", "3"]).unwrap();
+        assert!(out.contains("Strategy scorecard"), "{out}");
+        for name in upin_core::strategy::names() {
+            assert!(out.contains(name), "{name} missing from scorecard:\n{out}");
+        }
+
+        // The scorecard persists and `report strategies` re-renders it.
+        let table = run_cli(&["report", "strategies", "--db", dbflag]).unwrap();
+        assert!(table.contains("Strategy scorecard"), "{table}");
+        assert!(table.contains("paper"), "{table}");
+
+        // Restricting to one strategy keeps only that row.
+        let one = run_cli(&[
+            "evaluate-strategies",
+            "--db",
+            dbflag,
+            "--epochs",
+            "2",
+            "--strategy",
+            "shortest-path",
+        ])
+        .unwrap();
+        assert!(one.contains("shortest-path"), "{one}");
+        assert!(!one.contains("widest-path"), "{one}");
+
+        let err = run_cli(&["evaluate-strategies", "--db", dbflag, "--strategy", "vibes"]);
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("unknown strategy"), "{msg}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

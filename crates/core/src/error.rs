@@ -4,6 +4,64 @@ use pathdb::DbError;
 use scion_tools::ToolError;
 use std::fmt;
 
+/// Why a selection request produced an empty ranking — the three
+/// distinguishable stages of [`crate::select::recommend`], with the
+/// candidate counts at each stage so the caller (and the CLI user) can
+/// tell "nothing matches your exclusions" apart from "everything was
+/// gated" and "nothing carries the statistic you asked to rank by".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectionFailure {
+    /// No stored path passed the metadata constraints (exclusions, hop
+    /// bound, liveness) at all.
+    NoMatch { server_id: u32 },
+    /// Paths matched the constraints, but every one was removed by the
+    /// `min_samples` / `max_loss_pct` statistics gates.
+    AllGated { server_id: u32, matched: usize },
+    /// Paths survived the gates, but none carries the objective's
+    /// statistic (e.g. a jitter ranking over ping-less paths).
+    AllUnscorable {
+        server_id: u32,
+        matched: usize,
+        gated: usize,
+    },
+}
+
+impl SelectionFailure {
+    /// The destination the failed request addressed.
+    pub fn server_id(&self) -> u32 {
+        match self {
+            SelectionFailure::NoMatch { server_id }
+            | SelectionFailure::AllGated { server_id, .. }
+            | SelectionFailure::AllUnscorable { server_id, .. } => *server_id,
+        }
+    }
+}
+
+impl fmt::Display for SelectionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionFailure::NoMatch { server_id } => write!(
+                f,
+                "no path to destination {server_id} matches the constraints"
+            ),
+            SelectionFailure::AllGated { server_id, matched } => write!(
+                f,
+                "destination {server_id}: {matched} path(s) match the constraints, \
+                 but all were removed by the min_samples/max_loss_pct gates"
+            ),
+            SelectionFailure::AllUnscorable {
+                server_id,
+                matched,
+                gated,
+            } => write!(
+                f,
+                "destination {server_id}: {matched} path(s) match, {gated} passed the \
+                 gates, but none carries the objective's statistic"
+            ),
+        }
+    }
+}
+
 /// Errors surfaced by the UPIN core.
 #[derive(Debug)]
 pub enum SuiteError {
@@ -15,6 +73,12 @@ pub enum SuiteError {
     Schema(String),
     /// A user request is unsatisfiable (no candidate paths remain).
     NoCandidates(String),
+    /// A selection request produced an empty ranking; the payload says
+    /// at which stage the candidates ran out, with counts.
+    Selection(SelectionFailure),
+    /// A request was malformed before any path was considered (e.g.
+    /// `k = 0`).
+    InvalidRequest(String),
     /// A signed write failed authentication.
     Unauthorized(String),
     /// The campaign runner itself failed (e.g. a worker thread died) —
@@ -30,6 +94,8 @@ impl fmt::Display for SuiteError {
             SuiteError::Db(e) => write!(f, "database error: {e}"),
             SuiteError::Schema(m) => write!(f, "schema error: {m}"),
             SuiteError::NoCandidates(m) => write!(f, "no candidate paths: {m}"),
+            SuiteError::Selection(failure) => write!(f, "no candidate paths: {failure}"),
+            SuiteError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             SuiteError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
             SuiteError::Campaign(m) => write!(f, "campaign runner error: {m}"),
         }

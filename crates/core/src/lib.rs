@@ -21,6 +21,12 @@
 //! * [`select`] — the selection engine: performance objectives and
 //!   geographic/sovereignty/operator exclusion constraints over the
 //!   collected statistics.
+//! * [`strategy`] — pluggable selection strategies behind one trait:
+//!   the paper's ranking plus shortest-path, widest-path, latency /
+//!   jitter / loss greedy, seeded-random and SCION-default baselines.
+//! * [`axioms`] — the strategy-evaluation harness: replay every
+//!   registered strategy over a recorded campaign and score
+//!   Pareto-efficiency, stability under fault epochs, and fairness.
 //! * [`statcache`] — incremental memoization of per-destination
 //!   measurement groupings and per-path aggregates, keyed on the
 //!   collections' mutation versions: unchanged databases answer
@@ -51,6 +57,7 @@
 //! ```
 
 pub mod analysis;
+pub mod axioms;
 pub mod collect;
 pub mod config;
 pub mod domain;
@@ -65,11 +72,14 @@ pub mod schema;
 pub mod security;
 pub mod select;
 pub mod statcache;
+pub mod strategy;
 pub mod suite;
 pub mod verify;
 
+pub use axioms::{evaluate_strategies, EvalConfig, Scorecard};
 pub use config::SuiteConfig;
-pub use error::{SuiteError, SuiteResult};
+pub use error::{SelectionFailure, SuiteError, SuiteResult};
 pub use schema::{PathId, PathMeasurement, StatId};
 pub use select::{Constraints, Objective, Recommendation, UserRequest};
+pub use strategy::{SelectionStrategy, StrategyContext};
 pub use suite::{SuiteReport, TestSuite};

@@ -16,7 +16,7 @@ pub fn criterion_value(a: &PathAggregate, objective: Objective) -> Option<f64> {
     match objective {
         Objective::MinLatency => a.latency.as_ref().map(|w| w.mean),
         Objective::MinJitter => a.jitter_ms,
-        Objective::MinLoss => Some(a.mean_loss_pct),
+        Objective::MinLoss => a.mean_loss_pct,
         Objective::MaxBandwidthDown => a.bw_down_mtu.as_ref().map(|w| -w.mean),
         Objective::MaxBandwidthUp => a.bw_up_mtu.as_ref().map(|w| -w.mean),
     }
@@ -182,7 +182,7 @@ mod tests {
             samples: 5,
             latency: w(latency),
             jitter_ms: Some(latency / 20.0),
-            mean_loss_pct: loss,
+            mean_loss_pct: Some(loss),
             bw_up_mtu: w(down / 3.0),
             bw_down_mtu: w(down),
         }

@@ -144,6 +144,37 @@ pub fn render_summary(s: &CampaignSummary) -> String {
     )
 }
 
+/// The [`crate::axioms`] scorecard table: one row per strategy, best
+/// (highest combined axiom score) first.
+pub fn render_strategies(cards: &[crate::axioms::Scorecard]) -> String {
+    if cards.is_empty() {
+        return "no strategy scorecards stored — run `evaluate-strategies` first\n".to_string();
+    }
+    let cell = |x: Option<f64>| match x {
+        Some(v) => format!("{v:>9.3}"),
+        None => format!("{:>9}", "-"),
+    };
+    let mut out = String::from("Strategy scorecard — axiomatic evaluation (best first)\n");
+    out.push_str(&format!(
+        "{:<4} {:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "rank", "strategy", "pareto", "stable", "fair", "combined", "answered", "failures"
+    ));
+    for (i, c) in cards.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<4} {:<16} {} {} {} {:>9.3} {:>9} {:>9}\n",
+            i + 1,
+            c.strategy,
+            cell(c.pareto_efficiency),
+            cell(c.stability),
+            cell(c.fairness),
+            c.combined,
+            c.answered,
+            c.failures
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

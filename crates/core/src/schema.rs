@@ -14,6 +14,9 @@ pub const AVAILABLE_SERVERS: &str = "availableServers";
 pub const PATHS: &str = "paths";
 /// Collection holding per-measurement statistics.
 pub const PATHS_STATS: &str = "paths_stats";
+/// Collection holding the latest [`crate::axioms`] strategy scorecards
+/// (one document per registered strategy, `_id` = strategy name).
+pub const STRATEGY_SCORECARDS: &str = "strategy_scorecards";
 
 /// Identifier of a path: destination server id plus a progressive path
 /// number (`"2_15"` = path 15 of destination 2).

@@ -9,7 +9,7 @@
 //! and returns recommendations with their supporting statistics.
 
 use crate::analysis::Whisker;
-use crate::error::{SuiteError, SuiteResult};
+use crate::error::{SelectionFailure, SuiteError, SuiteResult};
 use crate::schema::{self, PathId, PathMeasurement, PATHS};
 use pathdb::{Database, Document, Filter, Value};
 
@@ -100,7 +100,10 @@ pub struct PathAggregate {
     pub latency: Option<Whisker>,
     /// Mean of per-train jitter (RTT mdev).
     pub jitter_ms: Option<f64>,
-    pub mean_loss_pct: f64,
+    /// Mean packet loss over the finite samples; `None` when the path
+    /// has no usable loss measurement at all — unknown loss is reported
+    /// as unknown, never fabricated as 100%.
+    pub mean_loss_pct: Option<f64>,
     pub bw_up_mtu: Option<Whisker>,
     pub bw_down_mtu: Option<Whisker>,
 }
@@ -117,20 +120,41 @@ pub struct Recommendation {
 
 /// Fold one path's measurements into its aggregate. Shared between the
 /// direct query path and the [`crate::statcache`] memoization layer.
+///
+/// Non-finite samples (NaN, ±inf — e.g. a corrupted stats row) are
+/// excluded per statistic, so one bad value cannot drag a whole mean to
+/// NaN and sink (or, for negated bandwidth objectives, crown) the path.
+/// Every excluded sample increments `*dropped`; callers surface the
+/// total through the `select.samples_dropped` telemetry counter.
 pub(crate) fn build_aggregate(
     path_id: PathId,
     sequence: String,
     hops: usize,
     ms: &[PathMeasurement],
+    dropped: &mut u64,
 ) -> PathAggregate {
-    let lat: Vec<f64> = ms.iter().filter_map(|m| m.avg_latency_ms).collect();
-    let jit: Vec<f64> = ms.iter().filter_map(|m| m.jitter_ms).collect();
-    let up: Vec<f64> = ms.iter().filter_map(|m| m.bw_up_mtu).collect();
-    let down: Vec<f64> = ms.iter().filter_map(|m| m.bw_down_mtu).collect();
-    let loss = if ms.is_empty() {
-        100.0
-    } else {
-        ms.iter().map(|m| m.loss_pct).sum::<f64>() / ms.len() as f64
+    let mut finite = |field: fn(&PathMeasurement) -> Option<f64>| -> Vec<f64> {
+        let mut out = Vec::new();
+        for v in ms.iter().filter_map(field) {
+            if v.is_finite() {
+                out.push(v);
+            } else {
+                *dropped += 1;
+            }
+        }
+        out
+    };
+    let lat = finite(|m| m.avg_latency_ms);
+    let jit = finite(|m| m.jitter_ms);
+    let up = finite(|m| m.bw_up_mtu);
+    let down = finite(|m| m.bw_down_mtu);
+    let loss = finite(|m| Some(m.loss_pct));
+    let mean = |v: &[f64]| -> Option<f64> {
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
     };
     PathAggregate {
         path_id,
@@ -138,12 +162,8 @@ pub(crate) fn build_aggregate(
         hops,
         samples: ms.len(),
         latency: Whisker::from_samples(&lat),
-        jitter_ms: if jit.is_empty() {
-            None
-        } else {
-            Some(jit.iter().sum::<f64>() / jit.len() as f64)
-        },
-        mean_loss_pct: loss,
+        jitter_ms: mean(&jit),
+        mean_loss_pct: mean(&loss),
         bw_up_mtu: Whisker::from_samples(&up),
         bw_down_mtu: Whisker::from_samples(&down),
     }
@@ -167,46 +187,86 @@ pub fn aggregate_paths(
     rec.add("select.candidates", candidates.len() as u64);
     let aggs = crate::statcache::aggregated_paths(db, server_id)?;
     let mut out = Vec::with_capacity(candidates.len());
+    let mut dropped = 0u64;
     for doc in &candidates {
         let (path_id, sequence, hops) = schema::parse_path_doc(doc)?;
         out.push(match aggs.get(&path_id) {
             Some(a) => a.clone(),
             // Raced with an insert between the candidate scan and the
-            // cache read: aggregate with no statistics yet.
-            None => build_aggregate(path_id, sequence, hops, &[]),
+            // cache read: aggregate with no statistics yet — loss stays
+            // honestly unknown (`None`), not a fabricated 100%.
+            None => build_aggregate(path_id, sequence, hops, &[], &mut dropped),
         });
+    }
+    if dropped > 0 {
+        rec.add("select.samples_dropped", dropped);
     }
     Ok(out)
 }
 
 /// Answer a user request: the top-`k` paths under the objective, after
-/// applying constraints and statistics gates.
+/// applying constraints and statistics gates. `k = 0` is rejected as an
+/// invalid request instead of silently returning an empty ranking.
+///
+/// This is the paper's constraint-filtered objective ranking; the same
+/// pipeline is registered as the `paper` [`crate::strategy`], pinned
+/// byte-identical by `crates/core/tests/prop_strategy.rs`.
 pub fn recommend(
     db: &Database,
     request: &UserRequest,
     k: usize,
 ) -> SuiteResult<Vec<Recommendation>> {
-    let mut candidates = aggregate_paths(db, request.server_id, &request.constraints)?;
+    if k == 0 {
+        return Err(SuiteError::InvalidRequest(
+            "k must be >= 1 (an empty ranking answers no request)".into(),
+        ));
+    }
+    let candidates = aggregate_paths(db, request.server_id, &request.constraints)?;
+    paper_rank(request, candidates, k)
+}
+
+/// The canonical ranking pipeline over already-aggregated candidates:
+/// statistics gates, objective scoring, total-order sort, top-`k`.
+/// Empty outcomes are classified into [`SelectionFailure`] variants so
+/// "nothing matched", "everything gated" and "nothing scorable" stay
+/// distinguishable.
+pub(crate) fn paper_rank(
+    request: &UserRequest,
+    mut candidates: Vec<PathAggregate>,
+    k: usize,
+) -> SuiteResult<Vec<Recommendation>> {
+    let matched = candidates.len();
     candidates.retain(|a| a.samples >= request.constraints.min_samples.max(1));
     if let Some(max_loss) = request.constraints.max_loss_pct {
-        candidates.retain(|a| a.mean_loss_pct <= max_loss);
+        // Unknown loss cannot be shown to satisfy the gate: a path
+        // without a usable loss figure is filtered, not trusted.
+        candidates.retain(|a| a.mean_loss_pct.is_some_and(|l| l <= max_loss));
     }
+    let gated = candidates.len();
     let mut scored: Vec<(f64, PathAggregate)> = candidates
         .into_iter()
         .filter_map(|a| score(&a, request.objective).map(|s| (s, a)))
         .collect();
-    // total_cmp instead of partial_cmp: a NaN score (e.g. a path whose
-    // only stored jitter samples are NaN) must rank last, not panic a
-    // user query.
+    // total_cmp keeps the sort total even for a non-finite score (the
+    // aggregates exclude non-finite samples, so in practice scores are
+    // finite; this is belt and braces, not NaN handling).
     scored.sort_by(|x, y| {
         x.0.total_cmp(&y.0)
             .then_with(|| x.1.path_id.cmp(&y.1.path_id))
     });
     if scored.is_empty() {
-        return Err(SuiteError::NoCandidates(format!(
-            "no path to destination {} satisfies the request",
-            request.server_id
-        )));
+        let server_id = request.server_id;
+        return Err(SuiteError::Selection(if matched == 0 {
+            SelectionFailure::NoMatch { server_id }
+        } else if gated == 0 {
+            SelectionFailure::AllGated { server_id, matched }
+        } else {
+            SelectionFailure::AllUnscorable {
+                server_id,
+                matched,
+                gated,
+            }
+        }));
     }
     Ok(scored
         .into_iter()
@@ -247,9 +307,13 @@ pub fn describe_choices(db: &Database, server_id: u32) -> SuiteResult<String> {
             .as_ref()
             .map(|w| format!("{:.1}Mbps", w.mean))
             .unwrap_or_else(|| "-".into());
+        let loss = a
+            .mean_loss_pct
+            .map(|l| format!("{l:.1}%"))
+            .unwrap_or_else(|| "-".into());
         out.push_str(&format!(
-            "  {}  hops={} samples={} latency={} loss={:.1}% down={}\n",
-            a.path_id, a.hops, a.samples, lat, a.mean_loss_pct, down
+            "  {}  hops={} samples={} latency={} loss={} down={}\n",
+            a.path_id, a.hops, a.samples, lat, loss, down
         ));
     }
     Ok(out)
@@ -389,7 +453,8 @@ mod tests {
             assert!(w[0] >= w[1]);
         }
 
-        // 5. Unsatisfiable constraints report NoCandidates.
+        // 5. Unsatisfiable constraints report a NoMatch selection
+        //    failure (nothing passed the metadata constraints).
         let impossible = UserRequest {
             server_id: ireland,
             objective: Objective::MinLatency,
@@ -400,7 +465,9 @@ mod tests {
         };
         assert!(matches!(
             recommend(&db, &impossible, 1),
-            Err(SuiteError::NoCandidates(_))
+            Err(SuiteError::Selection(
+                crate::error::SelectionFailure::NoMatch { .. }
+            ))
         ));
 
         // 6. describe_choices lists every candidate.
@@ -428,63 +495,273 @@ mod tests {
         }
     }
 
-    #[test]
-    fn nan_scores_rank_last_instead_of_panicking() {
-        use crate::schema::{PathMeasurement, StatId, PATHS_STATS};
-        let db = Database::new();
-        // Two stored paths for destination 1.
-        {
-            let handle = db.collection(PATHS);
-            let mut coll = handle.write();
-            for idx in 0..2i64 {
-                coll.insert_one(pathdb::doc! {
-                    "_id" => format!("1_{idx}"),
-                    "server_id" => 1i64,
-                    "path_index" => idx,
-                    "sequence" => format!("seq-{idx}"),
-                    "hops" => 5i64,
-                })
-                .unwrap();
-            }
+    /// Insert `paths` metadata for `n` paths of destination 1.
+    fn insert_paths(db: &Database, n: u32) {
+        let handle = db.collection(PATHS);
+        let mut coll = handle.write();
+        for idx in 0..n as i64 {
+            coll.insert_one(pathdb::doc! {
+                "_id" => format!("1_{idx}"),
+                "server_id" => 1i64,
+                "path_index" => idx,
+                "sequence" => format!("seq-{idx}"),
+                "hops" => 5i64,
+            })
+            .unwrap();
         }
-        // Path 1_0's only jitter sample is NaN; path 1_1 is healthy.
-        {
-            let handle = db.collection(PATHS_STATS);
-            let mut coll = handle.write();
-            for (idx, jitter) in [(0u32, f64::NAN), (1u32, 0.4)] {
-                let m = PathMeasurement {
-                    stat_id: StatId {
-                        path: PathId {
-                            server_id: 1,
-                            path_index: idx,
-                        },
-                        timestamp_ms: 1000,
-                    },
-                    isds: vec![17],
-                    hops: 5,
-                    avg_latency_ms: Some(25.0),
-                    jitter_ms: Some(jitter),
-                    loss_pct: 0.0,
-                    bw_up_64: None,
-                    bw_down_64: None,
-                    bw_up_mtu: None,
-                    bw_down_mtu: None,
-                    target_mbps: 12.0,
-                    error: None,
-                };
-                coll.insert_one(m.to_doc()).unwrap();
+    }
+
+    fn measurement(path_index: u32, ts: u64) -> PathMeasurement {
+        use crate::schema::StatId;
+        PathMeasurement {
+            stat_id: StatId {
+                path: PathId {
+                    server_id: 1,
+                    path_index,
+                },
+                timestamp_ms: ts,
+            },
+            isds: vec![17],
+            hops: 5,
+            avg_latency_ms: Some(25.0),
+            jitter_ms: Some(0.5),
+            loss_pct: 0.0,
+            bw_up_mtu: Some(8.0),
+            bw_down_mtu: Some(11.0),
+            bw_up_64: None,
+            bw_down_64: None,
+            target_mbps: 12.0,
+            error: None,
+        }
+    }
+
+    fn insert_stat(db: &Database, m: PathMeasurement) {
+        let handle = db.collection(crate::schema::PATHS_STATS);
+        handle.write().insert_one(m.to_doc()).unwrap();
+    }
+
+    /// Regression (bugfix 1): one non-finite sample in any statistic
+    /// must not poison the path's mean — it is dropped per statistic,
+    /// the remaining samples still average, and the path keeps a finite
+    /// score under every objective the remaining data supports.
+    #[test]
+    fn non_finite_samples_are_dropped_per_statistic() {
+        for (objective, poison) in [
+            (Objective::MinLatency, f64::NAN),
+            (Objective::MinLatency, f64::INFINITY),
+            (Objective::MinLatency, f64::NEG_INFINITY),
+            (Objective::MinJitter, f64::NAN),
+            (Objective::MinJitter, f64::INFINITY),
+            (Objective::MinLoss, f64::NAN),
+            (Objective::MinLoss, f64::NEG_INFINITY),
+            (Objective::MaxBandwidthDown, f64::NAN),
+            (Objective::MaxBandwidthDown, f64::INFINITY),
+            (Objective::MaxBandwidthUp, f64::NAN),
+        ] {
+            let db = Database::new();
+            insert_paths(&db, 2);
+            // Path 1_0: one clean sample plus one poisoned sample in
+            // the objective's statistic. Path 1_1: two clean but worse
+            // samples, so 1_0 must still win on its clean data.
+            let mut good = measurement(0, 1000);
+            let mut poisoned = measurement(0, 2000);
+            match objective {
+                Objective::MinLatency => {
+                    good.avg_latency_ms = Some(10.0);
+                    poisoned.avg_latency_ms = Some(poison);
+                }
+                Objective::MinJitter => {
+                    good.jitter_ms = Some(0.1);
+                    poisoned.jitter_ms = Some(poison);
+                }
+                Objective::MinLoss => {
+                    good.loss_pct = 0.0;
+                    poisoned.loss_pct = poison;
+                }
+                Objective::MaxBandwidthDown => {
+                    good.bw_down_mtu = Some(50.0);
+                    poisoned.bw_down_mtu = Some(poison);
+                }
+                Objective::MaxBandwidthUp => {
+                    good.bw_up_mtu = Some(50.0);
+                    poisoned.bw_up_mtu = Some(poison);
+                }
             }
+            insert_stat(&db, good);
+            insert_stat(&db, poisoned);
+            for ts in [1000, 2000] {
+                insert_stat(&db, measurement(1, ts));
+            }
+            let req = UserRequest {
+                server_id: 1,
+                objective,
+                constraints: Constraints::default(),
+            };
+            // Pre-fix: the poisoned mean is NaN (ranks last) or ±inf
+            // (ranks first for negated bandwidth objectives) regardless
+            // of the clean sample. Post-fix the clean sample decides.
+            let recs = recommend(&db, &req, 10).unwrap();
+            assert_eq!(recs.len(), 2, "{objective:?}/{poison}");
+            assert_eq!(
+                recs[0].aggregate.path_id.path_index, 0,
+                "clean data must decide under {objective:?} poisoned with {poison}"
+            );
+            assert!(
+                recs.iter().all(|r| r.score.is_finite()),
+                "{objective:?}/{poison}: scores stay finite"
+            );
+        }
+    }
+
+    /// Regression (bugfix 1): dropped non-finite samples are counted in
+    /// the `select.samples_dropped` telemetry counter.
+    #[test]
+    fn dropped_samples_are_counted() {
+        use upin_telemetry::Telemetry;
+        let mut db = Database::new();
+        let telemetry = std::sync::Arc::new(Telemetry::new());
+        db.set_recorder(Some(telemetry.clone()));
+        insert_paths(&db, 1);
+        let mut m = measurement(0, 1000);
+        m.avg_latency_ms = Some(f64::NAN);
+        m.jitter_ms = Some(f64::INFINITY);
+        insert_stat(&db, m);
+        insert_stat(&db, measurement(0, 2000));
+        let req = UserRequest {
+            server_id: 1,
+            objective: Objective::MinLatency,
+            constraints: Constraints::default(),
+        };
+        recommend(&db, &req, 1).unwrap();
+        let metrics = telemetry.metrics_json();
+        assert!(
+            metrics.contains("select.samples_dropped"),
+            "dropped-sample counter must be exported: {metrics}"
+        );
+    }
+
+    /// Regression (bugfix 2): a path with zero measurements reports
+    /// unknown loss (`None`), not a fabricated 100%, and unknown loss
+    /// never passes a `max_loss_pct` gate.
+    #[test]
+    fn zero_measurement_paths_report_unknown_loss() {
+        let db = Database::new();
+        insert_paths(&db, 1);
+        let aggs = aggregate_paths(&db, 1, &Constraints::default()).unwrap();
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].samples, 0);
+        assert_eq!(
+            aggs[0].mean_loss_pct, None,
+            "unknown loss must not be invented"
+        );
+        // The renderer prints "-" for the unknown figure.
+        let text = describe_choices(&db, 1).unwrap();
+        assert!(text.contains("loss=-"), "{text}");
+
+        // A path whose only loss samples are non-finite also stays
+        // unknown, and a max_loss gate filters it rather than trusting
+        // invented data (even a generous 100% gate).
+        let mut m = measurement(0, 1000);
+        m.loss_pct = f64::NAN;
+        insert_stat(&db, m);
+        let aggs = aggregate_paths(&db, 1, &Constraints::default()).unwrap();
+        assert_eq!(aggs[0].mean_loss_pct, None);
+        let req = UserRequest {
+            server_id: 1,
+            objective: Objective::MinLatency,
+            constraints: Constraints {
+                max_loss_pct: Some(100.0),
+                ..Constraints::default()
+            },
+        };
+        assert!(matches!(
+            recommend(&db, &req, 1),
+            Err(SuiteError::Selection(
+                crate::error::SelectionFailure::AllGated { matched: 1, .. }
+            ))
+        ));
+    }
+
+    /// Regression (bugfix 3): the three empty-ranking causes map to
+    /// distinguishable error variants with stage counts, and `k = 0` is
+    /// an invalid request instead of a silent empty Vec.
+    #[test]
+    fn empty_rankings_are_classified() {
+        use crate::error::SelectionFailure;
+        let db = Database::new();
+        insert_paths(&db, 2);
+        insert_stat(&db, measurement(0, 1000));
+        insert_stat(&db, measurement(1, 1000));
+
+        // k = 0 is rejected up front.
+        let req = UserRequest {
+            server_id: 1,
+            objective: Objective::MinLatency,
+            constraints: Constraints::default(),
+        };
+        assert!(matches!(
+            recommend(&db, &req, 0),
+            Err(SuiteError::InvalidRequest(_))
+        ));
+
+        // Nothing matches the metadata constraints at all.
+        let req = UserRequest {
+            server_id: 99,
+            objective: Objective::MinLatency,
+            constraints: Constraints::default(),
+        };
+        assert!(matches!(
+            recommend(&db, &req, 1),
+            Err(SuiteError::Selection(SelectionFailure::NoMatch {
+                server_id: 99
+            }))
+        ));
+
+        // Candidates match but every one fails the min_samples gate.
+        let req = UserRequest {
+            server_id: 1,
+            objective: Objective::MinLatency,
+            constraints: Constraints {
+                min_samples: 5,
+                ..Constraints::default()
+            },
+        };
+        assert!(matches!(
+            recommend(&db, &req, 1),
+            Err(SuiteError::Selection(SelectionFailure::AllGated {
+                server_id: 1,
+                matched: 2
+            }))
+        ));
+
+        // Candidates pass the gates but lack the objective's statistic
+        // (no 64B bandwidth column is aggregated; use a db whose
+        // measurements carry no bandwidth at all for MinJitter).
+        let db = Database::new();
+        insert_paths(&db, 2);
+        for idx in 0..2 {
+            let mut m = measurement(idx, 1000);
+            m.jitter_ms = None;
+            insert_stat(&db, m);
         }
         let req = UserRequest {
             server_id: 1,
             objective: Objective::MinJitter,
             constraints: Constraints::default(),
         };
-        // Previously: panic at `partial_cmp(...).expect("finite scores")`.
-        let recs = recommend(&db, &req, 10).unwrap();
-        assert_eq!(recs.len(), 2);
-        assert_eq!(recs[0].aggregate.path_id.path_index, 1, "finite score wins");
-        assert!(recs[1].score.is_nan(), "NaN-scored path ranks last");
+        assert!(matches!(
+            recommend(&db, &req, 1),
+            Err(SuiteError::Selection(SelectionFailure::AllUnscorable {
+                server_id: 1,
+                matched: 2,
+                gated: 2
+            }))
+        ));
+
+        // Error text carries the counts for the CLI user.
+        let err = recommend(&db, &req, 1).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("2 path(s) match"), "{text}");
     }
 
     #[test]

@@ -190,6 +190,7 @@ pub fn aggregated_paths(
     // cache's own mutex; keep the aggregate cache unlocked meanwhile.
     let grouped = grouped_measurements(db, server_id)?;
     let mut aggs = BTreeMap::new();
+    let mut dropped = 0u64;
     for d in paths
         .query(Filter::eq("server_id", server_id as i64))
         .refs()
@@ -198,8 +199,11 @@ pub fn aggregated_paths(
         let ms = grouped.get(&path_id).map(Vec::as_slice).unwrap_or(&[]);
         aggs.insert(
             path_id,
-            crate::select::build_aggregate(path_id, sequence, hops, ms),
+            crate::select::build_aggregate(path_id, sequence, hops, ms, &mut dropped),
         );
+    }
+    if dropped > 0 {
+        db.recorder().add("select.samples_dropped", dropped);
     }
     let aggs = Arc::new(aggs);
     let mut map = agg_cache().lock();

@@ -30,7 +30,7 @@ fn arb_aggregate(idx: u32) -> impl Strategy<Value = PathAggregate> {
             samples: 5,
             latency: Some(w(lat)),
             jitter_ms: Some(lat / 20.0),
-            mean_loss_pct: loss,
+            mean_loss_pct: Some(loss),
             bw_up_mtu: Some(w(bw / 3.0)),
             bw_down_mtu: Some(w(bw)),
         }

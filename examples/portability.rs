@@ -72,7 +72,7 @@ fn main() {
                     a.latency.as_ref().map(|w| w.mean).unwrap_or(f64::NAN)
                 );
             }
-            Err(SuiteError::NoCandidates(_)) => {
+            Err(SuiteError::Selection(_)) => {
                 println!("no usable path to {addr} (all samples lost)");
             }
             Err(e) => panic!("unexpected error: {e}"),

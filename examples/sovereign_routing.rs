@@ -59,14 +59,19 @@ fn main() {
                 .as_ref()
                 .map(|w| format!("{:.1} ms", w.mean))
                 .unwrap_or_else(|| "-".into());
+            let loss = r
+                .aggregate
+                .mean_loss_pct
+                .map(|l| format!("{l:.1}%"))
+                .unwrap_or_else(|| "-".into());
             println!(
-                "  #{} {}  hops={}  latency={}  jitter={:.2} ms  loss={:.1}%",
+                "  #{} {}  hops={}  latency={}  jitter={:.2} ms  loss={}",
                 r.rank,
                 r.aggregate.path_id,
                 r.aggregate.hops,
                 lat,
                 r.aggregate.jitter_ms.unwrap_or(f64::NAN),
-                r.aggregate.mean_loss_pct
+                loss
             );
             println!("     via {}", r.aggregate.sequence);
         }

@@ -80,7 +80,7 @@ proptest! {
                 }
                 // A fully-lost destination (heavy random loss) is a
                 // legitimate no-candidates outcome, not a crash.
-                Err(SuiteError::NoCandidates(_)) => {}
+                Err(SuiteError::Selection(_)) => {}
                 Err(e) => return Err(TestCaseError::fail(format!("seed {seed}: {e}"))),
             }
         }
