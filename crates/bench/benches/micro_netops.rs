@@ -77,7 +77,7 @@ fn bench(c: &mut Criterion) {
         ases_per_isd: (6, 9),
         ..RandomTopologyConfig::default()
     };
-    let (big_topo, _) = random_topology(1, &big_cfg);
+    let (big_topo, _) = random_topology(1, &big_cfg).expect("valid config");
     let big = ScionNetwork::new(big_topo, 42);
     g.bench_function("fork_random_6isd", |b| b.iter(|| big.fork(black_box(7))));
 

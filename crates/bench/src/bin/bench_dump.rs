@@ -1,8 +1,10 @@
 //! Dump machine-readable baselines for the query planner, the selection
-//! engine, the durability ablation, the control-plane caching layer and
+//! engine, the durability ablation, the control-plane caching layer,
+//! the topology-scale path (capped beaconing + lazy combination) and
 //! the strategy registry: `BENCH_pathdb.json`, `BENCH_select.json`,
-//! `BENCH_durability.json`, `BENCH_net.json`, `BENCH_campaign.json`
-//! and `BENCH_strategies.json` at the repository root.
+//! `BENCH_durability.json`, `BENCH_net.json`, `BENCH_topo.json`,
+//! `BENCH_campaign.json` and `BENCH_strategies.json` at the
+//! repository root.
 //! CI and PR reviews diff these numbers instead of eyeballing criterion
 //! output.
 //!
@@ -418,6 +420,86 @@ fn bench_net() {
     );
 }
 
+/// Control-plane scale (the capped-beaconing + lazy-combination work):
+/// bring-up — beaconing plus the first ranked `paths()` — of a 1000-AS
+/// BRITE-style topology under a per-pair beacon cap, against the 35-AS
+/// SCIONLab replica's exhaustive bring-up. The acceptance bound on
+/// record: the 1000-AS bring-up stays within 10x of the replica, and
+/// `fork` stays O(1) at that size.
+fn bench_topo() {
+    use scion_sim::beacon::BeaconConfig;
+    use scion_sim::net::ScionNetwork;
+    use scion_sim::topology::random::{gravity_flows, random_topology, RandomTopologyConfig};
+    use scion_sim::topology::scionlab::{scionlab_topology, AWS_IRELAND, MY_AS};
+    use scion_sim::topology::AsKind;
+
+    let cfg = RandomTopologyConfig {
+        isds: 5,
+        ases_per_isd: (190, 210),
+        cores_per_isd: (2, 3),
+        core_mesh_density: 0.5,
+        pref_attachment: 0.6,
+        ..RandomTopologyConfig::default()
+    };
+    let (topo, _) = random_topology(3, &cfg).expect("valid config");
+    let user = topo
+        .ases()
+        .find(|(_, n)| n.kind == AsKind::User)
+        .map(|(_, n)| n.ia)
+        .expect("user AS");
+    let far = topo
+        .ases()
+        .filter(|(_, n)| n.kind.is_core())
+        .map(|(_, n)| n.ia)
+        .max_by_key(|ia| ia.isd)
+        .expect("cores");
+    let cap = BeaconConfig {
+        beacons_per_pair: 8,
+        ..BeaconConfig::default()
+    };
+
+    let generate = time_ns(10, || {
+        std::hint::black_box(random_topology(3, &cfg).unwrap());
+    });
+    let bringup_small = time_ns(10, || {
+        let net = ScionNetwork::new(scionlab_topology(), 42);
+        std::hint::black_box(net.paths(MY_AS, AWS_IRELAND, 40));
+    });
+    let bringup_big = time_ns(10, || {
+        let net = ScionNetwork::with_beacon_config(topo.clone(), 42, &cap);
+        std::hint::black_box(net.paths(user, far, 40));
+    });
+    let net = ScionNetwork::with_beacon_config(topo.clone(), 42, &cap);
+    net.paths(user, far, 5);
+    let top5_warm = time_ns(2_000, || {
+        std::hint::black_box(net.paths(user, far, 5));
+    });
+    let fork = time_ns(2_000, || {
+        std::hint::black_box(net.fork(7));
+    });
+    let gravity = time_ns(50, || {
+        std::hint::black_box(gravity_flows(&topo, 42, 1000));
+    });
+
+    let rows = [
+        ("generate/1000as", generate),
+        ("bringup/scionlab_35_exhaustive", bringup_small),
+        ("bringup/1000as_capped8", bringup_big),
+        ("paths/top5_warm_1000as", top5_warm),
+        ("fork/1000as_shared_control_plane", fork),
+        ("gravity_flows/1000_draws_1000as", gravity),
+    ];
+    dump_with_ratios(
+        "BENCH_topo.json",
+        &rows,
+        &[("bringup_1000as_vs_scionlab", bringup_big / bringup_small)],
+    );
+    println!(
+        "  1000-AS bring-up vs scionlab: {:.2}x (budget: 10x)",
+        bringup_big / bringup_small
+    );
+}
+
 /// End-to-end campaign (collection + measurement over all 21
 /// destinations, sequential, ping-only) with the control-plane caches
 /// on vs off — both baselines from the same run of the same binary.
@@ -547,6 +629,7 @@ fn main() {
     bench_select();
     bench_durability();
     bench_net();
+    bench_topo();
     bench_campaign();
     bench_strategies();
 }

@@ -30,7 +30,7 @@ fn fork_cost_is_independent_of_topology_size() {
         ases_per_isd: (8, 10),
         ..RandomTopologyConfig::default()
     };
-    let (big_topo, _) = random_topology(1, &big_cfg);
+    let (big_topo, _) = random_topology(1, &big_cfg).expect("valid config");
     let big = ScionNetwork::new(big_topo, 42);
     assert!(
         big.topology().num_links() > 2 * small.topology().num_links(),

@@ -1,0 +1,105 @@
+//! CI smoke assertion on control-plane scale: with a per-pair beacon
+//! cap, bringing up a 1000-AS BRITE-style topology (beaconing plus the
+//! first ranked `paths()` query) must land within 10x of the 35-AS
+//! SCIONLab replica, and `fork` must stay O(1) at that size. This is
+//! the acceptance bound the capped-beaconing + lazy-combination work
+//! was done for; without either, the big bring-up is orders of
+//! magnitude over.
+
+use scion_sim::beacon::BeaconConfig;
+use scion_sim::net::ScionNetwork;
+use scion_sim::topology::random::{random_topology, RandomTopologyConfig};
+use scion_sim::topology::scionlab::{scionlab_topology, AWS_IRELAND, MY_AS};
+use scion_sim::topology::{AsKind, Topology};
+use std::time::Instant;
+
+fn median_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn thousand_as_config() -> RandomTopologyConfig {
+    RandomTopologyConfig {
+        isds: 5,
+        ases_per_isd: (190, 210),
+        cores_per_isd: (2, 3),
+        core_mesh_density: 0.5,
+        pref_attachment: 0.6,
+        ..RandomTopologyConfig::default()
+    }
+}
+
+/// The query endpoints for a generated topology: its designated user AS
+/// and a core in the last ISD — a worst-case cross-ISD route.
+fn endpoints(topo: &Topology) -> (scion_sim::addr::IsdAsn, scion_sim::addr::IsdAsn) {
+    let user = topo
+        .ases()
+        .find(|(_, n)| n.kind == AsKind::User)
+        .map(|(_, n)| n.ia)
+        .expect("generated topology marks a user AS");
+    let far = topo
+        .ases()
+        .filter(|(_, n)| n.kind.is_core())
+        .map(|(_, n)| n.ia)
+        .max_by_key(|ia| ia.isd)
+        .expect("topology has cores");
+    (user, far)
+}
+
+#[test]
+fn thousand_as_bringup_is_within_10x_of_scionlab() {
+    let (big_topo, _) = random_topology(3, &thousand_as_config()).expect("valid config");
+    assert!(
+        big_topo.num_ases() >= 950,
+        "want ~1000 ASes, got {}",
+        big_topo.num_ases()
+    );
+    let (user, far) = endpoints(&big_topo);
+    let cap = BeaconConfig {
+        beacons_per_pair: 8,
+        ..BeaconConfig::default()
+    };
+
+    // Bring-up = beaconing + the first ranked paths() answer, i.e. what
+    // a CLI command over `--topology FILE --beacon-cap 8` pays.
+    let small = median_ns(5, || {
+        let net = ScionNetwork::new(scionlab_topology(), 42);
+        assert!(!net.paths(MY_AS, AWS_IRELAND, 40).is_empty());
+        net
+    });
+    let big = median_ns(5, || {
+        let net = ScionNetwork::with_beacon_config(big_topo.clone(), 42, &cap);
+        assert!(!net.paths(user, far, 40).is_empty());
+        net
+    });
+    assert!(
+        big <= 10.0 * small,
+        "1000-AS bring-up {:.1} ms vs scionlab {:.1} ms — over the 10x budget",
+        big / 1e6,
+        small / 1e6
+    );
+
+    // Fork stays O(1) at 1000 ASes: the capped control plane is shared
+    // by reference exactly like the small one.
+    let small_net = ScionNetwork::new(scionlab_topology(), 42);
+    let big_net = ScionNetwork::with_beacon_config(big_topo, 42, &cap);
+    median_ns(200, || small_net.fork(7)); // warmup
+    median_ns(200, || big_net.fork(7));
+    let small_fork = median_ns(2_000, || small_net.fork(7));
+    let big_fork = median_ns(2_000, || big_net.fork(7));
+    assert!(
+        big_net.shares_control_plane(&big_net.fork(7)),
+        "fork must share the control plane"
+    );
+    assert!(
+        big_fork <= 25.0 * small_fork + 50_000.0,
+        "fork cost scales with topology size: {small_fork:.0} ns (scionlab) vs {big_fork:.0} ns (1000-AS)"
+    );
+}

@@ -22,6 +22,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             .value("durability")
             .value("trace-out")
             .value("metrics-out")
+            .value("topology")
+            .value("beacon-cap")
             .flag("quiet")
     };
 
@@ -146,6 +148,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             }
             let mut cfg = SuiteConfig::from_args(&suite_args).map_err(CliError::Usage)?;
             cfg.run_bwtests = !p.flag("no-bwtests");
+            // Campaigns over a `--topology` file measure from that
+            // network's user AS, not the SCIONLab replica's.
+            cfg.local_as = s.local;
             let report = upin_core::TestSuite::new(&s.net, &s.db, cfg).run()?;
             s.persist()?;
             // Lead with what crash recovery had to repair, if anything:
@@ -168,6 +173,32 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             let s = open(&p)?;
             let out = scion_sim::topology::render::render(s.net.topology());
             finish(&s, out)
+        }
+        "topo" => {
+            // `upin topo generate`: write a BRITE-style random topology
+            // (preferential attachment, sparse core meshes) as JSON for
+            // later `--topology FILE` runs.
+            let p = parse(
+                Spec::new(1, 1)
+                    .value("seed")
+                    .value("isds")
+                    .value("ases")
+                    .value("cores")
+                    .value("core-mesh-density")
+                    .value("pref-attachment")
+                    .value("extra-parent-prob")
+                    .value("peering-prob")
+                    .value("server-prob")
+                    .value("out"),
+                rest,
+            )?;
+            if p.positional[0] != "generate" {
+                return Err(CliError::Usage(format!(
+                    "unknown topo subcommand {:?} (expected: generate)",
+                    p.positional[0]
+                )));
+            }
+            cmd_topo_generate(&p)
         }
         "failover" => {
             let p = parse(
@@ -496,6 +527,10 @@ fn usage() -> String {
      \x20           [--exclude-operator O]* [--max-hops N] [-k N]\n\
      \x20           [--pareto | --weight name=value ...]\n\
      \x20 topology                             render the network map (Fig 1)\n\
+     \x20 topo generate [--seed N] [--isds N] [--ases LO,HI] [--cores LO,HI]\n\
+     \x20      [--core-mesh-density F] [--pref-attachment F] [--extra-parent-prob F]\n\
+     \x20      [--peering-prob F] [--server-prob F] [--out FILE]\n\
+     \x20                                      write a BRITE-style random topology\n\
      \x20 failover <addr> [--probes N] [--threshold N] [--max-paths N]\n\
      \x20 verify <server|addr> [same filters] [--tolerance F]\n\
      \x20 health <server|addr> [--window N] [--sigmas K]   anomaly scan\n\
@@ -511,7 +546,9 @@ fn usage() -> String {
      \x20       --durability LEVEL (none|snapshot|wal; default snapshot —\n\
      \x20       wal group-commits every write and recovers torn state on open),\n\
      \x20       --trace-out FILE (span tree as JSON), --metrics-out FILE\n\
-     \x20       (counters/histograms as JSON), --quiet (suppress banners)\n"
+     \x20       (counters/histograms as JSON), --quiet (suppress banners),\n\
+     \x20       --topology FILE (run over a generated topology JSON),\n\
+     \x20       --beacon-cap N (keep at most N beacons per AS pair)\n"
         .to_string()
 }
 
@@ -574,7 +611,73 @@ fn open(p: &crate::args::Parsed) -> Result<Session, CliError> {
         trace_out: p.opt("trace-out").map(std::path::PathBuf::from),
         metrics_out: p.opt("metrics-out").map(std::path::PathBuf::from),
         quiet: p.flag("quiet"),
+        topology: p.opt("topology").map(std::path::PathBuf::from),
+        beacon_cap: p
+            .opt_parse::<usize>("beacon-cap")
+            .map_err(CliError::Usage)?,
     })
+}
+
+/// `upin topo generate [--isds N] [--ases LO,HI] [--cores LO,HI] ...`:
+/// generate a random topology and print it (or `--out FILE` it) as JSON.
+fn cmd_topo_generate(p: &crate::args::Parsed) -> Result<String, CliError> {
+    use scion_sim::topology::random::{random_topology, RandomTopologyConfig};
+    let mut cfg = RandomTopologyConfig::default();
+    if let Some(n) = p.opt_parse::<usize>("isds").map_err(CliError::Usage)? {
+        cfg.isds = n;
+    }
+    if let Some(r) = p.opt("ases") {
+        cfg.ases_per_isd = parse_range(r)?;
+    }
+    if let Some(r) = p.opt("cores") {
+        cfg.cores_per_isd = parse_range(r)?;
+    }
+    for (name, field) in [
+        ("core-mesh-density", &mut cfg.core_mesh_density as &mut f64),
+        ("pref-attachment", &mut cfg.pref_attachment),
+        ("extra-parent-prob", &mut cfg.extra_parent_prob),
+        ("peering-prob", &mut cfg.peering_prob),
+        ("server-prob", &mut cfg.server_prob),
+    ] {
+        if let Some(v) = p.opt_parse::<f64>(name).map_err(CliError::Usage)? {
+            *field = v;
+        }
+    }
+    let seed = p
+        .opt_parse::<u64>("seed")
+        .map_err(CliError::Usage)?
+        .unwrap_or(42);
+    let (topo, user) =
+        random_topology(seed, &cfg).map_err(|e| CliError::Usage(format!("bad topology: {e}")))?;
+    let json = topo.to_json_string();
+    match p.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "generated {} ASes in {} ISDs ({} links), user AS {user}\nwritten to {path}\n",
+                topo.num_ases(),
+                topo.isds().len(),
+                topo.num_links(),
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+/// Parse `LO,HI` (inclusive) or a single `N` as the range `(N, N)`.
+fn parse_range(s: &str) -> Result<(usize, usize), CliError> {
+    let bad = || CliError::Usage(format!("expected N or LO,HI, got {s:?}"));
+    match s.split_once(',') {
+        Some((lo, hi)) => Ok((
+            lo.trim().parse().map_err(|_| bad())?,
+            hi.trim().parse().map_err(|_| bad())?,
+        )),
+        None => {
+            let n = s.trim().parse().map_err(|_| bad())?;
+            Ok((n, n))
+        }
+    }
 }
 
 /// Finish a command: write the requested telemetry exports and append
@@ -1073,6 +1176,79 @@ mod tests {
         assert!(table.contains("campaign.docs_inserted"), "{table}");
         let err = run_cli(&["report", "vibes", m1.to_str().unwrap()]);
         assert!(matches!(err, Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn topo_generate_roundtrips_through_showpaths_and_campaign() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-topo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("topo.json");
+        let path = file.to_str().unwrap();
+
+        let out = run_cli(&[
+            "topo", "generate", "--seed", "7", "--isds", "3", "--ases", "6,9", "--cores", "2",
+            "--out", path,
+        ])
+        .unwrap();
+        assert!(out.contains("ASes in 3 ISDs"), "{out}");
+        assert!(out.contains("user AS"), "{out}");
+
+        // The generated file drives DB-backed commands end to end; the
+        // beacon cap bounds the control plane without breaking paths.
+        let out = run_cli(&[
+            "campaign",
+            "1",
+            "--no-bwtests",
+            "--topology",
+            path,
+            "--beacon-cap",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("measurement:"), "{out}");
+
+        // Without --out the raw JSON goes to stdout and reparses.
+        let json = run_cli(&["topo", "generate", "--seed", "7", "--isds", "2"]).unwrap();
+        assert!(scion_sim::topology::Topology::from_json_str(&json).is_ok());
+
+        // Bad sub-knobs are usage errors, not panics.
+        assert!(matches!(
+            run_cli(&["topo", "generate", "--ases", "9,3"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli(&["topo", "generate", "--peering-prob", "1.5"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli(&["topo", "list"]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generated_topology_showpaths_reaches_a_core() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-topo-sp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("topo.json");
+        let path = file.to_str().unwrap();
+        run_cli(&["topo", "generate", "--seed", "11", "--out", path]).unwrap();
+
+        // Find a destination AS from the file itself, then ask for paths
+        // to it from the designated user AS.
+        let text = std::fs::read_to_string(&file).unwrap();
+        let topo = scion_sim::topology::Topology::from_json_str(&text).unwrap();
+        let dst = topo
+            .ases()
+            .find(|(_, n)| n.kind.is_core())
+            .map(|(_, n)| n.ia)
+            .unwrap();
+        let out = run_cli(&["showpaths", &dst.to_string(), "--topology", path]).unwrap();
+        assert!(out.contains("Available paths"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

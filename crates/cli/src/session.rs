@@ -3,8 +3,10 @@
 
 use pathdb::{Database, Durability, RecoveryReport};
 use scion_sim::addr::IsdAsn;
+use scion_sim::beacon::BeaconConfig;
 use scion_sim::net::ScionNetwork;
 use scion_sim::topology::scionlab::MY_AS;
+use scion_sim::topology::{AsKind, Topology};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -64,6 +66,14 @@ pub struct SessionOptions {
     pub metrics_out: Option<PathBuf>,
     /// `--quiet`: suppress recovery and telemetry banners.
     pub quiet: bool,
+    /// `--topology FILE`: run over a topology JSON (e.g. one written by
+    /// `upin topo generate`) instead of the SCIONLab replica. The local
+    /// AS becomes the file's designated user AS.
+    pub topology: Option<PathBuf>,
+    /// `--beacon-cap N`: keep at most N beacons per (origin,
+    /// destination) pair during beaconing — the knob that makes
+    /// 1000-AS topologies tractable. Default: exhaustive.
+    pub beacon_cap: Option<usize>,
 }
 
 /// One CLI invocation's environment.
@@ -83,6 +93,16 @@ pub struct Session {
     metrics_out: Option<PathBuf>,
     db_dir: Option<PathBuf>,
     durability: Durability,
+}
+
+/// The vantage point of a loaded topology: the designated user AS when
+/// one is marked, else the first non-core AS, else the first AS at all.
+fn local_as_of(topo: &Topology) -> Option<IsdAsn> {
+    topo.ases()
+        .find(|(_, n)| n.kind == AsKind::User)
+        .or_else(|| topo.ases().find(|(_, n)| !n.kind.is_core()))
+        .or_else(|| topo.ases().next())
+        .map(|(_, n)| n.ia)
 }
 
 impl Session {
@@ -121,7 +141,36 @@ impl Session {
             .clone()
             .map(|t| t as Arc<dyn upin_telemetry::Recorder>);
 
-        let mut net = ScionNetwork::scionlab(opts.seed);
+        let mut beacon_cfg = BeaconConfig::default();
+        if let Some(cap) = opts.beacon_cap {
+            beacon_cfg.beacons_per_pair = cap;
+        }
+        let (mut net, local) = match &opts.topology {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Io(format!("cannot read {}: {e}", path.display())))?;
+                let topo = Topology::from_json_str(&text)
+                    .map_err(|e| CliError::Usage(format!("{}: {e}", path.display())))?;
+                let local = local_as_of(&topo).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "{}: topology has no usable local AS",
+                        path.display()
+                    ))
+                })?;
+                (
+                    ScionNetwork::with_beacon_config(topo, opts.seed, &beacon_cfg),
+                    local,
+                )
+            }
+            None => (
+                ScionNetwork::with_beacon_config(
+                    scion_sim::topology::scionlab::scionlab_topology(),
+                    opts.seed,
+                    &beacon_cfg,
+                ),
+                MY_AS,
+            ),
+        };
         if let Some(rec) = &recorder {
             net.set_recorder(rec.clone());
         }
@@ -151,7 +200,7 @@ impl Session {
         Ok(Session {
             net,
             db,
-            local: MY_AS,
+            local,
             recovery,
             telemetry,
             quiet: opts.quiet,

@@ -1,17 +1,26 @@
-//! Beaconing: exhaustive propagation of path-construction beacons (PCBs)
+//! Beaconing: capped propagation of path-construction beacons (PCBs)
 //! over the topology, producing core segments and down segments.
 //!
 //! Real SCION beaconing is periodic and policy-filtered; in the simulator
-//! we compute its fixed point directly: every loop-free beacon path that
-//! could be disseminated is enumerated once, bounded by configurable
-//! length caps. The result is the same segment corpus a converged
-//! SCIONLab control plane exposes to `showpaths`.
+//! we compute its converged state directly. Beacons propagate level by
+//! level (one level = one more AS in the chain), and at each level every
+//! (origin, destination) pair keeps at most
+//! [`BeaconConfig::beacons_per_pair`] beacons, best-first: shorter chains
+//! always win over longer ones (levels are processed in length order and
+//! the kept-count accumulates), ties within a level are broken by
+//! cumulative propagation delay and then by the canonical hop tuple, so
+//! the kept set is a deterministic function of the topology alone — no
+//! RNG, no seed, no iteration-order dependence. With the cap at
+//! `usize::MAX` (the default) every loop-free beacon path within the
+//! length caps is registered, which is exactly the exhaustive fixed
+//! point a converged SCIONLab control plane exposes to `showpaths`.
 
 use crate::addr::IsdAsn;
 use crate::crypto::SymmetricKey;
-use crate::segments::{Segment, SegmentKind};
+use crate::segments::{HopEntry, Segment, SegmentKind};
 use crate::topology::{AsIndex, LinkKind, Topology};
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
 
 /// Derives per-AS forwarding keys from a network master secret.
 #[derive(Debug, Clone, Copy)]
@@ -29,13 +38,19 @@ impl KeyProvider {
     }
 }
 
-/// Length caps for beacon propagation (in ASes per segment).
+/// Propagation limits for beaconing.
 #[derive(Debug, Clone, Copy)]
 pub struct BeaconConfig {
     /// Maximum ASes in a core segment.
     pub max_core_len: usize,
     /// Maximum ASes in a down segment.
     pub max_down_len: usize,
+    /// Maximum beacons kept (registered and further propagated) per
+    /// (origin core, destination AS) pair. Shorter beacons always win
+    /// over longer ones; within one length, lower cumulative propagation
+    /// delay wins, tie-broken by the canonical hop tuple. `usize::MAX`
+    /// recovers the exhaustive fixed point.
+    pub beacons_per_pair: usize,
     /// Info-field nonce base; segments from the same run share it.
     pub info_base: u64,
 }
@@ -45,6 +60,7 @@ impl Default for BeaconConfig {
         BeaconConfig {
             max_core_len: 5,
             max_down_len: 6,
+            beacons_per_pair: usize::MAX,
             info_base: 0x5c10,
         }
     }
@@ -58,6 +74,8 @@ pub struct BeaconStore {
     /// Down segments keyed by the leaf (last) AS. Reversing one yields the
     /// leaf's up segment.
     pub down: HashMap<IsdAsn, Vec<Segment>>,
+    /// Beacons dropped by the `beacons_per_pair` cap.
+    capped: u64,
 }
 
 impl BeaconStore {
@@ -68,9 +86,34 @@ impl BeaconStore {
     pub fn num_down_segments(&self) -> usize {
         self.down.values().map(Vec::len).sum()
     }
+
+    /// How many beacons the `beacons_per_pair` cap dropped during
+    /// propagation (0 when exhaustive).
+    pub fn capped_count(&self) -> u64 {
+        self.capped
+    }
+
+    /// Bytes held by the interned hop chains, counting each distinct
+    /// `Arc` allocation once no matter how many segments (or frontier
+    /// copies, or candidate paths) share it.
+    pub fn hop_bytes(&self) -> usize {
+        let mut seen: HashSet<*const HopEntry> = HashSet::new();
+        let mut bytes = 0usize;
+        for seg in self
+            .core
+            .values()
+            .flatten()
+            .chain(self.down.values().flatten())
+        {
+            if seen.insert(seg.hops.as_ptr()) {
+                bytes += std::mem::size_of_val(&*seg.hops);
+            }
+        }
+        bytes
+    }
 }
 
-/// Run beaconing to its fixed point over `topo`.
+/// Run beaconing to its converged state over `topo`.
 pub fn run_beaconing(topo: &Topology, keys: &KeyProvider, cfg: &BeaconConfig) -> BeaconStore {
     let mut store = BeaconStore::default();
     let cores: Vec<AsIndex> = topo
@@ -83,94 +126,119 @@ pub fn run_beaconing(topo: &Topology, keys: &KeyProvider, cfg: &BeaconConfig) ->
         let ia = topo.node(origin).ia;
         let info = cfg.info_base ^ (ia.asn.0 << 8) ^ ia.isd.0 as u64;
         let seed = Segment::originate(SegmentKind::Core, info, ia, &keys.key(ia));
-        propagate_core(topo, keys, cfg, origin, seed, &mut vec![origin], &mut store);
+        propagate(topo, keys, origin, seed, cfg, Pass::Core, &mut store);
 
         let seed = Segment::originate(SegmentKind::Down, info ^ 0xd0, ia, &keys.key(ia));
-        propagate_down(topo, keys, cfg, origin, seed, &mut vec![origin], &mut store);
+        propagate(topo, keys, origin, seed, cfg, Pass::Down, &mut store);
     }
     store
 }
 
-/// DFS over core links, registering every simple beacon path of ≥2 ASes.
-fn propagate_core(
-    topo: &Topology,
-    keys: &KeyProvider,
-    cfg: &BeaconConfig,
-    at: AsIndex,
-    seg: Segment,
-    visited: &mut Vec<AsIndex>,
-    store: &mut BeaconStore,
-) {
-    if seg.len() >= cfg.max_core_len {
-        return;
-    }
-    let at_ia = topo.node(at).ia;
-    for (_, link) in topo.links_of(at) {
-        if link.kind != LinkKind::Core {
-            continue;
-        }
-        let next = link.peer_of(at).expect("incident link has peer");
-        if visited.contains(&next) {
-            continue;
-        }
-        let next_ia = topo.node(next).ia;
-        let extended = seg.extend(
-            link.iface_of(at).expect("incident link has iface"),
-            &keys.key(at_ia),
-            next_ia,
-            link.iface_of(next).expect("peer iface"),
-            &keys.key(next_ia),
-        );
-        store
-            .core
-            .entry((extended.first_ia(), next_ia))
-            .or_default()
-            .push(extended.clone());
-        visited.push(next);
-        propagate_core(topo, keys, cfg, next, extended, visited, store);
-        visited.pop();
-    }
+/// Which link relation a propagation pass walks.
+#[derive(Clone, Copy, PartialEq)]
+enum Pass {
+    /// Core links in either direction → core segments.
+    Core,
+    /// Parent links, parent side only → down segments.
+    Down,
 }
 
-/// DFS downward over parent links (parent side = current AS), registering
-/// each extension as a down segment for the child it reaches.
-fn propagate_down(
+/// Canonical, key-independent order on beacon chains: compare hop by hop
+/// on (ISD, ASN, ingress, egress). Distinct simple paths always differ
+/// in this tuple sequence (interface ids are unique per AS), so combined
+/// with destination and delay it totally orders every candidate set.
+fn canonical_cmp(a: &Segment, b: &Segment) -> Ordering {
+    let key = |h: &HopEntry| (h.ia.isd.0, h.ia.asn.0, h.in_if.0, h.out_if.0);
+    a.hops.iter().map(key).cmp(b.hops.iter().map(key))
+}
+
+/// Level-wise beacon propagation from one origin: all beacons of length
+/// L are extended to length L+1 together, the candidates are ordered
+/// deterministically (destination, cumulative delay, canonical hop
+/// tuple), and each destination keeps the first `beacons_per_pair` of
+/// them — counted across levels, so shorter chains always take
+/// precedence. Kept beacons are registered and keep propagating;
+/// dropped ones are counted and die.
+fn propagate(
     topo: &Topology,
     keys: &KeyProvider,
+    origin: AsIndex,
+    seed: Segment,
     cfg: &BeaconConfig,
-    at: AsIndex,
-    seg: Segment,
-    visited: &mut Vec<AsIndex>,
+    pass: Pass,
     store: &mut BeaconStore,
 ) {
-    if seg.len() >= cfg.max_down_len {
-        return;
-    }
-    let at_ia = topo.node(at).ia;
-    for (_, link) in topo.links_of(at) {
-        if link.kind != LinkKind::Parent || link.a != at {
-            continue;
+    let max_len = match pass {
+        Pass::Core => cfg.max_core_len,
+        Pass::Down => cfg.max_down_len,
+    };
+    let mut kept: HashMap<AsIndex, usize> = HashMap::new();
+    // (current AS, chain, cumulative propagation delay in ms)
+    let mut frontier: Vec<(AsIndex, Segment, f64)> = vec![(origin, seed, 0.0)];
+    let mut len = 1;
+    while len < max_len && !frontier.is_empty() {
+        let mut candidates: Vec<(AsIndex, Segment, f64)> = Vec::new();
+        for (at, seg, delay) in &frontier {
+            let at_ia = topo.node(*at).ia;
+            for (_, link) in topo.links_of(*at) {
+                let (next, out_if, in_if) = match pass {
+                    Pass::Core => {
+                        if link.kind != LinkKind::Core {
+                            continue;
+                        }
+                        let next = link.peer_of(*at).expect("incident link has peer");
+                        (
+                            next,
+                            link.iface_of(*at).expect("incident link has iface"),
+                            link.iface_of(next).expect("peer iface"),
+                        )
+                    }
+                    Pass::Down => {
+                        if link.kind != LinkKind::Parent || link.a != *at {
+                            continue;
+                        }
+                        (link.b, link.a_if, link.b_if)
+                    }
+                };
+                let next_ia = topo.node(next).ia;
+                if seg.hops.iter().any(|h| h.ia == next_ia) {
+                    continue; // loop
+                }
+                let extended =
+                    seg.extend(out_if, &keys.key(at_ia), next_ia, in_if, &keys.key(next_ia));
+                candidates.push((next, extended, delay + link.propagation_ms));
+            }
         }
-        let child = link.b;
-        if visited.contains(&child) {
-            continue;
+        candidates.sort_by(|x, y| {
+            topo.node(x.0)
+                .ia
+                .cmp(&topo.node(y.0).ia)
+                .then_with(|| x.2.total_cmp(&y.2))
+                .then_with(|| canonical_cmp(&x.1, &y.1))
+        });
+        frontier.clear();
+        for (dest, seg, delay) in candidates {
+            let n = kept.entry(dest).or_insert(0);
+            if *n >= cfg.beacons_per_pair {
+                store.capped += 1;
+                continue;
+            }
+            *n += 1;
+            match pass {
+                Pass::Core => store
+                    .core
+                    .entry((seg.first_ia(), topo.node(dest).ia))
+                    .or_default()
+                    .push(seg.clone()),
+                Pass::Down => store
+                    .down
+                    .entry(topo.node(dest).ia)
+                    .or_default()
+                    .push(seg.clone()),
+            }
+            frontier.push((dest, seg, delay));
         }
-        let child_ia = topo.node(child).ia;
-        let extended = seg.extend(
-            link.a_if,
-            &keys.key(at_ia),
-            child_ia,
-            link.b_if,
-            &keys.key(child_ia),
-        );
-        store
-            .down
-            .entry(child_ia)
-            .or_default()
-            .push(extended.clone());
-        visited.push(child);
-        propagate_down(topo, keys, cfg, child, extended, visited, store);
-        visited.pop();
+        len += 1;
     }
 }
 
@@ -313,6 +381,48 @@ mod tests {
         let store = run_beaconing(&topo, &keys, &cfg);
         // The 3-AS route C1->L1->L2 is now suppressed.
         assert_eq!(store.down[&ia(1, 0x12)].len(), 1);
+    }
+
+    #[test]
+    fn default_cap_is_exhaustive_and_counts_nothing() {
+        let topo = diamond();
+        let keys = KeyProvider::new(7);
+        let store = run_beaconing(&topo, &keys, &BeaconConfig::default());
+        assert_eq!(store.capped_count(), 0);
+        assert!(store.hop_bytes() > 0);
+    }
+
+    #[test]
+    fn cap_keeps_shortest_beacons_and_counts_drops() {
+        let topo = diamond();
+        let keys = KeyProvider::new(7);
+        let cfg = BeaconConfig {
+            beacons_per_pair: 1,
+            ..BeaconConfig::default()
+        };
+        let store = run_beaconing(&topo, &keys, &cfg);
+        // L2 keeps only the direct 2-AS beacon; the 3-AS one via L1 is
+        // dropped (shorter beats longer, the count carries across levels).
+        let l2 = &store.down[&ia(1, 0x12)];
+        assert_eq!(l2.len(), 1);
+        assert_eq!(l2[0].len(), 2);
+        assert!(l2[0].verify(|ia_| keys.key(ia_)));
+        assert_eq!(store.capped_count(), 1);
+    }
+
+    #[test]
+    fn capped_beaconing_is_deterministic() {
+        let topo = diamond();
+        let keys = KeyProvider::new(7);
+        let cfg = BeaconConfig {
+            beacons_per_pair: 1,
+            ..BeaconConfig::default()
+        };
+        let a = run_beaconing(&topo, &keys, &cfg);
+        let b = run_beaconing(&topo, &keys, &cfg);
+        assert_eq!(a.core, b.core);
+        assert_eq!(a.down, b.down);
+        assert_eq!(a.capped_count(), b.capped_count());
     }
 
     #[test]

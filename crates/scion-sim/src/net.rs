@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use upin_telemetry::Recorder;
 
@@ -152,6 +152,10 @@ struct NetShared {
     /// compile-cache entries can never be mistaken for current ones —
     /// even across diverging parent/fork fault plans.
     epochs: AtomicU64,
+    /// Whether the (construction-time) beacon-cap drop count has been
+    /// reported to a recorder yet — once per shared control plane, so
+    /// parallel forks don't multiply the counter.
+    beacon_stats_flushed: AtomicBool,
 }
 
 impl NetShared {
@@ -187,10 +191,17 @@ pub struct ScionNetwork {
 }
 
 impl ScionNetwork {
-    /// Build a network over an arbitrary topology.
+    /// Build a network over an arbitrary topology with default beaconing.
     pub fn new(topo: Topology, seed: u64) -> ScionNetwork {
+        ScionNetwork::with_beacon_config(topo, seed, &BeaconConfig::default())
+    }
+
+    /// Build a network with an explicit beacon configuration — the knob
+    /// behind `--beacon-cap`, which is what makes 1000-AS topologies
+    /// tractable (see `BeaconConfig::beacons_per_pair`).
+    pub fn with_beacon_config(topo: Topology, seed: u64, cfg: &BeaconConfig) -> ScionNetwork {
         let keys = KeyProvider::new(seed ^ 0x5c10_ab5e_c2e7_5eed);
-        let pathserver = PathServer::new(&topo, keys, &BeaconConfig::default());
+        let pathserver = PathServer::new(&topo, keys, cfg);
         ScionNetwork {
             shared: Arc::new(NetShared {
                 topo,
@@ -199,6 +210,7 @@ impl ScionNetwork {
                 ranked_links: Mutex::new(HashMap::new()),
                 compiled: Mutex::new(HashMap::new()),
                 epochs: AtomicU64::new(0),
+                beacon_stats_flushed: AtomicBool::new(false),
             }),
             faults: Mutex::new(FaultState {
                 plan: FaultPlan::new(),
@@ -328,13 +340,18 @@ impl ScionNetwork {
     /// with liveness status filled in from the current fault state
     /// (mirrors `scion showpaths -m <max>`).
     ///
-    /// The ranked list is memoized per `(src, dst)`; a capped request is
-    /// a slice of the full list, and only the liveness statuses are
-    /// recomputed per call — they are the one fault-dependent part.
+    /// The ranked prefix is memoized per `(src, dst)` and forced lazily:
+    /// a capped request only ever pays for the hop-count levels needed
+    /// to cover it, and only the liveness statuses are recomputed per
+    /// call — they are the one fault-dependent part.
     pub fn paths(&self, src: IsdAsn, dst: IsdAsn, max: usize) -> Vec<ScionPath> {
+        self.flush_beacon_stats();
         let mut paths;
         if self.caching && max > 0 && src != dst {
-            let (full, hit) = self.shared.pathserver.ranked(&self.shared.topo, src, dst);
+            let (full, hit, forced) =
+                self.shared
+                    .pathserver
+                    .ranked_prefix(&self.shared.topo, src, dst, max);
             self.recorder.add(
                 if hit {
                     "sim.pathcache.hit"
@@ -343,6 +360,9 @@ impl ScionNetwork {
                 },
                 1,
             );
+            if forced > 0 {
+                self.recorder.add("sim.pathserver.lazy_forced", forced);
+            }
             let links = self.ranked_links(src, dst, &full);
             paths = full.iter().take(max).cloned().collect::<Vec<ScionPath>>();
             let faults = self.faults.lock();
@@ -375,29 +395,54 @@ impl ScionNetwork {
         paths
     }
 
-    /// Egress links of the ranked `(src, dst)` list, memoized aligned
-    /// with it. Compute-under-lock, like every shared cache here.
+    /// Egress links of the ranked `(src, dst)` prefix, memoized aligned
+    /// with it. The prefix only grows (and never reorders), so a cached
+    /// list is extended in place when a deeper prefix shows up.
+    /// Compute-under-lock, like every shared cache here.
     fn ranked_links(&self, src: IsdAsn, dst: IsdAsn, full: &[ScionPath]) -> RankedLinks {
         let mut cache = self.shared.ranked_links.lock();
-        if let Some(ls) = cache.get(&(src, dst)) {
-            return ls.clone();
+        let entry = cache.entry((src, dst)).or_default();
+        if entry.len() < full.len() {
+            let mut v = (**entry).clone();
+            v.extend(
+                full[v.len()..]
+                    .iter()
+                    .map(|p| resolve_links(&self.shared.topo, p)),
+            );
+            *entry = Arc::new(v);
         }
-        let ls = Arc::new(
-            full.iter()
-                .map(|p| resolve_links(&self.shared.topo, p))
-                .collect::<Vec<_>>(),
-        );
-        cache.insert((src, dst), ls.clone());
-        ls
+        entry.clone()
+    }
+
+    /// Report the construction-time beacon-cap drop count into the
+    /// recorder — once per shared control plane, and only when there is
+    /// both a live recorder and something to report.
+    fn flush_beacon_stats(&self) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let capped = self.shared.pathserver.beacon_store().capped_count();
+        if capped == 0 {
+            return;
+        }
+        if !self
+            .shared
+            .beacon_stats_flushed
+            .swap(true, Ordering::Relaxed)
+        {
+            self.recorder.add("sim.beacon.capped", capped);
+        }
     }
 
     /// Re-attach metadata/MACs to a bare route (`--sequence` handling).
     pub fn authorize(&self, route: &ScionPath) -> Result<ScionPath, NetError> {
+        self.flush_beacon_stats();
         let topo = &self.shared.topo;
         let found = if self.caching {
             match (route.src(), route.dst()) {
                 (Some(src), Some(dst)) => {
-                    let (full, hit) = self.shared.pathserver.ranked(topo, src, dst);
+                    let (found, hit, forced) =
+                        self.shared.pathserver.find_route(topo, src, dst, route);
                     self.recorder.add(
                         if hit {
                             "sim.pathcache.hit"
@@ -406,7 +451,10 @@ impl ScionNetwork {
                         },
                         1,
                     );
-                    full.iter().find(|p| p.same_route(route)).cloned()
+                    if forced > 0 {
+                        self.recorder.add("sim.pathserver.lazy_forced", forced);
+                    }
+                    found
                 }
                 _ => None,
             }

@@ -15,6 +15,7 @@ use crate::path::{route_key, sequence_cmp, PathHop, PathStatus, ScionPath};
 use crate::segments::{hop_mac, Segment};
 use crate::topology::{LinkKind, Topology};
 use parking_lot::Mutex;
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -54,25 +55,81 @@ impl std::fmt::Display for PathError {
 
 impl std::error::Error for PathError {}
 
+/// One `(src, dst)` entry of the ranked cache: the ranked prefix forced
+/// so far, the dedup set behind it, and the generator for the remaining
+/// hop-count levels (`None` once exhausted).
+#[derive(Debug)]
+struct LazyRanked {
+    paths: Arc<Vec<ScionPath>>,
+    seen: HashSet<u64>,
+    gen: Option<CombineGen>,
+}
+
+impl LazyRanked {
+    fn new(gen: CombineGen) -> LazyRanked {
+        LazyRanked {
+            paths: Arc::new(Vec::new()),
+            seen: HashSet::new(),
+            gen: Some(gen),
+        }
+    }
+}
+
+/// Lazy (up, core, down) combination state for one `(src, dst)` pair.
+///
+/// A *level* is a hop count: forcing level L emits exactly the candidate
+/// paths of L hops, each level internally sorted by (latency, sequence).
+/// Since the exhaustive ranking orders by hop count first, forcing
+/// levels in ascending order grows a prefix that is byte-identical to
+/// the exhaustive list — without ever materializing the up×core×down
+/// cross product. Only the up×down pairs (and their shortcut/peering
+/// splices, bounded by pair count × segment length²) are enumerated up
+/// front; the core dimension, the one that explodes with topology size,
+/// stays a per-level store lookup.
+#[derive(Debug)]
+struct CombineGen {
+    pairs: Vec<PairGen>,
+    /// Shortcut and peering hop lists, bucketed by hop count and handed
+    /// out when their level is forced.
+    extras: HashMap<usize, Vec<Vec<PathHop>>>,
+    next_level: usize,
+    max_level: usize,
+}
+
+/// One (up, down) segment choice. `up`/`down` are `None` at core
+/// endpoints; segment clones are refcount bumps (interned hop chains).
+#[derive(Debug)]
+struct PairGen {
+    up: Option<Segment>,
+    down: Option<Segment>,
+    /// Core-segment store key, when the two core endpoints differ.
+    core_key: Option<(IsdAsn, IsdAsn)>,
+    /// Hop count of the direct join (shared core AS), when they don't.
+    direct_level: Option<usize>,
+    /// Sum of the present up/down segment lengths, and how many of the
+    /// two are present: a core segment of length L joins into a path of
+    /// `base + L - present` hops (each junction AS is shared).
+    base: usize,
+    present: usize,
+}
+
 /// The path server for one simulated network.
 ///
 /// In real SCION the path server *is* a cache over beaconed segments;
-/// this one additionally memoizes the full ranked path list per
-/// `(src, dst)` pair. Segments are immutable after beaconing, so cached
-/// entries never need invalidation — liveness against the mutable fault
-/// state is the network's per-call concern, not the path server's.
-/// A memoized ranked path list, shared across network forks.
-type RankedList = Arc<Vec<ScionPath>>;
-
+/// this one additionally memoizes a lazily-extended ranked path prefix
+/// per `(src, dst)` pair ([`PathServer::ranked_prefix`]). Segments are
+/// immutable after beaconing, so cached entries never need invalidation
+/// — liveness against the mutable fault state is the network's per-call
+/// concern, not the path server's.
 #[derive(Debug)]
 pub struct PathServer {
     store: Arc<BeaconStore>,
     keys: KeyProvider,
-    /// Memoized ranked path lists, shared across network forks. Lookups
-    /// compute under the lock so each pair is enumerated exactly once
-    /// globally, keeping cache-counter totals identical between
-    /// sequential and parallel campaigns.
-    ranked_cache: Mutex<HashMap<(IsdAsn, IsdAsn), RankedList>>,
+    /// Memoized ranked prefixes, shared across network forks. Lookups
+    /// compute under the lock so each level of each pair is forced
+    /// exactly once globally, keeping cache-counter totals identical
+    /// between sequential and parallel campaigns.
+    ranked_cache: Mutex<HashMap<(IsdAsn, IsdAsn), LazyRanked>>,
 }
 
 impl PathServer {
@@ -98,23 +155,47 @@ impl PathServer {
         )
     }
 
-    /// The full ranked path list for `(src, dst)` plus whether it was
-    /// served from the memoization cache. Any `max` cap is a slice of
-    /// this list ([`PathServer::query`]), so the expensive enumeration
-    /// runs once per pair for the lifetime of the control plane.
-    pub fn ranked(&self, topo: &Topology, src: IsdAsn, dst: IsdAsn) -> (Arc<Vec<ScionPath>>, bool) {
+    /// The ranked path prefix for `(src, dst)`, forced to hold at least
+    /// `k` paths (or everything, if fewer exist). Returns the prefix,
+    /// whether the pair's entry pre-existed in the memoization cache,
+    /// and how many hop-count levels this call newly forced.
+    ///
+    /// The prefix only ever grows, and every prefix of it is
+    /// byte-identical to the same slice of the exhaustive ranking —
+    /// callers that need the first k paths never pay for the rest.
+    pub fn ranked_prefix(
+        &self,
+        topo: &Topology,
+        src: IsdAsn,
+        dst: IsdAsn,
+        k: usize,
+    ) -> (Arc<Vec<ScionPath>>, bool, u64) {
         if src == dst {
-            return (Arc::new(Vec::new()), true);
-        }
-        let mut cache = self.ranked_cache.lock();
-        if let Some(full) = cache.get(&(src, dst)) {
-            return (full.clone(), true);
+            return (Arc::new(Vec::new()), true, 0);
         }
         // Compute under the lock: concurrent callers for the same pair
-        // must observe exactly one miss between them.
-        let full = Arc::new(self.enumerate(topo, src, dst));
-        cache.insert((src, dst), full.clone());
-        (full, false)
+        // must observe exactly one miss (and one forcing of each level)
+        // between them.
+        let mut cache = self.ranked_cache.lock();
+        let (hit, entry) = match cache.entry((src, dst)) {
+            Entry::Occupied(e) => (true, e.into_mut()),
+            Entry::Vacant(v) => (
+                false,
+                v.insert(LazyRanked::new(self.combine_gen(topo, src, dst))),
+            ),
+        };
+        let mut forced = 0u64;
+        while entry.paths.len() < k && self.force_level(topo, entry) {
+            forced += 1;
+        }
+        (entry.paths.clone(), hit, forced)
+    }
+
+    /// The full ranked path list for `(src, dst)` plus whether its cache
+    /// entry pre-existed. Forces every level.
+    pub fn ranked(&self, topo: &Topology, src: IsdAsn, dst: IsdAsn) -> (Arc<Vec<ScionPath>>, bool) {
+        let (full, hit, _) = self.ranked_prefix(topo, src, dst, usize::MAX);
+        (full, hit)
     }
 
     /// All end-to-end paths from `src` to `dst`, ranked by hop count then
@@ -123,8 +204,8 @@ impl PathServer {
         if max == 0 {
             return Vec::new();
         }
-        let (full, _) = self.ranked(topo, src, dst);
-        full.iter().take(max).cloned().collect()
+        let (prefix, _, _) = self.ranked_prefix(topo, src, dst, max);
+        prefix.iter().take(max).cloned().collect()
     }
 
     /// Reference implementation of [`PathServer::query`] that bypasses
@@ -196,28 +277,218 @@ impl PathServer {
                 }
             }
         }
+        // `total_cmp`, not `partial_cmp().expect(..)`: a degenerate
+        // (e.g. generated) topology can yield a NaN expected latency,
+        // which must rank last within its hop-count class, not abort.
         out.sort_by(|a, b| {
             a.hop_count()
                 .cmp(&b.hop_count())
-                .then_with(|| {
-                    a.expected_latency_ms
-                        .partial_cmp(&b.expected_latency_ms)
-                        .expect("latency is finite")
-                })
+                .then_with(|| a.expected_latency_ms.total_cmp(&b.expected_latency_ms))
                 .then_with(|| sequence_cmp(a, b))
         });
         out
     }
 
+    /// Build the lazy combination generator for `(src, dst)`: the
+    /// up×down pairs, their shortcut/peering splices bucketed by hop
+    /// count, and the level bounds. The core dimension is *not*
+    /// expanded here — it stays a store lookup per forced level.
+    fn combine_gen(&self, topo: &Topology, src: IsdAsn, dst: IsdAsn) -> CombineGen {
+        let mut gen = CombineGen {
+            pairs: Vec::new(),
+            extras: HashMap::new(),
+            next_level: 2,
+            max_level: 1, // empty until a pair raises it
+        };
+        let src_core = is_core(topo, src);
+        let dst_core = is_core(topo, dst);
+        let ups: Vec<Option<&Segment>> = if src_core {
+            vec![None]
+        } else {
+            match self.store.down.get(&src) {
+                Some(v) => v.iter().map(Some).collect(),
+                None => return gen,
+            }
+        };
+        let downs: Vec<Option<&Segment>> = if dst_core {
+            vec![None]
+        } else {
+            match self.store.down.get(&dst) {
+                Some(v) => v.iter().map(Some).collect(),
+                None => return gen,
+            }
+        };
+
+        for up in &ups {
+            let cs = up.map_or(src, |s| s.first_ia());
+            for down in &downs {
+                let cd = down.map_or(dst, |s| s.first_ia());
+                let base = up.map_or(0, |s| s.len()) + down.map_or(0, |s| s.len());
+                let present = up.is_some() as usize + down.is_some() as usize;
+                let (core_key, direct_level) = if cs == cd {
+                    let lvl = base + 1 - present;
+                    gen.max_level = gen.max_level.max(lvl);
+                    (None, Some(lvl))
+                } else {
+                    match self.store.core.get(&(cs, cd)) {
+                        Some(cores) if !cores.is_empty() => {
+                            let lmax = cores.iter().map(Segment::len).max().unwrap_or(0);
+                            gen.max_level = gen.max_level.max(base + lmax - present);
+                            (Some((cs, cd)), None)
+                        }
+                        _ => (None, None),
+                    }
+                };
+                if let (Some(us), Some(ds)) = (up, down) {
+                    // Same-ISD shortcut: splice at a common non-core AS.
+                    if us.first_ia().isd == ds.first_ia().isd {
+                        for hops in shortcut_candidates(us, ds) {
+                            gen.max_level = gen.max_level.max(hops.len());
+                            gen.extras.entry(hops.len()).or_default().push(hops);
+                        }
+                    }
+                    // Peering: cross a peering link from an AS on the up
+                    // segment to an AS on the down segment (possibly in a
+                    // different ISD), skipping the core entirely.
+                    for hops in peering_candidates(topo, us, ds) {
+                        gen.max_level = gen.max_level.max(hops.len());
+                        gen.extras.entry(hops.len()).or_default().push(hops);
+                    }
+                }
+                if core_key.is_some() || direct_level.is_some() {
+                    gen.pairs.push(PairGen {
+                        up: up.cloned(),
+                        down: down.cloned(),
+                        core_key,
+                        direct_level,
+                        base,
+                        present,
+                    });
+                }
+            }
+        }
+        gen
+    }
+
+    /// Force one more hop-count level of `entry`: generate every
+    /// candidate of exactly that hop count, dedup against everything
+    /// already emitted, sort the batch by (latency, sequence) and append
+    /// it to the prefix. Returns `false` once the generator is spent.
+    fn force_level(&self, topo: &Topology, entry: &mut LazyRanked) -> bool {
+        if entry
+            .gen
+            .as_ref()
+            .is_none_or(|g| g.next_level > g.max_level)
+        {
+            entry.gen = None;
+            return false;
+        }
+        let gen = entry.gen.as_mut().expect("checked above");
+        let lv = gen.next_level;
+        gen.next_level += 1;
+        let mut candidates: Vec<Vec<PathHop>> = Vec::new();
+        for pair in &gen.pairs {
+            if pair.direct_level == Some(lv) {
+                if let Some(hops) = join_segments(pair.up.as_ref(), None, pair.down.as_ref()) {
+                    candidates.push(hops);
+                }
+            }
+            if let Some(key) = pair.core_key {
+                // A path of `lv` hops needs a core segment of exactly
+                // `lv - base + present` ASes (junctions are shared).
+                let need = lv + pair.present;
+                if need > pair.base {
+                    let need_len = need - pair.base;
+                    if need_len >= 2 {
+                        if let Some(cores) = self.store.core.get(&key) {
+                            for cseg in cores.iter().filter(|c| c.len() == need_len) {
+                                if let Some(hops) =
+                                    join_segments(pair.up.as_ref(), Some(cseg), pair.down.as_ref())
+                                {
+                                    candidates.push(hops);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(extra) = gen.extras.remove(&lv) {
+            candidates.extend(extra);
+        }
+
+        let mut batch: Vec<ScionPath> = Vec::new();
+        for hops in candidates {
+            debug_assert_eq!(hops.len(), lv, "level generates its own hop count");
+            if let Some(mut path) = self.build_path(topo, hops) {
+                if entry.seen.insert(route_key(&path.hops)) {
+                    path.macs = self.mac_chain(&path);
+                    debug_assert!(
+                        self.validate(topo, &path).is_ok(),
+                        "constructed path must validate"
+                    );
+                    batch.push(path);
+                }
+            }
+        }
+        if !batch.is_empty() {
+            // Within one level the exhaustive ranking orders by latency
+            // then sequence (hop counts are all equal) — same comparator,
+            // so every forced prefix matches the exhaustive reference.
+            batch.sort_by(|a, b| {
+                a.expected_latency_ms
+                    .total_cmp(&b.expected_latency_ms)
+                    .then_with(|| sequence_cmp(a, b))
+            });
+            Arc::make_mut(&mut entry.paths).extend(batch);
+        }
+        true
+    }
+
+    /// Scan the ranked prefix for a path with `route`'s hop sequence,
+    /// forcing further levels only while no match has appeared. Returns
+    /// the match (if any), whether the pair's cache entry pre-existed,
+    /// and how many levels this call newly forced.
+    pub fn find_route(
+        &self,
+        topo: &Topology,
+        src: IsdAsn,
+        dst: IsdAsn,
+        route: &ScionPath,
+    ) -> (Option<ScionPath>, bool, u64) {
+        if src == dst {
+            return (None, true, 0);
+        }
+        let mut cache = self.ranked_cache.lock();
+        let (hit, entry) = match cache.entry((src, dst)) {
+            Entry::Occupied(e) => (true, e.into_mut()),
+            Entry::Vacant(v) => (
+                false,
+                v.insert(LazyRanked::new(self.combine_gen(topo, src, dst))),
+            ),
+        };
+        let mut forced = 0u64;
+        let mut scanned = 0usize;
+        loop {
+            if let Some(p) = entry.paths[scanned..].iter().find(|p| p.same_route(route)) {
+                return (Some(p.clone()), hit, forced);
+            }
+            scanned = entry.paths.len();
+            if !self.force_level(topo, entry) {
+                return (None, hit, forced);
+            }
+            forced += 1;
+        }
+    }
+
     /// Re-attach metadata and MACs to a bare route (e.g. parsed from a
     /// `--sequence` string). Returns `None` if the route is not one the
     /// control plane would construct. Serves from the ranked cache and
-    /// stops at the first matching route instead of materializing the
-    /// full enumeration per call.
+    /// stops at the first level that yields the route instead of
+    /// materializing the full enumeration.
     pub fn authorize(&self, topo: &Topology, route: &ScionPath) -> Option<ScionPath> {
         let (src, dst) = (route.src()?, route.dst()?);
-        let (full, _) = self.ranked(topo, src, dst);
-        full.iter().find(|p| p.same_route(route)).cloned()
+        self.find_route(topo, src, dst, route).0
     }
 
     /// Validate a path exactly as a chain of border routers would:
@@ -266,19 +537,9 @@ impl PathServer {
         seen: &mut HashSet<u64>,
         out: &mut Vec<ScionPath>,
     ) {
-        let mut path = ScionPath {
-            hops,
-            mtu: 0,
-            expected_latency_ms: 0.0,
-            status: PathStatus::Alive,
-            macs: Vec::new(),
+        let Some(mut path) = self.build_path(topo, hops) else {
+            return;
         };
-        if path.hops.len() < 2 || path.has_loop() {
-            return;
-        }
-        if attach_metadata(topo, &mut path).is_err() {
-            return;
-        }
         if !seen.insert(route_key(&path.hops)) {
             return;
         }
@@ -288,6 +549,23 @@ impl PathServer {
             "constructed path must validate"
         );
         out.push(path);
+    }
+
+    /// Turn a candidate hop list into a metadata-complete path (no MACs
+    /// yet). `None` if the candidate is degenerate or fails validation.
+    fn build_path(&self, topo: &Topology, hops: Vec<PathHop>) -> Option<ScionPath> {
+        let mut path = ScionPath {
+            hops,
+            mtu: 0,
+            expected_latency_ms: 0.0,
+            status: PathStatus::Alive,
+            macs: Vec::new(),
+        };
+        if path.hops.len() < 2 || path.has_loop() {
+            return None;
+        }
+        attach_metadata(topo, &mut path).ok()?;
+        Some(path)
     }
 
     fn mac_chain(&self, path: &ScionPath) -> Vec<MacTag> {

@@ -11,6 +11,7 @@
 use crate::addr::{IfaceId, IsdAsn};
 use crate::crypto::{keyed_mac, MacTag, SymmetricKey};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which role a registered segment plays in path construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -34,12 +35,18 @@ pub struct HopEntry {
 }
 
 /// A beacon segment: an origin timestamp/nonce plus the chain of hops.
+///
+/// The hop chain is interned behind an `Arc`: cloning a segment (the
+/// beacon store registers each kept beacon and keeps propagating it;
+/// the path server holds candidate lists) bumps a refcount instead of
+/// duplicating the chain, so store memory scales with the number of
+/// *distinct* chains, not with how often they are referenced.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Segment {
     pub kind: SegmentKind,
     /// Info-field nonce binding all MACs of this segment together.
     pub info: u64,
-    pub hops: Vec<HopEntry>,
+    pub hops: Arc<[HopEntry]>,
 }
 
 /// Compute the MAC for one hop entry chained on `prev`.
@@ -68,12 +75,12 @@ impl Segment {
         Segment {
             kind,
             info,
-            hops: vec![HopEntry {
+            hops: Arc::from(vec![HopEntry {
                 ia,
                 in_if: IfaceId::NONE,
                 out_if: IfaceId::NONE,
                 mac,
-            }],
+            }]),
         }
     }
 
@@ -94,35 +101,34 @@ impl Segment {
         // copies the hop vector and then reallocates it to grow.
         let mut hops = Vec::with_capacity(self.hops.len() + 1);
         hops.extend_from_slice(&self.hops);
-        let mut seg = Segment {
-            kind: self.kind,
-            info: self.info,
-            hops,
-        };
-        let last_idx = seg.hops.len() - 1;
+        let last_idx = hops.len() - 1;
         let prev_mac = if last_idx == 0 {
             MacTag(0)
         } else {
-            seg.hops[last_idx - 1].mac
+            hops[last_idx - 1].mac
         };
-        let last = &mut seg.hops[last_idx];
+        let last = &mut hops[last_idx];
         last.out_if = out_if;
-        last.mac = hop_mac(last_key, seg.info, last.ia, last.in_if, out_if, prev_mac);
+        last.mac = hop_mac(last_key, self.info, last.ia, last.in_if, out_if, prev_mac);
         let chained = last.mac;
-        seg.hops.push(HopEntry {
+        hops.push(HopEntry {
             ia: next_ia,
             in_if: next_in_if,
             out_if: IfaceId::NONE,
             mac: hop_mac(
                 next_key,
-                seg.info,
+                self.info,
                 next_ia,
                 next_in_if,
                 IfaceId::NONE,
                 chained,
             ),
         });
-        seg
+        Segment {
+            kind: self.kind,
+            info: self.info,
+            hops: Arc::from(hops),
+        }
     }
 
     /// First (originating) AS of the segment.
@@ -142,6 +148,17 @@ impl Segment {
 
     pub fn is_empty(&self) -> bool {
         self.hops.is_empty()
+    }
+
+    /// Replace the hop chain wholesale (re-interning it). Only
+    /// meaningful for tests that need to forge tampered segments; honest
+    /// construction goes through [`Segment::originate`]/[`Segment::extend`].
+    pub fn with_hops(&self, hops: Vec<HopEntry>) -> Segment {
+        Segment {
+            kind: self.kind,
+            info: self.info,
+            hops: Arc::from(hops),
+        }
     }
 
     /// Whether the segment visits any AS twice.
@@ -169,7 +186,7 @@ impl Segment {
             _ => return false,
         }
         let mut prev = MacTag(0);
-        for h in &self.hops {
+        for h in self.hops.iter() {
             let expect = hop_mac(&key_of(h.ia), self.info, h.ia, h.in_if, h.out_if, prev);
             if expect != h.mac {
                 return false;
@@ -220,18 +237,20 @@ mod tests {
 
     #[test]
     fn verify_rejects_tampered_interface() {
-        let mut seg = three_hop_segment();
-        seg.hops[1].out_if = IfaceId(9);
-        assert!(!seg.verify(key));
+        let seg = three_hop_segment();
+        let mut hops = seg.hops.to_vec();
+        hops[1].out_if = IfaceId(9);
+        assert!(!seg.with_hops(hops).verify(key));
     }
 
     #[test]
     fn verify_rejects_spliced_hop() {
-        let mut seg = three_hop_segment();
+        let seg = three_hop_segment();
         // Replace the middle AS wholesale with an entry MAC'd standalone
         // (not chained): detection relies on the chain.
         let evil = ia(19, 99);
-        seg.hops[1] = HopEntry {
+        let mut hops = seg.hops.to_vec();
+        hops[1] = HopEntry {
             ia: evil,
             in_if: IfaceId(1),
             out_if: IfaceId(2),
@@ -244,7 +263,7 @@ mod tests {
                 MacTag(0),
             ),
         };
-        assert!(!seg.verify(key));
+        assert!(!seg.with_hops(hops).verify(key));
     }
 
     #[test]
@@ -259,9 +278,13 @@ mod tests {
         // Dropping trailing hops leaves a valid chain only if the new last
         // hop's out_if/MAC are re-issued; raw truncation breaks it because
         // the last hop's MAC covers its (now wrong) egress interface.
-        let mut seg = three_hop_segment();
-        seg.hops.pop();
-        assert!(!seg.verify(key), "raw truncation must not verify");
+        let seg = three_hop_segment();
+        let mut hops = seg.hops.to_vec();
+        hops.pop();
+        assert!(
+            !seg.with_hops(hops).verify(key),
+            "raw truncation must not verify"
+        );
     }
 
     #[test]

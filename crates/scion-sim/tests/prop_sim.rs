@@ -96,9 +96,9 @@ proptest! {
         prop_assert!(seg.verify(key));
         if seg.len() > 1 {
             let idx = flip_at.index(seg.len());
-            let mut bad = seg.clone();
-            bad.hops[idx].mac = scion_sim::crypto::MacTag(bad.hops[idx].mac.0 ^ 1);
-            prop_assert!(!bad.verify(key));
+            let mut hops = seg.hops.to_vec();
+            hops[idx].mac = scion_sim::crypto::MacTag(hops[idx].mac.0 ^ 1);
+            prop_assert!(!seg.with_hops(hops).verify(key));
         }
     }
 

@@ -26,7 +26,7 @@ fn main() {
         ases_per_isd: (4, 7),
         ..RandomTopologyConfig::default()
     };
-    let (topo, user) = random_topology(seed, &cfg);
+    let (topo, user) = random_topology(seed, &cfg).expect("valid config");
     println!("generated network (seed {seed}):\n");
     println!("{}", render(&topo));
 

@@ -20,7 +20,7 @@ proptest! {
     /// valid and correctly ranked.
     #[test]
     fn discovery_on_random_networks(seed in 0u64..500) {
-        let (topo, user) = random_topology(seed, &RandomTopologyConfig::default());
+        let (topo, user) = random_topology(seed, &RandomTopologyConfig::default()).expect("valid config");
         let net = ScionNetwork::new(topo, seed);
         for addr in net.topology().all_servers() {
             if addr.ia == user {
@@ -42,7 +42,7 @@ proptest! {
     /// selection engine answers from the collected data.
     #[test]
     fn campaign_and_selection_on_random_networks(seed in 0u64..500) {
-        let (topo, user) = random_topology(seed, &RandomTopologyConfig::default());
+        let (topo, user) = random_topology(seed, &RandomTopologyConfig::default()).expect("valid config");
         let net = ScionNetwork::new(topo, seed);
         let db = Database::new();
         let servers = register_available_servers(&db, &net).unwrap();

@@ -123,6 +123,32 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_jval(&self) -> Value {
+        (**self).to_jval()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_jval(v: &Value) -> Result<Self, String> {
+        T::from_jval(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_jval(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_jval).collect())
+    }
+}
+
+// `Arc<[T]>` cannot go through the blanket `Arc<T>` deserialize (there
+// is no `Deserialize for [T]` — it is unsized), so convert via `Vec`.
+impl<T: Deserialize> Deserialize for std::sync::Arc<[T]> {
+    fn from_jval(v: &Value) -> Result<Self, String> {
+        Vec::<T>::from_jval(v).map(std::sync::Arc::from)
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_jval(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_jval).collect())
