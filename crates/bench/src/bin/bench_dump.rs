@@ -624,6 +624,208 @@ fn bench_strategies() {
     );
 }
 
+/// Chaos + failover: switch-latency percentiles on the 35-AS replica
+/// and a ~500-AS BRITE-style topology (simulated milliseconds, read
+/// the `ms_per_iter` column), plus the chaos-schedule tick overhead —
+/// the same failover campaign with an empty schedule vs one firing
+/// two transitions per tick on a link no measured path uses, so the
+/// delta is purely the transition/epoch machinery and the sessions'
+/// epoch-driven re-verification. The acceptance bound on record:
+/// tick overhead ≤ 1.1x.
+fn bench_failover() {
+    use scion_sim::beacon::BeaconConfig;
+    use scion_sim::chaos::{AsOutage, ChaosSchedule, Dwell, LinkFlap};
+    use scion_sim::net::ScionNetwork;
+    use scion_sim::topology::random::{random_topology, RandomTopologyConfig};
+    use scion_sim::topology::scionlab::{paper_destinations, ETHZ_AP, ETHZ_CORE, ETRI, KISTI_CORE};
+    use upin_core::failover::{percentile, run_chaos_campaign, FailoverConfig};
+
+    // 35-AS replica: the ETHZ core flaps, the Swisscom detours stay
+    // live — every paper destination's session migrates and restores.
+    let cfg = FailoverConfig {
+        ticks: 30,
+        ..FailoverConfig::default()
+    };
+    let small_dests: Vec<(u32, _)> = paper_destinations()
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| (i as u32 + 1, a))
+        .collect();
+    let mut small_schedule = ChaosSchedule::new(9, 30_000.0);
+    small_schedule.flaps.push(LinkFlap {
+        a: ETHZ_CORE,
+        b: ETHZ_AP,
+        first_down_ms: 4_000.0,
+        down: Dwell::fixed(8_000.0),
+        up: Dwell::fixed(9_000.0),
+    });
+    let small_report = run_chaos_campaign(
+        &ScionNetwork::scionlab(42),
+        &small_schedule,
+        &small_dests,
+        &cfg,
+        None,
+    )
+    .unwrap();
+    let small_ms = small_report.switch_latencies();
+
+    let small_campaign = time_ns(10, || {
+        std::hint::black_box(
+            run_chaos_campaign(
+                &ScionNetwork::scionlab(42),
+                &small_schedule,
+                &small_dests,
+                &cfg,
+                None,
+            )
+            .unwrap(),
+        );
+    });
+
+    // ~500-AS BRITE-style internet under a beacon cap: outage an
+    // avoidable transit AS on each measured destination's best path,
+    // so the sessions must route around it.
+    let topo_cfg = RandomTopologyConfig {
+        isds: 5,
+        ases_per_isd: (95, 105),
+        cores_per_isd: (2, 3),
+        core_mesh_density: 0.5,
+        pref_attachment: 0.6,
+        ..RandomTopologyConfig::default()
+    };
+    let (topo, user) = random_topology(7, &topo_cfg).expect("valid config");
+    let cap = BeaconConfig {
+        beacons_per_pair: 8,
+        ..BeaconConfig::default()
+    };
+    let big_net = ScionNetwork::with_beacon_config(topo, 42, &cap);
+    // Pick destinations whose best path transits an AS that some
+    // alternative path avoids — outaging that AS forces a failover
+    // switch instead of stranding the session with no live candidate.
+    let mut big_dests: Vec<(u32, _)> = Vec::new();
+    let mut outage_nodes = Vec::new();
+    for addr in big_net.topology().all_servers() {
+        if addr.ia == user || big_dests.len() >= 4 {
+            continue;
+        }
+        let paths = big_net.paths(user, addr.ia, 8);
+        let Some(best) = paths.first() else { continue };
+        let avoidable = best.hops[1..best.hops.len().saturating_sub(1)]
+            .iter()
+            .map(|h| h.ia)
+            .find(|h| paths[1..].iter().any(|p| p.hops.iter().all(|x| x.ia != *h)));
+        let Some(node) = avoidable else { continue };
+        outage_nodes.push(node);
+        big_dests.push((big_dests.len() as u32 + 1, addr));
+    }
+    // Anchor the schedule AFTER the warm-up queries above: the first
+    // paths() calls run the lazy beaconing pass and advance the network
+    // clock, so windows anchored at construction time would already be
+    // in the past when the campaign installs the schedule.
+    let t0 = big_net.now_ms();
+    let mut big_schedule = ChaosSchedule::new(11, t0 + 30_000.0);
+    for (i, node) in outage_nodes.iter().enumerate() {
+        big_schedule.outages.push(AsOutage {
+            node: *node,
+            start_ms: t0 + 4_000.0 + i as f64 * 2_000.0,
+            duration_ms: 10_000.0,
+        });
+    }
+    let big_cfg = FailoverConfig {
+        local_as: user,
+        ..cfg.clone()
+    };
+    let big_report =
+        run_chaos_campaign(&big_net.fork(0), &big_schedule, &big_dests, &big_cfg, None).unwrap();
+    let big_ms = big_report.switch_latencies();
+
+    // Tick overhead: same campaign, empty schedule vs the ETRI leaf
+    // link flapping every ~950 ms — two transitions per session tick,
+    // every tick, on a link no path to the five measured destinations
+    // traverses. That is the per-tick chaos cost: every tick fires
+    // transitions, bumps the fault epoch, and forces each session to
+    // re-verify liveness and refresh its compiled route.
+    let empty = ChaosSchedule::new(1, 30_000.0);
+    let mut busy = ChaosSchedule::new(1, 30_000.0);
+    busy.flaps.push(LinkFlap {
+        a: KISTI_CORE,
+        b: ETRI,
+        first_down_ms: 100.0,
+        down: Dwell::fixed(450.0),
+        up: Dwell::fixed(500.0),
+    });
+    assert!(
+        busy.compile(ScionNetwork::scionlab(42).topology())
+            .unwrap()
+            .len()
+            > 50
+    );
+    let plain = time_ns(10, || {
+        std::hint::black_box(
+            run_chaos_campaign(
+                &ScionNetwork::scionlab(42),
+                &empty,
+                &small_dests,
+                &cfg,
+                None,
+            )
+            .unwrap(),
+        );
+    });
+    let ticking = time_ns(10, || {
+        std::hint::black_box(
+            run_chaos_campaign(&ScionNetwork::scionlab(42), &busy, &small_dests, &cfg, None)
+                .unwrap(),
+        );
+    });
+
+    let sim_ms = |xs: &[f64], p: f64| percentile(xs, p).unwrap_or(0.0) * 1e6; // ms in the ms_per_iter column
+    let big_as_count = big_net.topology().ases().count();
+    let rows = [
+        (
+            "switch_sim_ms/p50_scionlab35".to_string(),
+            sim_ms(&small_ms, 0.50),
+        ),
+        (
+            "switch_sim_ms/p99_scionlab35".to_string(),
+            sim_ms(&small_ms, 0.99),
+        ),
+        (
+            format!("switch_sim_ms/p50_{big_as_count}as"),
+            sim_ms(&big_ms, 0.50),
+        ),
+        (
+            format!("switch_sim_ms/p99_{big_as_count}as"),
+            sim_ms(&big_ms, 0.99),
+        ),
+        (
+            "chaos_campaign/scionlab35_5dest_30ticks".to_string(),
+            small_campaign,
+        ),
+        ("chaos_campaign/empty_schedule".to_string(), plain),
+        ("chaos_campaign/busy_far_schedule".to_string(), ticking),
+    ];
+    assert!(
+        !small_ms.is_empty() && !big_ms.is_empty(),
+        "both topologies must record switches"
+    );
+    let borrowed: Vec<(&str, f64)> = rows.iter().map(|(l, ns)| (l.as_str(), *ns)).collect();
+    dump_with_ratios(
+        "BENCH_failover.json",
+        &borrowed,
+        &[("chaos_tick_overhead_vs_plain", ticking / plain)],
+    );
+    println!(
+        "  switch p50/p99 (simulated ms): scionlab {:.1}/{:.1}, {}-AS {:.1}/{:.1}; tick overhead {:.3}x (budget 1.1x)",
+        percentile(&small_ms, 0.50).unwrap_or(0.0),
+        percentile(&small_ms, 0.99).unwrap_or(0.0),
+        big_as_count,
+        percentile(&big_ms, 0.50).unwrap_or(0.0),
+        percentile(&big_ms, 0.99).unwrap_or(0.0),
+        ticking / plain
+    );
+}
+
 fn main() {
     bench_pathdb();
     bench_select();
@@ -632,4 +834,5 @@ fn main() {
     bench_topo();
     bench_campaign();
     bench_strategies();
+    bench_failover();
 }

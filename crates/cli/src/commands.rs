@@ -241,6 +241,84 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             out.push_str(&format!("final path: {}\n", r.paths[r.final_path]));
             finish(&s, out)
         }
+        "chaos" => {
+            // `upin chaos run --schedule FILE [--sla-ms 500]`: run one
+            // long-lived failover session per destination while the
+            // schedule's faults fire on the simulated clock.
+            let p = parse(
+                with_globals(
+                    Spec::new(1, 1)
+                        .value("schedule")
+                        .value("sla-ms")
+                        .value("ticks")
+                        .value("tick-interval-ms")
+                        .value("probes")
+                        .value("max-paths")
+                        .value("workers")
+                        .value("out")
+                        .flag("parallel"),
+                ),
+                rest,
+            )?;
+            if p.positional[0] != "run" {
+                return Err(CliError::Usage(format!(
+                    "unknown chaos subcommand {:?} (expected: run)",
+                    p.positional[0]
+                )));
+            }
+            let path = p
+                .opt("schedule")
+                .ok_or_else(|| CliError::Usage("chaos run needs --schedule FILE".into()))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+            let schedule = scion_sim::chaos::ChaosSchedule::from_json_str(&text)
+                .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let defaults = upin_core::FailoverConfig::default();
+            let cfg = upin_core::FailoverConfig {
+                local_as: s.local,
+                sla_ms: p
+                    .opt_parse::<f64>("sla-ms")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(defaults.sla_ms),
+                ticks: p
+                    .opt_parse::<usize>("ticks")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(defaults.ticks),
+                tick_interval_ms: p
+                    .opt_parse::<f64>("tick-interval-ms")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(defaults.tick_interval_ms),
+                probes: p
+                    .opt_parse::<u32>("probes")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(defaults.probes),
+                max_paths: p
+                    .opt_parse::<usize>("max-paths")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(defaults.max_paths),
+                parallel: p.flag("parallel"),
+                workers: p
+                    .opt_parse::<usize>("workers")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(defaults.workers),
+                ..defaults
+            };
+            let dests = upin_core::collect::destinations(&s.db)?;
+            let report = upin_core::failover::run_chaos_campaign(
+                &s.net,
+                &schedule,
+                &dests,
+                &cfg,
+                Some(&s.db),
+            )?;
+            if let Some(out_path) = p.opt("out") {
+                std::fs::write(out_path, report.to_json_string())
+                    .map_err(|e| CliError::Io(format!("cannot write {out_path}: {e}")))?;
+            }
+            finish(&s, upin_core::report::render_chaos(&report))
+        }
         "recommend" => {
             let p = parse(with_globals(recommend_spec()), rest)?;
             let s = open(&p)?;
@@ -497,8 +575,18 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                     let cards = upin_core::axioms::load_scorecards(&s.db)?;
                     finish(&s, upin_core::report::render_strategies(&cards))
                 }
+                "chaos" => {
+                    let path = p.positional.get(1).ok_or_else(|| {
+                        CliError::Usage("report chaos expects a chaos report JSON path".into())
+                    })?;
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+                    let report = upin_core::ChaosReport::from_json_str(&text)
+                        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+                    Ok(upin_core::report::render_chaos(&report))
+                }
                 other => Err(CliError::Usage(format!(
-                    "unknown report {other:?} (expected: telemetry, strategies)"
+                    "unknown report {other:?} (expected: telemetry, strategies, chaos)"
                 ))),
             }
         }
@@ -532,6 +620,9 @@ fn usage() -> String {
      \x20      [--peering-prob F] [--server-prob F] [--out FILE]\n\
      \x20                                      write a BRITE-style random topology\n\
      \x20 failover <addr> [--probes N] [--threshold N] [--max-paths N]\n\
+     \x20 chaos run --schedule FILE [--sla-ms F] [--ticks N] [--tick-interval-ms F]\n\
+     \x20       [--probes N] [--max-paths N] [--parallel] [--workers N] [--out FILE]\n\
+     \x20                                      failover sessions under a fault schedule\n\
      \x20 verify <server|addr> [same filters] [--tolerance F]\n\
      \x20 health <server|addr> [--window N] [--sigmas K]   anomaly scan\n\
      \x20 exec \"scion ping ... \"                executes a literal tool command line\n\
@@ -541,6 +632,7 @@ fn usage() -> String {
      \x20                                      Pareto/stability/fairness axioms\n\
      \x20 report telemetry <metrics.json>      summarize a --metrics-out export\n\
      \x20 report strategies                    render the stored strategy scorecard\n\
+     \x20 report chaos <report.json>           render a chaos run saved with --out\n\
      \n\
      global: --seed N (default 42), --db DIR (persistent database),\n\
      \x20       --durability LEVEL (none|snapshot|wal; default snapshot —\n\
@@ -1062,6 +1154,57 @@ mod tests {
         let out = run_cli(&["failover", "16-ffaa:0:1002,[172.31.43.7]", "--probes", "8"]).unwrap();
         assert!(out.contains("8 probes over"), "{out}");
         assert!(out.contains("final path:"), "{out}");
+    }
+
+    #[test]
+    fn chaos_run_exports_a_report_that_report_chaos_rerenders() {
+        use scion_sim::chaos::{ChaosSchedule, Dwell, LinkFlap};
+        use scion_sim::topology::scionlab::{ETHZ_AP, ETHZ_CORE};
+        let dir = std::env::temp_dir().join(format!("upin-cli-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut schedule = ChaosSchedule::new(7, 60_000.0);
+        schedule.flaps.push(LinkFlap {
+            a: ETHZ_CORE,
+            b: ETHZ_AP,
+            first_down_ms: 5_000.0,
+            down: Dwell::fixed(10_000.0),
+            up: Dwell::fixed(600_000.0),
+        });
+        let sched = dir.join("flaps.json");
+        std::fs::write(&sched, schedule.to_json_string()).unwrap();
+        let saved = dir.join("report.json");
+
+        let out = run_cli(&[
+            "chaos",
+            "run",
+            "--schedule",
+            sched.to_str().unwrap(),
+            "--ticks",
+            "8",
+            "--tick-interval-ms",
+            "1000",
+            "--sla-ms",
+            "500",
+            "--out",
+            saved.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("switch SLA 500 ms"), "{out}");
+        assert!(out.contains("availability"), "{out}");
+
+        // The exported JSON round-trips through `report chaos` and
+        // renders the very same table.
+        let again = run_cli(&["report", "chaos", saved.to_str().unwrap()]).unwrap();
+        assert!(out.starts_with(&again), "{out}\n---\n{again}");
+
+        let err = run_cli(&["chaos", "run", "--schedule", "/no/such/file.json"]);
+        assert!(matches!(err, Err(CliError::Io(_))), "{err:?}");
+        let err = run_cli(&["chaos", "wiggle", "--schedule", sched.to_str().unwrap()]);
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("unknown chaos subcommand"), "{msg}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -57,6 +57,13 @@ pub struct SuiteConfig {
     /// on one destination, its remaining paths are skipped for the
     /// iteration and the destination is recorded in the report.
     pub breaker_threshold: usize,
+    /// Cooldown before an open breaker admits a half-open trial probe,
+    /// in simulated milliseconds. After a destination trips, it is held
+    /// (paths skipped, no probes) until the cooldown — jittered by the
+    /// seeded network RNG — elapses on the campaign clock; the next
+    /// iteration then admits exactly one trial path, closing the
+    /// breaker on success and re-opening it on failure.
+    pub breaker_cooldown_ms: f64,
     /// Crash-safety level of the database the campaign writes to
     /// (`--durability {none,snapshot,wal}`). With `wal`, every
     /// per-destination bulk insertion is one WAL commit group, making
@@ -86,6 +93,7 @@ impl Default for SuiteConfig {
             retry_base_ms: 200.0,
             retry_multiplier: 2.0,
             breaker_threshold: 3,
+            breaker_cooldown_ms: 30_000.0,
             durability: Durability::None,
         }
     }
@@ -131,6 +139,14 @@ impl SuiteConfig {
         }
         if self.max_paths == 0 {
             return Err("max_paths must be at least 1".into());
+        }
+        if self.breaker_threshold > 0
+            && !(self.breaker_cooldown_ms.is_finite() && self.breaker_cooldown_ms > 0.0)
+        {
+            return Err(format!(
+                "the circuit breaker needs a positive cooldown, got {} ms",
+                self.breaker_cooldown_ms
+            ));
         }
         if self.run_bwtests && self.bw_duration_s <= 0.0 {
             return Err("bandwidth tests need a positive duration".into());
@@ -295,6 +311,12 @@ impl SuiteConfigBuilder {
         self
     }
 
+    /// Cooldown before an open breaker admits its half-open trial.
+    pub fn breaker_cooldown_ms(mut self, ms: f64) -> Self {
+        self.cfg.breaker_cooldown_ms = ms;
+        self
+    }
+
     pub fn durability(mut self, level: Durability) -> Self {
         self.cfg.durability = level;
         self
@@ -376,6 +398,20 @@ mod tests {
         assert!(SuiteConfig::builder().ping(0, 100.0).build().is_err());
         assert!(SuiteConfig::builder().max_paths(0).build().is_err());
         assert!(SuiteConfig::builder()
+            .breaker_cooldown_ms(0.0)
+            .build()
+            .is_err());
+        assert!(SuiteConfig::builder()
+            .breaker_cooldown_ms(f64::NAN)
+            .build()
+            .is_err());
+        // No breaker, no cooldown to validate.
+        assert!(SuiteConfig::builder()
+            .breaker_threshold(0)
+            .breaker_cooldown_ms(0.0)
+            .build()
+            .is_ok());
+        assert!(SuiteConfig::builder()
             .bandwidth(true, 0.0, 12.0)
             .build()
             .is_err());
@@ -430,5 +466,6 @@ mod tests {
         assert_eq!(d.workers, 4);
         assert_eq!(d.retry_attempts, 2);
         assert_eq!(d.breaker_threshold, 3);
+        assert_eq!(d.breaker_cooldown_ms, 30_000.0);
     }
 }

@@ -44,6 +44,12 @@ pub enum CampaignEvent {
         consecutive: usize,
         skipped_paths: usize,
     },
+    /// An open breaker's cooldown elapsed on the campaign clock; the
+    /// runner admitted exactly one trial path for this destination.
+    BreakerHalfOpen { server_id: u32 },
+    /// The half-open trial succeeded: the breaker closed and the rest of
+    /// the destination's paths were measured again.
+    BreakerClosed { server_id: u32 },
 }
 
 impl std::fmt::Display for CampaignEvent {
@@ -59,6 +65,14 @@ impl std::fmt::Display for CampaignEvent {
             CampaignEvent::CircuitOpen { server_id, consecutive, skipped_paths } => write!(
                 f,
                 "destination {server_id}: breaker open after {consecutive} consecutive failures, {skipped_paths} paths skipped"
+            ),
+            CampaignEvent::BreakerHalfOpen { server_id } => write!(
+                f,
+                "destination {server_id}: breaker half-open, admitting one trial path"
+            ),
+            CampaignEvent::BreakerClosed { server_id } => write!(
+                f,
+                "destination {server_id}: trial path succeeded, breaker closed"
             ),
         }
     }
@@ -82,6 +96,13 @@ pub fn summarize_events(
             }
             CampaignEvent::CircuitOpen { server_id, .. } => {
                 out.entry(*server_id).or_default().2 += 1
+            }
+            // Half-open probes and closes mark recovery, not new damage;
+            // they appear in the event stream but not in the damage
+            // counts an operator alerts on.
+            CampaignEvent::BreakerHalfOpen { server_id }
+            | CampaignEvent::BreakerClosed { server_id } => {
+                out.entry(*server_id).or_default();
             }
         }
     }
@@ -328,10 +349,16 @@ mod tests {
                 attempt: 1,
                 delay_ms: 200.0,
             },
+            // Breaker recovery transitions surface the destination but
+            // add nothing to the damage counts.
+            CampaignEvent::BreakerHalfOpen { server_id: 4 },
+            CampaignEvent::BreakerClosed { server_id: 4 },
+            CampaignEvent::BreakerHalfOpen { server_id: 11 },
         ];
         let summary = summarize_events(&events);
         assert_eq!(summary[&4], (2, 1, 1));
         assert_eq!(summary[&9], (1, 0, 0));
+        assert_eq!(summary[&11], (0, 0, 0));
         // Every event renders a human-readable line.
         for e in &events {
             assert!(!e.to_string().is_empty());

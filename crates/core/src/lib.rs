@@ -27,6 +27,10 @@
 //! * [`axioms`] — the strategy-evaluation harness: replay every
 //!   registered strategy over a recorded campaign and score
 //!   Pareto-efficiency, stability under fault epochs, and fairness.
+//! * [`failover`] — long-lived sessions that survive chaos schedules:
+//!   epoch-driven failure detection, ranked re-selection with
+//!   hysteresis and seeded backoff, measured switch SLAs, and graceful
+//!   degradation to stale recommendations instead of errors.
 //! * [`statcache`] — incremental memoization of per-destination
 //!   measurement groupings and per-path aggregates, keyed on the
 //!   collections' mutation versions: unchanged databases answer
@@ -62,6 +66,7 @@ pub mod collect;
 pub mod config;
 pub mod domain;
 pub mod error;
+pub mod failover;
 pub mod health;
 pub mod measure;
 pub mod multi;
@@ -79,6 +84,7 @@ pub mod verify;
 pub use axioms::{evaluate_strategies, EvalConfig, Scorecard};
 pub use config::SuiteConfig;
 pub use error::{SelectionFailure, SuiteError, SuiteResult};
+pub use failover::{run_chaos_campaign, ChaosReport, FailoverConfig};
 pub use schema::{PathId, PathMeasurement, StatId};
 pub use select::{Constraints, Objective, Recommendation, UserRequest};
 pub use strategy::{SelectionStrategy, StrategyContext};

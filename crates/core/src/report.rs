@@ -175,6 +175,56 @@ pub fn render_strategies(cards: &[crate::axioms::Scorecard]) -> String {
     out
 }
 
+/// The chaos campaign table: per-destination availability, switch
+/// latency percentiles, SLA violations and degraded time, plus a
+/// campaign-wide totals line.
+pub fn render_chaos(r: &crate::failover::ChaosReport) -> String {
+    use crate::failover::percentile;
+    let cell = |x: Option<f64>| match x {
+        Some(v) => format!("{v:>8.1}"),
+        None => format!("{:>8}", "-"),
+    };
+    let mut out = format!(
+        "Chaos campaign — switch SLA {:.0} ms, {} scheduled transitions\n",
+        r.sla_ms, r.transitions
+    );
+    out.push_str(&format!(
+        "{:<6} {:<28} {:>6} {:>8} {:>8} {:>8} {:>5} {:>11} {:>6}\n",
+        "dest", "address", "avail", "switches", "p50 ms", "p99 ms", "viol", "degraded ms", "stale"
+    ));
+    for d in &r.dests {
+        out.push_str(&format!(
+            "{:<6} {:<28} {:>5.1}% {:>8} {} {} {:>5} {:>11.0} {:>6}\n",
+            d.server_id,
+            d.dest,
+            d.availability() * 100.0,
+            d.switch_ms.len(),
+            cell(percentile(&d.switch_ms, 0.50)),
+            cell(percentile(&d.switch_ms, 0.99)),
+            d.sla_violations,
+            d.degraded_ms,
+            d.stale_ticks
+        ));
+    }
+    let all = r.switch_latencies();
+    let degraded: f64 = r.dests.iter().map(|d| d.degraded_ms).sum();
+    let avail = if r.dests.is_empty() {
+        0.0
+    } else {
+        r.dests.iter().map(|d| d.availability()).sum::<f64>() / r.dests.len() as f64
+    };
+    out.push_str(&format!(
+        "total: {} switches, p50 {} / p99 {} ms, {} SLA violations, availability {:.1}%, degraded {:.0} ms\n",
+        all.len(),
+        cell(percentile(&all, 0.50)).trim(),
+        cell(percentile(&all, 0.99)).trim(),
+        r.total_sla_violations(),
+        avail * 100.0,
+        degraded
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +311,36 @@ mod tests {
         assert!(text.contains("3000"));
         assert!(text.contains("5.66"));
         assert!(text.contains("70.0%"));
+    }
+
+    #[test]
+    fn chaos_table_shows_sla_and_degradation() {
+        let report = crate::failover::ChaosReport {
+            sla_ms: 500.0,
+            transitions: 4,
+            trace: String::new(),
+            dests: vec![crate::failover::DestReport {
+                server_id: 2,
+                dest: "16-ffaa:0:1002,[172.31.43.7]".into(),
+                candidates: 5,
+                ticks: 20,
+                ok_ticks: 18,
+                degraded_ticks: 2,
+                stale_ticks: 2,
+                degraded_ms: 2000.0,
+                switch_ms: vec![180.0, 620.0],
+                sla_violations: 1,
+                restores: 1,
+                recoveries: 1,
+                serving: None,
+            }],
+        };
+        let text = render_chaos(&report);
+        assert!(text.contains("switch SLA 500 ms"), "{text}");
+        assert!(text.contains("4 scheduled transitions"), "{text}");
+        assert!(text.contains("90.0%"), "{text}");
+        assert!(text.contains("620.0"), "{text}");
+        assert!(text.contains("1 SLA violations"), "{text}");
+        assert!(text.contains("degraded 2000 ms"), "{text}");
     }
 }

@@ -20,6 +20,15 @@
 //!   per-destination circuit breaker stops hammering a destination
 //!   whose paths hard-fail consecutively, skipping its remaining paths
 //!   for the iteration. Both emit structured [`CampaignEvent`]s.
+//!
+//! A tripped breaker is not permanent: the destination is *held* (all
+//! paths skipped, no probes) until a seeded cooldown
+//! ([`SuiteConfig::breaker_cooldown_ms`], jittered) elapses on the
+//! campaign clock, after which the next iteration admits exactly one
+//! **half-open** trial path — success closes the breaker and resumes
+//! full measurement, failure re-opens it for another cooldown. The
+//! transitions surface as [`CampaignEvent::BreakerHalfOpen`] /
+//! [`CampaignEvent::BreakerClosed`].
 
 use crate::config::SuiteConfig;
 use crate::error::{SuiteError, SuiteResult};
@@ -117,6 +126,9 @@ struct DestJob {
     addr: ScionAddr,
     net: ScionNetwork,
     paths: Arc<Vec<PathSpec>>,
+    /// This destination's breaker cooled down: admit one half-open
+    /// trial path before measuring the rest.
+    trial: bool,
 }
 
 /// What a worker hands back, committed by the coordinator in
@@ -128,6 +140,9 @@ struct DestBatch {
     errors: usize,
     skipped: usize,
     tripped: bool,
+    /// The breaker was open and still cooling down: the whole
+    /// destination was skipped without probing.
+    held: bool,
     events: Vec<CampaignEvent>,
     elapsed_ms: f64,
     /// Per-path attempt timings `(path, start_ms, end_ms, errored)` on
@@ -171,6 +186,10 @@ pub fn run_campaign(
         ],
     );
     let workers = cfg.workers.max(1);
+    // Per-destination breaker state across iterations: an entry means
+    // the breaker is open, the value is the campaign-clock time at
+    // which its cooldown elapses and a half-open trial is admitted.
+    let mut breakers: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
     for iter in 0..cfg.iterations {
         let iter_start = net.now_ms();
         let iter_span = rec.span_start(
@@ -179,17 +198,43 @@ pub fn run_campaign(
             iter_start,
             &[("iteration", AttrValue::I64(iter as i64))],
         );
+        // Open breakers still cooling down hold their destination (all
+        // paths skipped, no fork, no probes); cooled-down ones run a
+        // half-open trial. Fork salts depend only on (iteration,
+        // destination index), so held destinations never shift another
+        // destination's RNG stream.
+        let mut held: Vec<DestBatch> = Vec::new();
         let jobs: Vec<DestJob> = dests
             .iter()
             .zip(&path_lists)
             .enumerate()
-            .map(|(index, (&(server_id, addr), paths))| DestJob {
-                index,
-                server_id,
-                addr,
-                net: net.fork(((iter as u64) << 32) | index as u64),
-                paths: Arc::clone(paths),
-            })
+            .filter_map(
+                |(index, (&(server_id, addr), paths))| match breakers.get(&server_id) {
+                    Some(&until) if iter_start < until => {
+                        held.push(DestBatch {
+                            index,
+                            server_id,
+                            docs: Vec::new(),
+                            errors: 0,
+                            skipped: paths.len(),
+                            tripped: false,
+                            held: true,
+                            events: Vec::new(),
+                            elapsed_ms: 0.0,
+                            marks: Vec::new(),
+                        });
+                        None
+                    }
+                    state => Some(DestJob {
+                        index,
+                        server_id,
+                        addr,
+                        net: net.fork(((iter as u64) << 32) | index as u64),
+                        paths: Arc::clone(paths),
+                        trial: state.is_some(),
+                    }),
+                },
+            )
             .collect();
         let mut batches = if cfg.parallel && workers > 1 && jobs.len() > 1 {
             run_pooled(jobs, cfg, workers, &mut report.peak_workers)?
@@ -197,7 +242,9 @@ pub fn run_campaign(
             report.peak_workers = report.peak_workers.max(1);
             jobs.into_iter().map(|j| run_destination(cfg, j)).collect()
         };
+        batches.extend(held);
         batches.sort_by_key(|b| b.index);
+        let all_held = !batches.is_empty() && batches.iter().all(|b| b.held);
         let mut iter_elapsed = 0.0f64;
         for batch in batches {
             iter_elapsed = iter_elapsed.max(batch.elapsed_ms);
@@ -220,7 +267,6 @@ pub fn run_campaign(
                 .insert_many(batch.docs)?
                 .len();
             report.inserted += inserted;
-            report.events.extend(batch.events);
 
             // Telemetry, replayed here on the coordinator thread so a
             // pooled campaign exports byte-identical signals to a
@@ -254,6 +300,36 @@ pub fn run_campaign(
                 );
                 rec.add("campaign.breaker_trips", 1);
             }
+            if batch.held {
+                rec.add("campaign.breaker_held", 1);
+            }
+            for e in &batch.events {
+                match e {
+                    CampaignEvent::BreakerHalfOpen { .. } => {
+                        rec.event(dest_span, "breaker_half_open", iter_start, &[]);
+                        rec.add("campaign.breaker_half_open", 1);
+                    }
+                    CampaignEvent::BreakerClosed { .. } => {
+                        rec.event(
+                            dest_span,
+                            "breaker_closed",
+                            iter_start + batch.elapsed_ms,
+                            &[],
+                        );
+                        rec.add("campaign.breaker_closes", 1);
+                        breakers.remove(&batch.server_id);
+                    }
+                    _ => {}
+                }
+            }
+            if batch.tripped {
+                // (Re-)open: hold the destination until a seeded,
+                // jittered cooldown elapses on the campaign clock.
+                let reopen_at = iter_start
+                    + batch.elapsed_ms
+                    + cfg.breaker_cooldown_ms * (0.75 + 0.5 * net.jitter_unit());
+                breakers.insert(batch.server_id, reopen_at);
+            }
             rec.span_end(dest_span, iter_start + batch.elapsed_ms);
             rec.observe("campaign.destination_ms", batch.elapsed_ms);
             if rec.enabled() {
@@ -270,11 +346,24 @@ pub fn run_campaign(
             rec.add("campaign.errors", batch.errors as u64);
             rec.add("campaign.skipped_paths", batch.skipped as u64);
             rec.add("campaign.retries", retries as u64);
+            report.events.extend(batch.events);
         }
         // The campaign's wall time is the slowest destination's; keep the
         // parent clock ahead of every fork so the next iteration's
         // timestamps are fresh.
         net.advance_ms(iter_elapsed);
+        // If every destination was held by an open breaker, nothing
+        // advanced the clock — idle until the earliest cooldown elapses
+        // so the campaign can't spin through iterations at zero time.
+        if all_held {
+            let next = breakers.values().fold(f64::INFINITY, |a, &b| a.min(b));
+            if next.is_finite() && next > net.now_ms() {
+                // Overshoot by 1 µs so rounding can't leave the clock an
+                // ulp short of the reopen time (which would hold the
+                // destination for another whole iteration).
+                net.advance_ms(next - net.now_ms() + 1e-6);
+            }
+        }
         rec.span_end(iter_span, net.now_ms());
     }
     rec.span_end(campaign_span, net.now_ms());
@@ -293,6 +382,11 @@ fn run_destination(cfg: &SuiteConfig, job: DestJob) -> DestBatch {
     let mut skipped = 0usize;
     let mut tripped = false;
     let mut marks = Vec::with_capacity(job.paths.len());
+    if job.trial && !job.paths.is_empty() {
+        events.push(CampaignEvent::BreakerHalfOpen {
+            server_id: job.server_id,
+        });
+    }
     for (i, spec) in job.paths.iter().enumerate() {
         let t0 = job.net.now_ms();
         let m = measure_path(&job.net, cfg, &policy, spec, job.addr, &mut events);
@@ -302,9 +396,22 @@ fn run_destination(cfg: &SuiteConfig, job: DestJob) -> DestBatch {
             consecutive += 1;
         } else {
             consecutive = 0;
+            if job.trial && i == 0 {
+                events.push(CampaignEvent::BreakerClosed {
+                    server_id: job.server_id,
+                });
+            }
         }
         docs.push(m.to_doc());
-        if cfg.breaker_threshold > 0 && consecutive >= cfg.breaker_threshold {
+        // A half-open destination gets exactly one trial: its first
+        // path failing re-opens the breaker immediately, regardless of
+        // the configured consecutive-failure threshold.
+        let threshold = if job.trial && i == 0 {
+            1
+        } else {
+            cfg.breaker_threshold
+        };
+        if cfg.breaker_threshold > 0 && consecutive >= threshold {
             skipped = job.paths.len() - (i + 1);
             tripped = true;
             events.push(CampaignEvent::CircuitOpen {
@@ -322,6 +429,7 @@ fn run_destination(cfg: &SuiteConfig, job: DestJob) -> DestBatch {
         errors,
         skipped,
         tripped,
+        held: false,
         events,
         elapsed_ms: job.net.now_ms() - start_ms,
         marks,
@@ -538,5 +646,105 @@ mod tests {
         assert!(report.events.iter().any(
             |e| matches!(e, CampaignEvent::CircuitOpen { server_id: s, .. } if *s == server_id)
         ));
+    }
+
+    #[test]
+    fn half_open_trial_reopens_while_the_server_stays_dead() {
+        // Tiny cooldown: each trip holds exactly the next iteration
+        // (the cooldown outlasts the zero-advance held iteration, which
+        // then idles the clock past it), so the pattern is
+        // trip, held, trial, held, trial.
+        let cfg = SuiteConfig {
+            iterations: 5,
+            some_only: true,
+            run_bwtests: true,
+            retry_attempts: 0,
+            breaker_cooldown_ms: 1.0,
+            ..quick()
+        };
+        let (db, net) = setup(9, &cfg);
+        let (server_id, addr) = crate::collect::destinations(&db).unwrap()[0];
+        net.set_server_behavior(addr, ServerBehavior::Down);
+        let report = run_campaign(&db, &net, &cfg).unwrap();
+        let paths = paths_of(&db, server_id).unwrap();
+        let count =
+            |f: &dyn Fn(&CampaignEvent) -> bool| report.events.iter().filter(|e| f(e)).count();
+        assert_eq!(
+            count(&|e| matches!(e, CampaignEvent::BreakerHalfOpen { .. })),
+            2,
+            "{:?}",
+            report.events
+        );
+        assert_eq!(
+            count(&|e| matches!(e, CampaignEvent::BreakerClosed { .. })),
+            0
+        );
+        assert_eq!(
+            count(&|e| matches!(e, CampaignEvent::CircuitOpen { .. })),
+            3
+        );
+        assert_eq!(report.measured, cfg.breaker_threshold + 2);
+        assert_eq!(report.errors, cfg.breaker_threshold + 2);
+        assert_eq!(
+            report.skipped,
+            (paths.len() - cfg.breaker_threshold) + 2 * (paths.len() - 1) + 2 * paths.len()
+        );
+        let _ = server_id;
+    }
+
+    #[test]
+    fn cooled_down_breaker_closes_after_the_outage_heals() {
+        use scion_sim::chaos::{ChaosSchedule, FlakyWindow};
+        let cfg = SuiteConfig {
+            iterations: 3,
+            some_only: true,
+            run_bwtests: true,
+            retry_attempts: 0,
+            breaker_cooldown_ms: 60_000.0,
+            ..quick()
+        };
+        let (db, net) = setup(9, &cfg);
+        let (server_id, addr) = crate::collect::destinations(&db).unwrap()[0];
+        // The destination server drops everything just after the
+        // campaign starts (bwtests hard-fail) and the schedule clears
+        // it well before the breaker cooldown can elapse. The window
+        // must outlast `breaker_threshold` path measurements (~14 s
+        // each) for the trip to happen at all.
+        let t = net.now_ms();
+        let mut schedule = ChaosSchedule::new(1, t + 300_000.0);
+        schedule.flaky_servers.push(FlakyWindow {
+            server: addr,
+            drop_probability: 1.0,
+            start_ms: t + 1.0,
+            duration_ms: 50_000.0,
+        });
+        net.install_chaos(&schedule).unwrap();
+        let report = run_campaign(&db, &net, &cfg).unwrap();
+        let paths = paths_of(&db, server_id).unwrap();
+        let has = |f: &dyn Fn(&CampaignEvent) -> bool| report.events.iter().any(|e| f(e));
+        // Iteration 0 trips; iteration 1 is held (the cooldown idles the
+        // clock past the heal); iteration 2's trial succeeds and the
+        // whole destination is measured again.
+        assert!(report.tripped.contains(&server_id), "{:?}", report.events);
+        assert!(
+            has(
+                &|e| matches!(e, CampaignEvent::BreakerHalfOpen { server_id: s } if *s == server_id)
+            ),
+            "{:?}",
+            report.events
+        );
+        assert!(
+            has(&|e| matches!(e, CampaignEvent::BreakerClosed { server_id: s } if *s == server_id)),
+            "{:?}",
+            report.events
+        );
+        assert!(
+            report.measured >= cfg.breaker_threshold + paths.len(),
+            "trip iteration + one fully measured iteration: {report:?}"
+        );
+        assert!(
+            report.skipped >= paths.len(),
+            "the held iteration skipped everything: {report:?}"
+        );
     }
 }

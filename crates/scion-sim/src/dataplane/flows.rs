@@ -316,6 +316,7 @@ mod tests {
             rev,
             server: ServerBehavior::Down,
             hop_count: 3,
+            links: Vec::new(),
         };
         assert!(bwtest(
             &path,
@@ -359,6 +360,7 @@ mod tests {
             rev: down,
             server: ServerBehavior::Up,
             hop_count: 2,
+            links: Vec::new(),
         };
         let mut cs_sum = 0.0;
         let mut sc_sum = 0.0;

@@ -13,7 +13,7 @@ pub mod scmp;
 use crate::fault::{FaultPlan, ServerBehavior};
 use crate::path::ScionPath;
 use crate::pathserver::{validate_structure, PathError};
-use crate::topology::Topology;
+use crate::topology::{LinkIndex, Topology};
 use rand::Rng;
 
 /// SCION + UDP header overhead for a path of `hop_count` ASes, in bytes.
@@ -102,12 +102,77 @@ pub struct CompiledPath {
     pub server: ServerBehavior,
     /// Number of ASes on the path.
     pub hop_count: usize,
+    /// The traversed links, in forward order — lets
+    /// [`CompiledPath::still_valid`] re-check the fault-dependent
+    /// inputs without resolving the topology again.
+    pub links: Vec<LinkIndex>,
 }
 
 impl CompiledPath {
     /// Path MTU (minimum across links); `None` for an empty compile.
     pub fn mtu(&self) -> Option<u32> {
         self.fwd.iter().map(|h| h.mtu).min()
+    }
+
+    /// Whether this artifact is still exactly what [`compile_wire`]
+    /// would produce for `path` under `faults`: the per-link down bits,
+    /// the congestion windows touching each hop, and the destination
+    /// server behaviour all match what was baked in. Topology
+    /// attributes are static, so a `true` verdict lets the compile
+    /// cache re-tag the entry after an unrelated fault mutation instead
+    /// of recompiling — chaos transitions elsewhere in the network stay
+    /// off this route's data-plane cost. Uses the link indices recorded
+    /// at compile time, so the check never touches the topology.
+    pub fn still_valid(
+        &self,
+        faults: &FaultPlan,
+        path: &ScionPath,
+        server: ServerBehavior,
+    ) -> bool {
+        let n = path.hops.len().wrapping_sub(1);
+        if self.server != server
+            || path.hops.len() < 2
+            || self.fwd.len() != n
+            || self.links.len() != n
+        {
+            return false;
+        }
+        for i in 0..n {
+            let from_ia = path.hops[i].ia;
+            let to_ia = path.hops[i + 1].ia;
+            let li = self.links[i];
+            if faults.link_is_down(li) != self.fwd[i].down {
+                return false;
+            }
+            // Same windows, in the same order `compile_wire` collects
+            // them: link episodes, then the entered AS, then the
+            // endpoint AS on the edge hop.
+            let same = |stored: &[(f64, f64, f64)],
+                        enter: crate::addr::IsdAsn,
+                        endpoint: Option<crate::addr::IsdAsn>| {
+                let mut it = stored.iter();
+                faults
+                    .windows_for_link(li)
+                    .chain(faults.windows_for_node(enter))
+                    .chain(
+                        endpoint
+                            .into_iter()
+                            .flat_map(|ia| faults.windows_for_node(ia)),
+                    )
+                    .all(|w| it.next() == Some(&w))
+                    && it.next().is_none()
+            };
+            if !same(&self.fwd[i].episodes, to_ia, (i == 0).then_some(from_ia))
+                || !same(
+                    &self.rev[n - 1 - i].episodes,
+                    from_ia,
+                    (i == n - 1).then_some(to_ia),
+                )
+            {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -141,6 +206,7 @@ pub fn compile_wire(
     }
     let mut fwd = Vec::with_capacity(path.hops.len() - 1);
     let mut rev = Vec::with_capacity(path.hops.len() - 1);
+    let mut links = Vec::with_capacity(path.hops.len() - 1);
     for i in 0..path.hops.len() - 1 {
         let from_ia = path.hops[i].ia;
         let to_ia = path.hops[i + 1].ia;
@@ -151,6 +217,7 @@ pub fn compile_wire(
             .link_at_iface(from, path.hops[i].egress)
             .ok_or(PathError::BrokenAdjacency(i))?;
         let to = link.peer_of(from).ok_or(PathError::BrokenAdjacency(i))?;
+        links.push(li);
 
         // Congestion windows: the link's own episodes plus node episodes
         // at the AS the packet enters over this hop. The sending
@@ -199,5 +266,6 @@ pub fn compile_wire(
         rev,
         server,
         hop_count: path.hops.len(),
+        links,
     })
 }

@@ -266,6 +266,7 @@ mod tests {
             fwd: hops,
             rev,
             server: ServerBehavior::Up,
+            links: Vec::new(),
         }
     }
 

@@ -18,6 +18,9 @@
 //!   routers and congestion-biased loss.
 //! * **Faults** ([`fault`]): server behaviours, link outages and
 //!   time-windowed congestion episodes.
+//! * **Chaos** ([`chaos`]): declarative, seeded fault schedules (link
+//!   flaps, AS outages, congestion waves, flaky-server windows)
+//!   compiled onto the network clock so faults fire as time advances.
 //! * **Façade** ([`net::ScionNetwork`]): the object applications use —
 //!   `paths` / `ping` / `traceroute` / `bwtest` with a monotonically
 //!   advancing network clock.
@@ -35,6 +38,7 @@
 
 pub mod addr;
 pub mod beacon;
+pub mod chaos;
 pub mod crypto;
 pub mod dataplane;
 pub mod des;
@@ -48,5 +52,6 @@ pub mod segments;
 pub mod topology;
 
 pub use addr::{Asn, HostAddr, IfaceId, Isd, IsdAsn, ScionAddr};
+pub use chaos::{ChaosError, ChaosEvent, ChaosSchedule};
 pub use net::{BwtestOutcome, NetError, ScionNetwork, TraceHop};
 pub use path::{PathHop, PathStatus, ScionPath};

@@ -10,6 +10,7 @@
 
 use crate::addr::{IsdAsn, ScionAddr};
 use crate::beacon::{BeaconConfig, KeyProvider};
+use crate::chaos::{ChaosError, ChaosEvent, ChaosSchedule};
 use crate::dataplane::flows::{bwtest, FlowOutcome, FlowParams};
 use crate::dataplane::scmp::{ping, probe_prefix, ProbeOptions, ProbeOutcome};
 use crate::dataplane::{compile_path, compile_wire, header_bytes, CompiledPath};
@@ -174,10 +175,25 @@ struct FaultState {
     epoch: u64,
 }
 
+/// An installed chaos schedule's replay position: the compiled event
+/// list (shared with forks — replaying never mutates it) plus the index
+/// of the next transition to apply. Forks clone the cursor, so a fork
+/// continues the schedule from exactly where its parent stood.
+#[derive(Clone, Default)]
+struct ChaosRunner {
+    events: Arc<Vec<ChaosEvent>>,
+    cursor: usize,
+}
+
 /// The simulated SCION network.
 pub struct ScionNetwork {
     shared: Arc<NetShared>,
     faults: Mutex<FaultState>,
+    chaos: Mutex<ChaosRunner>,
+    /// Bit pattern of the next armed transition's `at_ms`
+    /// (`f64::INFINITY` when none) — lets `advance_ms` skip the chaos
+    /// lock entirely between transitions.
+    chaos_next_due: AtomicU64,
     clock_ms: Mutex<f64>,
     seed: u64,
     op_counter: Mutex<u64>,
@@ -216,6 +232,8 @@ impl ScionNetwork {
                 plan: FaultPlan::new(),
                 epoch: 0,
             }),
+            chaos: Mutex::new(ChaosRunner::default()),
+            chaos_next_due: AtomicU64::new(f64::INFINITY.to_bits()),
             clock_ms: Mutex::new(0.0),
             seed,
             op_counter: Mutex::new(0),
@@ -272,6 +290,8 @@ impl ScionNetwork {
             // and clock, independent of topology size.
             shared: Arc::clone(&self.shared),
             faults: Mutex::new(self.faults.lock().clone()),
+            chaos: Mutex::new(self.chaos.lock().clone()),
+            chaos_next_due: AtomicU64::new(self.chaos_next_due.load(Ordering::Relaxed)),
             clock_ms: Mutex::new(self.now_ms()),
             seed: splitmix(self.seed ^ splitmix(salt)),
             op_counter: Mutex::new(0),
@@ -299,9 +319,107 @@ impl ScionNetwork {
         *self.clock_ms.lock()
     }
 
-    /// Advance the network clock (idle time between operations).
+    /// Advance the network clock (idle time between operations), then
+    /// fire any installed chaos transitions the clock just passed. The
+    /// due-check is a single relaxed atomic load, so a network with no
+    /// imminent transition pays nothing beyond the clock bump.
     pub fn advance_ms(&self, ms: f64) {
-        *self.clock_ms.lock() += ms.max(0.0);
+        let now = {
+            let mut clock = self.clock_ms.lock();
+            *clock += ms.max(0.0);
+            *clock
+        };
+        if now >= f64::from_bits(self.chaos_next_due.load(Ordering::Relaxed)) {
+            self.apply_due_chaos(now);
+        }
+    }
+
+    // ---- chaos schedules -------------------------------------------
+
+    /// Compile `schedule` against this network's topology and arm it:
+    /// from now on every clock advance applies the transitions it
+    /// passes, exactly as if `set_link_down`/`add_congestion`/
+    /// `set_server_behavior` had been called by hand at those instants
+    /// (including the fault-epoch bump). Replaces any prior schedule.
+    /// Returns the number of compiled transitions.
+    pub fn install_chaos(&self, schedule: &ChaosSchedule) -> Result<usize, ChaosError> {
+        let events = schedule.compile(self.topology())?;
+        let n = events.len();
+        {
+            let mut chaos = self.chaos.lock();
+            chaos.events = Arc::new(events);
+            chaos.cursor = 0;
+        }
+        // Transitions scheduled at or before the current clock fire
+        // immediately (installing at t=5s applies everything ≤ 5s).
+        self.apply_due_chaos(self.now_ms());
+        Ok(n)
+    }
+
+    /// The full compiled transition list of the installed schedule
+    /// (empty when none is installed) — the byte-identical trace
+    /// artifact; render with [`crate::chaos::render_trace`].
+    pub fn chaos_events(&self) -> Arc<Vec<ChaosEvent>> {
+        Arc::clone(&self.chaos.lock().events)
+    }
+
+    /// How many of the compiled transitions have fired on this network.
+    pub fn chaos_applied(&self) -> usize {
+        self.chaos.lock().cursor
+    }
+
+    /// Apply every armed transition whose time the clock has reached,
+    /// as one batch: the fault lock is taken once and the epoch bumped
+    /// once per drain, since consumers only ever compare epochs for
+    /// (in)equality — what matters is that the state after the drain
+    /// carries a fresh tag, not how many tags the drain burned.
+    /// Lock discipline: never called with the clock, fault or chaos
+    /// lock held; takes chaos → (clock read) → faults per batch, which
+    /// cannot cycle with `paths()`'s faults → clock order because the
+    /// clock lock is only ever held instantaneously.
+    fn apply_due_chaos(&self, now: f64) {
+        let mut chaos = self.chaos.lock();
+        if chaos.cursor >= chaos.events.len() {
+            self.chaos_next_due
+                .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+            return;
+        }
+        let events = Arc::clone(&chaos.events);
+        let mut fired = 0u64;
+        if events[chaos.cursor].at_ms <= now {
+            let mut f = self.faults.lock();
+            while chaos.cursor < events.len() && events[chaos.cursor].at_ms <= now {
+                let ev = &events[chaos.cursor];
+                ev.action.apply(&mut f.plan, ev.at_ms);
+                chaos.cursor += 1;
+                fired += 1;
+            }
+            f.epoch = self.shared.next_epoch();
+        }
+        let next = events
+            .get(chaos.cursor)
+            .map_or(f64::INFINITY, |ev| ev.at_ms);
+        self.chaos_next_due.store(next.to_bits(), Ordering::Relaxed);
+        if fired > 0 {
+            self.recorder.add("sim.chaos.transitions", fired);
+        }
+    }
+
+    /// The epoch tag of this network's last fault mutation (scheduled
+    /// or hand-placed). Consumers that cache liveness decisions compare
+    /// this against the epoch they cached under — the cheap "did
+    /// anything change?" probe behind session failover.
+    pub fn fault_epoch(&self) -> u64 {
+        self.faults.lock().epoch
+    }
+
+    /// Liveness of a single route under the current fault state, without
+    /// advancing the clock or touching the path server — the probe a
+    /// failover session runs against its cached candidates.
+    pub fn path_is_up(&self, path: &ScionPath) -> bool {
+        let faults = self.faults.lock();
+        let now = *self.clock_ms.lock();
+        self.route_is_up(&faults.plan, path, now)
     }
 
     // ---- fault injection -------------------------------------------
@@ -567,9 +685,18 @@ impl ScionNetwork {
         // epoch cannot move underneath us): each (digest, dst, epoch)
         // misses exactly once globally, sequential or parallel.
         let mut compiled = self.shared.compiled.lock();
-        if let Some((tag, c)) = compiled.get(&(digest, dst)) {
+        if let Some((tag, c)) = compiled.get_mut(&(digest, dst)) {
             if *tag == faults.epoch {
                 self.recorder.add("sim.compile_cache.hit", 1);
+                return Ok(c.clone());
+            }
+            // Stale tag, but the mutation may not touch this route:
+            // re-verify the fault-dependent inputs and re-tag on a
+            // match, so chaos transitions elsewhere don't force a
+            // recompile of every active session's path.
+            if c.still_valid(&faults.plan, path, server) {
+                *tag = faults.epoch;
+                self.recorder.add("sim.compile_cache.refresh", 1);
                 return Ok(c.clone());
             }
         }
@@ -946,6 +1073,102 @@ mod tests {
             .ping(&paths[0], ireland(), &ProbeOptions::default())
             .unwrap();
         assert!(out.received() > 25, "fork still sees the server up");
+    }
+
+    #[test]
+    fn chaos_schedule_fires_as_the_clock_advances() {
+        use crate::chaos::{ChaosSchedule, Dwell, LinkFlap};
+        let n = net();
+        let mut s = ChaosSchedule::new(9, 30_000.0);
+        s.flaps.push(LinkFlap {
+            a: MY_AS,
+            b: ETHZ_AP,
+            first_down_ms: 10_000.0,
+            down: Dwell::fixed(5_000.0),
+            up: Dwell::fixed(60_000.0),
+        });
+        let installed = n.install_chaos(&s).unwrap();
+        assert_eq!(installed, 2, "one down + one up transition");
+        assert_eq!(n.chaos_applied(), 0);
+        let epoch0 = n.fault_epoch();
+
+        let path = n.paths(MY_AS, AWS_IRELAND, 1).remove(0); // clock → 800 ms
+        assert!(n.path_is_up(&path));
+
+        // Cross the down transition: the uplink (hence every path) dies
+        // and the fault epoch moves.
+        n.advance_ms(10_000.0);
+        assert_eq!(n.chaos_applied(), 1);
+        assert!(n.fault_epoch() > epoch0);
+        assert!(!n.path_is_up(&path));
+        assert_eq!(
+            n.paths(MY_AS, AWS_IRELAND, 1)[0].status,
+            PathStatus::Timeout
+        );
+
+        // Cross the heal transition: liveness recovers automatically.
+        n.advance_ms(10_000.0);
+        assert_eq!(n.chaos_applied(), 2);
+        assert!(n.path_is_up(&path));
+    }
+
+    #[test]
+    fn chaos_installation_applies_already_due_transitions() {
+        use crate::chaos::{AsOutage, ChaosSchedule};
+        let n = net();
+        n.advance_ms(20_000.0);
+        let mut s = ChaosSchedule::new(1, 60_000.0);
+        s.outages.push(AsOutage {
+            node: AWS_IRELAND,
+            start_ms: 5_000.0,
+            duration_ms: 40_000.0, // still active at 20 s
+        });
+        n.install_chaos(&s).unwrap();
+        assert_eq!(n.chaos_applied(), 1, "the start transition is due");
+        let path = n.paths(MY_AS, AWS_IRELAND, 1).remove(0);
+        assert!(!n.path_is_up(&path), "installed mid-outage");
+    }
+
+    #[test]
+    fn forks_continue_the_schedule_deterministically() {
+        use crate::chaos::{ChaosSchedule, Dwell, LinkFlap};
+        let mk = || {
+            let n = net();
+            let mut s = ChaosSchedule::new(3, 120_000.0);
+            s.flaps.push(LinkFlap {
+                a: MY_AS,
+                b: ETHZ_AP,
+                first_down_ms: 2_000.0,
+                down: Dwell::uniform(1_000.0, 4_000.0),
+                up: Dwell::uniform(5_000.0, 15_000.0),
+            });
+            n.install_chaos(&s).unwrap();
+            n.advance_ms(1_500.0);
+            n
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(*a.chaos_events(), *b.chaos_events(), "same compiled trace");
+
+        // A fork picks up mid-schedule and replays the identical tail.
+        let fa = a.fork(42);
+        let fb = b.fork(42);
+        let mut ups = Vec::new();
+        for f in [&fa, &fb] {
+            let path = f.paths(MY_AS, AWS_IRELAND, 1).remove(0);
+            let mut states = Vec::new();
+            for _ in 0..40 {
+                f.advance_ms(997.0);
+                states.push(f.path_is_up(&path));
+            }
+            ups.push(states);
+        }
+        assert_eq!(ups[0], ups[1]);
+        assert!(ups[0].contains(&false), "the flap was observed");
+        assert!(ups[0].contains(&true), "and so was a healthy phase");
+        assert_eq!(fa.chaos_applied(), fb.chaos_applied());
+        // The parent's cursor is unaffected by its fork's progress
+        // (still before the first transition at 2 s).
+        assert_eq!(a.chaos_applied(), 0);
     }
 
     #[test]

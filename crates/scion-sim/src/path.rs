@@ -181,19 +181,35 @@ impl ScionPath {
 
     /// Cheap 128-bit digest over the hop sequence and the MAC chain —
     /// the cache key for validation/compile caches. Two differently
-    /// seeded passes of the (deterministic, zero-keyed) std hasher make
-    /// accidental collisions over realistic path sets negligible.
+    /// seeded splitmix lanes, folded in one traversal, make accidental
+    /// collisions over realistic path sets negligible; it runs on every
+    /// cached compile and liveness probe, so it must cost nanoseconds,
+    /// not a keyed-hash pass.
     pub fn digest(&self) -> PathDigest {
-        let pass = |seed: u64| {
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            h.write_u64(seed);
-            self.hops.hash(&mut h);
-            for m in &self.macs {
-                h.write_u64(m.0);
-            }
-            h.finish()
-        };
-        (pass(0x7061_7468), pass(0xd19e_57ed))
+        #[inline]
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut x = (h ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            x ^= x >> 29;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^ (x >> 32)
+        }
+        let mut a = 0x7061_7468u64;
+        let mut b = 0xd19e_57edu64;
+        for hop in &self.hops {
+            let ia = ((hop.ia.isd.0 as u64) << 48) ^ hop.ia.asn.0;
+            let ifaces = ((hop.ingress.0 as u64) << 16) | hop.egress.0 as u64;
+            a = mix(mix(a, ia), ifaces);
+            b = mix(mix(b, ifaces), ia);
+        }
+        for m in &self.macs {
+            a = mix(a, m.0);
+            b = mix(b, !m.0);
+        }
+        // Fold the lengths in so `hops=[x], macs=[]` and `hops=[]`,
+        // `macs=[x']` style boundary shifts cannot alias.
+        a = mix(a, (self.hops.len() as u64) << 32 | self.macs.len() as u64);
+        b = mix(b, (self.macs.len() as u64) << 32 | self.hops.len() as u64);
+        (a, b)
     }
 }
 

@@ -328,3 +328,58 @@ fn cache_counters_record_hits_and_misses() {
     assert_eq!(tel.counter("sim.compile_cache.miss"), 2);
     assert_eq!(tel.counter("sim.compile_cache.hit"), 1);
 }
+
+#[test]
+fn irrelevant_fault_mutations_refresh_instead_of_recompiling() {
+    use scion_sim::topology::scionlab::{ETRI, KISTI_CORE};
+
+    let tel = Arc::new(upin_telemetry::Telemetry::new());
+    let mut net = ScionNetwork::scionlab(5);
+    net.set_recorder(tel.clone());
+    let dst = paper_destinations()[1]; // Ireland — nowhere near KISTI
+    let path = net.paths(MY_AS, dst.ia, 1).remove(0);
+    let opts = ProbeOptions {
+        count: 1,
+        interval_ms: 10.0,
+        timeout_ms: 1000.0,
+        payload_bytes: 8,
+    };
+    net.ping(&path, dst, &opts).unwrap();
+    assert_eq!(tel.counter("sim.compile_cache.miss"), 1);
+
+    // A flap on the far KISTI~ETRI leaf link bumps the fault epoch but
+    // touches nothing on the Ireland route: the stale entry re-verifies
+    // and is re-tagged, not recompiled.
+    let kisti = net.topology().index_of(KISTI_CORE).unwrap();
+    let etri_ia = ETRI;
+    let (far_link, _) = net
+        .topology()
+        .links_of(kisti)
+        .find(|(_, l)| {
+            let peer = l.peer_of(kisti).unwrap();
+            net.topology()
+                .ases()
+                .any(|(i, n)| i == peer && n.ia == etri_ia)
+        })
+        .unwrap();
+    net.set_link_down(far_link, true);
+    net.ping(&path, dst, &opts).unwrap();
+    assert_eq!(tel.counter("sim.compile_cache.refresh"), 1);
+    assert_eq!(tel.counter("sim.compile_cache.miss"), 1);
+    net.set_link_down(far_link, false);
+    net.ping(&path, dst, &opts).unwrap();
+    assert_eq!(tel.counter("sim.compile_cache.refresh"), 2);
+    assert_eq!(tel.counter("sim.compile_cache.miss"), 1);
+
+    // A mutation that does touch the route — congestion at the
+    // destination AS — forces a real recompile.
+    net.add_congestion(CongestionEpisode {
+        target: CongestionTarget::Node(dst.ia),
+        start_ms: 0.0,
+        end_ms: 60_000.0,
+        severity: 0.5,
+    });
+    net.ping(&path, dst, &opts).unwrap();
+    assert_eq!(tel.counter("sim.compile_cache.miss"), 2);
+    assert_eq!(tel.counter("sim.compile_cache.refresh"), 2);
+}

@@ -3,9 +3,11 @@
 //! the selection engine routes around dead paths when asked.
 
 use upin::pathdb::Filter;
+use upin::scion_sim::chaos::{ChaosSchedule, Dwell, LinkFlap};
 use upin::scion_sim::path::PathStatus;
-use upin::scion_sim::topology::scionlab::{AWS_IRELAND, AWS_OHIO, MY_AS};
+use upin::scion_sim::topology::scionlab::{AWS_IRELAND, AWS_OHIO, ETHZ_AP, ETHZ_CORE, MY_AS};
 use upin::upin_core::collect::collect_paths;
+use upin::upin_core::failover::{run_chaos_campaign, FailoverConfig};
 use upin::upin_core::measure::run_tests;
 use upin::upin_core::schema::PATHS;
 use upin::upin_core::select::{recommend, Constraints, Objective, UserRequest};
@@ -108,5 +110,75 @@ fn failed_link_flows_through_status_collection_and_selection() {
             .count(),
         0,
         "statuses healed after re-collection"
+    );
+}
+
+/// End-to-end chaos run against a populated database: a mid-campaign
+/// flap of the ETHZ core forces the Ireland failover session to
+/// migrate, the healed link restores the original path (gated by
+/// hysteresis), and the switch latency lands in the report — all while
+/// the trace records the scheduled transitions.
+#[test]
+fn chaos_flap_migrates_the_session_and_hysteresis_restores_it() {
+    let (net, db, cfg) = upin::standard_setup(302);
+
+    // Measure Ireland so the statcache has aggregates for stale seeding.
+    let ireland = upin::scion_sim::topology::scionlab::paper_destinations()[1];
+    let ireland_id = upin::upin_core::analysis::server_id_of(&db, ireland).unwrap();
+    {
+        let servers = db.collection(upin::upin_core::schema::AVAILABLE_SERVERS);
+        servers
+            .write()
+            .delete_many(&Filter::ne("_id", ireland_id.to_string()));
+    }
+    let quick = SuiteConfig {
+        iterations: 1,
+        ping_count: 3,
+        run_bwtests: false,
+        skip_collection: true,
+        ..cfg
+    };
+    run_tests(&db, &net, &quick).unwrap();
+
+    // The campaign starts wherever the measurement left the clock, so
+    // the schedule is anchored to "now": the core flaps down 5 s in
+    // and heals 10 s later, well inside the 20-tick session.
+    let t0 = net.now_ms();
+    let mut schedule = ChaosSchedule::new(9, t0 + 120_000.0);
+    schedule.flaps.push(LinkFlap {
+        a: ETHZ_CORE,
+        b: ETHZ_AP,
+        first_down_ms: t0 + 5_000.0,
+        down: Dwell::fixed(10_000.0),
+        up: Dwell::fixed(600_000.0),
+    });
+
+    let fcfg = FailoverConfig {
+        ticks: 20,
+        probes: 2,
+        max_paths: 6,
+        ..FailoverConfig::default()
+    };
+    let report =
+        run_chaos_campaign(&net, &schedule, &[(ireland_id, ireland)], &fcfg, Some(&db)).unwrap();
+
+    assert!(report.transitions >= 2, "down + heal: {}", report.trace);
+    assert!(report.trace.contains("DOWN"), "{}", report.trace);
+    assert!(report.trace.contains("up"), "{}", report.trace);
+
+    let d = &report.dests[0];
+    assert!(!d.switch_ms.is_empty(), "the flap must force a migration");
+    assert_eq!(d.sla_violations, 0, "{d:?}");
+    for &ms in &d.switch_ms {
+        assert!(ms <= fcfg.sla_ms, "switch took {ms} ms");
+    }
+    assert!(d.restores >= 1, "healed core must be restored: {d:?}");
+    assert_eq!(d.degraded_ticks, 0, "Swisscom alternatives stayed live");
+    let serving = d.serving.as_ref().expect("session ends pinned");
+    assert!(!serving.stale);
+    assert!(
+        serving.sequence.contains(&ETHZ_CORE.to_string()),
+        "hysteresis restored an ETHZ-core path: {}",
+        serving.sequence
     );
 }
