@@ -6,10 +6,14 @@ use crate::args::Spec;
 use crate::session::{CliError, Session, SessionOptions};
 use scion_sim::addr::{IsdAsn, ScionAddr};
 use scion_tools::ping::{PathSelection, PingOptions};
-use scion_tools::showpaths::ShowpathsOptions;
+use std::sync::Arc;
+use upin_core::api::{
+    self, EvaluateConstraintRequest, InProcessTransport, RecommendRequest, ShowPathsRequest,
+    Transport,
+};
 use upin_core::select::{recommend, Constraints, Objective, UserRequest};
 use upin_core::verify::verify_recommendation;
-use upin_core::SuiteConfig;
+use upin_core::{ServiceRequest, SuiteConfig};
 
 /// Top-level dispatch: `run(&["showpaths", "16-ffaa:0:1002", "-m", "40"])`.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
@@ -41,15 +45,16 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             )?;
             let s = open(&p)?;
             let dst: IsdAsn = parse_ia(&p.positional[0])?;
-            let opts = ShowpathsOptions {
+            let req = ServiceRequest::ShowPaths(ShowPathsRequest {
+                destination: dst.to_string(),
                 max_paths: p
                     .opt_parse::<usize>("m")
                     .map_err(CliError::Usage)?
                     .unwrap_or(10),
                 extended: p.flag("extended"),
-            };
-            let r = scion_tools::showpaths::showpaths(&s.net, s.local, dst, opts)?;
-            finish(&s, r.render())
+            });
+            let resp = s.service().try_dispatch(&req)?;
+            finish(&s, api::render_response(&resp))
         }
         "ping" => {
             let p = parse(
@@ -120,8 +125,6 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                     Spec::new(1, 1)
                         .flag("skip")
                         .flag("some-only")
-                        // Hidden legacy spelling of --some-only.
-                        .flag("some_only")
                         .flag("parallel")
                         .flag("no-bwtests")
                         .value("workers")
@@ -137,7 +140,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                     suite_args.push(format!("--{flag}"));
                 }
             }
-            if p.flag("some-only") || p.flag("some_only") {
+            if p.flag("some-only") {
                 suite_args.push("--some-only".to_string());
             }
             for opt in ["workers", "retries", "durability"] {
@@ -159,8 +162,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             let mut out = String::new();
             if !s.quiet {
                 if let Some(rec) = &s.recovery {
-                    if !rec.clean() {
-                        out.push_str(&rec.render());
+                    let counts = api::RecoveryCounts::from(rec);
+                    if !counts.clean() {
+                        out.push_str(&counts.render());
                         out.push('\n');
                     }
                 }
@@ -320,84 +324,144 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             finish(&s, upin_core::report::render_chaos(&report))
         }
         "recommend" => {
+            // The whole command is one typed request: ranked, Pareto
+            // (--pareto) and weighted (--weight name=value, repeatable)
+            // modes all answer through the service dispatcher, and the
+            // output is the shared renderer over the typed response.
             let p = parse(with_globals(recommend_spec()), rest)?;
             let s = open(&p)?;
             s.ensure_servers()?;
-            let server_id = resolve_server(&s, &p.positional[0])?;
-            let constraints = constraints_from(&p)?;
-            let k = p
-                .opt_parse::<usize>("k")
-                .map_err(CliError::Usage)?
-                .unwrap_or(3);
-
-            let render_agg = |tag: &str, a: &upin_core::select::PathAggregate| {
-                let lat = a
-                    .latency
-                    .as_ref()
-                    .map(|w| format!("{:.1} ms", w.mean))
-                    .unwrap_or_else(|| "-".into());
-                let down = a
-                    .bw_down_mtu
-                    .as_ref()
-                    .map(|w| format!("{:.1} Mbps", w.mean))
-                    .unwrap_or_else(|| "-".into());
-                let loss = a
-                    .mean_loss_pct
-                    .map(|l| format!("{l:.1}%"))
-                    .unwrap_or_else(|| "-".into());
-                format!(
-                    "{tag} {}  hops={} samples={} latency={} loss={} down={}\n    via {}\n",
-                    a.path_id, a.hops, a.samples, lat, loss, down, a.sequence
-                )
-            };
-
-            // Multi-criteria modes: --pareto lists the whole trade-off
-            // menu; --weight name=value (repeatable) scalarizes.
-            let weights = weights_from(&p)?;
-            if p.flag("pareto") || weights.is_some() {
-                let candidates =
-                    upin_core::select::aggregate_paths(&s.db, server_id, &constraints)?;
-                let mut out = String::new();
-                if let Some(w) = weights {
-                    for (i, (score, a)) in upin_core::multi::weighted_rank(&candidates, &w)
-                        .into_iter()
-                        .take(k)
-                        .enumerate()
-                    {
-                        out.push_str(&render_agg(&format!("#{} [{score:.3}]", i + 1), a));
-                    }
-                } else {
-                    let criteria = [
-                        Objective::MinLatency,
-                        Objective::MinLoss,
-                        Objective::MaxBandwidthDown,
-                    ];
-                    let front = upin_core::multi::pareto_front(&candidates, &criteria);
-                    out.push_str(&format!(
-                        "{} Pareto-optimal path(s) over latency/loss/downstream:\n",
-                        front.len()
-                    ));
-                    for a in front {
-                        out.push_str(&render_agg("*", a));
-                    }
-                }
-                if out.is_empty() {
-                    return Err(CliError::Usage(
-                        "no candidates with complete statistics".into(),
-                    ));
-                }
-                return finish(&s, out);
-            }
-
-            let request = UserRequest {
-                server_id,
+            let req = ServiceRequest::Recommend(RecommendRequest {
+                destination: p.positional[0].clone(),
                 objective: objective_from(&p)?,
-                constraints,
+                constraints: constraints_from(&p)?,
+                k: p.opt_parse::<usize>("k")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(3),
+                pareto: p.flag("pareto"),
+                weights: weights_from(&p)?,
+            });
+            let resp = s.service().try_dispatch(&req)?;
+            finish(&s, api::render_response(&resp))
+        }
+        "evaluate" => {
+            // `upin evaluate <server|addr> [filters]`: the constraint
+            // funnel — how many stored paths survive each stage of the
+            // selection pipeline under the given constraints.
+            let p = parse(with_globals(recommend_spec()), rest)?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let req = ServiceRequest::EvaluateConstraint(EvaluateConstraintRequest {
+                destination: p.positional[0].clone(),
+                objective: objective_from(&p)?,
+                constraints: constraints_from(&p)?,
+            });
+            let resp = s.service().try_dispatch(&req)?;
+            finish(&s, api::render_response(&resp))
+        }
+        "serve" => {
+            // `upin serve --db DIR [--threads N] [--requests FILE]`:
+            // answer JSON request lines through the service, one JSON
+            // response line per request, in input order. Without
+            // --requests, answer a single Health probe — the smoke face
+            // of the daemon.
+            let p = parse(
+                with_globals(Spec::new(0, 0).value("threads").value("requests")),
+                rest,
+            )?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let threads = p
+                .opt_parse::<usize>("threads")
+                .map_err(CliError::Usage)?
+                .unwrap_or(1)
+                .max(1);
+            let service = Arc::new(s.service());
+            let transport = InProcessTransport::new(Arc::clone(&service));
+            let out = match p.opt("requests") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+                    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+                    let mut answers: Vec<String> = vec![String::new(); lines.len()];
+                    let chunk = lines.len().div_ceil(threads).max(1);
+                    std::thread::scope(|scope| {
+                        let transport = &transport;
+                        for (slot, work) in answers.chunks_mut(chunk).zip(lines.chunks(chunk)) {
+                            scope.spawn(move || {
+                                for (a, line) in slot.iter_mut().zip(work) {
+                                    *a = transport.call_json(line);
+                                }
+                            });
+                        }
+                    });
+                    let mut out = String::new();
+                    for a in answers {
+                        out.push_str(&a);
+                        out.push('\n');
+                    }
+                    out
+                }
+                None => {
+                    let mut line = transport.call_json(&ServiceRequest::Health.to_json_string());
+                    line.push('\n');
+                    line
+                }
             };
-            let recs = recommend(&s.db, &request, k)?;
-            let mut out = String::new();
-            for r in &recs {
-                out.push_str(&render_agg(&format!("#{}", r.rank), &r.aggregate));
+            finish(&s, out)
+        }
+        "loadgen" => {
+            // `upin loadgen --db DIR [--clients N] [--requests N]
+            //  [--arrival-rate R] [--mix FILE] [--with-campaign]
+            //  [--bench-out FILE]`: the closed-loop load harness.
+            let p = parse(
+                with_globals(
+                    Spec::new(0, 0)
+                        .value("clients")
+                        .value("requests")
+                        .value("arrival-rate")
+                        .value("mix")
+                        .value("bench-out")
+                        .flag("with-campaign"),
+                ),
+                rest,
+            )?;
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let mix = match p.opt("mix") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+                    upin_core::loadgen::Mix::from_json_str(&text)
+                        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?
+                }
+                None => upin_core::loadgen::Mix::default_mix(),
+            };
+            let cfg = upin_core::loadgen::LoadgenConfig {
+                clients: p
+                    .opt_parse::<usize>("clients")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(4),
+                requests_per_client: p
+                    .opt_parse::<usize>("requests")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(100),
+                arrival_rate: p
+                    .opt_parse::<f64>("arrival-rate")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(0.0),
+                seed: s.seed,
+                mix,
+                concurrent_campaign: p.flag("with-campaign"),
+            };
+            let service = Arc::new(s.service());
+            let transport = InProcessTransport::new(Arc::clone(&service));
+            let outcome = upin_core::loadgen::run_loadgen(&service, &transport, &cfg)?;
+            let mut out = outcome.report.clone();
+            if let Some(path) = p.opt("bench-out") {
+                std::fs::write(path, &outcome.bench_json)
+                    .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+                out.push_str(&format!("bench written to {path}\n"));
             }
             finish(&s, out)
         }
@@ -623,6 +687,14 @@ fn usage() -> String {
      \x20 chaos run --schedule FILE [--sla-ms F] [--ticks N] [--tick-interval-ms F]\n\
      \x20       [--probes N] [--max-paths N] [--parallel] [--workers N] [--out FILE]\n\
      \x20                                      failover sessions under a fault schedule\n\
+     \x20 evaluate <server|addr> [same filters] constraint funnel: paths surviving\n\
+     \x20                                      each stage of the selection pipeline\n\
+     \x20 serve [--threads N] [--requests FILE] answer JSON service request lines\n\
+     \x20                                      (one response line per request)\n\
+     \x20 loadgen [--clients N] [--requests N] [--arrival-rate R] [--mix FILE]\n\
+     \x20         [--with-campaign] [--bench-out FILE]\n\
+     \x20                                      closed-loop load harness over the\n\
+     \x20                                      service (p50/p99 to --bench-out)\n\
      \x20 verify <server|addr> [same filters] [--tolerance F]\n\
      \x20 health <server|addr> [--window N] [--sigmas K]   anomaly scan\n\
      \x20 exec \"scion ping ... \"                executes a literal tool command line\n\
@@ -810,16 +882,7 @@ fn selection_from(p: &crate::args::Parsed) -> Result<PathSelection, CliError> {
 }
 
 fn objective_from(p: &crate::args::Parsed) -> Result<Objective, CliError> {
-    match p.opt("objective").unwrap_or("latency") {
-        "latency" => Ok(Objective::MinLatency),
-        "jitter" => Ok(Objective::MinJitter),
-        "loss" => Ok(Objective::MinLoss),
-        "bw-down" => Ok(Objective::MaxBandwidthDown),
-        "bw-up" => Ok(Objective::MaxBandwidthUp),
-        other => Err(CliError::Usage(format!(
-            "unknown objective {other:?} (latency|jitter|loss|bw-up|bw-down)"
-        ))),
-    }
+    api::parse_objective(p.opt("objective").unwrap_or("latency")).map_err(CliError::Usage)
 }
 
 fn constraints_from(p: &crate::args::Parsed) -> Result<Constraints, CliError> {
@@ -852,29 +915,10 @@ fn constraints_from(p: &crate::args::Parsed) -> Result<Constraints, CliError> {
 }
 
 /// Resolve a destination given as a server id, a full SCION address, or
-/// an ISD-AS (first server in that AS).
+/// an ISD-AS (first server in that AS). One resolver for every surface:
+/// the service owns the logic (and the error prose), the CLI borrows it.
 fn resolve_server(s: &Session, token: &str) -> Result<u32, CliError> {
-    if let Ok(id) = token.parse::<u32>() {
-        return Ok(id);
-    }
-    let dests = upin_core::collect::destinations(&s.db)?;
-    if let Ok(addr) = token.parse::<ScionAddr>() {
-        return dests
-            .iter()
-            .find(|(_, a)| *a == addr)
-            .map(|(id, _)| *id)
-            .ok_or_else(|| CliError::Usage(format!("{addr} is not a registered destination")));
-    }
-    if let Ok(ia) = token.parse::<IsdAsn>() {
-        return dests
-            .iter()
-            .find(|(_, a)| a.ia == ia)
-            .map(|(id, _)| *id)
-            .ok_or_else(|| CliError::Usage(format!("no registered destination in {ia}")));
-    }
-    Err(CliError::Usage(format!(
-        "destination {token:?} is neither a server id, address, nor ISD-AS"
-    )))
+    Ok(s.service().resolve_destination(token)?)
 }
 
 fn cmd_destinations(s: &Session) -> Result<String, CliError> {
@@ -951,7 +995,7 @@ mod tests {
         let out = run_cli(&[
             "campaign",
             "1",
-            "--some_only",
+            "--some-only",
             "--no-bwtests",
             "--db",
             dbflag,
@@ -981,7 +1025,7 @@ mod tests {
         let out = run_cli(&[
             "campaign",
             "1",
-            "--some_only",
+            "--some-only",
             "--no-bwtests",
             "--db",
             dbflag,
@@ -998,7 +1042,7 @@ mod tests {
             "campaign",
             "1",
             "--skip",
-            "--some_only",
+            "--some-only",
             "--no-bwtests",
             "--db",
             dbflag,
@@ -1024,7 +1068,7 @@ mod tests {
         run_cli(&[
             "campaign",
             "1",
-            "--some_only",
+            "--some-only",
             "--no-bwtests",
             "--db",
             dbflag,
@@ -1037,7 +1081,7 @@ mod tests {
             "campaign",
             "1",
             "--skip",
-            "--some_only",
+            "--some-only",
             "--no-bwtests",
             "--db",
             dbflag,
@@ -1060,7 +1104,7 @@ mod tests {
         run_cli(&[
             "campaign",
             "1",
-            "--some_only",
+            "--some-only",
             "--no-bwtests",
             "--db",
             dbflag,
@@ -1100,7 +1144,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let dbflag = dir.to_str().unwrap();
         // Bandwidth stats included so widest-path has data to rank on.
-        run_cli(&["campaign", "1", "--some_only", "--db", dbflag]).unwrap();
+        run_cli(&["campaign", "1", "--some-only", "--db", dbflag]).unwrap();
 
         let out = run_cli(&["evaluate-strategies", "--db", dbflag, "--epochs", "3"]).unwrap();
         assert!(out.contains("Strategy scorecard"), "{out}");
@@ -1235,7 +1279,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let dbflag = dir.to_str().unwrap();
         // Bandwidth stats are needed for the default Pareto criteria.
-        run_cli(&["campaign", "1", "--some_only", "--db", dbflag]).unwrap();
+        run_cli(&["campaign", "1", "--some-only", "--db", dbflag]).unwrap();
 
         let out = run_cli(&["recommend", "1", "--pareto", "--db", dbflag]).unwrap();
         assert!(out.contains("Pareto-optimal"), "{out}");
@@ -1261,11 +1305,214 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// The service migration must not move a byte of CLI output. These
+    /// literals were captured from the pre-service binary (seed 42,
+    /// `campaign 1 --some-only --db DIR`, SCIONLab topology) — recommend
+    /// in all three modes plus showpaths, full-string compared.
     #[test]
-    fn some_only_kebab_and_legacy_spellings_agree() {
-        let a = run_cli(&["campaign", "1", "--some-only", "--no-bwtests"]).unwrap();
-        let b = run_cli(&["campaign", "1", "--some_only", "--no-bwtests"]).unwrap();
-        assert_eq!(a, b);
+    fn service_migration_pins_pre_service_cli_output_bytes() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-pin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+        run_cli(&["campaign", "1", "--some-only", "--db", dbflag]).unwrap();
+
+        let out = run_cli(&["recommend", "1", "--objective", "latency", "--db", dbflag]).unwrap();
+        assert_eq!(
+            out,
+            "#1 1_0  hops=6 samples=1 latency=25.2 ms loss=0.0% down=12.0 Mbps\n    \
+             via 17-ffaa:1:eaf#0,1 17-ffaa:0:1107#3,1 17-ffaa:0:1101#3,2 19-ffaa:0:1301#1,3 16-ffaa:0:1001#1,3 16-ffaa:0:1002#1,0\n\
+             #2 1_1  hops=6 samples=1 latency=27.2 ms loss=0.0% down=12.0 Mbps\n    \
+             via 17-ffaa:1:eaf#0,1 17-ffaa:0:1107#3,2 17-ffaa:0:1102#3,2 19-ffaa:0:1301#2,3 16-ffaa:0:1001#1,3 16-ffaa:0:1002#1,0\n\
+             #3 1_2  hops=7 samples=1 latency=27.5 ms loss=0.0% down=11.9 Mbps\n    \
+             via 17-ffaa:1:eaf#0,1 17-ffaa:0:1107#3,1 17-ffaa:0:1101#3,1 17-ffaa:0:1102#1,2 19-ffaa:0:1301#2,3 16-ffaa:0:1001#1,3 16-ffaa:0:1002#1,0\n"
+        );
+
+        let out = run_cli(&["recommend", "1", "--pareto", "--db", dbflag]).unwrap();
+        assert_eq!(
+            out,
+            "2 Pareto-optimal path(s) over latency/loss/downstream:\n\
+             * 1_0  hops=6 samples=1 latency=25.2 ms loss=0.0% down=12.0 Mbps\n    \
+             via 17-ffaa:1:eaf#0,1 17-ffaa:0:1107#3,1 17-ffaa:0:1101#3,2 19-ffaa:0:1301#1,3 16-ffaa:0:1001#1,3 16-ffaa:0:1002#1,0\n\
+             * 1_6  hops=7 samples=1 latency=177.9 ms loss=3.3% down=12.0 Mbps\n    \
+             via 17-ffaa:1:eaf#0,1 17-ffaa:0:1107#3,1 17-ffaa:0:1101#3,2 19-ffaa:0:1301#1,4 18-ffaa:0:1201#1,2 16-ffaa:0:1001#2,3 16-ffaa:0:1002#1,0\n"
+        );
+
+        let out = run_cli(&[
+            "recommend",
+            "1",
+            "--weight",
+            "latency=5",
+            "--weight",
+            "loss=1",
+            "--db",
+            dbflag,
+        ])
+        .unwrap();
+        assert!(
+            out.starts_with(
+                "#1 [0.000] 1_0  hops=6 samples=1 latency=25.2 ms loss=0.0% down=12.0 Mbps"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("#2 [0.007] 1_1 "), "{out}");
+        assert!(out.contains("#3 [0.008] 1_2 "), "{out}");
+
+        let out = run_cli(&["showpaths", "16-ffaa:0:1002", "-m", "3", "--extended"]).unwrap();
+        assert_eq!(
+            out,
+            "Available paths to 16-ffaa:0:1002 (3 shown)\n\
+             [ 0] 17-ffaa:1:eaf 1>3 17-ffaa:0:1107 1>3 17-ffaa:0:1101 2>1 19-ffaa:0:1301 3>1 16-ffaa:0:1001 3>1 16-ffaa:0:1002 MTU: 1472 Latency: 12.33ms Status: alive Hops: 6\n\
+             [ 1] 17-ffaa:1:eaf 1>3 17-ffaa:0:1107 2>3 17-ffaa:0:1102 2>2 19-ffaa:0:1301 3>1 16-ffaa:0:1001 3>1 16-ffaa:0:1002 MTU: 1472 Latency: 13.35ms Status: alive Hops: 6\n\
+             [ 2] 17-ffaa:1:eaf 1>3 17-ffaa:0:1107 1>3 17-ffaa:0:1101 1>1 17-ffaa:0:1102 2>2 19-ffaa:0:1301 3>1 16-ffaa:0:1001 3>1 16-ffaa:0:1002 MTU: 1472 Latency: 13.50ms Status: alive Hops: 7\n"
+        );
+
+        let out = run_cli(&["showpaths", "16-ffaa:0:1002"]).unwrap();
+        assert!(
+            out.starts_with("Available paths to 16-ffaa:0:1002 (10 shown)\n[ 0] 17-ffaa:1:eaf 1>3"),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evaluate_reports_the_constraint_funnel() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-eval-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+        run_cli(&[
+            "campaign",
+            "1",
+            "--some-only",
+            "--no-bwtests",
+            "--db",
+            dbflag,
+        ])
+        .unwrap();
+
+        let out = run_cli(&["evaluate", "1", "--db", dbflag]).unwrap();
+        assert!(out.contains("constraint funnel for destination 1"), "{out}");
+        assert!(out.contains("stored paths:"), "{out}");
+        assert!(out.contains("scorable (latency):"), "{out}");
+
+        // An unsatisfiable exclusion shows up as zero matches, not an
+        // error — the funnel is a diagnostic, not a selection.
+        let out = run_cli(&[
+            "evaluate",
+            "1",
+            "--exclude-country",
+            "Switzerland",
+            "--db",
+            dbflag,
+        ])
+        .unwrap();
+        assert!(out.contains("match constraints:   0"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_answers_json_request_lines_in_order() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+        run_cli(&[
+            "campaign",
+            "1",
+            "--some-only",
+            "--no-bwtests",
+            "--db",
+            dbflag,
+        ])
+        .unwrap();
+
+        // No --requests: the daemon answers a single Health probe.
+        let out = run_cli(&["serve", "--db", dbflag]).unwrap();
+        assert!(out.contains("\"Health\""), "{out}");
+
+        let reqs = dir.join("requests.jsonl");
+        std::fs::write(
+            &reqs,
+            "\"Health\"\n\
+             {\"Recommend\": {\"destination\": \"1\", \"k\": 2}}\n\
+             {\"ShowPaths\": {\"destination\": \"16-ffaa:0:1002\", \"max_paths\": 2}}\n\
+             {\"Recommend\": {\"destination\": \"no-such\", \"k\": 1}}\n\
+             not even json\n",
+        )
+        .unwrap();
+        let out = run_cli(&[
+            "serve",
+            "--db",
+            dbflag,
+            "--threads",
+            "3",
+            "--requests",
+            reqs.to_str().unwrap(),
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5, "{out}");
+        assert!(lines[0].contains("\"Health\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"Recommend\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"ShowPaths\""), "{}", lines[2]);
+        assert!(lines[3].contains("\"Error\""), "{}", lines[3]);
+        assert!(lines[4].contains("\"InvalidRequest\""), "{}", lines[4]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loadgen_runs_and_writes_the_bench_doc() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-lg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dbflag = dir.to_str().unwrap();
+        run_cli(&["campaign", "1", "--no-bwtests", "--db", dbflag]).unwrap();
+
+        let bench = dir.join("bench.json");
+        let out = run_cli(&[
+            "loadgen",
+            "--db",
+            dbflag,
+            "--clients",
+            "2",
+            "--requests",
+            "20",
+            "--bench-out",
+            bench.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(
+            out.contains("loadgen: 2 client(s) x 20 request(s), seed 42"),
+            "{out}"
+        );
+        assert!(out.contains("workload digest:"), "{out}");
+        assert!(out.contains("errors: 0"), "{out}");
+
+        // Same seed, same database → byte-identical report (modulo the
+        // bench banner, which names the same file anyway).
+        let again = run_cli(&[
+            "loadgen",
+            "--db",
+            dbflag,
+            "--clients",
+            "2",
+            "--requests",
+            "20",
+            "--bench-out",
+            bench.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(out, again, "same-seed loadgen must be byte-identical");
+
+        let doc = std::fs::read_to_string(&bench).unwrap();
+        assert!(doc.contains("\"bench\": \"serve\""), "{doc}");
+        assert!(doc.contains("\"p99_us\""), "{doc}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_some_only_spelling_is_gone() {
+        // The hidden --some_only alias was removed with the service
+        // migration; only the documented kebab-case spelling parses.
+        let err = run_cli(&["campaign", "1", "--some_only", "--no-bwtests"]);
+        assert!(matches!(err, Err(CliError::Usage(_))), "{err:?}");
     }
 
     #[test]

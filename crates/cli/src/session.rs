@@ -54,6 +54,35 @@ impl From<pathdb::DbError> for CliError {
     }
 }
 
+/// Map a typed service error back onto the CLI's error variants so that
+/// both the rendered text and the variant-level matching (tests pattern
+/// on `CliError::Suite(SuiteError::Selection(..))` etc.) survive the
+/// migration byte-for-byte.
+impl From<upin_core::ServiceError> for CliError {
+    fn from(e: upin_core::ServiceError) -> Self {
+        use upin_core::api::ErrorCode as C;
+        if let Some(f) = e.to_selection() {
+            return CliError::Suite(upin_core::SuiteError::Selection(f));
+        }
+        match e.code {
+            // Pre-service these were usage errors with the bare message.
+            C::UnknownDestination | C::NoCompleteStatistics | C::UnknownStrategy | C::Tool => {
+                CliError::Usage(e.message())
+            }
+            C::InvalidRequest => {
+                CliError::Suite(upin_core::SuiteError::InvalidRequest(e.message()))
+            }
+            C::NoCandidates => CliError::Suite(upin_core::SuiteError::NoCandidates(e.message())),
+            C::Schema => CliError::Suite(upin_core::SuiteError::Schema(e.message())),
+            C::Unauthorized => CliError::Suite(upin_core::SuiteError::Unauthorized(e.message())),
+            C::Campaign => CliError::Suite(upin_core::SuiteError::Campaign(e.message())),
+            // The prefixed render keeps the historical "database
+            // error: ..." text even though the DbError itself is gone.
+            _ => CliError::Usage(e.render()),
+        }
+    }
+}
+
 /// Everything the global CLI options decide about a session.
 #[derive(Debug, Clone, Default)]
 pub struct SessionOptions {
@@ -76,11 +105,17 @@ pub struct SessionOptions {
     pub beacon_cap: Option<usize>,
 }
 
-/// One CLI invocation's environment.
+/// One CLI invocation's environment. The network and database are
+/// `Arc`'d so the typed service ([`Session::service`]) and its
+/// transports can share them across threads; `&s.db` / `&s.net` still
+/// deref to plain references everywhere else.
 pub struct Session {
-    pub net: ScionNetwork,
-    pub db: Database,
+    pub net: Arc<ScionNetwork>,
+    pub db: Arc<Database>,
     pub local: IsdAsn,
+    /// The `--seed` the session was opened with; seedable service
+    /// requests default to it.
+    pub seed: u64,
     /// What recovery found when opening a durable database — commands
     /// surface it to the user when it is not [`RecoveryReport::clean`].
     pub recovery: Option<RecoveryReport>,
@@ -198,9 +233,10 @@ impl Session {
             }
         };
         Ok(Session {
-            net,
-            db,
+            net: Arc::new(net),
+            db: Arc::new(db),
             local,
+            seed: opts.seed,
             recovery,
             telemetry,
             quiet: opts.quiet,
@@ -251,6 +287,18 @@ impl Session {
             upin_core::collect::register_available_servers(&self.db, &self.net)?;
         }
         Ok(())
+    }
+
+    /// The typed path-intelligence service over this session's state —
+    /// the one dispatcher `recommend`, `showpaths`, `evaluate`, `serve`
+    /// and `loadgen` all answer through.
+    pub fn service(&self) -> upin_core::PathIntelService {
+        upin_core::PathIntelService::new(
+            Arc::clone(&self.db),
+            Arc::clone(&self.net),
+            self.local,
+            self.seed,
+        )
     }
 
     /// Persist the database if a directory was configured: a full

@@ -8,11 +8,12 @@
 use crate::error::{SuiteError, SuiteResult};
 use crate::schema::{self, PathId, PathMeasurement, PATHS, PATHS_STATS};
 use pathdb::{Database, Filter, Value};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Five-number summary plus mean/std — one whisker of a box plot.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Whisker {
     pub n: usize,
     pub min: f64,

@@ -19,7 +19,7 @@ pub struct SuiteConfig {
     pub iterations: u32,
     /// `--skip`: bypass the path-collection phase (paths already stored).
     pub skip_collection: bool,
-    /// `--some_only`: restrict testing to the first destination.
+    /// `--some-only`: restrict testing to the first destination.
     pub some_only: bool,
     /// `showpaths -m`: maximum paths requested per destination.
     pub max_paths: usize,
@@ -160,8 +160,6 @@ impl SuiteConfig {
     /// Parse the wrapper-script argument vector:
     /// `test_suite.sh <iterations> [--skip] [--some-only] [--parallel]
     /// [--workers <n>] [--retries <n>] [--durability <level>]`.
-    /// Underscore spellings (`--some_only`) are accepted as deprecated
-    /// aliases of the kebab-case flags.
     pub fn from_args<I, S>(args: I) -> Result<SuiteConfig, String>
     where
         I: IntoIterator<Item = S>,
@@ -194,7 +192,7 @@ impl SuiteConfig {
             }
             match arg {
                 "--skip" => cfg.skip_collection = true,
-                "--some-only" | "--some_only" => cfg.some_only = true,
+                "--some-only" => cfg.some_only = true,
                 "--parallel" => cfg.parallel = true,
                 "--workers" => expecting = Some("--workers"),
                 "--retries" => expecting = Some("--retries"),
@@ -358,9 +356,9 @@ mod tests {
     fn parses_some_only() {
         let c = SuiteConfig::from_args(["5", "--some-only"]).unwrap();
         assert!(c.some_only);
-        // Legacy underscore spelling still parses.
-        let c = SuiteConfig::from_args(["5", "--some_only"]).unwrap();
-        assert!(c.some_only);
+        // The legacy underscore spelling was retired.
+        let err = SuiteConfig::from_args(["5", "--some_only"]);
+        assert!(err.is_err(), "{err:?}");
     }
 
     #[test]

@@ -39,26 +39,9 @@ impl SelectionFailure {
 
 impl fmt::Display for SelectionFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SelectionFailure::NoMatch { server_id } => write!(
-                f,
-                "no path to destination {server_id} matches the constraints"
-            ),
-            SelectionFailure::AllGated { server_id, matched } => write!(
-                f,
-                "destination {server_id}: {matched} path(s) match the constraints, \
-                 but all were removed by the min_samples/max_loss_pct gates"
-            ),
-            SelectionFailure::AllUnscorable {
-                server_id,
-                matched,
-                gated,
-            } => write!(
-                f,
-                "destination {server_id}: {matched} path(s) match, {gated} passed the \
-                 gates, but none carries the objective's statistic"
-            ),
-        }
+        // The typed service payload owns the prose; this Display — and
+        // through it the CLI — is a pure renderer over it.
+        f.write_str(&crate::api::ServiceError::from_selection(self).message())
     }
 }
 

@@ -17,7 +17,7 @@
 //!   and destination-ordered commits that make parallel campaigns
 //!   bit-identical to sequential ones.
 //! * [`suite`] — the `test_suite.sh` wrapper (`<iterations>`, `--skip`,
-//!   `--some_only`, plus an optional `--parallel` mode).
+//!   `--some-only`, plus an optional `--parallel` mode).
 //! * [`select`] — the selection engine: performance objectives and
 //!   geographic/sovereignty/operator exclusion constraints over the
 //!   collected statistics.
@@ -61,6 +61,7 @@
 //! ```
 
 pub mod analysis;
+pub mod api;
 pub mod axioms;
 pub mod collect;
 pub mod config;
@@ -68,6 +69,7 @@ pub mod domain;
 pub mod error;
 pub mod failover;
 pub mod health;
+pub mod loadgen;
 pub mod measure;
 pub mod multi;
 pub mod report;
@@ -81,6 +83,7 @@ pub mod strategy;
 pub mod suite;
 pub mod verify;
 
+pub use api::{PathIntelService, ServiceError, ServiceRequest, ServiceResponse, Transport};
 pub use axioms::{evaluate_strategies, EvalConfig, Scorecard};
 pub use config::SuiteConfig;
 pub use error::{SelectionFailure, SuiteError, SuiteResult};

@@ -9,6 +9,7 @@
 //! who just want one answer with a bias.
 
 use crate::select::{Objective, PathAggregate};
+use serde::{Deserialize, Serialize};
 
 /// The criterion value of a path under an objective, oriented so lower
 /// is better. `None` when the statistic is missing.
@@ -62,12 +63,17 @@ pub fn pareto_front<'a>(
 
 /// Relative weights over the five objectives (any scale; only ratios
 /// matter). Unused criteria get weight 0.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Weights {
+    #[serde(default)]
     pub latency: f64,
+    #[serde(default)]
     pub jitter: f64,
+    #[serde(default)]
     pub loss: f64,
+    #[serde(default)]
     pub bw_down: f64,
+    #[serde(default)]
     pub bw_up: f64,
 }
 

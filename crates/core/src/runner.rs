@@ -721,7 +721,7 @@ mod tests {
         net.install_chaos(&schedule).unwrap();
         let report = run_campaign(&db, &net, &cfg).unwrap();
         let paths = paths_of(&db, server_id).unwrap();
-        let has = |f: &dyn Fn(&CampaignEvent) -> bool| report.events.iter().any(|e| f(e));
+        let has = |f: &dyn Fn(&CampaignEvent) -> bool| report.events.iter().any(f);
         // Iteration 0 trips; iteration 1 is held (the cooldown idles the
         // clock past the heal); iteration 2's trial succeeds and the
         // whole destination is measured again.

@@ -5,6 +5,7 @@ use crate::error::{SuiteError, SuiteResult};
 use pathdb::{doc, Database, Document, Value};
 use scion_sim::addr::ScionAddr;
 use scion_sim::path::ScionPath;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -20,7 +21,7 @@ pub const STRATEGY_SCORECARDS: &str = "strategy_scorecards";
 
 /// Identifier of a path: destination server id plus a progressive path
 /// number (`"2_15"` = path 15 of destination 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PathId {
     pub server_id: u32,
     pub path_index: u32,

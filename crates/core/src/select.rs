@@ -10,13 +10,15 @@
 
 use crate::analysis::Whisker;
 use crate::error::{SelectionFailure, SuiteError, SuiteResult};
-use crate::schema::{self, PathId, PathMeasurement, PATHS};
+use crate::schema::{self, PathId, PathMeasurement};
 use pathdb::{Database, Document, Filter, Value};
+use serde::{Deserialize, Serialize};
 
 /// What the user optimizes for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Objective {
     /// Lowest mean RTT — video conferencing, gaming.
+    #[default]
     MinLatency,
     /// Most consistent RTT (lowest jitter) — streaming/VoIP; the paper
     /// notes "latency consistency is more important than low latency
@@ -31,24 +33,32 @@ pub enum Objective {
 }
 
 /// Exclusion constraints: geography, sovereignty and operators.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Constraints {
     /// Paths must not traverse these ISDs.
+    #[serde(default)]
     pub exclude_isds: Vec<u16>,
     /// Paths must not traverse these ASes (ISD-AS strings).
+    #[serde(default)]
     pub exclude_ases: Vec<String>,
     /// Paths must not traverse devices in these countries.
+    #[serde(default)]
     pub exclude_countries: Vec<String>,
     /// Paths must not traverse devices run by these operators.
+    #[serde(default)]
     pub exclude_operators: Vec<String>,
     /// Upper bound on hop count.
+    #[serde(default)]
     pub max_hops: Option<usize>,
     /// Discard paths whose mean loss exceeds this percentage.
+    #[serde(default)]
     pub max_loss_pct: Option<f64>,
     /// Require a minimum number of samples before trusting a path.
+    #[serde(default)]
     pub min_samples: usize,
     /// Only consider paths whose stored status is `alive` (set after
     /// link failures: re-collection refreshes the status column).
+    #[serde(default)]
     pub require_alive: bool,
 }
 
@@ -80,36 +90,56 @@ impl Constraints {
         }
         f
     }
+
+    /// True when [`Constraints::to_filter`] would be the bare
+    /// `server_id` equality — no metadata exclusion applies. The
+    /// statistics gates (`min_samples`, `max_loss_pct`) are deliberately
+    /// ignored: they act after aggregation, never on the candidate scan.
+    pub fn is_metadata_free(&self) -> bool {
+        self.exclude_isds.is_empty()
+            && self.exclude_ases.is_empty()
+            && self.exclude_countries.is_empty()
+            && self.exclude_operators.is_empty()
+            && self.max_hops.is_none()
+            && !self.require_alive
+    }
 }
 
 /// A user's path request for one destination.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UserRequest {
     pub server_id: u32,
+    #[serde(default)]
     pub objective: Objective,
+    #[serde(default)]
     pub constraints: Constraints,
 }
 
 /// Aggregated statistics of one candidate path.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PathAggregate {
     pub path_id: PathId,
     pub sequence: String,
     pub hops: usize,
     pub samples: usize,
+    #[serde(default)]
     pub latency: Option<Whisker>,
     /// Mean of per-train jitter (RTT mdev).
+    #[serde(default)]
     pub jitter_ms: Option<f64>,
     /// Mean packet loss over the finite samples; `None` when the path
     /// has no usable loss measurement at all — unknown loss is reported
     /// as unknown, never fabricated as 100%.
+    #[serde(default)]
     pub mean_loss_pct: Option<f64>,
+    #[serde(default)]
     pub bw_up_mtu: Option<Whisker>,
+    #[serde(default)]
     pub bw_down_mtu: Option<Whisker>,
 }
 
 /// One ranked recommendation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
     pub rank: usize,
     /// The objective's scalar for this path (lower is better; bandwidth
@@ -180,15 +210,30 @@ pub fn aggregate_paths(
     server_id: u32,
     constraints: &Constraints,
 ) -> SuiteResult<Vec<PathAggregate>> {
-    let handle = db.collection(PATHS);
-    let candidates: Vec<Document> = handle.read().query(constraints.to_filter(server_id)).run();
+    // One pinned snapshot pair serves both the candidate scan and the
+    // aggregate fetch: the two reads can never straddle a concurrent
+    // campaign batch, and the query runs without holding any lock.
+    let (paths_snap, stats_snap) = crate::statcache::pin_pair(db);
     let rec = db.recorder();
     rec.add("select.queries", 1);
+    let aggs = crate::statcache::aggregated_paths_at(db, &paths_snap, &stats_snap, server_id)?;
+    if constraints.is_metadata_free() {
+        // The cached aggregate map IS the unconstrained candidate set
+        // (both are built from the same pinned snapshot pair), so the
+        // hot serve path skips the planner scan entirely. `PathId`
+        // orders by (server, index) — the map iterates in the same
+        // path-index order the scan would produce for one destination.
+        rec.add("select.candidates", aggs.len() as u64);
+        return Ok(aggs.values().cloned().collect());
+    }
+    // Borrowed candidate scan: the snapshot is pinned for the whole
+    // function, so the planner's `refs` spelling avoids cloning every
+    // matching path document just to read three fields out of it.
+    let candidates: Vec<&Document> = paths_snap.query(constraints.to_filter(server_id)).refs();
     rec.add("select.candidates", candidates.len() as u64);
-    let aggs = crate::statcache::aggregated_paths(db, server_id)?;
     let mut out = Vec::with_capacity(candidates.len());
     let mut dropped = 0u64;
-    for doc in &candidates {
+    for doc in candidates {
         let (path_id, sequence, hops) = schema::parse_path_doc(doc)?;
         out.push(match aggs.get(&path_id) {
             Some(a) => a.clone(),
@@ -290,6 +335,11 @@ fn score(a: &PathAggregate, objective: Objective) -> Option<f64> {
 
 /// Everything the selection layer knows about one destination, rendered
 /// for a user ("offer users many paths to choose from").
+#[deprecated(
+    since = "0.1.0",
+    note = "dispatch a `ServiceRequest::Recommend`/`EvaluateConstraint` through \
+            `api::PathIntelService` and render the typed response instead"
+)]
 pub fn describe_choices(db: &Database, server_id: u32) -> SuiteResult<String> {
     let aggregates = aggregate_paths(db, server_id, &Constraints::default())?;
     let mut out = format!(
@@ -355,6 +405,7 @@ mod tests {
     use crate::collect::{collect_paths, register_available_servers};
     use crate::config::SuiteConfig;
     use crate::measure::run_tests;
+    use crate::schema::PATHS;
     use scion_sim::net::ScionNetwork;
     use scion_sim::topology::scionlab::{paper_destinations, AWS_OHIO, AWS_SINGAPORE};
 
@@ -470,7 +521,9 @@ mod tests {
             ))
         ));
 
-        // 6. describe_choices lists every candidate.
+        // 6. describe_choices lists every candidate (deprecated but
+        // kept one release; the service renderers replace it).
+        #[allow(deprecated)]
         let text = describe_choices(&db, ireland).unwrap();
         assert!(text.contains("candidate paths"));
         assert!(text.lines().count() > 5, "{text}");
@@ -655,6 +708,7 @@ mod tests {
             "unknown loss must not be invented"
         );
         // The renderer prints "-" for the unknown figure.
+        #[allow(deprecated)]
         let text = describe_choices(&db, 1).unwrap();
         assert!(text.contains("loss=-"), "{text}");
 

@@ -17,12 +17,21 @@
 //! Entries are keyed by collection identity (the `Arc` the database
 //! hands out) plus destination id, and hold only a [`Weak`] reference,
 //! so dropping a [`Database`] releases its cached groupings.
+//!
+//! Since the service API landed, every fetch is **version-pinned**: the
+//! cache first pins an MVCC snapshot ([`Collection::read_snapshot`])
+//! and derives the version it files the result under from *that
+//! snapshot* — never from a separate, momentary read of the live
+//! collection. Under a concurrent writer the old protocol could record
+//! version `v` but read data from `v+1`, handing two readers
+//! differently-shaped aggregates for the same version pair; pinning
+//! makes version and data inseparable by construction.
 
 use crate::error::SuiteResult;
 use crate::schema::{PathId, PathMeasurement, PATHS, PATHS_STATS};
 use crate::select::PathAggregate;
 use parking_lot::{Mutex, RwLock};
-use pathdb::{Collection, Database, Filter};
+use pathdb::{Collection, CollectionHandle, Database, Filter};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, OnceLock, Weak};
 
@@ -59,10 +68,25 @@ pub fn grouped_measurements(
     server_id: u32,
 ) -> SuiteResult<Arc<GroupedMeasurements>> {
     let handle = db.collection(PATHS_STATS);
-    let coll = handle.read();
-    let version = coll.mutation_version();
-    let watermark = coll.append_watermark();
-    let key = (Arc::as_ptr(&handle) as usize, server_id);
+    let snap = handle.read().read_snapshot();
+    grouped_measurements_at(db, &handle, &snap, server_id)
+}
+
+/// Version-pinned grouping fetch: computes from (and files the result
+/// under the version of) the explicit `snap`, which must be a
+/// [`Collection::read_snapshot`] of this database's `paths_stats`
+/// collection. The cache can neither serve data newer than the pin nor
+/// record the pinned data under a newer version — the version and the
+/// data it describes travel together.
+pub fn grouped_measurements_at(
+    db: &Database,
+    handle: &CollectionHandle,
+    snap: &Collection,
+    server_id: u32,
+) -> SuiteResult<Arc<GroupedMeasurements>> {
+    let version = snap.mutation_version();
+    let watermark = snap.append_watermark();
+    let key = (Arc::as_ptr(handle) as usize, server_id);
 
     let rec = db.recorder();
     let mut map = cache().lock();
@@ -70,17 +94,17 @@ pub fn grouped_measurements(
         let same_collection = entry
             .coll
             .upgrade()
-            .is_some_and(|live| Arc::ptr_eq(&live, &handle));
+            .is_some_and(|live| Arc::ptr_eq(&live, handle));
         if same_collection && entry.version == version {
             rec.add("statcache.grouped.hit", 1);
             return Ok(entry.grouped.clone());
         }
-        if same_collection && coll.is_append_only_since(entry.version) {
+        if same_collection && entry.version < version && snap.is_append_only_since(entry.version) {
             // Decode the appended rows before touching the entry, so a
             // malformed document leaves the cache consistent.
             let filter = Filter::eq("server_id", server_id as i64);
             let mut fresh: Vec<PathMeasurement> = Vec::new();
-            for d in coll.iter_from(entry.watermark) {
+            for d in snap.iter_from(entry.watermark) {
                 if filter.matches(d) {
                     fresh.push(PathMeasurement::from_doc(d)?);
                 }
@@ -106,9 +130,21 @@ pub fn grouped_measurements(
             rec.add("statcache.grouped.merge", 1);
             return Ok(entry.grouped.clone());
         }
+        if same_collection && entry.version > version {
+            // A concurrent reader already cached a newer image than our
+            // pin. Serve the pinned snapshot without touching the entry:
+            // regressing the cache would re-merge rows it already holds.
+            let grouped = Arc::new(compute(snap, server_id)?);
+            rec.add("statcache.grouped.recompute", 1);
+            rec.add(
+                "statcache.recompute_docs",
+                grouped.values().map(|v| v.len() as u64).sum(),
+            );
+            return Ok(grouped);
+        }
     }
 
-    let grouped = Arc::new(compute(&coll, server_id)?);
+    let grouped = Arc::new(compute(snap, server_id)?);
     rec.add("statcache.grouped.recompute", 1);
     rec.add(
         "statcache.recompute_docs",
@@ -118,7 +154,7 @@ pub fn grouped_measurements(
     map.insert(
         key,
         Entry {
-            coll: Arc::downgrade(&handle),
+            coll: Arc::downgrade(handle),
             version,
             watermark,
             grouped: grouped.clone(),
@@ -156,13 +192,35 @@ pub fn aggregated_paths(
     db: &Database,
     server_id: u32,
 ) -> SuiteResult<Arc<BTreeMap<PathId, PathAggregate>>> {
+    let (paths_snap, stats_snap) = pin_pair(db);
+    aggregated_paths_at(db, &paths_snap, &stats_snap, server_id)
+}
+
+/// Pin an MVCC snapshot of the `paths` + `paths_stats` pair — the unit
+/// of consistency every read of the selection engine works from.
+pub fn pin_pair(db: &Database) -> (Arc<Collection>, Arc<Collection>) {
+    (db.read_snapshot(PATHS), db.read_snapshot(PATHS_STATS))
+}
+
+/// Version-pinned aggregate fetch: both the path metadata and the
+/// measurement rows come from the explicit snapshot pair, and the cache
+/// entry is filed under *those snapshots'* versions. Two readers asking
+/// for the same version pair therefore always receive identically
+/// shaped aggregates, no matter what a concurrent campaign is writing —
+/// snapshot data for a given version pair is immutable.
+pub fn aggregated_paths_at(
+    db: &Database,
+    paths_snap: &Collection,
+    stats_snap: &Collection,
+    server_id: u32,
+) -> SuiteResult<Arc<BTreeMap<PathId, PathAggregate>>> {
     let paths_handle = db.collection(PATHS);
     let stats_handle = db.collection(PATHS_STATS);
-    let paths = paths_handle.read();
-    let paths_version = paths.mutation_version();
-    let stats_version = stats_handle.read().mutation_version();
+    let paths_version = paths_snap.mutation_version();
+    let stats_version = stats_snap.mutation_version();
     let key = (Arc::as_ptr(&paths_handle) as usize, server_id);
 
+    let mut entry_is_newer = false;
     {
         let map = agg_cache().lock();
         if let Some(entry) = map.get(&key) {
@@ -174,24 +232,26 @@ pub fn aggregated_paths(
                 .stats
                 .upgrade()
                 .is_some_and(|live| Arc::ptr_eq(&live, &stats_handle));
-            if same_paths
-                && same_stats
-                && entry.paths_version == paths_version
-                && entry.stats_version == stats_version
-            {
-                db.recorder().add("statcache.agg.hit", 1);
-                return Ok(entry.aggs.clone());
+            if same_paths && same_stats {
+                if entry.paths_version == paths_version && entry.stats_version == stats_version {
+                    db.recorder().add("statcache.agg.hit", 1);
+                    return Ok(entry.aggs.clone());
+                }
+                // Don't evict an entry a concurrent reader filed for a
+                // newer pair: serve the pinned request off-cache instead.
+                entry_is_newer =
+                    entry.paths_version >= paths_version && entry.stats_version >= stats_version;
             }
         }
     }
     db.recorder().add("statcache.agg.recompute", 1);
 
-    // `grouped_measurements` takes the stats lock and the grouping
-    // cache's own mutex; keep the aggregate cache unlocked meanwhile.
-    let grouped = grouped_measurements(db, server_id)?;
+    // `grouped_measurements_at` takes the grouping cache's own mutex;
+    // keep the aggregate cache unlocked meanwhile.
+    let grouped = grouped_measurements_at(db, &stats_handle, stats_snap, server_id)?;
     let mut aggs = BTreeMap::new();
     let mut dropped = 0u64;
-    for d in paths
+    for d in paths_snap
         .query(Filter::eq("server_id", server_id as i64))
         .refs()
     {
@@ -206,18 +266,20 @@ pub fn aggregated_paths(
         db.recorder().add("select.samples_dropped", dropped);
     }
     let aggs = Arc::new(aggs);
-    let mut map = agg_cache().lock();
-    map.retain(|_, e| e.paths.upgrade().is_some());
-    map.insert(
-        key,
-        AggEntry {
-            paths: Arc::downgrade(&paths_handle),
-            stats: Arc::downgrade(&stats_handle),
-            paths_version,
-            stats_version,
-            aggs: aggs.clone(),
-        },
-    );
+    if !entry_is_newer {
+        let mut map = agg_cache().lock();
+        map.retain(|_, e| e.paths.upgrade().is_some());
+        map.insert(
+            key,
+            AggEntry {
+                paths: Arc::downgrade(&paths_handle),
+                stats: Arc::downgrade(&stats_handle),
+                paths_version,
+                stats_version,
+                aggs: aggs.clone(),
+            },
+        );
+    }
     Ok(aggs)
 }
 
@@ -408,6 +470,63 @@ mod tests {
             .update_many(&Filter::eq("_id", "1_0"), &Update::new().set("hops", 9i64));
         let after_paths = aggregated_paths(&db, 1).unwrap();
         assert_eq!(after_paths[&pid].hops, 9);
+    }
+
+    #[test]
+    fn pinned_fetch_never_mixes_versions_with_a_concurrent_writer() {
+        // Regression: the old fetch read `stats_version` from a
+        // momentary lock, then re-read the (possibly newer) live data —
+        // so two readers could get differently-shaped aggregates for
+        // the same version pair. Pinned snapshots make that impossible.
+        let db = Database::new();
+        insert_path(&db, 1, 0, 5);
+        insert(&db, &measurement(1, 0, 1000, 20.0));
+        let (paths_snap, stats_snap) = pin_pair(&db);
+        // A "concurrent writer" lands another batch after the pin.
+        insert(&db, &measurement(1, 0, 2000, 80.0));
+        let pid = PathId {
+            server_id: 1,
+            path_index: 0,
+        };
+        // The pinned fetch reflects exactly the pinned data...
+        let pinned = aggregated_paths_at(&db, &paths_snap, &stats_snap, 1).unwrap();
+        assert_eq!(pinned[&pid].samples, 1);
+        assert_eq!(pinned[&pid].latency.as_ref().unwrap().mean, 20.0);
+        // ...and a second reader of the same version pair gets the
+        // identical shape.
+        let again = aggregated_paths_at(&db, &paths_snap, &stats_snap, 1).unwrap();
+        assert_eq!(*pinned, *again);
+        // A live fetch sees the newer write under its own version pair,
+        let live = aggregated_paths(&db, 1).unwrap();
+        assert_eq!(live[&pid].samples, 2);
+        assert_eq!(live[&pid].latency.as_ref().unwrap().mean, 50.0);
+        // and serves hits afterwards — the pinned reads did not poison
+        // the cache.
+        let live2 = aggregated_paths(&db, 1).unwrap();
+        assert!(Arc::ptr_eq(&live, &live2));
+    }
+
+    #[test]
+    fn pinned_fetch_does_not_regress_a_newer_cache_entry() {
+        let db = Database::new();
+        insert_path(&db, 1, 0, 5);
+        insert(&db, &measurement(1, 0, 1000, 20.0));
+        let (paths_old, stats_old) = pin_pair(&db);
+        insert(&db, &measurement(1, 0, 2000, 80.0));
+        let pid = PathId {
+            server_id: 1,
+            path_index: 0,
+        };
+        // A reader of the live pair files the newer entry first.
+        let live = aggregated_paths(&db, 1).unwrap();
+        assert_eq!(live[&pid].samples, 2);
+        // A straggler still holding the old pin gets its own (older)
+        // consistent view...
+        let pinned = aggregated_paths_at(&db, &paths_old, &stats_old, 1).unwrap();
+        assert_eq!(pinned[&pid].samples, 1);
+        // ...without evicting the newer entry.
+        let live2 = aggregated_paths(&db, 1).unwrap();
+        assert!(Arc::ptr_eq(&live, &live2));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::query::{Filter, FindOptions};
 use crate::update::Update;
 use crate::value::Value;
 use crate::wal::{Wal, WalOpRef};
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::Arc;
@@ -22,7 +23,7 @@ static NOOP: NoopRecorder = NoopRecorder;
 /// [`Value::index_key`] encoding) for range scans and key-order reads.
 /// Seqs within one key are a `BTreeSet`, so ties stream in ascending
 /// insertion order — the same tie order a stable sort produces.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct FieldIndex {
     hash: HashMap<String, HashSet<u64>>,
     pub(crate) ordered: BTreeMap<String, BTreeSet<u64>>,
@@ -129,6 +130,41 @@ pub struct Collection {
     /// Telemetry sink shared with the owning [`crate::Database`]; `None`
     /// means the static no-op recorder (no allocation, no signals).
     recorder: Option<Arc<dyn Recorder>>,
+    /// Memoized copy-on-write image served by
+    /// [`Collection::read_snapshot`]. Not part of the logical state:
+    /// clones start with an empty memo and persistence ignores it.
+    snap: Mutex<Option<SnapEntry>>,
+}
+
+/// The snapshot memo: the last pinned image plus the version/watermark
+/// it reflects, so the next pin can tell hit from append from reshape.
+#[derive(Debug)]
+struct SnapEntry {
+    version: u64,
+    watermark: u64,
+    image: Arc<Collection>,
+}
+
+impl Clone for Collection {
+    /// A detached logical copy: documents, indexes and version counters
+    /// carry over; the WAL handle is dropped (mutating a clone must not
+    /// log under the original's name) and the snapshot memo starts
+    /// empty. The telemetry recorder is shared.
+    fn clone(&self) -> Collection {
+        Collection {
+            name: self.name.clone(),
+            docs: self.docs.clone(),
+            next_seq: self.next_seq,
+            primary: self.primary.clone(),
+            indexes: self.indexes.clone(),
+            next_auto_id: self.next_auto_id,
+            version: self.version,
+            last_reshape_version: self.last_reshape_version,
+            wal: None,
+            recorder: self.recorder.clone(),
+            snap: Mutex::new(None),
+        }
+    }
 }
 
 impl Collection {
@@ -213,6 +249,71 @@ impl Collection {
     /// in insertion order.
     pub fn iter_from(&self, watermark: u64) -> impl Iterator<Item = &Document> {
         self.docs.range(watermark..).map(|(_, d)| d)
+    }
+
+    // ---- MVCC snapshot reads --------------------------------------------
+
+    /// Pin an immutable copy-on-write snapshot of this collection.
+    ///
+    /// The returned image is a frozen [`Collection`] at the current
+    /// [`Collection::mutation_version`], so the whole [`crate::Query`]
+    /// builder (and planner) runs against it unmodified. A reader that
+    /// pins a snapshot and drops the collection lock can then evaluate
+    /// arbitrarily expensive queries without blocking writers — and can
+    /// never observe a half-applied [`Collection::insert_many`] group,
+    /// because batches bump the version once, after fully applying.
+    ///
+    /// Cost is amortized through the mutation-version/append-watermark
+    /// protocol (PR 2):
+    ///
+    /// * **hit** — version unchanged since the memoized image: a
+    ///   refcount bump, no copying at all;
+    /// * **merge** — pure appends since the memo
+    ///   ([`Collection::is_append_only_since`]): only the documents past
+    ///   the memo's watermark are replayed onto the image (copy-on-write:
+    ///   if other readers still pin the old image, it is copied first, so
+    ///   a pinned snapshot never changes underneath its holder);
+    /// * **clone** — a reshape (update/delete) happened: full copy.
+    ///
+    /// Snapshots carry no WAL handle: they are detached read views, and
+    /// mutating one can never log under the live collection's name.
+    pub fn read_snapshot(&self) -> Arc<Collection> {
+        let mut slot = self.snap.lock();
+        if let Some(entry) = slot.as_mut() {
+            if entry.version == self.version {
+                self.rec().add("pathdb.snapshot.hit", 1);
+                return Arc::clone(&entry.image);
+            }
+            if self.is_append_only_since(entry.version) {
+                let image = Arc::make_mut(&mut entry.image);
+                let mut appended = 0u64;
+                for (&seq, doc) in self.docs.range(entry.watermark..) {
+                    if let Some(id) = doc.get("_id") {
+                        image.primary.insert(id.index_key(), seq);
+                    }
+                    image.index_insert(seq, doc);
+                    image.docs.insert(seq, doc.clone());
+                    appended += 1;
+                }
+                image.next_seq = self.next_seq;
+                image.next_auto_id = self.next_auto_id;
+                image.version = self.version;
+                image.last_reshape_version = self.last_reshape_version;
+                entry.version = self.version;
+                entry.watermark = self.next_seq;
+                self.rec().add("pathdb.snapshot.merge", 1);
+                self.rec().add("pathdb.snapshot.merge_docs", appended);
+                return Arc::clone(&entry.image);
+            }
+        }
+        let image = Arc::new(self.clone());
+        *slot = Some(SnapEntry {
+            version: self.version,
+            watermark: self.next_seq,
+            image: Arc::clone(&image),
+        });
+        self.rec().add("pathdb.snapshot.clone", 1);
+        image
     }
 
     // ---- writes ---------------------------------------------------------
@@ -555,70 +656,9 @@ impl Collection {
         plan::explain(self, filter, opts)
     }
 
-    // ---- deprecated read surface (use `Collection::query`) --------------
-
-    /// All documents matching `filter`, in insertion order.
-    #[deprecated(since = "0.1.0", note = "use `col.query(filter).run()`")]
-    pub fn find(&self, filter: &Filter) -> Vec<Document> {
-        self.run_find(filter, &FindOptions::default())
-    }
-
-    /// First match, in insertion order; stops at the first hit instead
-    /// of materializing every match.
-    #[deprecated(since = "0.1.0", note = "use `col.query(filter).first()`")]
-    pub fn find_one(&self, filter: &Filter) -> Option<Document> {
-        self.run_find(filter, &FindOptions::default().limited(1))
-            .pop()
-    }
-
-    /// Filtered, sorted, paginated, projected query.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `col.query(filter).sort(..).limit(..).run()`"
-    )]
-    pub fn find_with(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
-        self.run_find(filter, opts)
-    }
-
-    /// Borrowed matches in insertion order.
-    #[deprecated(since = "0.1.0", note = "use `col.query(filter).refs()`")]
-    pub fn find_refs(&self, filter: &Filter) -> Vec<&Document> {
-        self.run_refs(filter)
-    }
-
-    /// How many documents match `filter`.
-    #[deprecated(since = "0.1.0", note = "use `col.query(filter).count()`")]
-    pub fn count(&self, filter: &Filter) -> usize {
-        self.run_count(filter)
-    }
-
-    /// Distinct values of a (dotted) field among matching documents.
-    #[deprecated(since = "0.1.0", note = "use `col.query(filter).distinct(field)`")]
-    pub fn distinct(&self, field: &str, filter: &Filter) -> Vec<Value> {
-        self.run_distinct(field, filter)
-    }
-
     /// Iterate all documents in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Document> {
         self.docs.values()
-    }
-
-    /// How a filter would be executed — the planner's decision, exposed
-    /// for diagnostics (Mongo's `explain`).
-    #[deprecated(since = "0.1.0", note = "use `col.query(filter).explain()`")]
-    pub fn explain(&self, filter: &Filter) -> QueryPlan {
-        self.run_explain(filter, &FindOptions::default())
-    }
-
-    /// The planner's full decision for a query: access path, whether
-    /// the sort is served by an ordered index, and whether skip/limit
-    /// stop the scan early.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `col.query(filter).sort(..).limit(..).explain()`"
-    )]
-    pub fn explain_with(&self, filter: &Filter, opts: &FindOptions) -> QueryPlan {
-        self.run_explain(filter, opts)
     }
 }
 
@@ -1094,5 +1134,105 @@ mod tests {
         c.create_index("isds");
         assert_eq!(c.query(Filter::eq("isds", 16i64)).count(), 5);
         assert_eq!(c.query(Filter::eq("isds", 99i64)).count(), 0);
+    }
+
+    #[test]
+    fn snapshot_answers_queries_identically_to_the_live_collection() {
+        let mut c = stats_collection();
+        c.create_index("server_id");
+        let snap = c.read_snapshot();
+        let f = Filter::eq("server_id", 2i64);
+        assert_eq!(snap.query(&f).sort("avg_latency_ms").run(), {
+            c.query(&f).sort("avg_latency_ms").run()
+        });
+        assert_eq!(snap.query(&f).count(), c.query(&f).count());
+        assert_eq!(
+            snap.query(&f).explain().access,
+            c.query(&f).explain().access,
+            "snapshots carry the secondary indexes"
+        );
+        assert_eq!(snap.query_all().distinct("server_id").len(), 2);
+        assert_eq!(snap.find_by_id("2_0_100").unwrap(), {
+            c.find_by_id("2_0_100").unwrap()
+        });
+    }
+
+    #[test]
+    fn unchanged_version_reserves_the_same_image() {
+        let c = stats_collection();
+        let a = c.read_snapshot();
+        let b = c.read_snapshot();
+        assert!(Arc::ptr_eq(&a, &b), "hit path is a refcount bump");
+    }
+
+    #[test]
+    fn pinned_snapshot_is_immutable_under_appends_and_reshapes() {
+        let mut c = stats_collection();
+        let old = c.read_snapshot();
+        assert_eq!(old.len(), 5);
+        // Append: the memo merges incrementally, but the pinned image
+        // must not change (copy-on-write while `old` is still held).
+        c.insert_one(doc! { "_id" => "3_0_100", "server_id" => 3i64 })
+            .unwrap();
+        let mid = c.read_snapshot();
+        assert_eq!(old.len(), 5, "pinned image untouched by the merge");
+        assert_eq!(mid.len(), 6);
+        assert!(mid.find_by_id("3_0_100").is_some());
+        assert_eq!(mid.mutation_version(), c.mutation_version());
+        // Reshape: full re-clone; earlier images still untouched.
+        c.delete_many(&Filter::eq("server_id", 1i64));
+        let new = c.read_snapshot();
+        assert_eq!(old.len(), 5);
+        assert_eq!(mid.len(), 6);
+        assert_eq!(new.len(), 4);
+        assert!(new.is_append_only_since(new.mutation_version()));
+    }
+
+    #[test]
+    fn append_merge_reuses_the_memo_when_unpinned() {
+        let mut c = stats_collection();
+        {
+            let _warm = c.read_snapshot();
+        }
+        // No outstanding pins: the merge may update the memo in place.
+        c.insert_one(doc! { "_id" => "4_0_100", "server_id" => 4i64 })
+            .unwrap();
+        let snap = c.read_snapshot();
+        assert_eq!(snap.len(), 6);
+        assert_eq!(snap.query(Filter::eq("server_id", 4i64)).count(), 1);
+        // The merged image serves subsequent hits.
+        assert!(Arc::ptr_eq(&snap, &c.read_snapshot()));
+    }
+
+    #[test]
+    fn snapshot_never_observes_a_half_applied_batch() {
+        // insert_many bumps the version once, after fully applying: any
+        // snapshot therefore sees either none or all of a batch.
+        let mut c = Collection::new("t");
+        let v0 = c.mutation_version();
+        c.insert_many((0..10i64).map(|i| doc! { "x" => i }).collect())
+            .unwrap();
+        assert_eq!(c.mutation_version(), v0 + 1);
+        let snap = c.read_snapshot();
+        assert_eq!(snap.len(), 10, "whole batch visible");
+        let again = c.read_snapshot();
+        assert!(Arc::ptr_eq(&snap, &again));
+    }
+
+    #[test]
+    fn snapshot_of_indexed_collection_maintains_merged_indexes() {
+        let mut c = stats_collection();
+        c.create_index("server_id");
+        let _pin = c.read_snapshot();
+        c.insert_one(doc! { "_id" => "2_9_100", "server_id" => 2i64 })
+            .unwrap();
+        let snap = c.read_snapshot();
+        // The merged image's index saw the appended row.
+        assert!(!snap
+            .query(Filter::eq("server_id", 2i64))
+            .explain()
+            .access
+            .is_full_scan());
+        assert_eq!(snap.query(Filter::eq("server_id", 2i64)).count(), 4);
     }
 }

@@ -1,11 +1,11 @@
-//! Property-based equivalence of the chainable [`Query`] builder and
-//! the deprecated `find*/count/distinct` surface it replaced: for any
-//! collection, filter and option combination the two APIs must return
-//! byte-identical results (the deprecated methods are thin wrappers,
-//! and this is the test that keeps them honest).
-#![allow(deprecated)]
+//! Property-based correctness of the chainable [`Query`] builder
+//! against a naive reference evaluator: for any collection, filter and
+//! option combination, the builder (which may route through indexes and
+//! early-exit scans) must return exactly what a full in-order scan
+//! computes. This test replaced the deprecated `find*/count/distinct`
+//! equivalence suite when that legacy surface was deleted.
 
-use pathdb::{doc, Collection, Filter, FindOptions, Order};
+use pathdb::{doc, Collection, Document, Filter, FindOptions, Order, Value};
 use proptest::prelude::*;
 
 fn populated(rows: &[(i64, f64, bool)]) -> Collection {
@@ -40,15 +40,28 @@ fn arb_filter() -> impl Strategy<Value = Filter> {
     ]
 }
 
+/// The reference: a full scan in insertion order, no indexes, no
+/// early exit.
+fn naive_scan(coll: &Collection, f: &Filter) -> Vec<Document> {
+    coll.iter().filter(|d| f.matches(d)).cloned().collect()
+}
+
+fn rtt_of(d: &Document) -> f64 {
+    match d.get("rtt") {
+        Some(Value::Float(x)) => *x,
+        _ => f64::NAN,
+    }
+}
+
 proptest! {
     #[test]
-    fn builder_matches_find(rows in arb_rows(), f in arb_filter()) {
+    fn builder_run_matches_a_naive_scan(rows in arb_rows(), f in arb_filter()) {
         let coll = populated(&rows);
-        prop_assert_eq!(coll.query(&f).run(), coll.find(&f));
+        prop_assert_eq!(coll.query(&f).run(), naive_scan(&coll, &f));
     }
 
     #[test]
-    fn builder_matches_find_with(
+    fn builder_sort_skip_limit_match_a_naive_pipeline(
         rows in arb_rows(),
         f in arb_filter(),
         desc in any::<bool>(),
@@ -57,50 +70,80 @@ proptest! {
     ) {
         let coll = populated(&rows);
         let order = if desc { Order::Desc } else { Order::Asc };
-        let opts = FindOptions::default()
-            .sorted_by("rtt", order)
-            .skipping(skip)
-            .limited(limit);
+
+        // Reference pipeline: scan, stable-sort on rtt, skip, limit.
+        let mut expect = naive_scan(&coll, &f);
+        expect.sort_by(|a, b| {
+            let cmp = rtt_of(a).partial_cmp(&rtt_of(b)).unwrap();
+            if desc { cmp.reverse() } else { cmp }
+        });
+        let expect: Vec<Document> =
+            expect.into_iter().skip(skip).take(limit).collect();
+
         let via_builder = coll
             .query(&f)
             .sort_by("rtt", order)
             .skip(skip)
             .limit(limit)
             .run();
-        prop_assert_eq!(&via_builder, &coll.find_with(&f, &opts));
-        // with_options is the third spelling of the same query.
+        prop_assert_eq!(&via_builder, &expect);
+        // with_options is the second spelling of the same query.
+        let opts = FindOptions::default()
+            .sorted_by("rtt", order)
+            .skipping(skip)
+            .limited(limit);
         prop_assert_eq!(&via_builder, &coll.query(&f).with_options(opts).run());
     }
 
     #[test]
-    fn builder_matches_count_first_distinct(rows in arb_rows(), f in arb_filter()) {
+    fn builder_count_first_distinct_refs_match_the_scan(
+        rows in arb_rows(),
+        f in arb_filter(),
+    ) {
         let coll = populated(&rows);
-        prop_assert_eq!(coll.query(&f).count(), coll.count(&f));
-        prop_assert_eq!(coll.query(&f).first(), coll.find_one(&f));
-        prop_assert_eq!(
-            coll.query(&f).distinct("server_id"),
-            coll.distinct("server_id", &f)
-        );
+        let expect = naive_scan(&coll, &f);
+        prop_assert_eq!(coll.query(&f).count(), expect.len());
+        prop_assert_eq!(coll.query(&f).first(), expect.first().cloned());
+
+        // Distinct: first-encounter order over the scan.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut distinct = Vec::new();
+        for d in &expect {
+            if let Some(v) = d.get("server_id") {
+                if seen.insert(v.index_key()) {
+                    distinct.push(v.clone());
+                }
+            }
+        }
+        prop_assert_eq!(coll.query(&f).distinct("server_id"), distinct);
+
         let refs_builder: Vec<String> = coll
             .query(&f)
             .refs()
             .iter()
             .filter_map(|d| d.id().map(String::from))
             .collect();
-        let refs_old: Vec<String> = coll
-            .find_refs(&f)
+        let refs_expect: Vec<String> = expect
             .iter()
             .filter_map(|d| d.id().map(String::from))
             .collect();
-        prop_assert_eq!(refs_builder, refs_old);
+        prop_assert_eq!(refs_builder, refs_expect);
     }
 
     #[test]
-    fn builder_explain_matches_deprecated_explain(rows in arb_rows(), f in arb_filter()) {
+    fn builder_explain_is_stable_across_spellings(
+        rows in arb_rows(),
+        f in arb_filter(),
+    ) {
         let coll = populated(&rows);
+        // The default-options explain and the with_options(default)
+        // explain must be the same plan.
         prop_assert_eq!(
             format!("{:?}", coll.query(&f).explain()),
-            format!("{:?}", coll.explain(&f))
+            format!(
+                "{:?}",
+                coll.query(&f).with_options(FindOptions::default()).explain()
+            )
         );
     }
 }

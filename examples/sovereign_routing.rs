@@ -15,18 +15,20 @@
 //! cargo run --release --example sovereign_routing
 //! ```
 
+use std::sync::Arc;
 use upin::pathdb::Database;
 use upin::scion_sim::net::ScionNetwork;
-use upin::scion_sim::topology::scionlab::{paper_destinations, AWS_OHIO, AWS_SINGAPORE};
+use upin::scion_sim::topology::scionlab::{paper_destinations, AWS_OHIO, AWS_SINGAPORE, MY_AS};
 use upin::upin_core::analysis::server_id_of;
+use upin::upin_core::api::{self, PathIntelService, RecommendRequest, ServiceRequest};
 use upin::upin_core::collect::{collect_paths, register_available_servers};
 use upin::upin_core::measure::run_tests;
-use upin::upin_core::select::{describe_choices, recommend, Constraints, Objective, UserRequest};
+use upin::upin_core::select::{recommend, Constraints, Objective, UserRequest};
 use upin::upin_core::SuiteConfig;
 
 fn main() {
-    let net = ScionNetwork::scionlab(7);
-    let db = Database::new();
+    let net = Arc::new(ScionNetwork::scionlab(7));
+    let db = Arc::new(Database::new());
     register_available_servers(&db, &net).unwrap();
 
     let cfg = SuiteConfig {
@@ -48,7 +50,20 @@ fn main() {
     println!("measuring all paths to {ireland} (5 rounds)...\n");
     run_tests(&db, &net, &cfg).unwrap();
 
-    println!("{}", describe_choices(&db, server_id).unwrap());
+    // Everything the selection layer knows about the destination, through
+    // the same typed service API `upin serve` speaks: one Recommend
+    // dispatch over all paths, rendered for a user.
+    let svc = PathIntelService::new(Arc::clone(&db), Arc::clone(&net), MY_AS, 7);
+    let all = svc.dispatch(&ServiceRequest::Recommend(RecommendRequest {
+        destination: server_id.to_string(),
+        objective: Objective::MinLatency,
+        constraints: Constraints::default(),
+        k: 64,
+        pareto: false,
+        weights: None,
+    }));
+    print!("{}", api::render_response(&all));
+    println!();
 
     let show = |label: &str, recs: &[upin::upin_core::Recommendation]| {
         println!("== {label}");
