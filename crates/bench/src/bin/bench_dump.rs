@@ -826,6 +826,170 @@ fn bench_failover() {
     );
 }
 
+/// One synthetic `paths_stats` row shaped like a campaign measurement,
+/// spread over 21 servers × 4 paths.
+fn longitudinal_row(i: u64, ts: i64) -> Document {
+    let s = (i % 21 + 1) as i64;
+    let p = (i % 4) as i64;
+    doc! {
+        "_id" => format!("{s}_{p}_{ts}_{i}"),
+        "server_id" => s,
+        "path_id" => format!("{s}_{p}"),
+        "timestamp_ms" => ts,
+        "avg_latency_ms" => 20.0 + (i % 250) as f64,
+        "jitter_ms" => 0.3 + (i % 5) as f64,
+        "loss_pct" => (i % 9) as f64,
+    }
+}
+
+/// The longitudinal storage story: rollup reads vs raw scans at 1M
+/// rows, incremental catch-up cost, generational-checkpoint pauses and
+/// the steady-state disk bound of a 30-sim-day retention run.
+fn bench_longitudinal() {
+    use pathdb::rollup::{read_rollup, scan_reference};
+    use upin_core::failover::percentile;
+    use upin_core::schema::stats_rollup;
+
+    const DAY_MS: i64 = 86_400_000;
+    let cfg = stats_rollup();
+
+    // 1M raw rows across one simulated day (24 hourly buckets × 84
+    // (server, path) groups): the rollup answers the same aggregate
+    // query from ~2k bucket documents instead of a 1M-row fold.
+    let db = Database::new();
+    db.register_rollup(stats_rollup());
+    const N: u64 = 1_000_000;
+    {
+        let handle = db.collection(PATHS_STATS);
+        let mut coll = handle.write();
+        let mut batch = Vec::with_capacity(50_000);
+        for i in 0..N {
+            let ts = ((i as i128 * DAY_MS as i128) / N as i128) as i64;
+            batch.push(longitudinal_row(i, ts));
+            if batch.len() == 50_000 {
+                coll.insert_many(std::mem::take(&mut batch)).unwrap();
+            }
+        }
+    }
+    db.rollup_catch_up().unwrap();
+    let scan_ns = time_ns(3, || {
+        std::hint::black_box(scan_reference(&db, &cfg));
+    });
+    let read_ns = time_ns(15, || {
+        std::hint::black_box(read_rollup(&db, &cfg));
+    });
+    let speedup = scan_ns / read_ns;
+
+    // Incremental catch-up: appending 10k rows folds 10k rows — cost
+    // proportional to the delta, not the table.
+    let mut catchup_best = f64::INFINITY;
+    for round in 0..5u64 {
+        {
+            let handle = db.collection(PATHS_STATS);
+            let mut coll = handle.write();
+            let batch: Vec<Document> = (0..10_000u64)
+                .map(|j| longitudinal_row(N + round * 10_000 + j, DAY_MS + round as i64))
+                .collect();
+            coll.insert_many(batch).unwrap();
+        }
+        let start = Instant::now();
+        let folded = db.rollup_catch_up().unwrap();
+        assert_eq!(folded, 10_000);
+        catchup_best = catchup_best.min(start.elapsed().as_nanos() as f64 / 10_000.0);
+    }
+
+    // 30 simulated days of measure → fold → expire → checkpoint on a
+    // 48 h raw-row window: checkpoint pauses and the disk footprint at
+    // day 5 vs day 30 (the retention acceptance bound is < 2x). The
+    // run is WAL-durable, so the pauses measure *generational*
+    // checkpoints — clean collections skip their rewrite.
+    //
+    // Rows mimic a dense longitudinal campaign: 21 destinations, one
+    // ranked path each, measured every round with low-cardinality
+    // readings (a path's latency regime is stable hour to hour), so a
+    // bucket cell stays a few sketch bins wide and the kept-forever
+    // rollup grows far slower than the windowed raw rows it replaces.
+    let retention_row = |i: u64, ts: i64| -> Document {
+        let s = (i % 21 + 1) as i64;
+        doc! {
+            "_id" => format!("{s}_{ts}_{i}"),
+            "server_id" => s,
+            "path_id" => format!("{s}_0"),
+            "timestamp_ms" => ts,
+            "avg_latency_ms" => 20.0 + s as f64 + (i % 7) as f64 * 0.1,
+            "jitter_ms" => 0.3 + (i % 5) as f64 * 0.01,
+            "loss_pct" => (i % 3) as f64,
+        }
+    };
+    let storage = FaultyStorage::new();
+    let (db2, _) = Database::open_durable_with(
+        PathBuf::from("/bench-longitudinal"),
+        OpenOptions::new(Durability::Wal).with_storage(Arc::new(storage)),
+    )
+    .unwrap();
+    db2.register_rollup(stats_rollup());
+    // The rollup destination is always mostly-live in the log, so only
+    // the generation-lag bound truncates the segments it would pin; at
+    // 4 checkpoints/day a lag of 4 caps WAL retention at one sim-day.
+    db2.set_compaction_policy(pathdb::CompactionPolicy {
+        live_fraction: 0.5,
+        min_rows: 64,
+        max_lag: 4,
+    });
+    db2.set_retention(pathdb::RetentionPolicy {
+        collection: PATHS_STATS.into(),
+        time_field: "timestamp_ms".into(),
+        keep_ms: 2 * DAY_MS,
+    });
+    {
+        let handle = db2.collection(PATHS_STATS);
+        handle.write().create_index("timestamp_ms");
+    }
+    let mut pauses_ns = Vec::new();
+    let mut day5_bytes = 0u64;
+    let mut id = 0u64;
+    for day in 1..=30i64 {
+        for round in 0..4i64 {
+            let ts = (day - 1) * DAY_MS + round * (DAY_MS / 4);
+            let batch: Vec<Document> = (0..3_000)
+                .map(|_| {
+                    id += 1;
+                    retention_row(id, ts)
+                })
+                .collect();
+            db2.collection(PATHS_STATS).write().insert_many(batch).unwrap();
+            db2.rollup_catch_up().unwrap();
+            db2.expire_retention(ts).unwrap();
+            let start = Instant::now();
+            db2.checkpoint().unwrap();
+            pauses_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        if day == 5 {
+            day5_bytes = db2.disk_usage().unwrap().1;
+        }
+    }
+    let final_bytes = db2.disk_usage().unwrap().1;
+    let disk_ratio = final_bytes as f64 / day5_bytes as f64;
+    let pause_p50 = percentile(&pauses_ns, 0.50).unwrap_or(0.0);
+    let pause_p99 = percentile(&pauses_ns, 0.99).unwrap_or(0.0);
+
+    dump_with_ratios(
+        "BENCH_longitudinal.json",
+        &[
+            ("rollup/raw_scan_1M", scan_ns),
+            ("rollup/read_rollup_1M", read_ns),
+            ("rollup/catch_up_ns_per_row", catchup_best),
+            ("compaction/checkpoint_pause_p50", pause_p50),
+            ("compaction/checkpoint_pause_p99", pause_p99),
+        ],
+        &[
+            ("rollup/speedup_vs_scan_1M", speedup),
+            ("retention/disk_30d_over_5d", disk_ratio),
+            ("retention/disk_final_bytes", final_bytes as f64),
+        ],
+    );
+}
+
 fn main() {
     bench_pathdb();
     bench_select();
@@ -835,4 +999,5 @@ fn main() {
     bench_campaign();
     bench_strategies();
     bench_failover();
+    bench_longitudinal();
 }

@@ -323,6 +323,113 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             }
             finish(&s, upin_core::report::render_chaos(&report))
         }
+        "longitudinal" => {
+            // `upin longitudinal run --sim-days D [--schedule FILE]`:
+            // a multi-day measurement campaign on the simulated clock —
+            // raw rows on a retention window, hourly rollups forever,
+            // churn analytics from the rollups at the end.
+            let p = parse(
+                with_globals(
+                    Spec::new(1, 1)
+                        .value("sim-days")
+                        .value("rounds-per-day")
+                        .value("retention-hours")
+                        .value("schedule")
+                        .value("workers")
+                        .value("out")
+                        .flag("parallel"),
+                ),
+                rest,
+            )?;
+            if p.positional[0] != "run" {
+                return Err(CliError::Usage(format!(
+                    "unknown longitudinal subcommand {:?} (expected: run)",
+                    p.positional[0]
+                )));
+            }
+            let schedule = match p.opt("schedule") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+                    Some(
+                        scion_sim::chaos::ChaosSchedule::from_json_str(&text)
+                            .map_err(|e| CliError::Usage(format!("{path}: {e}")))?,
+                    )
+                }
+                None => None,
+            };
+            let s = open(&p)?;
+            s.ensure_servers()?;
+            let mut campaign = SuiteConfig {
+                iterations: 1,
+                some_only: true,
+                ping_count: 3,
+                run_bwtests: false,
+                skip_collection: true,
+                parallel: p.flag("parallel"),
+                local_as: s.local,
+                ..SuiteConfig::default()
+            };
+            if let Some(w) = p.opt_parse::<usize>("workers").map_err(CliError::Usage)? {
+                campaign.workers = w;
+            }
+            if s.db.collection(upin_core::schema::PATHS).read().is_empty() {
+                upin_core::collect::collect_paths(&s.db, &s.net, &campaign)?;
+            }
+            let defaults = upin_core::LongitudinalConfig::default();
+            let cfg = upin_core::LongitudinalConfig {
+                campaign,
+                sim_days: p
+                    .opt_parse::<u32>("sim-days")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(defaults.sim_days),
+                rounds_per_day: p
+                    .opt_parse::<u32>("rounds-per-day")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(defaults.rounds_per_day),
+                retention_hours: p
+                    .opt_parse::<f64>("retention-hours")
+                    .map_err(CliError::Usage)?
+                    .unwrap_or(defaults.retention_hours),
+                schedule,
+                ..defaults
+            };
+            let report = upin_core::run_longitudinal(&s.db, &s.net, &cfg)?;
+            s.persist()?;
+            if let Some(out_path) = p.opt("out") {
+                std::fs::write(out_path, report.to_json_string())
+                    .map_err(|e| CliError::Io(format!("cannot write {out_path}: {e}")))?;
+            }
+            finish(&s, report.render())
+        }
+        "export" => {
+            // `upin export dataset --out DIR`: write the longitudinal
+            // dataset (rollups.csv, paths.csv, churn.json,
+            // manifest.json) from the session database. Contents are
+            // byte-deterministic for a given database state.
+            let p = parse(with_globals(Spec::new(1, 1).value("out")), rest)?;
+            if p.positional[0] != "dataset" {
+                return Err(CliError::Usage(format!(
+                    "unknown export {:?} (expected: dataset)",
+                    p.positional[0]
+                )));
+            }
+            let out_dir = p
+                .opt("out")
+                .ok_or_else(|| CliError::Usage("export dataset needs --out DIR".into()))?;
+            let s = open(&p)?;
+            let files = upin_core::dataset_files(&s.db)?;
+            std::fs::create_dir_all(out_dir)
+                .map_err(|e| CliError::Io(format!("cannot create {out_dir}: {e}")))?;
+            let mut out = String::new();
+            for f in &files {
+                let path = std::path::Path::new(out_dir).join(&f.name);
+                std::fs::write(&path, &f.contents)
+                    .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+                out.push_str(&format!("wrote {} ({} B)\n", path.display(), f.contents.len()));
+            }
+            finish(&s, out)
+        }
         "recommend" => {
             // The whole command is one typed request: ranked, Pareto
             // (--pareto) and weighted (--weight name=value, repeatable)
@@ -649,8 +756,26 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                         .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
                     Ok(upin_core::report::render_chaos(&report))
                 }
+                "churn" => {
+                    // Accepts either a longitudinal report saved with
+                    // `longitudinal run --out` or a bare `churn.json`
+                    // from `export dataset`.
+                    let path = p.positional.get(1).ok_or_else(|| {
+                        CliError::Usage("report churn expects a report/churn JSON path".into())
+                    })?;
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+                    match upin_core::LongitudinalReport::from_json_str(&text) {
+                        Ok(report) => Ok(report.render()),
+                        Err(_) => {
+                            let churn = upin_core::ChurnReport::from_json_str(&text)
+                                .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+                            Ok(churn.render())
+                        }
+                    }
+                }
                 other => Err(CliError::Usage(format!(
-                    "unknown report {other:?} (expected: telemetry, strategies, chaos)"
+                    "unknown report {other:?} (expected: telemetry, strategies, chaos, churn)"
                 ))),
             }
         }
@@ -702,9 +827,16 @@ fn usage() -> String {
      \x20 evaluate-strategies [--epochs N] [--objective X] [--strategy NAME]\n\
      \x20           [--parallel]               score all selection strategies on the\n\
      \x20                                      Pareto/stability/fairness axioms\n\
+     \x20 longitudinal run [--sim-days D] [--rounds-per-day N] [--retention-hours H]\n\
+     \x20       [--schedule FILE] [--parallel] [--workers N] [--out FILE]\n\
+     \x20                                      multi-day campaign: windowed raw rows,\n\
+     \x20                                      hourly rollups, churn analytics\n\
+     \x20 export dataset --out DIR             write rollups.csv, paths.csv,\n\
+     \x20                                      churn.json, manifest.json\n\
      \x20 report telemetry <metrics.json>      summarize a --metrics-out export\n\
      \x20 report strategies                    render the stored strategy scorecard\n\
      \x20 report chaos <report.json>           render a chaos run saved with --out\n\
+     \x20 report churn <report.json>           render churn from a longitudinal run\n\
      \n\
      global: --seed N (default 42), --db DIR (persistent database),\n\
      \x20       --durability LEVEL (none|snapshot|wal; default snapshot —\n\
@@ -1198,6 +1330,67 @@ mod tests {
         let out = run_cli(&["failover", "16-ffaa:0:1002,[172.31.43.7]", "--probes", "8"]).unwrap();
         assert!(out.contains("8 probes over"), "{out}");
         assert!(out.contains("final path:"), "{out}");
+    }
+
+    #[test]
+    fn longitudinal_run_exports_and_rerenders() {
+        let dir = std::env::temp_dir().join(format!("upin-cli-longi-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("db");
+        let saved = dir.join("report.json");
+        let data = dir.join("dataset");
+
+        let out = run_cli(&[
+            "longitudinal",
+            "run",
+            "--sim-days",
+            "2",
+            "--rounds-per-day",
+            "2",
+            "--retention-hours",
+            "12",
+            "--db",
+            db.to_str().unwrap(),
+            "--out",
+            saved.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("Longitudinal run: 2 sim-days, 4 rounds"), "{out}");
+        assert!(out.contains("Path churn"), "{out}");
+        assert!(out.contains("disk:"), "durable run reports footprint: {out}");
+
+        // `report churn` re-renders the saved report byte-identically.
+        let again = run_cli(&["report", "churn", saved.to_str().unwrap()]).unwrap();
+        assert!(out.ends_with(&again), "{again}");
+
+        // The dataset export rides the same database.
+        let out = run_cli(&[
+            "export",
+            "dataset",
+            "--out",
+            data.to_str().unwrap(),
+            "--db",
+            db.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("rollups.csv"), "{out}");
+        let rollups = std::fs::read_to_string(data.join("rollups.csv")).unwrap();
+        assert!(rollups.lines().count() > 1, "{rollups}");
+        let churn = std::fs::read_to_string(data.join("churn.json")).unwrap();
+        let parsed = upin_core::ChurnReport::from_json_str(&churn).unwrap();
+        assert!(parsed.tracked_paths > 0);
+
+        // A bare churn.json renders through the fallback arm.
+        let via_file = run_cli(&["report", "churn", data.join("churn.json").to_str().unwrap()])
+            .unwrap();
+        assert!(via_file.contains("Path churn"), "{via_file}");
+
+        let err = run_cli(&["longitudinal", "sideways"]);
+        assert!(matches!(err, Err(CliError::Usage(_))));
+        let err = run_cli(&["export", "dataset"]);
+        assert!(matches!(err, Err(CliError::Usage(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -63,13 +63,16 @@
 pub mod analysis;
 pub mod api;
 pub mod axioms;
+pub mod churn;
 pub mod collect;
 pub mod config;
+pub mod dataset;
 pub mod domain;
 pub mod error;
 pub mod failover;
 pub mod health;
 pub mod loadgen;
+pub mod longitudinal;
 pub mod measure;
 pub mod multi;
 pub mod report;
@@ -85,9 +88,12 @@ pub mod verify;
 
 pub use api::{PathIntelService, ServiceError, ServiceRequest, ServiceResponse, Transport};
 pub use axioms::{evaluate_strategies, EvalConfig, Scorecard};
+pub use churn::ChurnReport;
+pub use dataset::{dataset_files, DatasetFile};
 pub use config::SuiteConfig;
 pub use error::{SelectionFailure, SuiteError, SuiteResult};
 pub use failover::{run_chaos_campaign, ChaosReport, FailoverConfig};
+pub use longitudinal::{run_longitudinal, LongitudinalConfig, LongitudinalReport};
 pub use schema::{PathId, PathMeasurement, StatId};
 pub use select::{Constraints, Objective, Recommendation, UserRequest};
 pub use strategy::{SelectionStrategy, StrategyContext};

@@ -18,6 +18,16 @@ pub const PATHS_STATS: &str = "paths_stats";
 /// Collection holding the latest [`crate::axioms`] strategy scorecards
 /// (one document per registered strategy, `_id` = strategy name).
 pub const STRATEGY_SCORECARDS: &str = "strategy_scorecards";
+/// Collection holding the hourly measurement rollups that outlive the
+/// raw-row retention window (see [`stats_rollup`]).
+pub const ROLLUP_PATHS_STATS: &str = "rollup_paths_stats";
+
+/// The canonical rollup of `paths_stats`: hourly buckets per
+/// `(server_id, path_id)` over latency, jitter and loss — the input of
+/// [`crate::churn`] and the longitudinal dataset export.
+pub fn stats_rollup() -> pathdb::RollupConfig {
+    pathdb::RollupConfig::hourly(PATHS_STATS, ROLLUP_PATHS_STATS)
+}
 
 /// Identifier of a path: destination server id plus a progressive path
 /// number (`"2_15"` = path 15 of destination 2).
@@ -89,7 +99,16 @@ pub fn ensure_indexes(db: &Database) {
     let stats = db.collection(PATHS_STATS);
     {
         let mut coll = stats.write();
-        for field in ["server_id", "path_id", "avg_latency_ms", "loss_pct"] {
+        // `timestamp_ms` is ordered-scanned by retention expiry
+        // (`Database::expire_retention` range-deletes behind the
+        // longitudinal clock) as well as by the schedule pruner.
+        for field in [
+            "server_id",
+            "path_id",
+            "avg_latency_ms",
+            "loss_pct",
+            "timestamp_ms",
+        ] {
             coll.create_index(field);
         }
     }

@@ -60,6 +60,7 @@ fn concurrent_reads_only_ever_see_whole_destination_batches() {
     std::thread::scope(|scope| {
         let svc_w = Arc::clone(&svc);
         let done = &writer_done;
+        let ragged_w = &ragged;
         scope.spawn(move || {
             for i in 0..WRITER_ITERATIONS {
                 let cfg = SuiteConfig {
@@ -70,7 +71,22 @@ fn concurrent_reads_only_ever_see_whole_destination_batches() {
                     ..SuiteConfig::default()
                 };
                 let fork = svc_w.net().fork(0xBEEF ^ i);
-                TestSuite::new(&fork, svc_w.db(), cfg).run().unwrap();
+                // Each fork snapshots the parent clock, which only moves
+                // when a reader happens to probe — two iterations forked
+                // at (nearly) the same instant would repeat timestamps
+                // and collide on stats `_id`s. Stride the fork's clock
+                // so every iteration writes in its own time range.
+                fork.advance_ms(i as f64 * 600_000.0);
+                if let Err(e) = TestSuite::new(&fork, svc_w.db(), cfg).run() {
+                    // Record and park instead of panicking: the readers
+                    // only stop when `done` is set, so a writer panic
+                    // would hang the test forever rather than fail it.
+                    ragged_w
+                        .lock()
+                        .unwrap()
+                        .push(format!("writer iteration {i} failed: {e}"));
+                    break;
+                }
             }
             done.store(true, Ordering::SeqCst);
         });

@@ -127,6 +127,17 @@ pub struct Collection {
     /// documents, deleted ids) after applying in memory, so a rejected
     /// write (e.g. a duplicate `_id`) never reaches the log.
     wal: Option<Arc<Wal>>,
+    /// Effects (documents/ids) committed to the WAL since this
+    /// collection's snapshot file was last rewritten. Together with
+    /// `dead_effects` this is the input to the generational checkpoint
+    /// policy: a collection whose logged effects are mostly superseded
+    /// is worth compacting, one whose log is small relative to its live
+    /// rows is cheaper to keep as replayable log.
+    logged_effects: u64,
+    /// The subset of `logged_effects` that superseded or removed live
+    /// rows (update post-images replacing an existing document, deleted
+    /// ids) — the "dead weight" a snapshot rewrite would shed.
+    dead_effects: u64,
     /// Telemetry sink shared with the owning [`crate::Database`]; `None`
     /// means the static no-op recorder (no allocation, no signals).
     recorder: Option<Arc<dyn Recorder>>,
@@ -161,6 +172,8 @@ impl Clone for Collection {
             version: self.version,
             last_reshape_version: self.last_reshape_version,
             wal: None,
+            logged_effects: self.logged_effects,
+            dead_effects: self.dead_effects,
             recorder: self.recorder.clone(),
             snap: Mutex::new(None),
         }
@@ -340,6 +353,9 @@ impl Collection {
         self.index_insert(seq, &doc);
         self.docs.insert(seq, doc);
         self.version += 1;
+        if self.wal.is_some() {
+            self.logged_effects += 1;
+        }
         Ok(id_key)
     }
 
@@ -384,8 +400,80 @@ impl Collection {
         }
         if !ids.is_empty() {
             self.version += 1;
+            if self.wal.is_some() {
+                self.logged_effects += ids.len() as u64;
+            }
         }
         Ok(ids)
+    }
+
+    /// Atomically upsert a batch of post-image documents: each replaces
+    /// the live document with the same `_id` in place (keeping its
+    /// insertion sequence) or is appended. Every document must carry an
+    /// explicit `_id`. The whole batch is one WAL commit group and bumps
+    /// the mutation version once, after fully applying, so snapshot
+    /// readers and crash recovery see all of it or none of it — the
+    /// primitive [`crate::rollup`] uses to land "aggregate rows plus
+    /// covered watermark" as a single crash-atomic effect group.
+    pub fn upsert_many(&mut self, docs: Vec<Document>) -> DbResult<usize> {
+        for doc in &docs {
+            if doc.get("_id").is_none() {
+                return Err(DbError::BadDocument(
+                    "upsert_many requires an explicit _id on every document".into(),
+                ));
+            }
+        }
+        let mut changed = 0usize;
+        let mut replaced = 0u64;
+        for doc in &docs {
+            let key = doc.get("_id").expect("validated above").index_key();
+            match self.primary.get(&key).copied() {
+                Some(seq) => {
+                    let Some(old) = self.docs.remove(&seq) else {
+                        continue;
+                    };
+                    if old == *doc {
+                        self.docs.insert(seq, old);
+                        continue;
+                    }
+                    self.index_remove(seq, &old);
+                    self.index_insert(seq, doc);
+                    self.docs.insert(seq, doc.clone());
+                    changed += 1;
+                    replaced += 1;
+                }
+                None => {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.primary.insert(key, seq);
+                    self.index_insert(seq, doc);
+                    self.docs.insert(seq, doc.clone());
+                    changed += 1;
+                }
+            }
+        }
+        if changed > 0 {
+            self.version += 1;
+            if replaced > 0 {
+                self.last_reshape_version = self.version;
+            }
+            if let Some(wal) = self.wal.clone() {
+                // Apply-then-log, as for updates: the log carries the
+                // post-images (replayed as idempotent upserts) and a
+                // failure poisons the WAL rather than being refused.
+                let _ = self.wal_commit(
+                    &wal,
+                    &[WalOpRef::Update {
+                        coll: &self.name,
+                        docs: &docs,
+                    }],
+                    docs.len() as u64,
+                );
+                self.logged_effects += docs.len() as u64;
+                self.dead_effects += replaced;
+            }
+        }
+        Ok(changed)
     }
 
     fn prepare_id(&mut self, doc: &mut Document) -> DbResult<String> {
@@ -448,6 +536,8 @@ impl Collection {
                     }],
                     post_images.len() as u64,
                 );
+                self.logged_effects += post_images.len() as u64;
+                self.dead_effects += post_images.len() as u64;
             }
         }
         count
@@ -484,6 +574,8 @@ impl Collection {
                     }],
                     removed_ids.len() as u64,
                 );
+                self.logged_effects += removed_ids.len() as u64;
+                self.dead_effects += removed_ids.len() as u64;
             }
         }
         removed
@@ -501,6 +593,26 @@ impl Collection {
     /// WAL commits report through it; `None` restores the no-op sink.
     pub(crate) fn set_recorder(&mut self, recorder: Option<Arc<dyn Recorder>>) {
         self.recorder = recorder;
+    }
+
+    /// `(logged, dead)` effect counts since this collection's snapshot
+    /// file was last rewritten — the generational checkpoint's input.
+    pub fn log_stats(&self) -> (u64, u64) {
+        (self.logged_effects, self.dead_effects)
+    }
+
+    /// Reset the effect counters after a snapshot rewrite made the WAL
+    /// tail redundant for this collection.
+    pub(crate) fn reset_log_stats(&mut self) {
+        self.logged_effects = 0;
+        self.dead_effects = 0;
+    }
+
+    /// Seed the effect counters after recovery replayed `logged` effects
+    /// for this collection: those effects live only in the retained WAL
+    /// until the next rewrite, so the checkpoint policy must see them.
+    pub(crate) fn note_replayed_effects(&mut self, logged: u64) {
+        self.logged_effects += logged;
     }
 
     /// The active telemetry sink (the shared no-op when none is set).
@@ -566,6 +678,37 @@ impl Collection {
                 self.version += 1;
             }
         }
+    }
+
+    /// [`Collection::apply_upsert`] at an explicit insertion sequence —
+    /// the durable-snapshot loader's path. Snapshots persist each row's
+    /// seq (and the manifest the allocator), so the insertion-sequence
+    /// space is *stable across recovery*: an absolute watermark taken
+    /// before a crash (the rollup meta document) still names the same
+    /// rows afterwards, instead of being silently re-pointed by a
+    /// compacting renumber.
+    pub(crate) fn apply_upsert_at(&mut self, seq: u64, doc: Document) {
+        let Some(id) = doc.get("_id") else {
+            let _ = self.insert_unlogged(doc);
+            return;
+        };
+        let key = id.index_key();
+        if self.primary.contains_key(&key) {
+            self.apply_upsert(doc);
+            return;
+        }
+        self.primary.insert(key, seq);
+        self.index_insert(seq, &doc);
+        self.docs.insert(seq, doc);
+        self.next_seq = self.next_seq.max(seq + 1);
+        self.version += 1;
+    }
+
+    /// Restore the insertion-sequence allocator (never moves backward):
+    /// even with every row of a snapshot deleted, recovery re-allocates
+    /// from where the crashed process stopped.
+    pub(crate) fn set_next_seq_at_least(&mut self, n: u64) {
+        self.next_seq = self.next_seq.max(n);
     }
 
     fn insert_unlogged(&mut self, mut doc: Document) -> DbResult<String> {
@@ -654,6 +797,16 @@ impl Collection {
 
     pub(crate) fn run_explain(&self, filter: &Filter, opts: &FindOptions) -> QueryPlan {
         plan::explain(self, filter, opts)
+    }
+
+    /// The access path [`Collection::delete_many`] /
+    /// [`Collection::update_many`] would take for `filter` — the
+    /// mutation-side counterpart of the `Query::explain` terminal.
+    /// Retention expiry leans on this: a range filter over an indexed
+    /// time field must delete via an ordered index range scan, not a
+    /// full collection scan.
+    pub fn explain_mutation(&self, filter: &Filter) -> QueryPlan {
+        plan::explain(self, filter, &FindOptions::default())
     }
 
     /// Iterate all documents in insertion order.
@@ -1234,5 +1387,47 @@ mod tests {
             .access
             .is_full_scan());
         assert_eq!(snap.query(Filter::eq("server_id", 2i64)).count(), 4);
+    }
+
+    #[test]
+    fn delete_many_routes_range_filters_through_the_planner() {
+        // Retention expiry's hot path: a `$lt` over an indexed time
+        // field must delete via an ordered-index range scan, not a full
+        // collection scan.
+        let mut c = Collection::new("paths_stats");
+        c.create_index("timestamp_ms");
+        c.insert_many(
+            (0..100i64)
+                .map(|i| doc! { "_id" => format!("{i}"), "timestamp_ms" => i * 1000 })
+                .collect(),
+        )
+        .unwrap();
+        let filter = Filter::lt("timestamp_ms", 20_000i64);
+        let plan = c.explain_mutation(&filter);
+        assert!(
+            matches!(
+                &plan.access,
+                crate::plan::Access::IndexRange { field, candidates }
+                    if field == "timestamp_ms" && *candidates == 20
+            ),
+            "expected an index range scan, got {:?}",
+            plan.access
+        );
+        assert_eq!(c.delete_many(&filter), 20);
+        assert_eq!(c.len(), 80);
+
+        // The same filter over an unindexed field falls back to a full
+        // scan — the contrast pins that the index is what's routing.
+        let mut flat = Collection::new("flat");
+        flat.insert_many(
+            (0..10i64)
+                .map(|i| doc! { "_id" => format!("{i}"), "timestamp_ms" => i })
+                .collect(),
+        )
+        .unwrap();
+        assert!(flat
+            .explain_mutation(&Filter::lt("timestamp_ms", 5i64))
+            .access
+            .is_full_scan());
     }
 }

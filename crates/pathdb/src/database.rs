@@ -27,12 +27,15 @@
 
 use crate::collection::Collection;
 use crate::error::{DbError, DbResult};
+use crate::query::Filter;
+use crate::rollup::{self, RollupConfig};
 use crate::snapshot::{
-    decode_jsonl, encode_jsonl, read_manifest, write_manifest, LoadOptions, Manifest, SkippedLines,
+    decode_jsonl, encode_jsonl_seq, read_manifest, take_seq, write_manifest, LoadOptions, Manifest,
+    SkippedLines,
 };
 use crate::storage::{is_tmp, DiskStorage, Storage};
 use crate::wal::{parse_wal_path, read_wal, Wal, WalOp, WalOpRef};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -182,6 +185,77 @@ impl RecoveryReport {
     }
 }
 
+/// When a generational checkpoint rewrites a collection's snapshot
+/// file instead of leaving its effects replayable in retained WAL
+/// segments. The default compacts once the log is mostly dead weight
+/// (retention expiry's signature) or once replaying it would cost more
+/// than rewriting the live rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Rewrite when the live fraction of the collection's logged
+    /// effects — `(logged - superseded) / logged` — drops below this.
+    pub live_fraction: f64,
+    /// The live-fraction rule only kicks in past this many logged
+    /// effects (tiny logs are never worth deciding about).
+    pub min_rows: u64,
+    /// Rewrite regardless once the collection's snapshot generation
+    /// falls this many checkpoints behind. WAL retention is governed
+    /// by the *oldest* kept generation across all collections, so a
+    /// small always-appending collection (a rollup destination is
+    /// exactly that) with a healthy, mostly-live log would otherwise
+    /// pin every other collection's heavy segments forever — unbounded
+    /// disk despite retention expiry.
+    pub max_lag: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> CompactionPolicy {
+        CompactionPolicy {
+            live_fraction: 0.5,
+            min_rows: 64,
+            max_lag: 16,
+        }
+    }
+}
+
+/// Raw-row retention for one collection: rows whose numeric
+/// `time_field` falls `keep_ms` behind the clock passed to
+/// [`Database::expire_retention`] are deleted (via an index range scan
+/// when the field is indexed). Rollup destinations are deliberately
+/// never given a policy — aggregates are kept forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionPolicy {
+    pub collection: String,
+    pub time_field: String,
+    pub keep_ms: i64,
+}
+
+/// Per-collection snapshot bookkeeping for generational checkpoints:
+/// which generation last rewrote the collection's `.jsonl`, and the
+/// mutation version it captured.
+#[derive(Debug, Clone, Copy)]
+struct SnapState {
+    gen: u64,
+    version: u64,
+    /// The insertion-sequence allocator persisted with the file — what
+    /// the manifest's `seqs` entry must carry forward when a checkpoint
+    /// skips this collection's rewrite.
+    file_next_seq: u64,
+}
+
+/// What a generational checkpoint decided for one collection.
+enum CheckpointAction {
+    /// Dirty (or untracked): encode and atomically replace its file.
+    Rewrite,
+    /// Unchanged since its last rewrite: its file already holds
+    /// everything, advance its generation for free.
+    Clean,
+    /// Dirty, but its effects sit in retained WAL segments and the log
+    /// is still mostly live: skip the rewrite, keep replaying from the
+    /// recorded generation.
+    KeepInLog(u64),
+}
+
 /// An embedded multi-collection document database.
 pub struct Database {
     collections: RwLock<HashMap<String, CollectionHandle>>,
@@ -192,6 +266,14 @@ pub struct Database {
     durability: Durability,
     wal: Option<Arc<Wal>>,
     recorder: Option<Arc<dyn Recorder>>,
+    /// Generational-checkpoint state for the bound directory.
+    snap_state: Mutex<HashMap<String, SnapState>>,
+    compaction: Mutex<CompactionPolicy>,
+    retention: Mutex<Vec<RetentionPolicy>>,
+    rollups: Mutex<Vec<RollupConfig>>,
+    /// Serializes rollup catch-ups: concurrent folds of the same config
+    /// could double-count the overlap (see `crate::rollup`).
+    rollup_gate: Mutex<()>,
 }
 
 impl Default for Database {
@@ -203,6 +285,11 @@ impl Default for Database {
             durability: Durability::None,
             wal: None,
             recorder: None,
+            snap_state: Mutex::new(HashMap::new()),
+            compaction: Mutex::new(CompactionPolicy::default()),
+            retention: Mutex::new(Vec::new()),
+            rollups: Mutex::new(Vec::new()),
+            rollup_gate: Mutex::new(()),
         }
     }
 }
@@ -261,6 +348,84 @@ impl Database {
         self.recorder.clone().unwrap_or_else(upin_telemetry::noop)
     }
 
+    // ---- rollups, retention, compaction ---------------------------------
+
+    /// Register an incremental rollup (see [`crate::rollup`]): the
+    /// destination collection gets its bucket index, and subsequent
+    /// [`Database::rollup_catch_up`] calls fold new source rows into
+    /// it. Idempotent for an identical config.
+    pub fn register_rollup(&self, cfg: RollupConfig) {
+        rollup::prepare_dest(&mut self.collection(&cfg.dest).write());
+        let mut rollups = self.rollups.lock();
+        if !rollups.iter().any(|c| c == &cfg) {
+            rollups.push(cfg);
+        }
+    }
+
+    /// The registered rollup configs.
+    pub fn rollup_configs(&self) -> Vec<RollupConfig> {
+        self.rollups.lock().clone()
+    }
+
+    /// Fold every registered rollup forward to its source's append
+    /// watermark. Serialized internally (concurrent catch-ups of one
+    /// config could double-count). Returns total source rows folded.
+    pub fn rollup_catch_up(&self) -> DbResult<u64> {
+        let _gate = self.rollup_gate.lock();
+        let cfgs = self.rollups.lock().clone();
+        let mut folded = 0;
+        for cfg in &cfgs {
+            folded += rollup::catch_up(self, cfg)?;
+        }
+        Ok(folded)
+    }
+
+    /// Set (replacing any existing policy for the same collection) a
+    /// raw-row retention window.
+    pub fn set_retention(&self, policy: RetentionPolicy) {
+        let mut retention = self.retention.lock();
+        retention.retain(|p| p.collection != policy.collection);
+        retention.push(policy);
+        retention.sort_by(|a, b| a.collection.cmp(&b.collection));
+    }
+
+    /// The registered retention policies, sorted by collection.
+    pub fn retention_policies(&self) -> Vec<RetentionPolicy> {
+        self.retention.lock().clone()
+    }
+
+    /// Expire raw rows older than each policy's window relative to
+    /// `now_ms` (the *simulation* clock, not wall time). Rollups are
+    /// caught up first so no row can expire unfolded; the deletes then
+    /// run through the query planner as index range scans wherever the
+    /// time field is indexed. Returns how many rows were removed.
+    pub fn expire_retention(&self, now_ms: i64) -> DbResult<u64> {
+        self.rollup_catch_up()?;
+        let policies = self.retention.lock().clone();
+        let mut removed = 0u64;
+        for p in &policies {
+            let cutoff = now_ms.saturating_sub(p.keep_ms);
+            removed += self
+                .collection(&p.collection)
+                .write()
+                .delete_many(&Filter::lt(&p.time_field, cutoff)) as u64;
+        }
+        if removed > 0 {
+            self.recorder().add("pathdb.retention.expired_rows", removed);
+        }
+        Ok(removed)
+    }
+
+    /// Tune when generational checkpoints compact (see
+    /// [`CompactionPolicy`]).
+    pub fn set_compaction_policy(&self, policy: CompactionPolicy) {
+        *self.compaction.lock() = policy;
+    }
+
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        *self.compaction.lock()
+    }
+
     /// Whether a collection exists (has been created).
     pub fn has_collection(&self, name: &str) -> bool {
         self.collections.read().contains_key(name)
@@ -293,6 +458,17 @@ impl Database {
             .values()
             .map(|c| c.read().len())
             .sum()
+    }
+
+    /// On-storage footprint of the bound directory as `(files, bytes)`
+    /// over snapshot files, WAL segments and the manifest. `None` for
+    /// databases not durably bound to a directory. Longitudinal runs
+    /// report this to pin the steady-state disk bound.
+    pub fn disk_usage(&self) -> Option<(usize, u64)> {
+        let dir = self.dir.as_deref()?;
+        let files = self.storage.list(dir).ok()?;
+        let bytes = files.iter().map(|p| self.storage.len(p)).sum();
+        Some((files.len(), bytes))
     }
 
     // ---- durability ------------------------------------------------------
@@ -365,27 +541,52 @@ impl Database {
             let handle = db.collection(name);
             let mut coll = handle.write();
             report.collections += 1;
-            if !storage.exists(&path) {
-                // Listed but missing: only a legacy dir edited by hand
-                // can produce this; treat as an empty collection.
-                continue;
+            let file_next_seq = manifest.as_ref().map_or(0, |m| m.seq_of(name));
+            if storage.exists(&path) {
+                let bytes = storage.read(&path)?;
+                let (docs, skipped) =
+                    decode_jsonl(&bytes, &path.display().to_string(), &opts.load)?;
+                report.snapshot_docs += docs.len();
+                for mut doc in docs {
+                    // Restore each row at its persisted sequence so
+                    // absolute watermarks survive recovery; legacy rows
+                    // without one renumber compactly as before.
+                    match take_seq(&mut doc) {
+                        Some(seq) => coll.apply_upsert_at(seq, doc),
+                        None => coll.apply_upsert(doc),
+                    }
+                }
+                if let Some(s) = skipped {
+                    report.skipped.push(s);
+                }
             }
-            let bytes = storage.read(&path)?;
-            let (docs, skipped) = decode_jsonl(&bytes, &path.display().to_string(), &opts.load)?;
-            report.snapshot_docs += docs.len();
-            for doc in docs {
-                coll.apply_upsert(doc);
-            }
-            if let Some(s) = skipped {
-                report.skipped.push(s);
-            }
+            // Even with a deleted tail (or every row gone) the
+            // allocator resumes where the crashed process stopped.
+            coll.set_next_seq_at_least(file_next_seq);
+            // Listed but missing files load as empty collections (only
+            // a legacy dir edited by hand produces them). Either way,
+            // seed the generational-checkpoint state: the version
+            // captured *before* WAL replay, so replayed collections
+            // stay dirty until their first rewrite.
+            db.snap_state.lock().insert(
+                name.clone(),
+                SnapState {
+                    gen: manifest.as_ref().map_or(generation, |m| m.gen_of(name)),
+                    version: coll.mutation_version(),
+                    file_next_seq,
+                },
+            );
         }
 
-        // 3. Replay WAL generations `>= generation`, oldest first,
-        //    deleting logs the manifest's snapshot already covers.
-        //    Replay is idempotent, so a log that partially predates the
-        //    snapshot (crash between manifest write and log deletion)
-        //    converges all the same.
+        // 3. Replay surviving WAL generations, oldest first, deleting
+        //    only logs *every* collection's snapshot already covers
+        //    (`min_gen` — a generational checkpoint may have left some
+        //    collections on older generations than the manifest's).
+        //    Replay is idempotent and op-ordered, so a log that
+        //    partially predates a collection's snapshot (a skipped
+        //    rewrite, or a crash between manifest write and log
+        //    deletion) converges all the same.
+        let min_gen = manifest.as_ref().map_or(0, |m| m.min_gen());
         let mut wal_files: Vec<(u64, PathBuf)> = storage
             .list(dir)?
             .into_iter()
@@ -393,8 +594,9 @@ impl Database {
             .collect();
         wal_files.sort();
         let mut max_gen = generation;
+        let mut replayed_per_coll: HashMap<String, u64> = HashMap::new();
         for (gen, path) in wal_files {
-            if gen < generation {
+            if gen < min_gen {
                 storage.remove(&path)?;
                 report.stale_wals_removed += 1;
                 continue;
@@ -405,6 +607,8 @@ impl Database {
             for group in &replay.groups {
                 for op in group {
                     report.wal_effects += op.effect_count();
+                    *replayed_per_coll.entry(op.coll().to_string()).or_insert(0) +=
+                        op.effect_count() as u64;
                     db.apply_wal_op(op);
                 }
             }
@@ -415,6 +619,13 @@ impl Database {
                 // Repair the torn tail so future appends extend a
                 // well-formed frame stream.
                 storage.truncate(&path, replay.valid_len)?;
+            }
+        }
+        // The replayed effects live only in the retained WAL until each
+        // collection's next rewrite: seed the compaction counters.
+        for (name, n) in &replayed_per_coll {
+            if db.has_collection(name) {
+                db.collection(name).write().note_replayed_effects(*n);
             }
         }
 
@@ -508,14 +719,28 @@ impl Database {
     fn snapshot_to(&self, dir: &Path, rotate_wal: bool) -> DbResult<()> {
         let started = Instant::now();
         self.storage.create_dir_all(dir)?;
-        // Strictly above both the manifest and the live WAL: after a
-        // crash between a rotate and its manifest the WAL generation
-        // runs ahead, and rotating merely to manifest+1 would leave the
-        // current log alive past the cleanup below — replayed (albeit
-        // idempotently) on every future open, never truncated.
+        // Only a snapshot of the *bound* directory may reuse the
+        // generational state (skip rewrites, advance per-collection
+        // gens); a foreign dir gets a full uniform snapshot.
+        let bound = self.dir.as_deref() == Some(dir);
+        // Strictly above the manifest, the live WAL, *and* every WAL
+        // file on disk: after a crash between a rotate and its manifest
+        // the WAL generation runs ahead, and under `durability=snapshot`
+        // there is no live WAL at all — yet stale logs from an earlier
+        // durable open may still sit in the directory. Rotating merely
+        // to manifest+1 would leave such logs alive past the cleanup
+        // below, replayed (albeit idempotently) on every future open
+        // and never truncated — unbounded WAL growth.
         let manifest_gen = read_manifest(&*self.storage, dir)?.map_or(0, |m| m.generation);
         let wal_gen = self.wal.as_ref().map_or(0, |w| w.generation());
-        let generation = manifest_gen.max(wal_gen).wrapping_add(1);
+        let disk_wal_gen = self
+            .storage
+            .list(dir)?
+            .iter()
+            .filter_map(|p| parse_wal_path(p))
+            .max()
+            .unwrap_or(0);
+        let generation = manifest_gen.max(wal_gen).max(disk_wal_gen).wrapping_add(1);
         if rotate_wal {
             if let Some(wal) = &self.wal {
                 // Writers race the snapshot below; their groups land in
@@ -525,14 +750,71 @@ impl Database {
             }
         }
         let names = self.collection_names();
+        let policy = *self.compaction.lock();
+        let mut gens = Vec::with_capacity(names.len());
+        let mut seqs = Vec::with_capacity(names.len());
+        let mut rewritten = 0u64;
+        let mut clean = 0u64;
+        let mut kept = 0u64;
         for name in &names {
             let handle = self.collection(name);
-            let bytes = {
+            let action = {
                 let coll = handle.read();
-                encode_jsonl(coll.iter())
+                self.checkpoint_action(bound, name, &coll, &policy, generation)
             };
-            self.storage
-                .atomic_write(&dir.join(format!("{name}.jsonl")), &bytes)?;
+            match action {
+                CheckpointAction::Clean => {
+                    // Snapshot already contains every effect; advance
+                    // the generation vacuously (no WAL bytes to keep).
+                    clean += 1;
+                    gens.push(generation);
+                    let mut states = self.snap_state.lock();
+                    let entry = states.entry(name.clone()).and_modify(|s| s.gen = generation);
+                    seqs.push(match entry {
+                        std::collections::hash_map::Entry::Occupied(e) => e.get().file_next_seq,
+                        std::collections::hash_map::Entry::Vacant(_) => 0,
+                    });
+                }
+                CheckpointAction::KeepInLog(old_gen) => {
+                    // Dirty but not worth compacting: leave the effects
+                    // in their WAL segments and pin this collection's
+                    // generation so cleanup retains them for replay.
+                    kept += 1;
+                    gens.push(old_gen);
+                    seqs.push(
+                        self.snap_state
+                            .lock()
+                            .get(name)
+                            .map_or(0, |s| s.file_next_seq),
+                    );
+                }
+                CheckpointAction::Rewrite => {
+                    rewritten += 1;
+                    let (bytes, version, next_seq) = {
+                        let coll = handle.read();
+                        (
+                            encode_jsonl_seq(coll.docs.iter().map(|(s, d)| (*s, d))),
+                            coll.mutation_version(),
+                            coll.append_watermark(),
+                        )
+                    };
+                    self.storage
+                        .atomic_write(&dir.join(format!("{name}.jsonl")), &bytes)?;
+                    gens.push(generation);
+                    seqs.push(next_seq);
+                    if bound {
+                        self.snap_state.lock().insert(
+                            name.clone(),
+                            SnapState {
+                                gen: generation,
+                                version,
+                                file_next_seq: next_seq,
+                            },
+                        );
+                        handle.write().reset_log_stats();
+                    }
+                }
+            }
         }
         // The manifest rename is the snapshot's commit point.
         write_manifest(
@@ -541,14 +823,18 @@ impl Database {
             &Manifest {
                 generation,
                 collections: names.clone(),
+                gens: gens.clone(),
+                seqs,
             },
         )?;
         // Cleanup phase — everything after the commit point is
         // best-effort garbage collection a crash may skip: superseded
-        // WAL generations, snapshot files of dropped collections, and
-        // temp files left by interrupted atomic writes.
+        // WAL generations (older than *every* collection's snapshot),
+        // snapshot files of dropped collections, and temp files left by
+        // interrupted atomic writes.
+        let keep_from = gens.iter().copied().min().unwrap_or(generation);
         for path in self.storage.list(dir)? {
-            let stale_wal = parse_wal_path(&path).is_some_and(|g| g < generation);
+            let stale_wal = parse_wal_path(&path).is_some_and(|g| g < keep_from);
             let dropped = path.extension().and_then(|e| e.to_str()) == Some("jsonl")
                 && path
                     .file_stem()
@@ -564,7 +850,58 @@ impl Database {
             started.elapsed().as_secs_f64() * 1e3,
         );
         rec.add("pathdb.checkpoints", 1);
+        rec.add("pathdb.checkpoint.rewritten", rewritten);
+        rec.add("pathdb.checkpoint.clean", clean);
+        rec.add("pathdb.checkpoint.kept_in_log", kept);
         Ok(())
+    }
+
+    /// Decide what a checkpoint does with one collection. Generational
+    /// skipping applies only to the bound directory of a WAL-backed
+    /// database — everything else always rewrites (a foreign `save_dir`
+    /// must produce a complete copy).
+    fn checkpoint_action(
+        &self,
+        bound: bool,
+        name: &str,
+        coll: &Collection,
+        policy: &CompactionPolicy,
+        generation: u64,
+    ) -> CheckpointAction {
+        if !bound {
+            return CheckpointAction::Rewrite;
+        }
+        let states = self.snap_state.lock();
+        let Some(state) = states.get(name) else {
+            return CheckpointAction::Rewrite;
+        };
+        if state.version == coll.mutation_version() {
+            return CheckpointAction::Clean;
+        }
+        if self.wal.is_none() {
+            // No log holds the new effects — the snapshot is the only
+            // durable copy, so a dirty collection must be rewritten.
+            return CheckpointAction::Rewrite;
+        }
+        if generation.saturating_sub(state.gen) > policy.max_lag {
+            // Keeping this collection in the log would retain every
+            // WAL segment since `state.gen` — including other
+            // collections' traffic. Past the lag bound, rewriting is
+            // cheaper than what the pinned segments cost.
+            return CheckpointAction::Rewrite;
+        }
+        let (logged, dead) = coll.log_stats();
+        let live = coll.len() as u64;
+        let worth_compacting = logged == 0
+            || live == 0
+            || logged >= live
+            || (logged >= policy.min_rows
+                && ((logged - dead.min(logged)) as f64 / logged as f64) < policy.live_fraction);
+        if worth_compacting {
+            CheckpointAction::Rewrite
+        } else {
+            CheckpointAction::KeepInLog(state.gen)
+        }
     }
 
     /// Load all collections persisted in `dir` (strictly — any
@@ -611,7 +948,10 @@ impl Database {
             let mut coll = handle.write();
             let bytes = storage.read(&path)?;
             let (docs, file_skipped) = decode_jsonl(&bytes, &path.display().to_string(), opts)?;
-            for doc in docs {
+            for mut doc in docs {
+                // Plain loads ignore (but must not surface) the seq
+                // fidelity a durable checkpoint persisted.
+                take_seq(&mut doc);
                 coll.insert_one(doc)?;
             }
             skipped.extend(file_skipped);
@@ -1022,5 +1362,350 @@ mod tests {
         .unwrap();
         assert_eq!(report.wal_groups, 200);
         assert_eq!(db2.collection("stats").read().len(), 200);
+    }
+
+    #[test]
+    fn snapshot_durability_truncates_runaway_wals_eagerly() {
+        // Regression: a crash window can leave a WAL generation far
+        // ahead of the manifest. Reopened with `durability=snapshot`
+        // there is no live WAL, and the old checkpoint computed its
+        // generation without looking at disk — the runaway log survived
+        // every cleanup, resurrecting deleted rows on each open and
+        // growing the directory forever.
+        let dir = PathBuf::from("/db");
+        let storage = Arc::new(FaultyStorage::new());
+        {
+            let (db, _) = Database::open_durable_with(
+                &dir,
+                OpenOptions::new(Durability::Wal).with_storage(storage.clone()),
+            )
+            .unwrap();
+            db.collection("c")
+                .write()
+                .insert_many(vec![doc! { "_id" => "keep" }, doc! { "_id" => "stale" }])
+                .unwrap();
+        }
+        // Strand the log at a far higher generation, manifest absent.
+        let bytes = storage.read(&wal_path(&dir, 0)).unwrap();
+        storage.remove(&wal_path(&dir, 0)).unwrap();
+        storage.append(&wal_path(&dir, 7), &bytes).unwrap();
+
+        let (db, report) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Snapshot).with_storage(storage.clone()),
+        )
+        .unwrap();
+        assert_eq!(report.wal_effects, 2);
+        db.collection("c").write().delete_many(&Filter::eq("_id", "stale"));
+        db.checkpoint().unwrap();
+        assert!(
+            !storage.exists(&wal_path(&dir, 7)),
+            "checkpoint must truncate past the runaway generation"
+        );
+        let (db2, report) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Snapshot).with_storage(storage),
+        )
+        .unwrap();
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(db2.collection("c").read().len(), 1);
+        assert!(db2.collection("c").read().find_by_id("stale").is_none());
+    }
+
+    #[test]
+    fn snapshot_durability_disk_footprint_stays_bounded() {
+        // The long-run disk regression: rounds of insert → expire →
+        // checkpoint must not accrete files or bytes without bound.
+        let dir = PathBuf::from("/db");
+        let storage = Arc::new(FaultyStorage::new());
+        let (db, _) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Snapshot).with_storage(storage.clone()),
+        )
+        .unwrap();
+        db.set_retention(RetentionPolicy {
+            collection: "stats".into(),
+            time_field: "t".into(),
+            keep_ms: 1000,
+        });
+        let mut footprint_after_round: Vec<(usize, u64)> = Vec::new();
+        for round in 0..20i64 {
+            let docs: Vec<_> = (0..50)
+                .map(|i| doc! { "_id" => format!("{round}_{i}"), "t" => round * 100 + i })
+                .collect();
+            db.collection("stats").write().insert_many(docs).unwrap();
+            db.expire_retention(round * 100).unwrap();
+            db.checkpoint().unwrap();
+            let files = storage.list(&dir).unwrap();
+            let bytes: u64 = files.iter().map(|p| storage.len(p)).sum();
+            footprint_after_round.push((files.len(), bytes));
+        }
+        // Steady state: once the retention window is full, the
+        // footprint stops growing (identical file count, bytes within
+        // noise of longer _id strings).
+        let (files_mid, bytes_mid) = footprint_after_round[12];
+        let (files_end, bytes_end) = footprint_after_round[19];
+        assert_eq!(files_mid, files_end, "file count must not grow");
+        assert!(
+            bytes_end < bytes_mid + bytes_mid / 4,
+            "steady-state bytes grew: {bytes_mid} -> {bytes_end}"
+        );
+        assert!(
+            !storage.list(&dir).unwrap().iter().any(|p| parse_wal_path(p).is_some()),
+            "no WAL files may linger under durability=snapshot"
+        );
+    }
+
+    #[test]
+    fn a_small_appending_collection_cannot_pin_wal_retention() {
+        let dir = PathBuf::from("/db");
+        let storage = Arc::new(FaultyStorage::new());
+        let (db, _) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Wal).with_storage(storage.clone()),
+        )
+        .unwrap();
+        db.set_compaction_policy(CompactionPolicy {
+            live_fraction: 0.5,
+            min_rows: 64,
+            max_lag: 4,
+        });
+        // `hot` churns hard (rewritten every checkpoint); `ledger`
+        // appends a couple of always-live rows per round — the workload
+        // that would otherwise keep-in-log forever and thereby retain
+        // every one of `hot`'s WAL segments.
+        for round in 0..30u32 {
+            {
+                let handle = db.collection("hot");
+                let mut coll = handle.write();
+                coll.delete_many(&Filter::exists("v"));
+                let docs: Vec<_> = (0..50)
+                    .map(|i| doc! { "_id" => format!("{round}_{i}"), "v" => i as i64 })
+                    .collect();
+                coll.insert_many(docs).unwrap();
+            }
+            let handle = db.collection("ledger");
+            handle
+                .write()
+                .insert_many(vec![
+                    doc! { "_id" => format!("a{round}") },
+                    doc! { "_id" => format!("b{round}") },
+                ])
+                .unwrap();
+            db.checkpoint().unwrap();
+        }
+        let m = read_manifest(&*storage, &dir).unwrap().unwrap();
+        let retained = storage
+            .list(&dir)
+            .unwrap()
+            .iter()
+            .filter(|p| parse_wal_path(p).is_some())
+            .count();
+        assert!(
+            retained <= 6,
+            "lag bound keeps WAL retention flat, got {retained} segments"
+        );
+        assert!(
+            m.generation - m.min_gen() <= 4,
+            "no generation lags past the bound: {m:?}"
+        );
+        // And nothing was lost along the way.
+        let (db2, _) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Wal).with_storage(storage),
+        )
+        .unwrap();
+        assert_eq!(db2.collection("ledger").read().len(), 60);
+        assert_eq!(db2.collection("hot").read().len(), 50);
+    }
+
+    #[test]
+    fn generational_checkpoint_keeps_small_appends_in_the_log() {
+        let dir = PathBuf::from("/db");
+        let storage = Arc::new(FaultyStorage::new());
+        let (db, _) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Wal).with_storage(storage.clone()),
+        )
+        .unwrap();
+        let docs: Vec<_> = (0..10).map(|i| doc! { "_id" => format!("{i}") }).collect();
+        db.collection("big").write().insert_many(docs).unwrap();
+        db.checkpoint().unwrap();
+        let m = read_manifest(&*storage, &dir).unwrap().unwrap();
+        assert_eq!(m.gen_of("big"), m.generation);
+
+        // A small append is not worth rewriting a 10-row snapshot:
+        // the effects stay in their WAL segment, whose generation the
+        // manifest pins for replay.
+        db.collection("big")
+            .write()
+            .insert_many(vec![doc! { "_id" => "x" }, doc! { "_id" => "y" }])
+            .unwrap();
+        db.checkpoint().unwrap();
+        let m2 = read_manifest(&*storage, &dir).unwrap().unwrap();
+        assert_eq!(m2.gen_of("big"), m.generation, "generation pinned");
+        assert!(m2.generation > m.generation);
+        assert!(
+            storage.exists(&wal_path(&dir, m.generation)),
+            "the segment holding the appends survives cleanup"
+        );
+
+        let (db2, report) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Wal).with_storage(storage.clone()),
+        )
+        .unwrap();
+        assert_eq!(report.wal_effects, 2, "only the kept appends replay");
+        assert_eq!(db2.collection("big").read().len(), 12);
+
+        // Deleting most rows turns the retained log into dead weight;
+        // the next checkpoint compacts and truncates every old segment.
+        db2.collection("big")
+            .write()
+            .delete_many(&Filter::lt("_id", "9"));
+        db2.checkpoint().unwrap();
+        let m3 = read_manifest(&*storage, &dir).unwrap().unwrap();
+        assert_eq!(m3.gen_of("big"), m3.generation, "compacted");
+        assert!(
+            !storage.list(&dir).unwrap().iter().any(|p| {
+                parse_wal_path(p).is_some_and(|g| g < m3.generation)
+            }),
+            "superseded segments truncated"
+        );
+        let (db3, report) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Wal).with_storage(storage),
+        )
+        .unwrap();
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(db3.collection("big").read().len(), 3);
+    }
+
+    #[test]
+    fn generational_checkpoint_skips_clean_collections() {
+        let dir = PathBuf::from("/db");
+        let storage = Arc::new(FaultyStorage::new());
+        let tel = Arc::new(upin_telemetry::Telemetry::new());
+        let (mut db, _) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Wal).with_storage(storage.clone()),
+        )
+        .unwrap();
+        db.set_recorder(Some(tel.clone()));
+        let docs: Vec<_> = (0..8).map(|i| doc! { "_id" => format!("{i}") }).collect();
+        db.collection("hot").write().insert_many(docs).unwrap();
+        db.collection("cold")
+            .write()
+            .insert_one(doc! { "_id" => "only" })
+            .unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(tel.counter("pathdb.checkpoint.rewritten"), 2);
+
+        // Touch only `hot`; `cold` is clean and `hot`'s single append
+        // stays in the log — nothing is rewritten.
+        db.collection("hot")
+            .write()
+            .insert_one(doc! { "_id" => "8" })
+            .unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(tel.counter("pathdb.checkpoint.rewritten"), 2);
+        assert_eq!(tel.counter("pathdb.checkpoint.clean"), 1);
+        assert_eq!(tel.counter("pathdb.checkpoint.kept_in_log"), 1);
+    }
+
+    #[test]
+    fn rollup_watermark_survives_recovery_after_expiry() {
+        // The killer interleaving for a persisted absolute watermark:
+        // fold, expire (punching seq holes below the watermark),
+        // checkpoint, crash. If recovery renumbered rows compactly the
+        // watermark would point past the allocator and every later
+        // insert would silently never fold.
+        let dir = PathBuf::from("/db");
+        let storage = Arc::new(FaultyStorage::new());
+        let cfg = RollupConfig::hourly("paths_stats", "rollup_paths_stats");
+        let hour = 3_600_000i64;
+        let row = |i: i64| {
+            doc! {
+                "_id" => format!("{i}"),
+                "server_id" => 1i64,
+                "path_id" => "1_0",
+                "timestamp_ms" => i * hour,
+                "avg_latency_ms" => 10.0 + i as f64,
+            }
+        };
+        let mut all_rows = Vec::new();
+        {
+            let (db, _) = Database::open_durable_with(
+                &dir,
+                OpenOptions::new(Durability::Wal).with_storage(storage.clone()),
+            )
+            .unwrap();
+            db.register_rollup(cfg.clone());
+            db.set_retention(RetentionPolicy {
+                collection: "paths_stats".into(),
+                time_field: "timestamp_ms".into(),
+                keep_ms: hour,
+            });
+            let rows: Vec<_> = (0..4).map(row).collect();
+            all_rows.extend(rows.clone());
+            db.collection("paths_stats").write().insert_many(rows).unwrap();
+            // Fold + expire everything older than one hour, then make
+            // the compacted state durable. The process "crashes" here.
+            db.expire_retention(3 * hour).unwrap();
+            assert!(db.collection("paths_stats").read().len() < 4);
+            db.checkpoint().unwrap();
+        }
+        let (db, report) = Database::open_durable_with(
+            &dir,
+            OpenOptions::new(Durability::Wal).with_storage(storage),
+        )
+        .unwrap();
+        assert!(report.clean(), "{report:?}");
+        db.register_rollup(cfg.clone());
+        let rows: Vec<_> = (4..6).map(row).collect();
+        all_rows.extend(rows.clone());
+        db.collection("paths_stats").write().insert_many(rows).unwrap();
+        db.rollup_catch_up().unwrap();
+        assert_eq!(
+            crate::rollup::render(&crate::rollup::read_rollup(&db, &cfg)),
+            crate::rollup::render(&crate::rollup::fold_reference(all_rows.iter(), &cfg)),
+            "post-recovery inserts must still fold exactly once"
+        );
+    }
+
+    #[test]
+    fn expire_retention_folds_rollups_before_deleting() {
+        let db = Database::new();
+        let cfg = RollupConfig::hourly("paths_stats", "rollup_paths_stats");
+        db.register_rollup(cfg.clone());
+        db.set_retention(RetentionPolicy {
+            collection: "paths_stats".into(),
+            time_field: "timestamp_ms".into(),
+            keep_ms: 3_600_000,
+        });
+        let hour = 3_600_000i64;
+        let rows: Vec<_> = (0..6)
+            .map(|i| {
+                doc! {
+                    "server_id" => 1i64,
+                    "path_id" => "1_0",
+                    "timestamp_ms" => i * hour,
+                    "avg_latency_ms" => 10.0 + i as f64,
+                }
+            })
+            .collect();
+        db.collection("paths_stats").write().insert_many(rows).unwrap();
+        // Expire with a window that keeps only the last hour of raw
+        // rows. Every older row must already be folded — the rollup
+        // answer is identical before and after.
+        db.rollup_catch_up().unwrap();
+        let before = crate::rollup::render(&crate::rollup::read_rollup(&db, &cfg));
+        let removed = db.expire_retention(5 * hour).unwrap();
+        assert!(removed >= 3, "old raw rows expired (got {removed})");
+        assert!(db.collection("paths_stats").read().len() < 6);
+        assert_eq!(
+            crate::rollup::render(&crate::rollup::read_rollup(&db, &cfg)),
+            before
+        );
     }
 }

@@ -51,6 +51,7 @@ pub mod document;
 pub mod error;
 pub mod plan;
 pub mod query;
+pub mod rollup;
 pub mod snapshot;
 pub mod storage;
 pub mod update;
@@ -59,11 +60,15 @@ pub mod wal;
 
 pub use builder::Query;
 pub use collection::Collection;
-pub use database::{CollectionHandle, Database, Durability, OpenOptions, RecoveryReport};
+pub use database::{
+    CollectionHandle, CompactionPolicy, Database, Durability, OpenOptions, RecoveryReport,
+    RetentionPolicy,
+};
 pub use document::Document;
 pub use error::{DbError, DbResult};
 pub use plan::{Access, QueryPlan};
 pub use query::{Filter, FindOptions, Order};
+pub use rollup::{read_rollup, BucketAgg, FieldAgg, RollupConfig, Sketch};
 pub use snapshot::{LoadOptions, SkippedLines};
 pub use storage::{DiskStorage, FaultyStorage, Storage};
 pub use update::{Update, UpdateOp};

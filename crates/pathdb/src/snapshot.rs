@@ -28,7 +28,9 @@ use std::path::Path;
 pub const MANIFEST: &str = "MANIFEST.json";
 
 /// Manifest format version (bumped on incompatible layout changes).
-pub const MANIFEST_FORMAT: i64 = 1;
+/// Format 2 adds per-collection snapshot generations (`gens`); format-1
+/// manifests load with every collection at the global generation.
+pub const MANIFEST_FORMAT: i64 = 2;
 
 /// Loader behavior for persisted JSONL files.
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,14 +50,70 @@ pub struct SkippedLines {
     pub skipped: usize,
 }
 
+/// The reserved per-row field durable snapshots use to persist each
+/// document's insertion sequence (stripped again on load). Keeping seqs
+/// stable across recovery is what lets absolute watermarks (the rollup
+/// meta document, [`crate::rollup`]) survive a crash.
+pub const SEQ_FIELD: &str = "__seq";
+
 /// The durable collection roster plus the snapshot generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
     pub generation: u64,
     pub collections: Vec<String>,
+    /// Per-collection snapshot generation, parallel to `collections`:
+    /// `<name>.jsonl` contains every effect of WAL generations
+    /// `< gens[i]`. A generational checkpoint advances only the
+    /// collections it rewrote (or that had nothing to rewrite); WAL
+    /// segments `>= min(gens)` must be retained and replayed. Format-1
+    /// manifests load with every entry at `generation`.
+    pub gens: Vec<u64>,
+    /// Per-collection insertion-sequence allocator (`next_seq`) at the
+    /// time `<name>.jsonl` was written, parallel to `collections`.
+    /// Restored on recovery so sequence numbers never move backward —
+    /// even when the snapshot's highest surviving row sits below the
+    /// allocator (a deleted tail). Format-1 manifests load with zeros
+    /// (no fidelity to restore).
+    pub seqs: Vec<u64>,
 }
 
 impl Manifest {
+    /// A full (non-generational) snapshot: every collection at the
+    /// global generation.
+    pub fn uniform(generation: u64, collections: Vec<String>) -> Manifest {
+        let n = collections.len();
+        Manifest {
+            generation,
+            collections,
+            gens: vec![generation; n],
+            seqs: vec![0; n],
+        }
+    }
+
+    /// The oldest WAL generation any collection still needs replayed.
+    pub fn min_gen(&self) -> u64 {
+        self.gens.iter().copied().min().unwrap_or(self.generation)
+    }
+
+    /// The snapshot generation of one collection (the global generation
+    /// for names the manifest does not list).
+    pub fn gen_of(&self, name: &str) -> u64 {
+        self.collections
+            .iter()
+            .position(|n| n == name)
+            .and_then(|i| self.gens.get(i).copied())
+            .unwrap_or(self.generation)
+    }
+
+    /// The persisted `next_seq` of one collection (0 when unknown).
+    pub fn seq_of(&self, name: &str) -> u64 {
+        self.collections
+            .iter()
+            .position(|n| n == name)
+            .and_then(|i| self.seqs.get(i).copied())
+            .unwrap_or(0)
+    }
+
     fn to_json(&self) -> serde_json::Value {
         let mut m = serde_json::Map::new();
         m.insert("format".into(), serde_json::Value::from(MANIFEST_FORMAT));
@@ -72,20 +130,52 @@ impl Manifest {
                     .collect(),
             ),
         );
+        m.insert(
+            "gens".into(),
+            serde_json::Value::Array(
+                self.gens
+                    .iter()
+                    .map(|&g| serde_json::Value::from(g as i64))
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "seqs".into(),
+            serde_json::Value::Array(
+                self.seqs
+                    .iter()
+                    .map(|&s| serde_json::Value::from(s as i64))
+                    .collect(),
+            ),
+        );
         serde_json::Value::Object(m)
     }
 
     fn from_json(v: &serde_json::Value) -> Option<Manifest> {
-        let generation = v.get("generation")?.as_i64()?;
+        let generation = v.get("generation")?.as_i64()?.max(0) as u64;
         let collections = v
             .get("collections")?
             .as_array()?
             .iter()
             .map(|n| n.as_str().map(String::from))
             .collect::<Option<Vec<_>>>()?;
+        let parallel_u64 = |key: &str, fallback: u64| -> Option<Vec<u64>> {
+            match v.get(key).and_then(|g| g.as_array()) {
+                Some(arr) if arr.len() == collections.len() => arr
+                    .iter()
+                    .map(|g| g.as_i64().map(|g| g.max(0) as u64))
+                    .collect::<Option<Vec<_>>>(),
+                // Format 1 (or a malformed list): the uniform fallback.
+                _ => Some(vec![fallback; collections.len()]),
+            }
+        };
+        let gens = parallel_u64("gens", generation)?;
+        let seqs = parallel_u64("seqs", 0)?;
         Some(Manifest {
-            generation: generation.max(0) as u64,
+            generation,
             collections,
+            gens,
+            seqs,
         })
     }
 }
@@ -121,6 +211,28 @@ pub fn encode_jsonl<'a>(docs: impl Iterator<Item = &'a Document>) -> Vec<u8> {
         buf.push(b'\n');
     }
     buf
+}
+
+/// [`encode_jsonl`] with each row's insertion sequence appended as the
+/// reserved [`SEQ_FIELD`] (the durable-snapshot writer's path; loaders
+/// strip it with [`take_seq`]).
+pub fn encode_jsonl_seq<'a>(docs: impl Iterator<Item = (u64, &'a Document)>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for (seq, doc) in docs {
+        let mut with_seq = doc.clone();
+        with_seq.set(SEQ_FIELD, seq as i64);
+        buf.extend_from_slice(Value::Doc(with_seq).to_json().to_string().as_bytes());
+        buf.push(b'\n');
+    }
+    buf
+}
+
+/// Strip (and return) a row's persisted insertion sequence.
+pub fn take_seq(doc: &mut Document) -> Option<u64> {
+    match doc.remove(SEQ_FIELD) {
+        Some(Value::Int(s)) if s >= 0 => Some(s as u64),
+        _ => None,
+    }
 }
 
 /// Decode JSONL bytes into documents.
@@ -182,12 +294,61 @@ mod tests {
         let storage = FaultyStorage::new();
         let dir = PathBuf::from("/db");
         assert_eq!(read_manifest(&storage, &dir).unwrap(), None);
-        let m = Manifest {
-            generation: 7,
-            collections: vec!["paths".into(), "paths_stats".into()],
-        };
+        let m = Manifest::uniform(7, vec!["paths".into(), "paths_stats".into()]);
         write_manifest(&storage, &dir, &m).unwrap();
         assert_eq!(read_manifest(&storage, &dir).unwrap(), Some(m));
+    }
+
+    #[test]
+    fn format1_manifest_loads_with_uniform_generations() {
+        let storage = FaultyStorage::new();
+        let dir = PathBuf::from("/db");
+        storage
+            .append(
+                &dir.join(MANIFEST),
+                b"{\"format\":1,\"generation\":4,\"collections\":[\"a\",\"b\"]}\n",
+            )
+            .unwrap();
+        let m = read_manifest(&storage, &dir).unwrap().unwrap();
+        assert_eq!(m.gens, vec![4, 4]);
+        assert_eq!(m.min_gen(), 4);
+        assert_eq!(m.gen_of("a"), 4);
+        assert_eq!(m.gen_of("missing"), 4);
+    }
+
+    #[test]
+    fn generational_manifest_tracks_per_collection_gens() {
+        let storage = FaultyStorage::new();
+        let dir = PathBuf::from("/db");
+        let m = Manifest {
+            generation: 9,
+            collections: vec!["fresh".into(), "lagging".into()],
+            gens: vec![9, 5],
+            seqs: vec![40, 17],
+        };
+        write_manifest(&storage, &dir, &m).unwrap();
+        let back = read_manifest(&storage, &dir).unwrap().unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.min_gen(), 5);
+        assert_eq!(back.gen_of("lagging"), 5);
+        assert_eq!(back.seq_of("fresh"), 40);
+        assert_eq!(back.seq_of("missing"), 0);
+    }
+
+    #[test]
+    fn seq_roundtrip_strips_the_reserved_field() {
+        let docs = vec![doc! { "_id" => "a" }, doc! { "_id" => "b" }];
+        let bytes = encode_jsonl_seq(docs.iter().enumerate().map(|(i, d)| (i as u64 + 5, d)));
+        let (loaded, _) = decode_jsonl(&bytes, "c.jsonl", &LoadOptions::default()).unwrap();
+        let seqs: Vec<u64> = loaded
+            .into_iter()
+            .map(|mut d| {
+                let s = take_seq(&mut d).unwrap();
+                assert!(d.get(SEQ_FIELD).is_none(), "reserved field stripped");
+                s
+            })
+            .collect();
+        assert_eq!(seqs, vec![5, 6]);
     }
 
     #[test]

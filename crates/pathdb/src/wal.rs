@@ -114,6 +114,17 @@ pub enum WalOp {
 }
 
 impl WalOp {
+    /// The collection this op targets.
+    pub fn coll(&self) -> &str {
+        match self {
+            WalOp::Insert { coll, .. }
+            | WalOp::InsertMany { coll, .. }
+            | WalOp::Update { coll, .. }
+            | WalOp::Delete { coll, .. }
+            | WalOp::Drop { coll } => coll,
+        }
+    }
+
     /// How many documents/ids the op carries (for recovery reporting).
     pub fn effect_count(&self) -> usize {
         match self {

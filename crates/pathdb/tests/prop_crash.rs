@@ -23,7 +23,10 @@
 //! transient-error retries.
 
 use pathdb::database::OpenOptions;
-use pathdb::{doc, Database, Document, Durability, FaultyStorage, Filter, Update, Value};
+use pathdb::{
+    doc, CompactionPolicy, Database, Document, Durability, FaultyStorage, Filter, RetentionPolicy,
+    RollupConfig, Update, Value,
+};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -61,6 +64,16 @@ enum Op {
         coll: u8,
     },
     Checkpoint,
+    /// Fold the registered rollup forward (one WAL group, or none when
+    /// already caught up).
+    RollupFold,
+    /// Retention expiry at a given sim-clock. Always scheduled right
+    /// after a [`Op::RollupFold`], so its internal fold-before-expire
+    /// pass is a WAL no-op and the op commits exactly one delete group —
+    /// keeping every WAL-group boundary aligned with a trajectory point.
+    Expire {
+        now: i64,
+    },
 }
 
 fn coll_name(c: u8) -> &'static str {
@@ -77,9 +90,9 @@ fn apply(db: &Database, op: &Op) {
     match op {
         Op::Insert { coll, id } => {
             let h = db.collection(coll_name(*coll));
-            let _ = h
-                .write()
-                .insert_one(doc! { "_id" => format!("d{id}"), "v" => *id as i64 });
+            let _ = h.write().insert_one(
+                doc! { "_id" => format!("d{id}"), "v" => *id as i64, "t" => *id as i64 * 500 },
+            );
         }
         Op::InsertDup { coll, id } => {
             let h = db.collection(coll_name(*coll));
@@ -92,7 +105,14 @@ fn apply(db: &Database, op: &Op) {
             let h = db.collection(coll_name(*coll));
             let docs: Vec<Document> = ids
                 .iter()
-                .map(|id| doc! { "_id" => format!("d{id}"), "v" => *id as i64, "batch" => true })
+                .map(|id| {
+                    doc! {
+                        "_id" => format!("d{id}"),
+                        "v" => *id as i64,
+                        "t" => *id as i64 * 500,
+                        "batch" => true,
+                    }
+                })
                 .collect();
             let _ = h.write().insert_many(docs);
         }
@@ -112,6 +132,12 @@ fn apply(db: &Database, op: &Op) {
         }
         Op::Checkpoint => {
             let _ = db.checkpoint();
+        }
+        Op::RollupFold => {
+            let _ = db.rollup_catch_up();
+        }
+        Op::Expire { now } => {
+            let _ = db.expire_retention(*now);
         }
     }
 }
@@ -139,11 +165,32 @@ fn fingerprint(db: &Database) -> Vec<String> {
 }
 
 fn open_wal(storage: &FaultyStorage) -> (Database, pathdb::RecoveryReport) {
-    Database::open_durable_with(
+    let (db, report) = Database::open_durable_with(
         PathBuf::from("/db"),
         OpenOptions::new(Durability::Wal).with_storage(Arc::new(storage.clone())),
     )
-    .expect("recovery never fails on torn state")
+    .expect("recovery never fails on torn state");
+    // Exercise the generational-checkpoint decision paths aggressively:
+    // tiny collections already qualify for keep-in-log / compaction.
+    db.set_compaction_policy(CompactionPolicy {
+        live_fraction: 0.6,
+        min_rows: 2,
+        max_lag: 3,
+    });
+    db.register_rollup(RollupConfig {
+        source: "paths_stats".into(),
+        dest: "rollup_stats".into(),
+        time_field: "t".into(),
+        bucket_ms: 4000,
+        group_by: vec![],
+        fields: vec!["v".into()],
+    });
+    db.set_retention(RetentionPolicy {
+        collection: "paths_stats".into(),
+        time_field: "t".into(),
+        keep_ms: 3000,
+    });
+    (db, report)
 }
 
 /// Fault-free run: the model trajectory (cumulative units + state
@@ -217,6 +264,7 @@ fn fixed_workload() -> Vec<Op> {
             id: 11,
             v: 99,
         },
+        Op::RollupFold,
         Op::Checkpoint,
         Op::Insert { coll: 0, id: 2 },
         Op::Delete { coll: 1, id: 10 },
@@ -224,15 +272,23 @@ fn fixed_workload() -> Vec<Op> {
             coll: 0,
             ids: vec![20, 21],
         },
+        // Expires the folded row d11 (t = 5500 < 9000 - 3000): the
+        // following checkpoint sees a log that is partly dead weight —
+        // the generational compaction decision runs inside the sweep.
+        Op::RollupFold,
+        Op::Expire { now: 9000 },
+        Op::Checkpoint,
         Op::Drop { coll: 1 },
         Op::Checkpoint,
         Op::Insert { coll: 1, id: 30 },
+        Op::RollupFold,
     ]
 }
 
 /// The exhaustive matrix: every single unit offset of the fixed
-/// workload, including every byte of two checkpoints' snapshot /
-/// manifest / cleanup windows.
+/// workload, including every byte of three checkpoints' snapshot /
+/// manifest / cleanup windows and of the rollup-fold and retention
+/// expiry commits between them.
 #[test]
 fn every_kill_offset_recovers_a_committed_prefix() {
     let ops = fixed_workload();
@@ -291,6 +347,10 @@ enum OpSpec {
     Delete(u8, u8),
     Drop(u8),
     Checkpoint,
+    Fold,
+    /// Expiry at sim-clock `k·1000` ms (preceded by a fold, see
+    /// [`Op::Expire`]).
+    Expire(u8),
 }
 
 fn arb_op() -> impl Strategy<Value = OpSpec> {
@@ -305,6 +365,8 @@ fn arb_op() -> impl Strategy<Value = OpSpec> {
         ((0u8..2), (0u8..8)).prop_map(|(c, t)| OpSpec::Delete(c, t)),
         (0u8..2).prop_map(OpSpec::Drop),
         Just(OpSpec::Checkpoint),
+        Just(OpSpec::Fold),
+        (1u8..12).prop_map(OpSpec::Expire),
     ]
 }
 
@@ -321,7 +383,7 @@ fn resolve(specs: &[OpSpec]) -> Vec<Op> {
     };
     let mut ops = Vec::with_capacity(specs.len());
     for spec in specs {
-        ops.push(match spec {
+        let op = match spec {
             OpSpec::Insert(c) => Op::Insert {
                 coll: *c,
                 id: mint(&mut minted),
@@ -351,7 +413,17 @@ fn resolve(specs: &[OpSpec]) -> Vec<Op> {
             },
             OpSpec::Drop(c) => Op::Drop { coll: *c },
             OpSpec::Checkpoint => Op::Checkpoint,
-        });
+            OpSpec::Fold => Op::RollupFold,
+            OpSpec::Expire(k) => {
+                // Fold first so the expiry op itself commits exactly one
+                // WAL group (see [`Op::Expire`]).
+                ops.push(Op::RollupFold);
+                Op::Expire {
+                    now: *k as i64 * 1000,
+                }
+            }
+        };
+        ops.push(op);
     }
     ops
 }
@@ -374,13 +446,19 @@ fn sanitize_dups(ops: Vec<Op>) -> Vec<Op> {
                 live[*coll as usize].remove(id);
             }
             Op::Drop { coll } => live[*coll as usize].clear(),
+            Op::Expire { now } => {
+                // Retention removes paths_stats rows behind the window;
+                // their ids are no longer valid duplicate targets.
+                let cutoff = now - 3000;
+                live[1].retain(|id| (*id as i64) * 500 >= cutoff);
+            }
             Op::InsertDup { coll, id } => {
                 if !live[*coll as usize].contains(id) {
                     out.push(Op::Checkpoint);
                     continue;
                 }
             }
-            Op::Update { .. } | Op::Checkpoint => {}
+            Op::Update { .. } | Op::Checkpoint | Op::RollupFold => {}
         }
         out.push(op);
     }
